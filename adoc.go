@@ -1,0 +1,267 @@
+// Package adoc is a Go implementation of the AdOC library — Adaptive
+// Online Compression for data transfer (Emmanuel Jeannot, "Improving
+// Middleware Performance with AdOC", INRIA RR-5500 / IPPS 2005).
+//
+// AdOC sends data over a connection while compressing it on the fly,
+// constantly adapting the compression level (0 = none, 1 = LZF, 2..10 =
+// DEFLATE 1..9) to the current speed of the network, the CPUs on both
+// ends, and the data itself. Compression overlaps communication through a
+// FIFO packet queue between a compression goroutine and an emission
+// goroutine; the queue's occupancy drives the level up or down.
+//
+// Two API styles are provided:
+//
+//   - The Conn type wraps any io.ReadWriter (typically a net.Conn) and
+//     offers idiomatic Read/Write plus message/file transfer methods.
+//
+//   - Package-level functions (Write, WriteLevels, Read, SendFile,
+//     SendFileLevels, ReceiveFile, Close) mirror the seven functions of
+//     the C library's API, keyed by the connection value the way the C
+//     version keys its internal state by file descriptor.
+//
+// Both preserve the read/write system-call semantics the paper insists
+// on: a reader may consume a 100 MB send as one 60 MB and one 40 MB read,
+// message boundaries are invisible, and Close releases the partial-read
+// buffers.
+package adoc
+
+import (
+	"io"
+	"os"
+	"sync"
+
+	"adoc/internal/codec"
+	"adoc/internal/core"
+)
+
+// Level is an AdOC compression level: 0 none, 1 LZF, 2..10 DEFLATE 1..9.
+type Level = codec.Level
+
+// Level bounds, mirroring ADOC_MIN_LEVEL and ADOC_MAX_LEVEL.
+const (
+	MinLevel = codec.MinLevel
+	MaxLevel = codec.MaxLevel
+)
+
+// Errors re-exported from the engine.
+var (
+	// ErrClosed is returned by operations on a closed connection.
+	ErrClosed = core.ErrClosed
+	// ErrMidMessage is returned by ReceiveFile when the previous message
+	// was only partially consumed by Read.
+	ErrMidMessage = core.ErrMidMessage
+)
+
+// Stats is a snapshot of per-connection activity (bytes, messages,
+// compression ratio inputs, controller behaviour).
+type Stats = core.Stats
+
+// Trace carries optional observability callbacks (level changes, probe
+// results, per-group sends).
+type Trace = core.Trace
+
+// Options tunes a connection. The zero value of any field selects the
+// paper's default (8 KB packets, 200 KB buffers, 512 KB small-message
+// threshold, 256 KB probe, 500 Mbit/s fast cutoff).
+type Options struct {
+	// MinLevel and MaxLevel bound adaptation; MinLevel > 0 forces
+	// compression on, MaxLevel == 0 disables it (set MinLevel = 0,
+	// MaxLevel = MaxLevel for the default adaptive behaviour).
+	MinLevel, MaxLevel Level
+	// PacketSize is the FIFO packet size in bytes (default 8192).
+	PacketSize int
+	// BufferSize is the compression/adaptation unit (default 200 KB).
+	BufferSize int
+	// SmallThreshold is the no-compression cutoff (default 512 KB).
+	SmallThreshold int
+	// ProbeSize is the uncompressed probe prefix (default 256 KB).
+	ProbeSize int
+	// FastCutoffBps disables compression for a message when the probe
+	// measures a faster link (default 500 Mbit/s).
+	FastCutoffBps float64
+	// QueueCapacity bounds the emission FIFO in packets (default 256).
+	QueueCapacity int
+	// DisableProbe skips the bandwidth probe.
+	DisableProbe bool
+	// Trace receives engine events.
+	Trace Trace
+}
+
+// DefaultOptions returns the paper's configuration with full adaptive
+// range [0, 10].
+func DefaultOptions() Options {
+	return Options{MinLevel: MinLevel, MaxLevel: MaxLevel}
+}
+
+func (o Options) toCore() core.Options {
+	c := core.DefaultOptions()
+	c.MinLevel = o.MinLevel
+	c.MaxLevel = o.MaxLevel
+	if o.PacketSize > 0 {
+		c.PacketSize = o.PacketSize
+	}
+	if o.BufferSize > 0 {
+		c.BufferSize = o.BufferSize
+	}
+	if o.SmallThreshold > 0 {
+		c.SmallThreshold = o.SmallThreshold
+	}
+	if o.ProbeSize > 0 {
+		c.ProbeSize = o.ProbeSize
+	}
+	if o.FastCutoffBps > 0 {
+		c.FastCutoffBps = o.FastCutoffBps
+	}
+	if o.QueueCapacity > 0 {
+		c.QueueCapacity = o.QueueCapacity
+	}
+	c.DisableProbe = o.DisableProbe
+	c.Trace = o.Trace
+	return c
+}
+
+// registry maps connection values to their AdOC state, mirroring the C
+// library's static descriptor table ("a static variable is used to store
+// and retrieve internal buffers ... always accessed between locks",
+// paper §4.2). Keys must be comparable; net.Conn implementations are.
+var (
+	registryMu sync.Mutex
+	registry   = map[io.ReadWriter]*Conn{}
+)
+
+// connFor returns (creating if needed) the Conn bound to d.
+func connFor(d io.ReadWriter) (*Conn, error) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if c, ok := registry[d]; ok {
+		return c, nil
+	}
+	c, err := NewConn(d, DefaultOptions())
+	if err != nil {
+		return nil, err
+	}
+	registry[d] = c
+	return c, nil
+}
+
+// Configure binds d to a Conn with explicit options. It must be called
+// before the first Write/Read on d, and is optional: the defaults apply
+// otherwise.
+func Configure(d io.ReadWriter, opts Options) (*Conn, error) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if c, ok := registry[d]; ok {
+		return c, nil
+	}
+	c, err := NewConn(d, opts)
+	if err != nil {
+		return nil, err
+	}
+	registry[d] = c
+	return c, nil
+}
+
+// Write sends buf over d with adaptive compression, like the write system
+// call plus compression. It returns len(buf) on success and the number of
+// bytes that actually hit the wire through sent — the pair adoc_write
+// returns and outputs via slen. sent may exceed len(buf) slightly for
+// incompressible data (framing) and be far smaller for compressible data.
+func Write(d io.ReadWriter, buf []byte) (n int, sent int64, err error) {
+	c, err := connFor(d)
+	if err != nil {
+		return 0, 0, err
+	}
+	sent, err = c.WriteMessage(buf)
+	if err != nil {
+		return 0, sent, err
+	}
+	return len(buf), sent, nil
+}
+
+// WriteLevels is Write with explicit level bounds (adoc_write_levels):
+// min > 0 forces compression, max == 0 disables it.
+func WriteLevels(d io.ReadWriter, buf []byte, min, max Level) (n int, sent int64, err error) {
+	c, err := connFor(d)
+	if err != nil {
+		return 0, 0, err
+	}
+	sent, err = c.WriteMessageLevels(buf, min, max)
+	if err != nil {
+		return 0, sent, err
+	}
+	return len(buf), sent, nil
+}
+
+// Read reads decompressed data from d into buf, like the read system
+// call: it blocks until at least one byte is available and returns the
+// number of bytes stored. Partial reads across message boundaries are
+// supported; leftovers are buffered until the next Read or Close.
+func Read(d io.ReadWriter, buf []byte) (int, error) {
+	c, err := connFor(d)
+	if err != nil {
+		return 0, err
+	}
+	return c.Read(buf)
+}
+
+// SendFile transmits f (from its current offset to EOF) over d with
+// adaptive compression — adoc_send_file. It returns the file byte count
+// and the wire byte count; size/sent is the achieved compression ratio.
+func SendFile(d io.ReadWriter, f *os.File) (size int64, sent int64, err error) {
+	return SendFileLevels(d, f, MinLevel, MaxLevel)
+}
+
+// SendFileLevels is SendFile with explicit level bounds.
+func SendFileLevels(d io.ReadWriter, f *os.File, min, max Level) (size int64, sent int64, err error) {
+	c, err := connFor(d)
+	if err != nil {
+		return 0, 0, err
+	}
+	return c.SendStreamLevels(f, fileRemaining(f), min, max)
+}
+
+// fileRemaining returns the bytes between the file offset and EOF, or -1
+// when that cannot be determined (pipes, devices).
+func fileRemaining(f *os.File) int64 {
+	fi, err := f.Stat()
+	if err != nil || !fi.Mode().IsRegular() {
+		return -1
+	}
+	off, err := f.Seek(0, io.SeekCurrent)
+	if err != nil {
+		return -1
+	}
+	if rem := fi.Size() - off; rem >= 0 {
+		return rem
+	}
+	return 0
+}
+
+// ReceiveFile reads one complete AdOC message from d, decompresses it and
+// writes the content to f — adoc_receive_file. It returns the number of
+// raw bytes stored.
+func ReceiveFile(d io.ReadWriter, f *os.File) (int64, error) {
+	c, err := connFor(d)
+	if err != nil {
+		return 0, err
+	}
+	return c.ReceiveMessage(f)
+}
+
+// Close releases the AdOC state bound to d (partial-read buffers, pending
+// pipelines) and closes d itself if it implements io.Closer —
+// adoc_close.
+func Close(d io.ReadWriter) error {
+	registryMu.Lock()
+	c, ok := registry[d]
+	delete(registry, d)
+	registryMu.Unlock()
+	if !ok {
+		// Never used through this package: just close the descriptor.
+		if cl, okc := d.(io.Closer); okc {
+			return cl.Close()
+		}
+		return nil
+	}
+	return c.Close()
+}

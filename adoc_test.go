@@ -1,0 +1,355 @@
+package adoc
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func text(n int) []byte {
+	const base = "NetSolve dgemm request payload: dense matrix rows follow\n"
+	s := strings.Repeat(base, 1+n/len(base))
+	return []byte(s[:n])
+}
+
+func random(n int, seed int64) []byte {
+	b := make([]byte, n)
+	rand.New(rand.NewSource(seed)).Read(b)
+	return b
+}
+
+// tcpPair returns two TCP loopback connections.
+func tcpPair(t *testing.T) (net.Conn, net.Conn) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	type res struct {
+		c   net.Conn
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		c, err := ln.Accept()
+		ch <- res{c, err}
+	}()
+	client, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := <-ch
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	t.Cleanup(func() { client.Close(); r.c.Close() })
+	return client, r.c
+}
+
+func TestPackageAPIWriteRead(t *testing.T) {
+	c1, c2 := tcpPair(t)
+	data := text(100000)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		n, sent, err := Write(c1, data)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if n != len(data) {
+			t.Errorf("Write n = %d, want %d", n, len(data))
+		}
+		if sent <= 0 {
+			t.Errorf("sent = %d", sent)
+		}
+	}()
+	got := make([]byte, 0, len(data))
+	buf := make([]byte, 32*1024)
+	for len(got) < len(data) {
+		n, err := Read(c2, buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, buf[:n]...)
+	}
+	wg.Wait()
+	if !bytes.Equal(got, data) {
+		t.Fatal("roundtrip mismatch")
+	}
+	if err := Close(c1); err != nil {
+		t.Fatal(err)
+	}
+	if err := Close(c2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPackageAPIPartialReads(t *testing.T) {
+	// The paper's example: send 100 (here KB), read 60 then 40.
+	c1, c2 := tcpPair(t)
+	defer Close(c1)
+	defer Close(c2)
+	data := random(100*1024, 1)
+	go Write(c1, data)
+	first := make([]byte, 60*1024)
+	if _, err := io.ReadFull(readerFunc(func(p []byte) (int, error) { return Read(c2, p) }), first); err != nil {
+		t.Fatal(err)
+	}
+	second := make([]byte, 40*1024)
+	if _, err := io.ReadFull(readerFunc(func(p []byte) (int, error) { return Read(c2, p) }), second); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(append(first, second...), data) {
+		t.Fatal("60/40 split mismatch")
+	}
+}
+
+type readerFunc func(p []byte) (int, error)
+
+func (f readerFunc) Read(p []byte) (int, error) { return f(p) }
+
+func TestWriteLevelsForcedAndDisabled(t *testing.T) {
+	c1, c2 := tcpPair(t)
+	defer Close(c1)
+	defer Close(c2)
+	data := text(64 * 1024)
+
+	go func() {
+		// Forced compression: min = MinLevel+1 (paper §4.1).
+		if _, _, err := WriteLevels(c1, data, MinLevel+1, MaxLevel); err != nil {
+			t.Error(err)
+		}
+		// Disabled compression: max = MinLevel.
+		if _, _, err := WriteLevels(c1, data, MinLevel, MinLevel); err != nil {
+			t.Error(err)
+		}
+	}()
+	got := make([]byte, 2*len(data))
+	r := readerFunc(func(p []byte) (int, error) { return Read(c2, p) })
+	if _, err := io.ReadFull(r, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got[:len(data)], data) || !bytes.Equal(got[len(data):], data) {
+		t.Fatal("roundtrip mismatch")
+	}
+}
+
+func TestSendReceiveFile(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "src.dat")
+	dst := filepath.Join(dir, "dst.dat")
+	content := text(700 * 1024) // above SmallThreshold: pipeline engages
+	if err := os.WriteFile(src, content, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	c1, c2 := tcpPair(t)
+	defer Close(c1)
+	defer Close(c2)
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		f, err := os.Open(src)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		defer f.Close()
+		size, sent, err := SendFile(c1, f)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if size != int64(len(content)) {
+			t.Errorf("size = %d, want %d", size, len(content))
+		}
+		if sent <= 0 {
+			t.Error("sent = 0")
+		}
+	}()
+
+	out, err := os.Create(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := ReceiveFile(c2, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out.Close()
+	wg.Wait()
+	if n != int64(len(content)) {
+		t.Fatalf("received %d bytes, want %d", n, len(content))
+	}
+	got, err := os.ReadFile(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, content) {
+		t.Fatal("file content mismatch")
+	}
+}
+
+func TestSendFileFromOffset(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "src.dat")
+	content := text(10000)
+	if err := os.WriteFile(src, content, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c1, c2 := tcpPair(t)
+	defer Close(c1)
+	defer Close(c2)
+	go func() {
+		f, _ := os.Open(src)
+		defer f.Close()
+		f.Seek(4000, io.SeekStart)
+		if size, _, err := SendFile(c1, f); err != nil || size != 6000 {
+			t.Errorf("size=%d err=%v", size, err)
+		}
+	}()
+	var sink bytes.Buffer
+	conn, err := connFor(c2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := conn.ReceiveMessage(&sink); err != nil || n != 6000 {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+	if !bytes.Equal(sink.Bytes(), content[4000:]) {
+		t.Fatal("offset content mismatch")
+	}
+}
+
+func TestConnIsReadWriteCloser(t *testing.T) {
+	var _ io.ReadWriteCloser = (*Conn)(nil)
+}
+
+func TestConnWriteReadBidirectional(t *testing.T) {
+	c1, c2 := tcpPair(t)
+	a, err := NewConn(c1, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewConn(c2, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	defer b.Close()
+
+	msg1 := text(20000)
+	msg2 := random(30000, 5)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); a.Write(msg1) }()
+	go func() { defer wg.Done(); b.Write(msg2) }()
+	got1 := make([]byte, len(msg1))
+	got2 := make([]byte, len(msg2))
+	var rg sync.WaitGroup
+	rg.Add(2)
+	go func() { defer rg.Done(); io.ReadFull(b, got1) }()
+	go func() { defer rg.Done(); io.ReadFull(a, got2) }()
+	wg.Wait()
+	rg.Wait()
+	if !bytes.Equal(got1, msg1) || !bytes.Equal(got2, msg2) {
+		t.Fatal("bidirectional mismatch")
+	}
+}
+
+func TestConnStats(t *testing.T) {
+	c1, c2 := tcpPair(t)
+	a, _ := NewConn(c1, Options{MinLevel: 1, MaxLevel: MaxLevel, SmallThreshold: 1024, BufferSize: 8 * 1024, DisableProbe: true})
+	b, _ := NewConn(c2, DefaultOptions())
+	defer a.Close()
+	defer b.Close()
+	data := text(100 * 1024)
+	go a.Write(data)
+	got := make([]byte, len(data))
+	if _, err := io.ReadFull(b, got); err != nil {
+		t.Fatal(err)
+	}
+	st := a.Stats()
+	if st.RawSent != int64(len(data)) {
+		t.Fatalf("RawSent = %d", st.RawSent)
+	}
+	if a.CompressionRatio() <= 1.5 {
+		t.Fatalf("ratio = %v, want > 1.5 on text", a.CompressionRatio())
+	}
+}
+
+func TestCloseUnregisteredConn(t *testing.T) {
+	c1, c2 := tcpPair(t)
+	defer c2.Close()
+	// Close on a conn never used through the package just closes it.
+	if err := Close(c1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfigure(t *testing.T) {
+	c1, c2 := tcpPair(t)
+	defer Close(c1)
+	defer Close(c2)
+	conn, err := Configure(c1, Options{MinLevel: 0, MaxLevel: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := Configure(c1, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conn != again {
+		t.Fatal("Configure created a second Conn for the same descriptor")
+	}
+	data := text(50000)
+	go Write(c1, data)
+	got := make([]byte, len(data))
+	r := readerFunc(func(p []byte) (int, error) { return Read(c2, p) })
+	if _, err := io.ReadFull(r, got); err != nil {
+		t.Fatal(err)
+	}
+	st := conn.Stats()
+	if st.WireSent < st.RawSent {
+		t.Fatal("compression happened despite MaxLevel=0 configuration")
+	}
+}
+
+func TestManyConcurrentConnections(t *testing.T) {
+	// The IBP integration note (paper §4.2): multiple threads using AdOC
+	// on different descriptors at the same time.
+	const conns = 6
+	var wg sync.WaitGroup
+	for i := 0; i < conns; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c1, c2 := tcpPair(t)
+			defer Close(c1)
+			defer Close(c2)
+			data := text(30000 + i*1000)
+			go Write(c1, data)
+			got := make([]byte, len(data))
+			r := readerFunc(func(p []byte) (int, error) { return Read(c2, p) })
+			if _, err := io.ReadFull(r, got); err != nil {
+				t.Error(err)
+				return
+			}
+			if !bytes.Equal(got, data) {
+				t.Errorf("conn %d mismatch", i)
+			}
+		}(i)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,120 @@
+// Command adocbench regenerates every table and figure of the AdOC paper
+// (Jeannot, INRIA RR-5500 / IPPS 2005) plus the ablation studies listed in
+// DESIGN.md.
+//
+// Usage:
+//
+//	adocbench [flags] <experiment>...
+//	adocbench -mode=model all
+//	adocbench -mode=live -reps 5 -max 4194304 fig3
+//	adocbench fig8 -dgemm 128,256,512
+//
+// Experiments: table1 table2 fig3 fig4 fig5 fig6 fig7 fig8 fig9
+// ablate-buffer ablate-divergence ablate-probe ablate-adapt
+// ablate-incompressible ablate-packet ablate-queue, or "all".
+//
+// Modes:
+//
+//	model  virtual-time pipeline model (default; full 32 MB sweeps in
+//	       milliseconds; -calib era reproduces the paper's 2005 hardware)
+//	live   the real engine over the in-process network simulator
+//	       (wall-clock time; sizes capped by -max)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"adoc/internal/bench"
+	"adoc/internal/des"
+)
+
+func main() {
+	var (
+		mode    = flag.String("mode", "model", "execution mode: model or live")
+		calib   = flag.String("calib", "era", "model cost tables: era (paper Table 1 hardware) or live (this machine)")
+		reps    = flag.Int("reps", 0, "repetitions per point (0 = mode default)")
+		maxSize = flag.Int64("max", 0, "largest sweep size in bytes (0 = mode default)")
+		seed    = flag.Int64("seed", 1, "workload/noise seed")
+		dgemm   = flag.String("dgemm", "128,256,512", "matrix sizes for fig8/fig9")
+		verbose = flag.Bool("v", false, "progress logging to stderr")
+	)
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: adocbench [flags] <experiment>... (or 'all'; see -h)")
+		os.Exit(2)
+	}
+
+	cfg := bench.Config{
+		Mode:    bench.Mode(*mode),
+		Calib:   des.Calibration(*calib),
+		Reps:    *reps,
+		MaxSize: *maxSize,
+		Seed:    *seed,
+	}
+	if *verbose {
+		cfg.Log = os.Stderr
+	}
+
+	var sizes []int
+	for _, f := range strings.Split(*dgemm, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n <= 0 {
+			fmt.Fprintf(os.Stderr, "adocbench: bad -dgemm entry %q\n", f)
+			os.Exit(2)
+		}
+		sizes = append(sizes, n)
+	}
+
+	experiments := flag.Args()
+	if len(experiments) == 1 && experiments[0] == "all" {
+		experiments = []string{"table1", "table2", "fig3", "fig4", "fig5", "fig6", "fig7",
+			"fig8", "fig9", "ablate-buffer", "ablate-divergence", "ablate-probe",
+			"ablate-adapt", "ablate-incompressible", "ablate-packet", "ablate-queue"}
+	}
+
+	exit := 0
+	for _, exp := range experiments {
+		tab, err := run(cfg, exp, sizes)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "adocbench: %s: %v\n", exp, err)
+			exit = 1
+			continue
+		}
+		tab.Render(os.Stdout)
+	}
+	os.Exit(exit)
+}
+
+// run dispatches one experiment id.
+func run(cfg bench.Config, exp string, dgemmSizes []int) (*bench.Table, error) {
+	switch exp {
+	case "table1":
+		return bench.Table1(cfg)
+	case "table2":
+		return bench.Table2(cfg)
+	case "fig3", "fig4", "fig5", "fig6", "fig7":
+		return bench.FigBandwidth(cfg, exp)
+	case "fig8", "fig9":
+		return bench.Fig8And9(cfg, exp, dgemmSizes)
+	case "ablate-buffer":
+		return bench.AblateBufferSize(cfg)
+	case "ablate-divergence":
+		return bench.AblateDivergence(cfg)
+	case "ablate-probe":
+		return bench.AblateProbe(cfg)
+	case "ablate-adapt":
+		return bench.AblateAdaptivity(cfg)
+	case "ablate-packet":
+		return bench.AblatePacketSize(cfg)
+	case "ablate-queue":
+		return bench.AblateQueueCapacity(cfg)
+	case "ablate-incompressible":
+		return bench.AblateIncompressibleGuard(cfg)
+	default:
+		return nil, fmt.Errorf("unknown experiment %q", exp)
+	}
+}

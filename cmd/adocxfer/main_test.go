@@ -1,0 +1,82 @@
+package main
+
+import (
+	"bytes"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"adoc"
+)
+
+// TestSendReceiveOverLoopback exercises the tool's two halves end to end
+// on a real TCP loopback socket.
+func TestSendReceiveOverLoopback(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "src.dat")
+	dst := filepath.Join(dir, "dst.dat")
+	content := []byte(strings.Repeat("file transfer payload with compressible structure\n", 20000))
+	if err := os.WriteFile(src, content, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		conn, err := ln.Accept()
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		defer adoc.Close(conn)
+		f, err := os.Create(dst)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		defer f.Close()
+		if _, err := adoc.ReceiveFile(conn, f); err != nil {
+			t.Error(err)
+		}
+	}()
+
+	if err := transmit(src, addr, adoc.MinLevel, adoc.MaxLevel, false); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	ln.Close()
+
+	got, err := os.ReadFile(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, content) {
+		t.Fatal("transferred file differs from source")
+	}
+}
+
+func TestTransmitMissingFile(t *testing.T) {
+	if err := transmit(filepath.Join(t.TempDir(), "nope"), "127.0.0.1:1", 0, 10, false); err == nil {
+		t.Fatal("missing source accepted")
+	}
+}
+
+func TestTransmitConnectionRefused(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "src.dat")
+	os.WriteFile(src, []byte("x"), 0o644)
+	// A port nothing listens on.
+	if err := transmit(src, "127.0.0.1:1", 0, 10, false); err == nil {
+		t.Fatal("dial to dead port succeeded")
+	}
+}

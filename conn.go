@@ -1,0 +1,89 @@
+package adoc
+
+import (
+	"io"
+
+	"adoc/internal/core"
+)
+
+// Conn is an AdOC connection: it wraps a bidirectional byte stream and
+// adds adaptive online compression in both directions. Conn implements
+// io.ReadWriteCloser; Write compresses adaptively and Read transparently
+// decompresses, so a Conn can be dropped into code written against plain
+// sockets — exactly how the paper retrofits NetSolve by substituting its
+// read/write calls.
+//
+// A Conn is safe for concurrent use. Writes are serialized with writes,
+// reads with reads; a read and a write may run in parallel (full duplex).
+type Conn struct {
+	eng *core.Engine
+	rw  io.ReadWriter
+}
+
+// NewConn wraps rw in an AdOC connection. Both endpoints of a link must
+// speak AdOC (the wire format is self-describing but not plaintext).
+func NewConn(rw io.ReadWriter, opts Options) (*Conn, error) {
+	eng, err := core.New(rw, opts.toCore())
+	if err != nil {
+		return nil, err
+	}
+	return &Conn{eng: eng, rw: rw}, nil
+}
+
+// Read fills p with the next decompressed bytes of the incoming stream,
+// blocking until at least one byte is available (read semantics; message
+// boundaries are not preserved).
+func (c *Conn) Read(p []byte) (int, error) { return c.eng.Read(p) }
+
+// Write sends p as one adaptively compressed message and returns
+// (len(p), nil) on success, satisfying io.Writer. Use WriteMessage to
+// also learn the wire byte count.
+func (c *Conn) Write(p []byte) (int, error) {
+	if _, err := c.eng.WriteMessage(p); err != nil {
+		return 0, err
+	}
+	return len(p), nil
+}
+
+// WriteMessage sends p as one message and returns the number of bytes
+// that hit the wire (the slen output of adoc_write).
+func (c *Conn) WriteMessage(p []byte) (sent int64, err error) {
+	return c.eng.WriteMessage(p)
+}
+
+// WriteMessageLevels is WriteMessage with per-call level bounds.
+func (c *Conn) WriteMessageLevels(p []byte, min, max Level) (sent int64, err error) {
+	return c.eng.WriteMessageLevels(p, min, max)
+}
+
+// SendStream transmits size bytes from r as one message (size < 0 means
+// until EOF). It returns the raw and wire byte counts.
+func (c *Conn) SendStream(r io.Reader, size int64) (raw, sent int64, err error) {
+	return c.eng.SendMessage(r, size)
+}
+
+// SendStreamLevels is SendStream with per-call level bounds.
+func (c *Conn) SendStreamLevels(r io.Reader, size int64, min, max Level) (raw, sent int64, err error) {
+	return c.eng.SendMessageLevels(r, size, min, max)
+}
+
+// ReceiveMessage consumes exactly one incoming message, writing its
+// decompressed content to w and returning the byte count. It must be
+// called on a message boundary (ErrMidMessage otherwise).
+func (c *Conn) ReceiveMessage(w io.Writer) (int64, error) {
+	return c.eng.ReceiveMessage(w)
+}
+
+// Close releases the connection's AdOC state and closes the underlying
+// stream if it implements io.Closer.
+func (c *Conn) Close() error { return c.eng.Close() }
+
+// Stats returns a snapshot of connection activity.
+func (c *Conn) Stats() Stats { return c.eng.Stats() }
+
+// CompressionRatio returns rawSent/wireSent over the connection lifetime
+// (1.0 means no gain; higher is better).
+func (c *Conn) CompressionRatio() float64 { return c.eng.CompressionRatio() }
+
+// Underlying returns the wrapped stream.
+func (c *Conn) Underlying() io.ReadWriter { return c.rw }

@@ -1,0 +1,83 @@
+// Adaptivetrace: watch the Figure-2 controller at work. A long ASCII
+// stream crosses a link whose bandwidth we throttle mid-transfer; the
+// per-group trace shows the compression level climbing when the network
+// slows (more time to compress) and falling when it speeds up again.
+package main
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"sync/atomic"
+	"time"
+
+	"adoc"
+	"adoc/internal/datagen"
+	"adoc/internal/netsim"
+)
+
+// throttledConn scales every write through an artificial slowdown phase.
+type throttledConn struct {
+	*netsim.Conn
+	slow *atomic.Bool
+}
+
+func (c *throttledConn) Write(p []byte) (int, error) {
+	if c.slow.Load() {
+		// Cross traffic: the effective link is ~8x slower.
+		time.Sleep(time.Duration(len(p)) * 7 * time.Microsecond)
+	}
+	return c.Conn.Write(p)
+}
+
+func main() {
+	prof := netsim.Profile{Name: "lan", BandwidthBps: 100e6 / 8,
+		Latency: 90 * time.Microsecond, MTU: 8192, SocketBuf: 512 * 1024}
+	a, b := netsim.Pair(prof)
+	defer a.Close()
+	defer b.Close()
+
+	var slow atomic.Bool
+	sender := &throttledConn{Conn: a, slow: &slow}
+
+	data := datagen.ASCII(12<<20, 5)
+	go func() {
+		conn, err := adoc.NewConn(b, adoc.DefaultOptions())
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := io.CopyN(io.Discard, conn, int64(len(data))); err != nil {
+			log.Fatal(err)
+		}
+	}()
+
+	// Throttle the middle third of the transfer.
+	go func() {
+		time.Sleep(400 * time.Millisecond)
+		fmt.Println("--- cross traffic begins (link ~8x slower) ---")
+		slow.Store(true)
+		time.Sleep(500 * time.Millisecond)
+		fmt.Println("--- cross traffic ends ---")
+		slow.Store(false)
+	}()
+
+	opts := adoc.DefaultOptions()
+	opts.DisableProbe = true // keep the whole transfer adaptive for the demo
+	start := time.Now()
+	opts.Trace = adoc.Trace{
+		OnGroupSent: func(level adoc.Level, rawLen, wireLen, queueLen int) {
+			fmt.Printf("%7.0fms  level=%-7v raw=%3dKB wire=%3dKB queue=%d\n",
+				time.Since(start).Seconds()*1000, level, rawLen>>10, wireLen>>10, queueLen)
+		},
+	}
+	conn, err := adoc.NewConn(sender, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := conn.WriteMessage(data); err != nil {
+		log.Fatal(err)
+	}
+	st := conn.Stats()
+	fmt.Printf("done: %d KB raw, %d KB wire, overall ratio %.2f\n",
+		st.RawSent>>10, st.WireSent>>10, conn.CompressionRatio())
+}

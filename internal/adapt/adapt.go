@@ -1,0 +1,334 @@
+// Package adapt implements the AdOC compression-level controller: the
+// queue-driven update rule of paper Figure 2, the divergence guard and the
+// incompressible-data guard of paper §5. The controller is pure policy — it
+// observes queue occupancy and delivery bandwidth reported by the engine
+// and answers one question: at which level should the next buffer be
+// compressed?
+package adapt
+
+import (
+	"sync"
+	"time"
+
+	"adoc/internal/clock"
+	"adoc/internal/codec"
+)
+
+// Default thresholds, straight from the paper.
+const (
+	// Queue-occupancy bands of Figure 2.
+	DefaultLowQueue  = 10
+	DefaultMidQueue  = 20
+	DefaultHighQueue = 30
+	// DefaultForbidFor is how long a diverging level is forbidden
+	// (paper §5: "forbids the previous compression level for 1 second").
+	DefaultForbidFor = time.Second
+	// DefaultPinPackets is how many packets stay at the minimum level
+	// after incompressible data is detected (paper §5: "set the
+	// compression level to its minimal value for the next 10 packets").
+	DefaultPinPackets = 10
+	// DefaultMinGainRatio is the minimum useful compression ratio: a
+	// packet that compresses worse than this triggers the incompressible
+	// guard.
+	DefaultMinGainRatio = 1.05
+	// DefaultEWMAAlpha weights new bandwidth samples in the per-level
+	// exponential moving average.
+	DefaultEWMAAlpha = 0.5
+)
+
+// NextLevel is the pure compression-level update rule of paper Figure 2.
+// n is the queue occupancy in packets, delta its variation since the last
+// update, l the current level. The result is clamped to [min, max].
+func NextLevel(n, delta int, l, min, max codec.Level) codec.Level {
+	switch {
+	case n == 0:
+		return min
+	case n < DefaultLowQueue:
+		if delta <= 0 {
+			l = l / 2
+		}
+	case n < DefaultMidQueue:
+		if delta > 0 {
+			l++
+		} else if delta < 0 {
+			l--
+		}
+	case n < DefaultHighQueue:
+		if delta > 0 {
+			l += 2
+		} else if delta < 0 {
+			l--
+		}
+	default:
+		if delta > 0 {
+			l += 2
+		}
+	}
+	return l.Clamp(min, max)
+}
+
+// Config parameterizes a Controller. Zero fields other than the level
+// bounds take the paper defaults. The bounds are taken literally, mirroring
+// adoc_write_levels: Min == Max == 0 disables compression entirely, and
+// Min > 0 forces compression on.
+type Config struct {
+	Min, Max codec.Level
+	Clock    clock.Clock
+	// ForbidFor is the divergence-guard penalty duration.
+	ForbidFor time.Duration
+	// PinPackets is the incompressible-guard pin length in packets.
+	PinPackets int
+	// MinGainRatio is the incompressible-guard ratio threshold.
+	MinGainRatio float64
+	// EWMAAlpha weights new per-level bandwidth samples.
+	EWMAAlpha float64
+	// DisableDivergenceGuard turns off the per-level bandwidth
+	// comparison (for the ablation experiment).
+	DisableDivergenceGuard bool
+	// DisableIncompressibleGuard turns off ratio pinning (ablation).
+	DisableIncompressibleGuard bool
+	// OnLevelChange, if set, is invoked (without the controller lock
+	// held by the caller's goroutine only) whenever the level changes.
+	OnLevelChange func(old, new codec.Level)
+	// OnDivergence, if set, is invoked when the divergence guard demotes
+	// a level.
+	OnDivergence func(from, to codec.Level)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Clock == nil {
+		c.Clock = clock.System
+	}
+	if c.ForbidFor == 0 {
+		c.ForbidFor = DefaultForbidFor
+	}
+	if c.PinPackets == 0 {
+		c.PinPackets = DefaultPinPackets
+	}
+	if c.MinGainRatio == 0 {
+		c.MinGainRatio = DefaultMinGainRatio
+	}
+	if c.EWMAAlpha == 0 {
+		c.EWMAAlpha = DefaultEWMAAlpha
+	}
+	return c
+}
+
+// bwRecord is the visible-bandwidth EWMA for one level.
+type bwRecord struct {
+	seen bool
+	bps  float64 // raw (uncompressed) bytes per second
+}
+
+// Controller decides the compression level for each AdOC buffer. All
+// methods are safe for concurrent use: the compression thread asks for
+// levels while the emission thread reports bandwidth.
+type Controller struct {
+	cfg Config
+
+	mu           sync.Mutex
+	level        codec.Level
+	lastQueueLen int
+	hasLast      bool
+	bw           [int(codec.MaxLevel) + 1]bwRecord
+	forbidden    [int(codec.MaxLevel) + 1]time.Time
+	pinRemaining int // packets left at min level (incompressible guard)
+
+	// statistics
+	updates     int64
+	divergences int64
+	pins        int64
+	levelCount  [int(codec.MaxLevel) + 1]int64 // buffers compressed per level
+}
+
+// New returns a Controller starting at the minimum level (conservative: no
+// compression until the queue says there is time for it).
+func New(cfg Config) *Controller {
+	cfg = cfg.withDefaults()
+	if !cfg.Min.Valid() || !cfg.Max.Valid() || cfg.Min > cfg.Max {
+		panic("adapt: invalid level bounds")
+	}
+	return &Controller{cfg: cfg, level: cfg.Min}
+}
+
+// Level returns the current level without updating it.
+func (c *Controller) Level() codec.Level {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.level
+}
+
+// LevelForNextBuffer runs one update of the control loop: Figure 2 on
+// (n, δ), then the forbidden-level filter and the divergence guard, then
+// the incompressible pin. queueLen is the current FIFO occupancy in
+// packets. The returned level is what the next buffer must be compressed
+// at.
+func (c *Controller) LevelForNextBuffer(queueLen int) codec.Level {
+	c.mu.Lock()
+	old := c.level
+	delta := 0
+	if c.hasLast {
+		delta = queueLen - c.lastQueueLen
+	}
+	c.lastQueueLen = queueLen
+	c.hasLast = true
+	c.updates++
+
+	next := NextLevel(queueLen, delta, c.level, c.cfg.Min, c.cfg.Max)
+	now := c.cfg.Clock.Now()
+
+	// Forbidden-level filter: fall below any level still under penalty.
+	for next > c.cfg.Min && c.forbidden[next].After(now) {
+		next--
+	}
+
+	// Divergence guard (paper §5 "Compression level divergence"): if some
+	// smaller level has delivered strictly better visible bandwidth than
+	// the candidate, fall back to the best smaller level and forbid the
+	// candidate for ForbidFor.
+	var demotedFrom, demotedTo codec.Level
+	demoted := false
+	if !c.cfg.DisableDivergenceGuard && c.bw[next].seen {
+		best := next
+		for l := c.cfg.Min; l < next; l++ {
+			if c.bw[l].seen && c.bw[l].bps > c.bw[best].bps {
+				best = l
+			}
+		}
+		if best != next {
+			c.forbidden[next] = now.Add(c.cfg.ForbidFor)
+			demotedFrom, demotedTo = next, best
+			demoted = true
+			c.divergences++
+			next = best
+		}
+	}
+
+	// Incompressible pin overrides everything else.
+	if c.pinRemaining > 0 {
+		next = c.cfg.Min
+	}
+
+	c.level = next
+	c.levelCount[next]++
+	c.mu.Unlock()
+
+	if demoted && c.cfg.OnDivergence != nil {
+		c.cfg.OnDivergence(demotedFrom, demotedTo)
+	}
+	if next != old && c.cfg.OnLevelChange != nil {
+		c.cfg.OnLevelChange(old, next)
+	}
+	return next
+}
+
+// RecordDelivery feeds the divergence guard: rawBytes of user data whose
+// wire transmission (at the given level) took d. Called by the emission
+// thread each time a buffer group has fully left the socket.
+func (c *Controller) RecordDelivery(level codec.Level, rawBytes int, d time.Duration) {
+	if d <= 0 || rawBytes <= 0 || !level.Valid() {
+		return
+	}
+	bps := float64(rawBytes) / d.Seconds()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r := &c.bw[level]
+	if !r.seen {
+		r.seen = true
+		r.bps = bps
+		return
+	}
+	a := c.cfg.EWMAAlpha
+	r.bps = a*bps + (1-a)*r.bps
+}
+
+// NotePacketRatio feeds the incompressible-data guard: a packet carrying
+// rawLen bytes of user data was emitted as compLen wire bytes at the given
+// level. When the gain falls below MinGainRatio the level is pinned to the
+// minimum for the next PinPackets packets. It reports whether compression
+// of the remaining buffer should be abandoned (paper: "we stop compressing
+// the remaining of the buffer").
+func (c *Controller) NotePacketRatio(level codec.Level, rawLen, compLen int) (abandonBuffer bool) {
+	if c.cfg.DisableIncompressibleGuard || level == codec.MinLevel || rawLen == 0 {
+		return false
+	}
+	if codec.Ratio(rawLen, compLen) >= c.cfg.MinGainRatio {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.pinRemaining = c.cfg.PinPackets
+	c.pins++
+	return true
+}
+
+// NotePacketsSent advances the incompressible pin countdown: n packets have
+// been produced since the last call.
+func (c *Controller) NotePacketsSent(n int) {
+	if n <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.pinRemaining -= n
+	if c.pinRemaining < 0 {
+		c.pinRemaining = 0
+	}
+}
+
+// Bandwidth returns the recorded visible bandwidth (raw bytes/s) for a
+// level and whether a sample exists.
+func (c *Controller) Bandwidth(level codec.Level) (bps float64, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r := c.bw[level]
+	return r.bps, r.seen
+}
+
+// Stats is a snapshot of controller activity.
+type Stats struct {
+	Level       codec.Level
+	Updates     int64
+	Divergences int64
+	Pins        int64
+	// LevelCount[l] is how many buffers were compressed at level l.
+	LevelCount []int64
+}
+
+// Stats returns a snapshot of the controller counters.
+func (c *Controller) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	lc := make([]int64, len(c.levelCount))
+	copy(lc, c.levelCount[:])
+	return Stats{
+		Level:       c.level,
+		Updates:     c.updates,
+		Divergences: c.divergences,
+		Pins:        c.pins,
+		LevelCount:  lc,
+	}
+}
+
+// Bounds returns the controller's level bounds.
+func (c *Controller) Bounds() (min, max codec.Level) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cfg.Min, c.cfg.Max
+}
+
+// SetBounds changes the level bounds, implementing the per-call min/max of
+// adoc_write_levels and adoc_send_file_levels: min > 0 forces compression
+// on, max == 0 disables it. Bandwidth history is kept — conditions on the
+// link did not change just because the caller changed its policy.
+func (c *Controller) SetBounds(min, max codec.Level) error {
+	if !min.Valid() || !max.Valid() || min > max {
+		return codec.ErrBadLevel
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.cfg.Min = min
+	c.cfg.Max = max
+	c.level = c.level.Clamp(min, max)
+	return nil
+}

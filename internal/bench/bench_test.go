@@ -1,0 +1,269 @@
+package bench
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"adoc/internal/netsim"
+)
+
+// quickCfg is a fast configuration for unit-testing the harness itself.
+func quickCfg(mode Mode) Config {
+	return Config{Mode: mode, Reps: 1, MaxSize: 1 << 20, Seed: 3}
+}
+
+func TestTableRender(t *testing.T) {
+	tab := &Table{ID: "x", Title: "demo", Columns: []string{"a", "bb"}}
+	tab.AddRow("1", "2")
+	tab.AddNote("hello %d", 7)
+	var buf bytes.Buffer
+	tab.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"demo", "a", "bb", "1", "hello 7"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSweepSizes(t *testing.T) {
+	s := sweepSizes(1 << 20)
+	if s[len(s)-1] != 1<<20 {
+		t.Fatalf("last size %d", s[len(s)-1])
+	}
+	for i := 1; i < len(s); i++ {
+		if s[i] <= s[i-1] {
+			t.Fatal("sizes not increasing")
+		}
+	}
+}
+
+func TestFigBandwidthModel(t *testing.T) {
+	for _, fig := range []string{"fig3", "fig4", "fig5", "fig6", "fig7"} {
+		tab, err := FigBandwidth(quickCfg(ModeModel), fig)
+		if err != nil {
+			t.Fatalf("%s: %v", fig, err)
+		}
+		if len(tab.Rows) == 0 || len(tab.Columns) != 5 {
+			t.Fatalf("%s: empty table", fig)
+		}
+	}
+}
+
+func TestFigBandwidthUnknown(t *testing.T) {
+	if _, err := FigBandwidth(quickCfg(ModeModel), "fig99"); err == nil {
+		t.Fatal("unknown figure accepted")
+	}
+}
+
+// parseLast returns the float in the given column of the last row.
+func parseLast(t *testing.T, tab *Table, col int) float64 {
+	t.Helper()
+	row := tab.Rows[len(tab.Rows)-1]
+	v, err := strconv.ParseFloat(row[col], 64)
+	if err != nil {
+		t.Fatalf("cell %q: %v", row[col], err)
+	}
+	return v
+}
+
+func TestFig3ModelShape(t *testing.T) {
+	cfg := quickCfg(ModeModel)
+	cfg.MaxSize = 32 << 20
+	tab, err := FigBandwidth(cfg, "fig3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	posix := parseLast(t, tab, 1)
+	ascii := parseLast(t, tab, 2)
+	binary := parseLast(t, tab, 3)
+	incompressible := parseLast(t, tab, 4)
+	if !(ascii > binary && binary > posix*0.98) {
+		t.Fatalf("ordering violated: posix=%v ascii=%v binary=%v", posix, ascii, binary)
+	}
+	if incompressible < posix*0.85 {
+		t.Fatalf("incompressible %v far below posix %v", incompressible, posix)
+	}
+	// Paper: AdOC 1.85-2.36x on ASCII at 32 MB.
+	if ascii/posix < 1.3 || ascii/posix > 4 {
+		t.Fatalf("ascii speedup %.2f outside band", ascii/posix)
+	}
+}
+
+func TestFig7ModelBypass(t *testing.T) {
+	cfg := quickCfg(ModeModel)
+	cfg.MaxSize = 8 << 20
+	tab, err := FigBandwidth(cfg, "fig7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	posix := parseLast(t, tab, 1)
+	ascii := parseLast(t, tab, 2)
+	diff := ascii/posix - 1
+	if diff > 0.05 || diff < -0.15 {
+		t.Fatalf("Gbit AdOC deviates from POSIX: %v vs %v", ascii, posix)
+	}
+}
+
+func TestMeasureEchoLiveSmall(t *testing.T) {
+	cfg := quickCfg(ModeLive)
+	prof := netsim.Profile{Name: "t", BandwidthBps: 1e9, Latency: 10 * time.Microsecond, MTU: 8192}
+	for _, m := range Methods() {
+		durs, err := measureEcho(cfg, prof, m, 64*1024)
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		if len(durs) != cfg.Reps || durs[0] <= 0 {
+			t.Fatalf("%s: durations %v", m, durs)
+		}
+	}
+}
+
+func TestCollapse(t *testing.T) {
+	durs := []time.Duration{3 * time.Second, time.Second, 2 * time.Second}
+	if got := collapse(durs, AggBest); got != 1 {
+		t.Fatalf("best = %v", got)
+	}
+	if got := collapse(durs, AggAvg); got != 2 {
+		t.Fatalf("avg = %v", got)
+	}
+}
+
+func TestTable1(t *testing.T) {
+	cfg := quickCfg(ModeLive)
+	tab, err := Table1(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 10 {
+		t.Fatalf("Table 1 has %d rows, want 10 (lzf + gzip 1-9)", len(tab.Rows))
+	}
+	// Ratio column on the HB file must be monotone-ish increasing with
+	// level and saturate (Table 1 shape).
+	first, err := strconv.ParseFloat(tab.Rows[1][2], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last, err := strconv.ParseFloat(tab.Rows[9][2], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last < first {
+		t.Fatalf("gzip9 ratio %v below gzip1 ratio %v", last, first)
+	}
+}
+
+func TestAblateBufferSize(t *testing.T) {
+	tab, err := AblateBufferSize(quickCfg(ModeLive))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find the 200 KB row and check the paper's <6% claim.
+	var found bool
+	for _, row := range tab.Rows {
+		if row[0] == "200 KB" {
+			found = true
+			deg, err := strconv.ParseFloat(strings.TrimSuffix(row[2], "%"), 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if deg > 6 {
+				t.Fatalf("200 KB degradation %.2f%% exceeds the paper's 6%%", deg)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no 200 KB row")
+	}
+}
+
+func TestAblateDivergence(t *testing.T) {
+	tab, err := AblateDivergence(quickCfg(ModeModel))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Rows {
+		on, _ := strconv.ParseFloat(row[1], 64)
+		off, _ := strconv.ParseFloat(row[2], 64)
+		if on > off*1.01 {
+			t.Fatalf("%s: guard on (%v) slower than off (%v)", row[0], on, off)
+		}
+	}
+}
+
+func TestAblateProbe(t *testing.T) {
+	tab, err := AblateProbe(quickCfg(ModeModel))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Rows {
+		on, _ := strconv.ParseFloat(row[1], 64)
+		off, _ := strconv.ParseFloat(row[2], 64)
+		if on > off*1.05 {
+			t.Fatalf("probe on (%v) slower than off (%v) on Gbit", on, off)
+		}
+	}
+}
+
+func TestAblateAdaptivity(t *testing.T) {
+	tab, err := AblateAdaptivity(quickCfg(ModeModel))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("%d rows", len(tab.Rows))
+	}
+	// The adaptive column must be within 25% of the best fixed choice on
+	// every network (it cannot beat an oracle, but must track it).
+	for _, row := range tab.Rows {
+		adaptive, _ := strconv.ParseFloat(row[2], 64)
+		best := adaptive
+		for _, c := range []int{3, 4, 5} {
+			v, _ := strconv.ParseFloat(row[c], 64)
+			if v < best {
+				best = v
+			}
+		}
+		if adaptive > best*1.35 {
+			t.Fatalf("%s: adaptive %.3f trails best fixed %.3f by too much", row[0], adaptive, best)
+		}
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.Mode != ModeModel || c.Reps != 1 || c.MaxSize != 32<<20 {
+		t.Fatalf("defaults: %+v", c)
+	}
+	l := Config{Mode: ModeLive}.withDefaults()
+	if l.Reps != 3 || l.MaxSize != 4<<20 {
+		t.Fatalf("live defaults: %+v", l)
+	}
+}
+
+func TestAblatePacketSize(t *testing.T) {
+	tab, err := AblatePacketSize(quickCfg(ModeModel))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 5 {
+		t.Fatalf("%d rows", len(tab.Rows))
+	}
+}
+
+func TestAblateQueueCapacity(t *testing.T) {
+	tab, err := AblateQueueCapacity(quickCfg(ModeModel))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Beyond the control bands, capacity must not change the outcome
+	// much (it only bounds memory).
+	big, _ := strconv.ParseFloat(tab.Rows[4][1], 64)
+	mid, _ := strconv.ParseFloat(tab.Rows[2][1], 64)
+	if big > mid*1.2 || mid > big*1.2 {
+		t.Fatalf("capacity unexpectedly dominant: 256 -> %v, 4096 -> %v", mid, big)
+	}
+}

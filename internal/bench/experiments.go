@@ -1,0 +1,315 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"adoc"
+	"adoc/internal/codec"
+	"adoc/internal/datagen"
+	"adoc/internal/netsim"
+	"adoc/internal/stats"
+)
+
+// Agg selects how repetitions collapse to one plotted value.
+type Agg string
+
+// Aggregations: the paper plots averages for Figure 4 and best values for
+// Figures 5-6 (§6.1.1).
+const (
+	AggBest Agg = "best"
+	AggAvg  Agg = "avg"
+)
+
+func collapse(durs []time.Duration, agg Agg) float64 {
+	var s stats.Series
+	for _, d := range durs {
+		s.AddDuration(d)
+	}
+	if agg == AggAvg {
+		return s.Mean()
+	}
+	return s.Min()
+}
+
+// Table1 regenerates the paper's Table 1: compression time, ratio and
+// decompression time for lzf and gzip levels 1-9 on a Harwell-Boeing
+// ASCII matrix file and a tarball of binaries. Always live (it measures
+// this machine's codec, like the paper measured its G4).
+func Table1(cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	const fileSize = 8 << 20
+	hb := datagen.HarwellBoeing(60000, 6000, 12, cfg.Seed)
+	if len(hb) > fileSize {
+		hb = hb[:fileSize]
+	}
+	tar := datagen.TarLike(fileSize, cfg.Seed)
+
+	t := &Table{
+		ID:      "table1",
+		Title:   "Compression timings on bench files using lzf and different levels of gzip",
+		Columns: []string{"algo", "hb: c.time(s)", "hb: ratio", "hb: d.time(s)", "tar: c.time(s)", "tar: ratio", "tar: d.time(s)"},
+	}
+	reps := cfg.Reps
+	if reps < 2 {
+		reps = 2
+	}
+	hbT, err := codec.Calibrate(hb, 0, codec.LZF, codec.MaxLevel, reps)
+	if err != nil {
+		return nil, err
+	}
+	tarT, err := codec.Calibrate(tar, 0, codec.LZF, codec.MaxLevel, reps)
+	if err != nil {
+		return nil, err
+	}
+	for i := range hbT {
+		h, b := hbT[i], tarT[i]
+		t.AddRow(h.Level.String(),
+			fmt.Sprintf("%.3f", float64(len(hb))/h.CompressBps),
+			fmt.Sprintf("%.2f", h.Ratio),
+			fmt.Sprintf("%.3f", float64(len(hb))/h.DecompressBps),
+			fmt.Sprintf("%.3f", float64(len(tar))/b.CompressBps),
+			fmt.Sprintf("%.2f", b.Ratio),
+			fmt.Sprintf("%.3f", float64(len(tar))/b.DecompressBps),
+		)
+	}
+	t.AddNote("files: %d MB generated Harwell-Boeing matrix and tarball equivalent; this machine's codec (the paper used a 1 GHz PowerPC G4, whose absolute times are ~1-2 orders slower)", fileSize>>20)
+	t.AddNote("paper shape to check: c.time grows with level, d.time roughly constant, ratio saturates after gzip 6, lzf fastest with lowest ratio")
+	return t, nil
+}
+
+// latencyNetworks lists Table 2's rows.
+func latencyNetworks(seed int64) []netsim.Profile {
+	return []netsim.Profile{
+		netsim.Internet(seed),
+		netsim.Renater(seed),
+		netsim.LAN100(seed),
+		netsim.GbitLAN(seed),
+	}
+}
+
+// Table2 regenerates the paper's Table 2: zero-byte ping-pong latency for
+// POSIX read/write, AdOC, and AdOC with forced compression, on the four
+// networks. Live only (it measures the real engine's setup costs).
+func Table2(cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	t := &Table{
+		ID:      "table2",
+		Title:   "Latency of AdOC vs POSIX read/write on different networks (ms)",
+		Columns: []string{"network", "POSIX read/write", "AdOC", "AdOC forced compression"},
+	}
+	reps := cfg.Reps
+	if reps < 5 {
+		reps = 5
+	}
+	for _, prof := range latencyNetworks(cfg.Seed) {
+		prof = netsim.Quiet(prof)
+		posix, err := latencyPingPong(prof, reps, latencyPOSIX)
+		if err != nil {
+			return nil, err
+		}
+		plain, err := latencyPingPong(prof, reps, latencyAdOC)
+		if err != nil {
+			return nil, err
+		}
+		forced, err := latencyPingPong(prof, reps, latencyAdOCForced)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(prof.Name,
+			fmt.Sprintf("%.3f", posix*1000),
+			fmt.Sprintf("%.3f", plain*1000),
+			fmt.Sprintf("%.3f", forced*1000))
+		cfg.logf("table2 %s done", prof.Name)
+	}
+	t.AddNote("zero-byte ping-pong, average of %d; POSIX uses a 1-byte payload (a 0-byte write sends nothing on a socket)", reps)
+	t.AddNote("paper shape to check: AdOC == POSIX up to 100Mbit LAN, slightly above on Gbit, forced compression markedly slower everywhere")
+	return t, nil
+}
+
+type latencyFn func(a, b *netsim.Conn) error
+
+// latencyPingPong averages the round-trip of fn over fresh links.
+func latencyPingPong(prof netsim.Profile, reps int, fn latencyFn) (float64, error) {
+	var s stats.Series
+	for r := 0; r < reps; r++ {
+		p := prof
+		p.Seed = prof.Seed + int64(r)*7919
+		a, b := netsim.Pair(p)
+		start := time.Now()
+		err := fn(a, b)
+		s.AddDuration(time.Since(start))
+		a.Close()
+		b.Close()
+		if err != nil {
+			return 0, err
+		}
+	}
+	return s.Mean(), nil
+}
+
+func latencyPOSIX(a, b *netsim.Conn) error {
+	done := make(chan error, 1)
+	go func() {
+		buf := make([]byte, 1)
+		if err := readFull(b, buf); err != nil {
+			done <- err
+			return
+		}
+		_, err := b.Write(buf)
+		done <- err
+	}()
+	if _, err := a.Write([]byte{1}); err != nil {
+		return err
+	}
+	if err := readFull(a, make([]byte, 1)); err != nil {
+		return err
+	}
+	return <-done
+}
+
+func adocLatencyRound(a, b *netsim.Conn, min, max adoc.Level) error {
+	done := make(chan error, 1)
+	go func() {
+		srv, err := adoc.NewConn(b, adoc.DefaultOptions())
+		if err != nil {
+			done <- err
+			return
+		}
+		if _, err := srv.ReceiveMessage(discard{}); err != nil {
+			done <- err
+			return
+		}
+		_, err = srv.WriteMessageLevels(nil, min, max)
+		done <- err
+	}()
+	cli, err := adoc.NewConn(a, adoc.DefaultOptions())
+	if err != nil {
+		return err
+	}
+	if _, err := cli.WriteMessageLevels(nil, min, max); err != nil {
+		return err
+	}
+	if _, err := cli.ReceiveMessage(discard{}); err != nil {
+		return err
+	}
+	return <-done
+}
+
+func latencyAdOC(a, b *netsim.Conn) error {
+	return adocLatencyRound(a, b, adoc.MinLevel, adoc.MaxLevel)
+}
+
+func latencyAdOCForced(a, b *netsim.Conn) error {
+	return adocLatencyRound(a, b, adoc.MinLevel+1, adoc.MaxLevel)
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }
+
+// figSpec describes one bandwidth figure.
+type figSpec struct {
+	id, title string
+	profile   func(seed int64) netsim.Profile
+	quiet     bool
+	agg       Agg
+}
+
+var figSpecs = map[string]figSpec{
+	"fig3": {"fig3", "Bandwidth on a Fast Ethernet LAN (Mbit/s)", netsim.LAN100, true, AggBest},
+	"fig4": {"fig4", "Bandwidth on Renater WAN, average timings (Mbit/s)", netsim.Renater, false, AggAvg},
+	"fig5": {"fig5", "Bandwidth on Renater WAN, best timings (Mbit/s)", netsim.Renater, false, AggBest},
+	"fig6": {"fig6", "Bandwidth on Internet Tennessee-France, best timings (Mbit/s)", netsim.Internet, false, AggBest},
+	"fig7": {"fig7", "Bandwidth on a Gbit Ethernet LAN (Mbit/s)", netsim.GbitLAN, true, AggBest},
+}
+
+// FigBandwidth regenerates Figures 3-7: application-visible bandwidth
+// versus message size for POSIX read/write and AdOC on the three data
+// types. Bandwidth is 2×size/elapsed for the ping-pong, as in the paper.
+func FigBandwidth(cfg Config, figID string) (*Table, error) {
+	cfg = cfg.withDefaults()
+	spec, ok := figSpecs[figID]
+	if !ok {
+		return nil, fmt.Errorf("bench: unknown figure %q", figID)
+	}
+	prof := spec.profile(cfg.Seed)
+	if spec.quiet || cfg.Mode == ModeModel {
+		prof = netsim.Quiet(prof)
+	}
+	t := &Table{
+		ID:    spec.id,
+		Title: spec.title,
+		Columns: []string{"size(B)", string(MethodPOSIX), string(MethodAdOCASCII),
+			string(MethodAdOCBinary), string(MethodAdOCIncompress)},
+	}
+	for _, size := range sweepSizes(cfg.MaxSize) {
+		row := []string{fmt.Sprintf("%d", size)}
+		for _, m := range Methods() {
+			durs, err := measureEcho(cfg, prof, m, size)
+			if err != nil {
+				return nil, err
+			}
+			sec := collapse(durs, spec.agg)
+			row = append(row, fmt.Sprintf("%.2f", stats.MbpsFromSeconds(2*size, sec)))
+		}
+		t.AddRow(row...)
+		cfg.logf("%s size %d done", figID, size)
+	}
+	t.AddNote("mode=%s calib=%s reps=%d agg=%s network=%s", cfg.Mode, cfg.Calib, cfg.Reps, spec.agg, prof.String())
+	switch figID {
+	case "fig7":
+		t.AddNote("paper shape to check: AdOC tracks POSIX (probe bypass); only a small constant overhead below ~1MB")
+	case "fig4":
+		t.AddNote("paper shape to check: noisy averages oscillate; compare with fig5 best values")
+	default:
+		t.AddNote("paper shape to check: identical below 512KB, AdOC above POSIX beyond it, orderd ascii > binary > incompressible ≈ posix")
+	}
+	return t, nil
+}
+
+// Fig8And9 regenerates the NetSolve dgemm experiments: total request time
+// for dense and sparse matrices, with and without AdOC, on a 100 Mbit LAN
+// (Figure 8) or the Internet profile (Figure 9). Always live — the
+// middleware, dgemm computation and compression all actually run.
+func Fig8And9(cfg Config, figID string, sizes []int) (*Table, error) {
+	cfg = cfg.withDefaults()
+	var prof netsim.Profile
+	var title string
+	switch figID {
+	case "fig8":
+		prof = netsim.Quiet(netsim.LAN100(cfg.Seed))
+		title = "NetSolve dgemm timings on a 100 Mbit LAN (s)"
+	case "fig9":
+		prof = netsim.Quiet(netsim.Internet(cfg.Seed))
+		title = "NetSolve dgemm timings on Internet (s)"
+	default:
+		return nil, fmt.Errorf("bench: unknown figure %q", figID)
+	}
+	if len(sizes) == 0 {
+		sizes = []int{128, 256, 512}
+	}
+	t := &Table{
+		ID:    figID,
+		Title: title,
+		Columns: []string{"matrix n", "NetSolve dense", "NetSolve+AdOC dense",
+			"NetSolve sparse", "NetSolve+AdOC sparse"},
+	}
+	for _, n := range sizes {
+		row := []string{fmt.Sprintf("%d", n)}
+		for _, dense := range []bool{true, false} {
+			for _, withAdOC := range []bool{false, true} {
+				sec, err := dgemmRequestTime(cfg, prof, n, dense, withAdOC)
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, fmt.Sprintf("%.3f", sec))
+			}
+		}
+		t.AddRow(row...)
+		cfg.logf("%s n=%d done", figID, n)
+	}
+	t.AddNote("request = lookup at agent + dgemm RPC with both matrices, result returned; matrices in 13-significant-digit ASCII")
+	t.AddNote("paper shape to check: AdOC never slower; sparse gains large (up to 5.6x LAN / 30.8x Internet at n=2048), dense gains small on LAN, ~2.6x on Internet")
+	return t, nil
+}

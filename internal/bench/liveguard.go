@@ -1,0 +1,59 @@
+package bench
+
+import (
+	"io"
+	"time"
+
+	"adoc"
+	"adoc/internal/netsim"
+)
+
+// liveGuardedSend pushes data one way through AdOC over a simulated link
+// and reports elapsed seconds plus wire/raw. disabled=true emulates
+// running without the incompressible guard by forcing compression at
+// gzip 6 for every buffer.
+func liveGuardedSend(prof netsim.Profile, data []byte, disabled bool) (sec float64, wireOverRaw float64, err error) {
+	a, b := netsim.Pair(prof)
+	defer a.Close()
+	defer b.Close()
+
+	recvDone := make(chan error, 1)
+	go func() {
+		conn, err := adoc.NewConn(b, adoc.DefaultOptions())
+		if err != nil {
+			recvDone <- err
+			return
+		}
+		buf := make([]byte, 256*1024)
+		var got int
+		for got < len(data) {
+			n, rerr := conn.Read(buf)
+			got += n
+			if rerr != nil {
+				recvDone <- rerr
+				return
+			}
+		}
+		recvDone <- nil
+	}()
+
+	opts := adoc.DefaultOptions()
+	min, max := adoc.MinLevel, adoc.MaxLevel
+	if disabled {
+		min, max = 7, 7 // forced gzip 6 on every buffer
+	}
+	conn, err := adoc.NewConn(a, opts)
+	if err != nil {
+		return 0, 0, err
+	}
+	start := time.Now()
+	wire, err := conn.WriteMessageLevels(data, min, max)
+	if err != nil {
+		return 0, 0, err
+	}
+	if err := <-recvDone; err != nil && err != io.EOF {
+		return 0, 0, err
+	}
+	elapsed := time.Since(start)
+	return elapsed.Seconds(), float64(wire) / float64(len(data)), nil
+}

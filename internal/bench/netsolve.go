@@ -1,0 +1,71 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"adoc/internal/datagen"
+	"adoc/internal/gridrpc"
+	"adoc/internal/netsim"
+	"adoc/internal/stats"
+)
+
+// dgemmRequestTime measures one full NetSolve-style dgemm request (agent
+// lookup, matrix upload, remote multiply, result download) over a fresh
+// simulated fabric, best of cfg.Reps.
+func dgemmRequestTime(cfg Config, prof netsim.Profile, n int, dense, withAdOC bool) (float64, error) {
+	var a, b []float64
+	if dense {
+		a = datagen.DenseMatrix(n, cfg.Seed)
+		b = datagen.DenseMatrix(n, cfg.Seed+1)
+	} else {
+		a = datagen.SparseMatrix(n)
+		b = datagen.SparseMatrix(n)
+	}
+	args := gridrpc.EncodeDgemmArgs(n, a, b)
+
+	transport := gridrpc.TransportRaw
+	if withAdOC {
+		transport = gridrpc.TransportAdOC
+	}
+
+	var s stats.Series
+	for r := 0; r < cfg.Reps; r++ {
+		p := prof
+		p.Seed = cfg.Seed + int64(r)*104729
+		nw := netsim.NewNetwork(p)
+
+		agentLn, err := nw.Listen("agent")
+		if err != nil {
+			return 0, err
+		}
+		agent := gridrpc.NewAgent()
+		agent.Serve(agentLn)
+
+		srvLn, err := nw.Listen("server")
+		if err != nil {
+			return 0, err
+		}
+		srv := gridrpc.NewServer("server", transport)
+		srv.Register("dgemm", gridrpc.DgemmService)
+		srv.Serve(srvLn)
+		if err := srv.RegisterWithAgent(nw, "agent"); err != nil {
+			return 0, err
+		}
+
+		client := gridrpc.NewClient(nw, "agent", transport)
+		start := time.Now()
+		res, err := client.Call("dgemm", args)
+		elapsed := time.Since(start)
+		srv.Close()
+		agent.Close()
+		if err != nil {
+			return 0, fmt.Errorf("dgemm n=%d adoc=%v: %w", n, withAdOC, err)
+		}
+		if _, err := gridrpc.DecodeDgemmResult(res, n); err != nil {
+			return 0, err
+		}
+		s.AddDuration(elapsed)
+	}
+	return s.Min(), nil
+}

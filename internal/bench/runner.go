@@ -1,0 +1,250 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"adoc"
+	"adoc/internal/datagen"
+	"adoc/internal/des"
+	"adoc/internal/netsim"
+)
+
+// Method is one curve of the bandwidth figures.
+type Method string
+
+// The four curves of Figures 3-7.
+const (
+	MethodPOSIX          Method = "posix"
+	MethodAdOCASCII      Method = "adoc-ascii"
+	MethodAdOCBinary     Method = "adoc-binary"
+	MethodAdOCIncompress Method = "adoc-incompressible"
+)
+
+// Methods lists the figure curves in presentation order.
+func Methods() []Method {
+	return []Method{MethodPOSIX, MethodAdOCASCII, MethodAdOCBinary, MethodAdOCIncompress}
+}
+
+// kindOf maps an AdOC method to its workload generator.
+func kindOf(m Method) datagen.Kind {
+	switch m {
+	case MethodAdOCBinary:
+		return datagen.KindBinary
+	case MethodAdOCIncompress:
+		return datagen.KindIncompressible
+	default:
+		return datagen.KindASCII
+	}
+}
+
+// Mode selects how an experiment is executed.
+type Mode string
+
+// Execution modes.
+const (
+	// ModeLive runs the real engine over the network simulator in wall
+	// time.
+	ModeLive Mode = "live"
+	// ModeModel runs the virtual-time pipeline model.
+	ModeModel Mode = "model"
+)
+
+// Config parameterizes an experiment run.
+type Config struct {
+	// Mode selects live or model execution (default model).
+	Mode Mode
+	// Calib selects the model's cost tables (era = the paper's Table 1
+	// hardware; live = this machine). Default era.
+	Calib des.Calibration
+	// Reps is the number of measurements per point (paper: 40; default 3
+	// live / 1 model).
+	Reps int
+	// MaxSize caps the sweep sizes in bytes (default 32 MB model,
+	// 4 MB live).
+	MaxSize int64
+	// Seed makes workloads and noise reproducible.
+	Seed int64
+	// Log, when non-nil, receives progress lines.
+	Log io.Writer
+}
+
+// withDefaults fills unset fields.
+func (c Config) withDefaults() Config {
+	if c.Mode == "" {
+		c.Mode = ModeModel
+	}
+	if c.Calib == "" {
+		c.Calib = des.CalibEra
+	}
+	if c.Reps <= 0 {
+		if c.Mode == ModeLive {
+			c.Reps = 3
+		} else {
+			c.Reps = 1
+		}
+	}
+	if c.MaxSize <= 0 {
+		if c.Mode == ModeLive {
+			c.MaxSize = 4 << 20
+		} else {
+			c.MaxSize = 32 << 20
+		}
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+func (c Config) logf(format string, args ...any) {
+	if c.Log != nil {
+		fmt.Fprintf(c.Log, format+"\n", args...)
+	}
+}
+
+// sweepSizes returns the figures' x-axis (paper: 1 byte to 32 MB,
+// logarithmic), capped at max.
+func sweepSizes(max int64) []int64 {
+	all := []int64{1, 10, 100, 1 << 10, 8 << 10, 64 << 10, 256 << 10,
+		512 << 10, 1 << 20, 2 << 20, 4 << 20, 8 << 20, 16 << 20, 32 << 20}
+	var out []int64
+	for _, s := range all {
+		if s <= max {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// LiveEcho measures one ping-pong of data over a fresh simulated link and
+// returns the elapsed time. The echo server mirrors the paper's
+// methodology: the application sends the buffer and reads it back.
+func LiveEcho(prof netsim.Profile, method Method, data []byte) (time.Duration, error) {
+	a, b := netsim.Pair(prof)
+	defer a.Close()
+	defer b.Close()
+
+	errCh := make(chan error, 1)
+	if method == MethodPOSIX {
+		go func() { errCh <- posixEchoServer(b, len(data)) }()
+		start := time.Now()
+		if err := posixSendRecv(a, data); err != nil {
+			return 0, err
+		}
+		d := time.Since(start)
+		return d, <-errCh
+	}
+
+	go func() { errCh <- adocEchoServer(b, len(data)) }()
+	conn, err := adoc.NewConn(a, adoc.DefaultOptions())
+	if err != nil {
+		return 0, err
+	}
+	start := time.Now()
+	if _, err := conn.WriteMessage(data); err != nil {
+		return 0, err
+	}
+	back := make([]byte, len(data))
+	if err := readFull(conn, back); err != nil {
+		return 0, err
+	}
+	d := time.Since(start)
+	return d, <-errCh
+}
+
+// posixEchoServer reads exactly n bytes and writes them back — the plain
+// read/write baseline.
+func posixEchoServer(c io.ReadWriter, n int) error {
+	buf := make([]byte, n)
+	if err := readFull(c, buf); err != nil {
+		return err
+	}
+	_, err := c.Write(buf)
+	return err
+}
+
+// posixSendRecv writes data and reads it back on the client side.
+func posixSendRecv(c io.ReadWriter, data []byte) error {
+	done := make(chan error, 1)
+	go func() {
+		if len(data) == 0 {
+			done <- nil
+			return
+		}
+		_, err := c.Write(data)
+		done <- err
+	}()
+	back := make([]byte, len(data))
+	if err := readFull(c, back); err != nil {
+		return err
+	}
+	return <-done
+}
+
+// adocEchoServer receives n raw bytes through AdOC and sends them back
+// through AdOC.
+func adocEchoServer(c io.ReadWriter, n int) error {
+	conn, err := adoc.NewConn(c, adoc.DefaultOptions())
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, n)
+	if err := readFull(conn, buf); err != nil {
+		return err
+	}
+	_, err = conn.WriteMessage(buf)
+	return err
+}
+
+func readFull(r io.Reader, p []byte) error {
+	for off := 0; off < len(p); {
+		n, err := r.Read(p[off:])
+		off += n
+		if err != nil {
+			if off == len(p) {
+				return nil
+			}
+			return fmt.Errorf("bench: short read %d/%d: %w", off, len(p), err)
+		}
+	}
+	return nil
+}
+
+// measureEcho returns per-rep round-trip times for one (method, size)
+// point.
+func measureEcho(cfg Config, prof netsim.Profile, method Method, size int64) ([]time.Duration, error) {
+	out := make([]time.Duration, 0, cfg.Reps)
+	switch cfg.Mode {
+	case ModeLive:
+		data := datagen.ByKind(kindOf(method), int(size), cfg.Seed)
+		if method == MethodPOSIX {
+			data = datagen.Binary(int(size), cfg.Seed) // content is irrelevant raw
+		}
+		for r := 0; r < cfg.Reps; r++ {
+			p := prof
+			p.Seed = cfg.Seed + int64(r)*977
+			d, err := LiveEcho(p, method, data)
+			if err != nil {
+				return nil, fmt.Errorf("%s size %d: %w", method, size, err)
+			}
+			out = append(out, d)
+		}
+	case ModeModel:
+		m, err := des.NewModelWith(prof, kindOf(method), cfg.Calib)
+		if err != nil {
+			return nil, err
+		}
+		for r := 0; r < cfg.Reps; r++ {
+			if method == MethodPOSIX {
+				out = append(out, m.RawEcho(size))
+			} else {
+				out = append(out, m.Echo(size).Duration)
+			}
+		}
+	default:
+		return nil, fmt.Errorf("bench: unknown mode %q", cfg.Mode)
+	}
+	return out, nil
+}

@@ -1,0 +1,127 @@
+// Package clock abstracts time so that the adaptive controller, the network
+// simulator and the discrete-event model can run against either the real
+// wall clock or a manually advanced clock in tests.
+package clock
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock supplies the current time and the ability to sleep. Implementations
+// must be safe for concurrent use.
+type Clock interface {
+	// Now returns the current time of this clock.
+	Now() time.Time
+	// Sleep blocks the caller for at least d on this clock's timeline.
+	Sleep(d time.Duration)
+	// After returns a channel that delivers the clock's time once d has
+	// elapsed on this clock's timeline.
+	After(d time.Duration) <-chan time.Time
+}
+
+// Real is the wall clock. The zero value is ready to use.
+type Real struct{}
+
+// Now implements Clock using time.Now.
+func (Real) Now() time.Time { return time.Now() }
+
+// Sleep implements Clock using time.Sleep.
+func (Real) Sleep(d time.Duration) { time.Sleep(d) }
+
+// After implements Clock using time.After.
+func (Real) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// System is a shared, allocation-free real clock.
+var System Clock = Real{}
+
+// waiter is a sleeper registered with a Manual clock.
+type waiter struct {
+	deadline time.Time
+	ch       chan time.Time
+}
+
+// Manual is a deterministic clock advanced explicitly by tests or by the
+// discrete-event simulator. Sleepers block until Advance moves the clock
+// past their deadline.
+type Manual struct {
+	mu      sync.Mutex
+	now     time.Time
+	waiters []*waiter
+}
+
+// NewManual returns a Manual clock starting at the given time.
+func NewManual(start time.Time) *Manual {
+	return &Manual{now: start}
+}
+
+// Now returns the manual clock's current time.
+func (m *Manual) Now() time.Time {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.now
+}
+
+// Sleep blocks until the clock has been advanced by at least d.
+func (m *Manual) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	<-m.After(d)
+}
+
+// After returns a channel that fires when the clock passes now+d.
+func (m *Manual) After(d time.Duration) <-chan time.Time {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	w := &waiter{deadline: m.now.Add(d), ch: make(chan time.Time, 1)}
+	if d <= 0 {
+		w.ch <- m.now
+		return w.ch
+	}
+	m.waiters = append(m.waiters, w)
+	return w.ch
+}
+
+// Advance moves the clock forward by d, waking any sleeper whose deadline
+// has been reached.
+func (m *Manual) Advance(d time.Duration) {
+	m.mu.Lock()
+	m.now = m.now.Add(d)
+	now := m.now
+	var remaining []*waiter
+	var fired []*waiter
+	for _, w := range m.waiters {
+		if !w.deadline.After(now) {
+			fired = append(fired, w)
+		} else {
+			remaining = append(remaining, w)
+		}
+	}
+	m.waiters = remaining
+	m.mu.Unlock()
+	for _, w := range fired {
+		w.ch <- now
+	}
+}
+
+// Set jumps the clock to t (t must not be before the current time) and
+// wakes sleepers as Advance does.
+func (m *Manual) Set(t time.Time) {
+	m.mu.Lock()
+	if t.Before(m.now) {
+		m.mu.Unlock()
+		panic("clock: Manual.Set moving backwards")
+	}
+	d := t.Sub(m.now)
+	m.mu.Unlock()
+	m.Advance(d)
+}
+
+// PendingWaiters reports how many sleepers are currently blocked; useful in
+// tests for synchronizing with goroutines that use the clock.
+func (m *Manual) PendingWaiters() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.waiters)
+}

@@ -1,0 +1,145 @@
+package clock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRealClockMonotonicNow(t *testing.T) {
+	var c Real
+	a := c.Now()
+	b := c.Now()
+	if b.Before(a) {
+		t.Fatal("time went backwards")
+	}
+}
+
+func TestRealClockSleep(t *testing.T) {
+	var c Real
+	start := time.Now()
+	c.Sleep(10 * time.Millisecond)
+	if time.Since(start) < 10*time.Millisecond {
+		t.Fatal("Sleep returned early")
+	}
+}
+
+func TestRealClockAfter(t *testing.T) {
+	var c Real
+	select {
+	case <-c.After(5 * time.Millisecond):
+	case <-time.After(2 * time.Second):
+		t.Fatal("After never fired")
+	}
+}
+
+func TestManualNowAdvance(t *testing.T) {
+	start := time.Unix(1000, 0)
+	m := NewManual(start)
+	if !m.Now().Equal(start) {
+		t.Fatalf("Now = %v", m.Now())
+	}
+	m.Advance(3 * time.Second)
+	if got := m.Now(); !got.Equal(start.Add(3 * time.Second)) {
+		t.Fatalf("Now after Advance = %v", got)
+	}
+}
+
+func TestManualSleepWakesOnAdvance(t *testing.T) {
+	m := NewManual(time.Unix(0, 0))
+	done := make(chan struct{})
+	go func() {
+		m.Sleep(5 * time.Second)
+		close(done)
+	}()
+	// Wait until the sleeper registers.
+	for m.PendingWaiters() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	m.Advance(2 * time.Second)
+	select {
+	case <-done:
+		t.Fatal("Sleep woke before its deadline")
+	case <-time.After(20 * time.Millisecond):
+	}
+	m.Advance(3 * time.Second)
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("Sleep never woke")
+	}
+}
+
+func TestManualSleepZeroReturnsImmediately(t *testing.T) {
+	m := NewManual(time.Unix(0, 0))
+	done := make(chan struct{})
+	go func() {
+		m.Sleep(0)
+		m.Sleep(-time.Second)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("zero Sleep blocked")
+	}
+}
+
+func TestManualAfterImmediate(t *testing.T) {
+	m := NewManual(time.Unix(50, 0))
+	select {
+	case ts := <-m.After(0):
+		if !ts.Equal(time.Unix(50, 0)) {
+			t.Fatalf("After(0) delivered %v", ts)
+		}
+	default:
+		t.Fatal("After(0) did not fire immediately")
+	}
+}
+
+func TestManualMultipleWaiters(t *testing.T) {
+	m := NewManual(time.Unix(0, 0))
+	var wg sync.WaitGroup
+	for i := 1; i <= 5; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			m.Sleep(time.Duration(i) * time.Second)
+		}(i)
+	}
+	for m.PendingWaiters() != 5 {
+		time.Sleep(time.Millisecond)
+	}
+	m.Advance(10 * time.Second)
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("waiters not all released")
+	}
+}
+
+func TestManualSetForwards(t *testing.T) {
+	m := NewManual(time.Unix(0, 0))
+	m.Set(time.Unix(100, 0))
+	if !m.Now().Equal(time.Unix(100, 0)) {
+		t.Fatalf("Now = %v", m.Now())
+	}
+}
+
+func TestManualSetBackwardsPanics(t *testing.T) {
+	m := NewManual(time.Unix(100, 0))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Set backwards did not panic")
+		}
+	}()
+	m.Set(time.Unix(50, 0))
+}
+
+func TestSystemClockIsReal(t *testing.T) {
+	if _, ok := System.(Real); !ok {
+		t.Fatalf("System clock is %T", System)
+	}
+}

@@ -1,0 +1,90 @@
+package codec
+
+import (
+	"time"
+)
+
+// Throughput records the measured speed and ratio of one compression level
+// on one kind of data. It is the raw material for the paper's Table 1 and
+// the cost model of the virtual-time simulator (internal/des).
+type Throughput struct {
+	Level Level
+	// CompressBps and DecompressBps are bytes of *raw* data processed per
+	// second of CPU time.
+	CompressBps   float64
+	DecompressBps float64
+	// Ratio is raw/compressed as in Table 1.
+	Ratio float64
+}
+
+// Calibrate measures compression/decompression throughput and ratio for
+// every level in [min, max] on the given sample, compressing it in
+// bufSize-byte buffers exactly as the engine does. rounds repeats the
+// measurement and keeps the fastest round (best-of-N, the measurement
+// policy the paper argues for in §6.1.1).
+func Calibrate(sample []byte, bufSize int, min, max Level, rounds int) ([]Throughput, error) {
+	if bufSize <= 0 {
+		bufSize = 200 * 1024
+	}
+	if rounds <= 0 {
+		rounds = 1
+	}
+	var out []Throughput
+	for l := min; l <= max; l++ {
+		tp, err := calibrateLevel(l, sample, bufSize, rounds)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, tp)
+	}
+	return out, nil
+}
+
+func calibrateLevel(l Level, sample []byte, bufSize, rounds int) (Throughput, error) {
+	type block struct {
+		data   []byte
+		level  Level
+		rawLen int
+	}
+	bestC := time.Duration(1<<62 - 1)
+	bestD := time.Duration(1<<62 - 1)
+	var compTotal int
+	var blocks []block
+	for r := 0; r < rounds; r++ {
+		blocks = blocks[:0]
+		compTotal = 0
+		start := time.Now()
+		for off := 0; off < len(sample); off += bufSize {
+			end := off + bufSize
+			if end > len(sample) {
+				end = len(sample)
+			}
+			blk, used, err := Compress(l, sample[off:end])
+			if err != nil {
+				return Throughput{}, err
+			}
+			compTotal += len(blk)
+			blocks = append(blocks, block{data: blk, level: used, rawLen: end - off})
+		}
+		if d := time.Since(start); d < bestC {
+			bestC = d
+		}
+		start = time.Now()
+		for _, b := range blocks {
+			if _, err := Decompress(b.level, b.data, b.rawLen); err != nil {
+				return Throughput{}, err
+			}
+		}
+		if d := time.Since(start); d < bestD {
+			bestD = d
+		}
+	}
+	tp := Throughput{Level: l, Ratio: Ratio(len(sample), compTotal)}
+	if bestC > 0 {
+		tp.CompressBps = float64(len(sample)) / bestC.Seconds()
+	}
+	if bestD > 0 {
+		tp.DecompressBps = float64(len(sample)) / bestD.Seconds()
+	}
+	return tp, nil
+}

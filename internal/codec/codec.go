@@ -1,0 +1,180 @@
+// Package codec provides the uniform compression-level abstraction of AdOC
+// (paper §2): level 0 is no compression, level 1 is LZF, and levels 2..10
+// are DEFLATE levels 1..9 ("for compression level 2 we will use gzip at
+// level 1, ..."). A codec compresses one AdOC buffer (the 200 KB adaptation
+// unit) into a single self-contained block, so the level can change between
+// buffers while keeping the ratio loss against whole-file compression small.
+package codec
+
+import (
+	"bytes"
+	"compress/flate"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"adoc/internal/lzf"
+)
+
+// Level identifies an AdOC compression level.
+//
+//	0      raw copy (no compression)
+//	1      LZF
+//	2..10  DEFLATE levels 1..9
+type Level int
+
+// Level bounds, mirroring ADOC_MIN_LEVEL and ADOC_MAX_LEVEL in the C
+// library.
+const (
+	MinLevel Level = 0
+	LZF      Level = 1
+	MaxLevel Level = 10
+)
+
+// ErrBadLevel reports a level outside [MinLevel, MaxLevel].
+var ErrBadLevel = errors.New("codec: compression level out of range")
+
+// ErrCorrupt reports a block that does not decompress to its recorded size.
+var ErrCorrupt = errors.New("codec: corrupt block")
+
+// Valid reports whether l is a usable compression level.
+func (l Level) Valid() bool { return l >= MinLevel && l <= MaxLevel }
+
+// Clamp restricts l to [min, max].
+func (l Level) Clamp(min, max Level) Level {
+	if l < min {
+		return min
+	}
+	if l > max {
+		return max
+	}
+	return l
+}
+
+// String names the level the way the paper does ("none", "lzf", "gzip N").
+func (l Level) String() string {
+	switch {
+	case l == 0:
+		return "none"
+	case l == 1:
+		return "lzf"
+	case l >= 2 && l <= 10:
+		return fmt.Sprintf("gzip %d", int(l)-1)
+	default:
+		return fmt.Sprintf("level(%d)", int(l))
+	}
+}
+
+// flateLevel maps an AdOC level (2..10) to a DEFLATE level (1..9).
+func flateLevel(l Level) int { return int(l) - 1 }
+
+// flateWriterPools caches one *flate.Writer pool per DEFLATE level; the
+// writers carry large internal state (~300 KB) that is worth reusing across
+// buffers in the hot compression path.
+var flateWriterPools [10]sync.Pool
+
+// flateReaderPool caches flate readers; they are Reset before each use.
+var flateReaderPool = sync.Pool{New: func() any { return flate.NewReader(nil) }}
+
+func getFlateWriter(lvl int, w io.Writer) *flate.Writer {
+	p := &flateWriterPools[lvl]
+	if fw, ok := p.Get().(*flate.Writer); ok {
+		fw.Reset(w)
+		return fw
+	}
+	fw, err := flate.NewWriter(w, lvl)
+	if err != nil {
+		// Levels are validated before reaching here; a failure means a
+		// programming error, not bad input.
+		panic("codec: flate.NewWriter: " + err.Error())
+	}
+	return fw
+}
+
+func putFlateWriter(lvl int, fw *flate.Writer) { flateWriterPools[lvl].Put(fw) }
+
+// Compress compresses src at the requested level and returns the block and
+// the level actually used. If compression would expand the data (possible
+// for random or already-compressed payloads) the raw bytes are returned with
+// level 0, mirroring AdOC's per-packet expansion check: the wire never
+// carries a block larger than its raw form plus framing.
+func Compress(level Level, src []byte) ([]byte, Level, error) {
+	if !level.Valid() {
+		return nil, 0, ErrBadLevel
+	}
+	if level == MinLevel || len(src) == 0 {
+		return src, MinLevel, nil
+	}
+	switch {
+	case level == LZF:
+		out, ok := lzf.Encode(src)
+		if !ok {
+			return src, MinLevel, nil
+		}
+		return out, LZF, nil
+	default:
+		var buf bytes.Buffer
+		buf.Grow(len(src))
+		fw := getFlateWriter(flateLevel(level), &buf)
+		_, werr := fw.Write(src)
+		cerr := fw.Close()
+		putFlateWriter(flateLevel(level), fw)
+		if werr != nil {
+			return nil, 0, werr
+		}
+		if cerr != nil {
+			return nil, 0, cerr
+		}
+		if buf.Len() >= len(src) {
+			return src, MinLevel, nil
+		}
+		return buf.Bytes(), level, nil
+	}
+}
+
+// Decompress expands a block produced by Compress. rawLen is the original
+// size recorded in the wire frame; the output is exactly rawLen bytes.
+func Decompress(level Level, block []byte, rawLen int) ([]byte, error) {
+	if !level.Valid() {
+		return nil, ErrBadLevel
+	}
+	switch level {
+	case MinLevel:
+		if len(block) != rawLen {
+			return nil, ErrCorrupt
+		}
+		return block, nil
+	case LZF:
+		out, err := lzf.Decode(block, rawLen)
+		if err != nil {
+			return nil, fmt.Errorf("codec: %w", err)
+		}
+		return out, nil
+	default:
+		fr := flateReaderPool.Get().(io.ReadCloser)
+		defer flateReaderPool.Put(fr)
+		if err := fr.(flate.Resetter).Reset(bytes.NewReader(block), nil); err != nil {
+			return nil, err
+		}
+		out := make([]byte, rawLen)
+		if _, err := io.ReadFull(fr, out); err != nil {
+			return nil, fmt.Errorf("codec: %w: %v", ErrCorrupt, err)
+		}
+		// The block must not contain trailing data beyond rawLen.
+		var tail [1]byte
+		if n, _ := fr.Read(tail[:]); n != 0 {
+			return nil, ErrCorrupt
+		}
+		return out, nil
+	}
+}
+
+// Ratio returns raw/compressed, the compression ratio the paper's Table 1
+// reports (larger is better; 1.0 means no gain).
+func Ratio(rawLen, compLen int) float64 {
+	if compLen == 0 {
+		return 0
+	}
+	return float64(rawLen) / float64(compLen)
+}

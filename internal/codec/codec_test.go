@@ -1,0 +1,278 @@
+package codec
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func textSample(n int) []byte {
+	s := strings.Repeat("row 17 col 42 value 3.14159e-02 sparse matrix entry\n", 1+n/52)
+	return []byte(s[:n])
+}
+
+func randomSample(n int, seed int64) []byte {
+	b := make([]byte, n)
+	rand.New(rand.NewSource(seed)).Read(b)
+	return b
+}
+
+func TestLevelString(t *testing.T) {
+	cases := map[Level]string{
+		0:  "none",
+		1:  "lzf",
+		2:  "gzip 1",
+		10: "gzip 9",
+		42: "level(42)",
+	}
+	for l, want := range cases {
+		if got := l.String(); got != want {
+			t.Errorf("Level(%d).String() = %q, want %q", int(l), got, want)
+		}
+	}
+}
+
+func TestLevelValidClamp(t *testing.T) {
+	if Level(-1).Valid() || Level(11).Valid() {
+		t.Error("out-of-range levels reported valid")
+	}
+	for l := MinLevel; l <= MaxLevel; l++ {
+		if !l.Valid() {
+			t.Errorf("level %d reported invalid", l)
+		}
+	}
+	if got := Level(99).Clamp(0, 10); got != 10 {
+		t.Errorf("Clamp high = %d, want 10", got)
+	}
+	if got := Level(-5).Clamp(0, 10); got != 0 {
+		t.Errorf("Clamp low = %d, want 0", got)
+	}
+	if got := Level(4).Clamp(2, 8); got != 4 {
+		t.Errorf("Clamp inside = %d, want 4", got)
+	}
+}
+
+func TestRoundtripAllLevels(t *testing.T) {
+	data := textSample(200 * 1024)
+	for l := MinLevel; l <= MaxLevel; l++ {
+		blk, used, err := Compress(l, data)
+		if err != nil {
+			t.Fatalf("level %v: %v", l, err)
+		}
+		if l > 0 && used == 0 {
+			t.Fatalf("level %v fell back to raw on compressible text", l)
+		}
+		out, err := Decompress(used, blk, len(data))
+		if err != nil {
+			t.Fatalf("level %v decompress: %v", l, err)
+		}
+		if !bytes.Equal(out, data) {
+			t.Fatalf("level %v roundtrip mismatch", l)
+		}
+	}
+}
+
+func TestCompressRawLevelIsIdentity(t *testing.T) {
+	data := []byte("abc")
+	blk, used, err := Compress(MinLevel, data)
+	if err != nil || used != MinLevel {
+		t.Fatalf("raw compress: used=%v err=%v", used, err)
+	}
+	if !bytes.Equal(blk, data) {
+		t.Fatal("raw level must return the input bytes")
+	}
+}
+
+func TestCompressEmpty(t *testing.T) {
+	for l := MinLevel; l <= MaxLevel; l++ {
+		blk, used, err := Compress(l, nil)
+		if err != nil {
+			t.Fatalf("level %v on empty: %v", l, err)
+		}
+		if used != MinLevel || len(blk) != 0 {
+			t.Fatalf("level %v on empty: used=%v len=%d, want raw/0", l, used, len(blk))
+		}
+	}
+}
+
+func TestIncompressibleFallsBackToRaw(t *testing.T) {
+	data := randomSample(64*1024, 7)
+	for _, l := range []Level{LZF, 2, 6, 10} {
+		blk, used, err := Compress(l, data)
+		if err != nil {
+			t.Fatalf("level %v: %v", l, err)
+		}
+		if used != MinLevel {
+			// DEFLATE stored blocks can still shrink slightly; accept a
+			// compressed result only if it is genuinely smaller.
+			if len(blk) >= len(data) {
+				t.Fatalf("level %v: expanded block kept (raw %d -> %d)", l, len(data), len(blk))
+			}
+			continue
+		}
+		if !bytes.Equal(blk, data) {
+			t.Fatalf("level %v: raw fallback altered data", l)
+		}
+	}
+}
+
+func TestBadLevel(t *testing.T) {
+	if _, _, err := Compress(Level(-1), []byte("x")); err != ErrBadLevel {
+		t.Fatalf("Compress(-1): %v, want ErrBadLevel", err)
+	}
+	if _, _, err := Compress(Level(11), []byte("x")); err != ErrBadLevel {
+		t.Fatalf("Compress(11): %v, want ErrBadLevel", err)
+	}
+	if _, err := Decompress(Level(11), []byte("x"), 1); err != ErrBadLevel {
+		t.Fatalf("Decompress(11): %v, want ErrBadLevel", err)
+	}
+}
+
+func TestDecompressWrongRawLen(t *testing.T) {
+	data := textSample(10000)
+	for _, l := range []Level{LZF, 4} {
+		blk, used, err := Compress(l, data)
+		if err != nil || used == MinLevel {
+			t.Fatalf("setup: used=%v err=%v", used, err)
+		}
+		if _, err := Decompress(used, blk, len(data)-1); err == nil {
+			t.Errorf("level %v: short rawLen not rejected", l)
+		}
+		if _, err := Decompress(used, blk, len(data)+1); err == nil {
+			t.Errorf("level %v: long rawLen not rejected", l)
+		}
+	}
+	if _, err := Decompress(MinLevel, []byte("abc"), 2); err == nil {
+		t.Error("raw level with mismatched rawLen not rejected")
+	}
+}
+
+func TestDecompressCorruptBlock(t *testing.T) {
+	data := textSample(10000)
+	blk, used, err := Compress(6, data)
+	if err != nil || used == MinLevel {
+		t.Fatal("setup failed")
+	}
+	bad := append([]byte(nil), blk...)
+	for i := range bad {
+		bad[i] ^= 0xFF
+	}
+	if _, err := Decompress(used, bad, len(data)); err == nil {
+		t.Error("fully corrupted flate block decoded without error")
+	}
+}
+
+func TestRatioMonotonicOnText(t *testing.T) {
+	// Table 1's qualitative shape: lzf ratio < gzip-1 ratio <= gzip-9
+	// ratio on ASCII data.
+	data := textSample(400 * 1024)
+	ratio := func(l Level) float64 {
+		blk, used, err := Compress(l, data)
+		if err != nil || used != l {
+			t.Fatalf("level %v: used=%v err=%v", l, used, err)
+		}
+		return Ratio(len(data), len(blk))
+	}
+	rl := ratio(LZF)
+	r2 := ratio(2)
+	r10 := ratio(10)
+	if !(rl < r2) {
+		t.Errorf("lzf ratio %.2f not below gzip-1 ratio %.2f", rl, r2)
+	}
+	if !(r2 <= r10+0.01) {
+		t.Errorf("gzip-1 ratio %.2f above gzip-9 ratio %.2f", r2, r10)
+	}
+	if rl < 1.2 {
+		t.Errorf("lzf ratio %.2f unexpectedly poor on text", rl)
+	}
+}
+
+func TestRatioHelper(t *testing.T) {
+	if got := Ratio(100, 50); got != 2.0 {
+		t.Errorf("Ratio(100,50) = %v, want 2", got)
+	}
+	if got := Ratio(100, 0); got != 0 {
+		t.Errorf("Ratio(100,0) = %v, want 0", got)
+	}
+}
+
+func TestQuickRoundtripLevels(t *testing.T) {
+	f := func(data []byte, lvl uint8) bool {
+		l := Level(lvl % 11)
+		blk, used, err := Compress(l, data)
+		if err != nil {
+			return false
+		}
+		out, err := Decompress(used, blk, len(data))
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(out, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCalibrate(t *testing.T) {
+	// A varied (non-degenerate) text sample: repeated vocabulary with
+	// changing numbers, the compressibility class of the paper's
+	// Harwell-Boeing matrix file.
+	var sb strings.Builder
+	rng := rand.New(rand.NewSource(11))
+	for sb.Len() < 512*1024 {
+		fmt.Fprintf(&sb, "row %d col %d value %.10e\n", rng.Intn(5000), rng.Intn(5000), rng.Float64())
+	}
+	sample := []byte(sb.String())
+	tps, err := Calibrate(sample, 64*1024, MinLevel, MaxLevel, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tps) != int(MaxLevel)+1 {
+		t.Fatalf("got %d throughput entries, want %d", len(tps), int(MaxLevel)+1)
+	}
+	for _, tp := range tps {
+		if tp.CompressBps <= 0 || tp.DecompressBps <= 0 {
+			t.Errorf("level %v: non-positive throughput %+v", tp.Level, tp)
+		}
+	}
+	if tps[0].Ratio != 1.0 {
+		t.Errorf("raw level ratio = %v, want 1", tps[0].Ratio)
+	}
+	if tps[1].Ratio <= 1.0 {
+		t.Errorf("lzf ratio = %v on text, want > 1", tps[1].Ratio)
+	}
+	// LZF must be faster than the highest DEFLATE level (AdOC's whole
+	// reason for using it as level 1 — Table 1's shape).
+	if tps[1].CompressBps < tps[10].CompressBps {
+		t.Errorf("lzf (%.0f B/s) slower than gzip-9 (%.0f B/s)", tps[1].CompressBps, tps[10].CompressBps)
+	}
+	// gzip-9 must compress at least as well as gzip-1 (Table 1 ratio
+	// column increases with level).
+	if tps[10].Ratio+0.01 < tps[2].Ratio {
+		t.Errorf("gzip-9 ratio %.3f below gzip-1 ratio %.3f", tps[10].Ratio, tps[2].Ratio)
+	}
+}
+
+func TestCalibrateBadLevel(t *testing.T) {
+	if _, err := Calibrate([]byte("xx"), 0, Level(-2), Level(-1), 1); err == nil {
+		t.Fatal("Calibrate with invalid levels did not fail")
+	}
+}
+
+func BenchmarkCompressLevels(b *testing.B) {
+	data := textSample(200 * 1024)
+	for _, l := range []Level{LZF, 2, 6, 10} {
+		b.Run(l.String(), func(b *testing.B) {
+			b.SetBytes(int64(len(data)))
+			for i := 0; i < b.N; i++ {
+				if _, _, err := Compress(l, data); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

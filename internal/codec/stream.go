@@ -1,0 +1,49 @@
+package codec
+
+import (
+	"compress/flate"
+	"io"
+)
+
+// StreamWriter compresses a single AdOC buffer incrementally. The engine
+// feeds raw data in packet-sized steps and flushes after each step so that
+// compressed output becomes visible immediately — both to keep the emission
+// FIFO fed ("each time a packet of compressed data is generated, this
+// packet is stored in the FIFO queue", paper §3.2) and to let the
+// incompressible-data guard measure per-step ratios and abort the buffer
+// early (paper §5).
+type StreamWriter interface {
+	io.Writer
+	// Flush makes all data written so far decodable by the receiver.
+	Flush() error
+	// Close terminates the compressed stream and releases pooled state.
+	// The StreamWriter must not be used afterwards.
+	Close() error
+}
+
+// flateStream adapts a pooled *flate.Writer.
+type flateStream struct {
+	fw  *flate.Writer
+	lvl int
+}
+
+func (s *flateStream) Write(p []byte) (int, error) { return s.fw.Write(p) }
+func (s *flateStream) Flush() error                { return s.fw.Flush() }
+
+func (s *flateStream) Close() error {
+	err := s.fw.Close()
+	putFlateWriter(s.lvl, s.fw)
+	s.fw = nil
+	return err
+}
+
+// NewStreamWriter returns a StreamWriter emitting the compressed form of
+// its input to w. Only DEFLATE levels (2..10) support streaming; LZF and
+// raw are block codecs handled by Compress. The produced stream is decoded
+// by Decompress with the same level.
+func NewStreamWriter(level Level, w io.Writer) (StreamWriter, error) {
+	if level < 2 || level > MaxLevel {
+		return nil, ErrBadLevel
+	}
+	return &flateStream{fw: getFlateWriter(flateLevel(level), w), lvl: flateLevel(level)}, nil
+}

@@ -1,0 +1,97 @@
+package codec
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestStreamWriterRoundtrip(t *testing.T) {
+	data := textSample(150 * 1024)
+	for _, l := range []Level{2, 5, 10} {
+		var out bytes.Buffer
+		sw, err := NewStreamWriter(l, &out)
+		if err != nil {
+			t.Fatalf("level %v: %v", l, err)
+		}
+		// Feed in uneven steps with flushes, as the engine does.
+		for off := 0; off < len(data); {
+			step := 7000 + off%9000
+			if off+step > len(data) {
+				step = len(data) - off
+			}
+			if _, err := sw.Write(data[off : off+step]); err != nil {
+				t.Fatal(err)
+			}
+			if err := sw.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			off += step
+		}
+		if err := sw.Close(); err != nil {
+			t.Fatal(err)
+		}
+		got, err := Decompress(l, out.Bytes(), len(data))
+		if err != nil {
+			t.Fatalf("level %v decompress: %v", l, err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("level %v stream roundtrip mismatch", l)
+		}
+	}
+}
+
+func TestStreamWriterRejectsBlockLevels(t *testing.T) {
+	var out bytes.Buffer
+	for _, l := range []Level{MinLevel, LZF, 11} {
+		if _, err := NewStreamWriter(l, &out); err == nil {
+			t.Errorf("level %v accepted by NewStreamWriter", l)
+		}
+	}
+}
+
+func TestStreamWriterVisibleAfterFlush(t *testing.T) {
+	// The incompressible guard depends on output becoming visible after
+	// each Flush, not only at Close.
+	var out bytes.Buffer
+	sw, err := NewStreamWriter(6, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := textSample(64 * 1024)
+	if _, err := sw.Write(payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	afterFlush := out.Len()
+	if afterFlush == 0 {
+		t.Fatal("no output visible after Flush")
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() < afterFlush {
+		t.Fatal("output shrank after Close")
+	}
+}
+
+func TestStreamWriterPoolReuse(t *testing.T) {
+	// Exercise the pooled writer across many short streams.
+	for i := 0; i < 50; i++ {
+		var out bytes.Buffer
+		sw, err := NewStreamWriter(4, &out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data := textSample(1000 + i*13)
+		sw.Write(data)
+		if err := sw.Close(); err != nil {
+			t.Fatal(err)
+		}
+		got, err := Decompress(4, out.Bytes(), len(data))
+		if err != nil || !bytes.Equal(got, data) {
+			t.Fatalf("iteration %d corrupted pooled stream", i)
+		}
+	}
+}

@@ -1,0 +1,173 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"adoc/internal/adapt"
+	"adoc/internal/codec"
+	"adoc/internal/wire"
+)
+
+// Engine errors.
+var (
+	// ErrClosed is returned by operations on a closed engine.
+	ErrClosed = errors.New("adoc: connection closed")
+	// ErrMidMessage is returned by ReceiveMessage when the previous
+	// message has not been fully consumed by Read.
+	ErrMidMessage = errors.New("adoc: previous message not fully read")
+)
+
+// Engine is the per-connection AdOC state: the sender-side adaptive
+// controller (level choices and bandwidth history persist across messages,
+// as in the C library where they live behind the descriptor) and the
+// receiver-side partial-read buffers that adoc_close frees.
+//
+// An Engine is safe for concurrent use: writes are serialized among
+// themselves, reads among themselves, and reads run concurrently with
+// writes (full-duplex).
+type Engine struct {
+	rw   io.ReadWriter
+	opts Options
+	ctrl *adapt.Controller
+
+	wmu sync.Mutex // serializes senders
+	rmu sync.Mutex // serializes receivers
+
+	closed atomic.Bool
+
+	// Receiver state, guarded by rmu; cur additionally by curMu so Close
+	// can abort it without waiting for a blocked Read.
+	dec     *wire.Reader
+	recvBuf bytes.Buffer // decompressed, not yet consumed by Read
+	curMu   sync.Mutex
+	cur     *streamState // in-progress stream message, if any
+
+	stats engineStats
+}
+
+// engineStats aggregates counters; all fields are atomics so Stats can be
+// read without stopping traffic.
+type engineStats struct {
+	msgsSent      atomic.Int64
+	msgsReceived  atomic.Int64
+	rawSent       atomic.Int64
+	wireSent      atomic.Int64
+	rawReceived   atomic.Int64
+	wireReceived  atomic.Int64
+	smallSent     atomic.Int64
+	probeBypasses atomic.Int64
+	queueHigh     atomic.Int64
+}
+
+// Stats is a snapshot of engine activity.
+type Stats struct {
+	MsgsSent, MsgsReceived int64
+	// RawSent is user payload accepted by Write/SendMessage; WireSent is
+	// what actually hit the socket (compressed plus framing).
+	RawSent, WireSent         int64
+	RawReceived, WireReceived int64
+	// SmallSent counts messages that took the no-pipeline fast path.
+	SmallSent int64
+	// ProbeBypasses counts messages sent raw because the link probe
+	// exceeded the fast cutoff.
+	ProbeBypasses int64
+	// QueueHighWater is the maximum FIFO occupancy seen on this engine.
+	QueueHighWater int64
+	// Controller reports the adaptive-controller counters.
+	Controller adapt.Stats
+}
+
+// New wraps a bidirectional connection in an AdOC engine.
+func New(rw io.ReadWriter, opts Options) (*Engine, error) {
+	opts, err := opts.sanitize()
+	if err != nil {
+		return nil, err
+	}
+	ctrl := adapt.New(adapt.Config{
+		Min:                        opts.MinLevel,
+		Max:                        opts.MaxLevel,
+		Clock:                      opts.Clock,
+		ForbidFor:                  opts.ForbidFor,
+		DisableDivergenceGuard:     opts.DisableDivergenceGuard,
+		DisableIncompressibleGuard: opts.DisableIncompressibleGuard,
+		OnLevelChange:              opts.Trace.OnLevelChange,
+		OnDivergence:               opts.Trace.OnDivergence,
+	})
+	return &Engine{
+		rw:   rw,
+		opts: opts,
+		ctrl: ctrl,
+		dec:  wire.NewReader(rw),
+	}, nil
+}
+
+// Options returns the engine's effective (sanitized) options.
+func (e *Engine) Options() Options { return e.opts }
+
+// Stats returns a snapshot of the engine counters.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		MsgsSent:       e.stats.msgsSent.Load(),
+		MsgsReceived:   e.stats.msgsReceived.Load(),
+		RawSent:        e.stats.rawSent.Load(),
+		WireSent:       e.stats.wireSent.Load(),
+		RawReceived:    e.stats.rawReceived.Load(),
+		WireReceived:   e.stats.wireReceived.Load(),
+		SmallSent:      e.stats.smallSent.Load(),
+		ProbeBypasses:  e.stats.probeBypasses.Load(),
+		QueueHighWater: e.stats.queueHigh.Load(),
+		Controller:     e.ctrl.Stats(),
+	}
+}
+
+// Close tears the engine down: in-flight operations fail, the partial-read
+// buffers become unreachable (the GC equivalent of adoc_close freeing its
+// temporary buffers), and the underlying connection is closed if it
+// implements io.Closer.
+func (e *Engine) Close() error {
+	if e.closed.Swap(true) {
+		return nil
+	}
+	// Unblock a reception goroutine waiting on a full frame queue.
+	e.abortCurrentStream(ErrClosed)
+	if c, ok := e.rw.(io.Closer); ok {
+		return c.Close()
+	}
+	return nil
+}
+
+// abortCurrentStream aborts the active receive pipeline, if any, without
+// taking rmu (Close must not wait for a blocked Read).
+func (e *Engine) abortCurrentStream(err error) {
+	// cur is written under rmu; reading it racily here is acceptable
+	// because Abort is idempotent and the queue outlives the stream.
+	if st := e.loadCur(); st != nil {
+		st.frames.Abort(err)
+	}
+}
+
+func (e *Engine) loadCur() *streamState {
+	e.curMu.Lock()
+	defer e.curMu.Unlock()
+	return e.cur
+}
+
+func (e *Engine) storeCur(st *streamState) {
+	e.curMu.Lock()
+	defer e.curMu.Unlock()
+	e.cur = st
+}
+
+// Controller exposes the adaptive controller (read-only use intended).
+func (e *Engine) Controller() *adapt.Controller { return e.ctrl }
+
+// CompressionRatio returns raw/wire over the engine lifetime for the send
+// direction — the aggregate analogue of the value adoc_write reports via
+// slen.
+func (e *Engine) CompressionRatio() float64 {
+	return codec.Ratio(int(e.stats.rawSent.Load()), int(e.stats.wireSent.Load()))
+}

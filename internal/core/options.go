@@ -1,0 +1,154 @@
+// Package core implements the AdOC engine — the paper's primary
+// contribution (§3-§5): the two-thread sender pipeline (compression thread
+// feeding an emission thread through a FIFO packet queue), the symmetric
+// receiver pipeline, the small-message fast path, the bandwidth probe for
+// very fast links, and full read/write-semantics support including partial
+// reads.
+//
+// One Engine wraps one bidirectional connection (anything implementing
+// io.ReadWriter, typically a net.Conn) and provides message-oriented sends
+// and byte-stream reads on top of the wire protocol in internal/wire.
+package core
+
+import (
+	"time"
+
+	"adoc/internal/clock"
+	"adoc/internal/codec"
+)
+
+// Paper constants (§3.2, §5).
+const (
+	// DefaultPacketSize is the FIFO packet size: "the size of a packet is
+	// 8KB".
+	DefaultPacketSize = 8 * 1024
+	// DefaultBufferSize is the compression/adaptation unit: "the size of
+	// each buffer is chosen to be 200 KB".
+	DefaultBufferSize = 200 * 1024
+	// DefaultSmallThreshold is the no-compression cutoff: "when messages
+	// are short (less than 512 KB), the data are sent uncompressed
+	// directly without launching the threads".
+	DefaultSmallThreshold = 512 * 1024
+	// DefaultProbeSize is the bandwidth-measurement prefix: "we measure
+	// the time to transmit a part of the data (256 KB) without
+	// compression".
+	DefaultProbeSize = 256 * 1024
+	// DefaultFastCutoffBps is the fast-network threshold: "If this speed
+	// is above 500 Mb/s ... we send the remaining data uncompressed".
+	DefaultFastCutoffBps = 500e6 / 8
+	// DefaultQueueCapacity bounds the emission FIFO in packets. The paper
+	// leaves the queue unbounded; 256 packets (2 MB) is far above the
+	// n>=30 "very large" band, so the control law never sees the bound.
+	DefaultQueueCapacity = 256
+	// DefaultFlushInterval is how much raw data is fed to a streaming
+	// compressor between flushes — the granularity at which compressed
+	// packets become available and the incompressible guard can abort.
+	DefaultFlushInterval = 32 * 1024
+)
+
+// Trace receives engine events; any field may be nil. Used by the examples
+// to visualize adaptation and by tests to observe internals.
+type Trace struct {
+	// OnLevelChange fires when the controller moves the level.
+	OnLevelChange func(old, new codec.Level)
+	// OnDivergence fires when the divergence guard demotes a level.
+	OnDivergence func(from, to codec.Level)
+	// OnProbe fires after the bandwidth probe with the measured speed and
+	// whether the compression bypass was taken.
+	OnProbe func(bps float64, bypass bool)
+	// OnGroupSent fires after a buffer group fully left the socket:
+	// compression level, raw payload size, bytes on the wire, and the
+	// FIFO occupancy at that moment.
+	OnGroupSent func(level codec.Level, rawLen, wireLen, queueLen int)
+}
+
+// Options configures an Engine. Use DefaultOptions as the base; the zero
+// value is not valid.
+type Options struct {
+	// MinLevel and MaxLevel bound the adaptive level (Min > 0 forces
+	// compression, Max == 0 disables it).
+	MinLevel, MaxLevel codec.Level
+	// PacketSize is the FIFO packet payload size in bytes.
+	PacketSize int
+	// BufferSize is the compression/adaptation unit in bytes.
+	BufferSize int
+	// SmallThreshold is the size under which messages are sent raw with
+	// no pipeline.
+	SmallThreshold int
+	// ProbeSize is the uncompressed prefix used to measure link speed.
+	ProbeSize int
+	// FastCutoffBps disables compression for the message when the probe
+	// measures more than this many bytes per second.
+	FastCutoffBps float64
+	// QueueCapacity bounds the emission FIFO (in packets).
+	QueueCapacity int
+	// FlushInterval is the raw-byte granularity of streaming compression.
+	FlushInterval int
+	// DisableProbe skips the bandwidth probe (ablation).
+	DisableProbe bool
+	// DisableDivergenceGuard and DisableIncompressibleGuard pass through
+	// to the controller (ablations).
+	DisableDivergenceGuard     bool
+	DisableIncompressibleGuard bool
+	// ForbidFor overrides the divergence-guard penalty (default 1s).
+	ForbidFor time.Duration
+	// Clock supplies time; nil means the system clock.
+	Clock clock.Clock
+	// Trace receives engine events.
+	Trace Trace
+}
+
+// DefaultOptions returns the paper's configuration.
+func DefaultOptions() Options {
+	return Options{
+		MinLevel:       codec.MinLevel,
+		MaxLevel:       codec.MaxLevel,
+		PacketSize:     DefaultPacketSize,
+		BufferSize:     DefaultBufferSize,
+		SmallThreshold: DefaultSmallThreshold,
+		ProbeSize:      DefaultProbeSize,
+		FastCutoffBps:  DefaultFastCutoffBps,
+		QueueCapacity:  DefaultQueueCapacity,
+		FlushInterval:  DefaultFlushInterval,
+		Clock:          clock.System,
+	}
+}
+
+// sanitize fills zero fields with defaults and validates the rest.
+func (o Options) sanitize() (Options, error) {
+	d := DefaultOptions()
+	if o.PacketSize <= 0 {
+		o.PacketSize = d.PacketSize
+	}
+	if o.BufferSize <= 0 {
+		o.BufferSize = d.BufferSize
+	}
+	if o.SmallThreshold < 0 {
+		o.SmallThreshold = d.SmallThreshold
+	}
+	if o.ProbeSize <= 0 {
+		o.ProbeSize = d.ProbeSize
+	}
+	if o.FastCutoffBps <= 0 {
+		o.FastCutoffBps = d.FastCutoffBps
+	}
+	if o.QueueCapacity <= 0 {
+		o.QueueCapacity = d.QueueCapacity
+	}
+	if o.FlushInterval <= 0 {
+		o.FlushInterval = d.FlushInterval
+	}
+	if o.Clock == nil {
+		o.Clock = d.Clock
+	}
+	if !o.MinLevel.Valid() || !o.MaxLevel.Valid() || o.MinLevel > o.MaxLevel {
+		return o, codec.ErrBadLevel
+	}
+	if o.BufferSize < o.PacketSize {
+		o.BufferSize = o.PacketSize
+	}
+	if o.ProbeSize > o.SmallThreshold && o.SmallThreshold > 0 {
+		o.ProbeSize = o.SmallThreshold / 2
+	}
+	return o, nil
+}

@@ -1,0 +1,308 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"hash/adler32"
+	"io"
+
+	"adoc/internal/codec"
+	"adoc/internal/fifo"
+	"adoc/internal/wire"
+)
+
+// errMsgEnd is the internal signal that the current stream message is
+// complete.
+var errMsgEnd = errors.New("adoc: message end")
+
+// recvFrame is a decoded frame with its payload copied out of the wire
+// reader's scratch buffer, as stored in the reception FIFO.
+type recvFrame struct {
+	mark     byte
+	level    codec.Level
+	payload  []byte
+	rawLen   int
+	checksum uint32
+}
+
+// streamState is the receive pipeline for one in-progress stream message:
+// a reception goroutine (the paper's reception thread) pushes frames into
+// a bounded FIFO; the Read caller plays the decompression thread.
+type streamState struct {
+	frames *fifo.Queue[recvFrame]
+
+	// Group assembly, owned by the consumer (guarded by rmu).
+	inGroup  bool
+	level    codec.Level
+	groupBuf bytes.Buffer
+}
+
+// startStream launches the reception thread for a stream message.
+func (e *Engine) startStream() *streamState {
+	st := &streamState{frames: fifo.New[recvFrame](e.opts.QueueCapacity)}
+	go e.receiveLoop(st)
+	return st
+}
+
+// receiveLoop is the reception thread: it reads frames off the socket and
+// queues them until the message ends or the connection fails. Overlapping
+// this read loop with decompression in the consumer is the receiver half
+// of the paper's compression/communication overlap.
+func (e *Engine) receiveLoop(st *streamState) {
+	for {
+		f, err := e.dec.ReadFrame()
+		if err != nil {
+			// Frames already queued are valid; deliver them before the
+			// error surfaces.
+			st.frames.CloseSendWithError(err)
+			return
+		}
+		fr := recvFrame{mark: f.Mark, level: f.Level, rawLen: f.RawLen, checksum: f.Checksum}
+		switch f.Mark {
+		case wire.MarkPacket:
+			fr.payload = append([]byte(nil), f.Payload...)
+			e.stats.wireReceived.Add(int64(5 + len(f.Payload)))
+		case wire.MarkGroupBegin:
+			e.stats.wireReceived.Add(2)
+		case wire.MarkGroupEnd:
+			e.stats.wireReceived.Add(9)
+		case wire.MarkMsgEnd:
+			e.stats.wireReceived.Add(1)
+		}
+		if err := st.frames.Push(fr); err != nil {
+			return // consumer or Close aborted the queue
+		}
+		if f.Mark == wire.MarkMsgEnd {
+			st.frames.CloseSend()
+			return
+		}
+	}
+}
+
+// advanceStream consumes frames until it has appended at least one group
+// of decompressed bytes to recvBuf (progress), the message ends
+// (errMsgEnd), or — in non-blocking mode — the FIFO runs dry (progress
+// false, nil error).
+func (e *Engine) advanceStream(st *streamState, block bool) (progress bool, err error) {
+	for {
+		var fr recvFrame
+		if block {
+			fr, err = st.frames.Pop()
+			if err == io.EOF {
+				// The queue drained after MsgEnd was already consumed;
+				// a well-formed stream never gets here.
+				return false, io.ErrUnexpectedEOF
+			}
+			if err != nil {
+				return false, err
+			}
+		} else {
+			var ok bool
+			fr, ok = st.frames.TryPop()
+			if !ok {
+				return false, nil
+			}
+		}
+		switch fr.mark {
+		case wire.MarkGroupBegin:
+			if st.inGroup {
+				return false, fmt.Errorf("%w: nested group", wire.ErrBadFrame)
+			}
+			st.inGroup = true
+			st.level = fr.level
+			st.groupBuf.Reset()
+		case wire.MarkPacket:
+			if !st.inGroup {
+				return false, fmt.Errorf("%w: packet outside group", wire.ErrBadFrame)
+			}
+			st.groupBuf.Write(fr.payload)
+		case wire.MarkGroupEnd:
+			if !st.inGroup {
+				return false, fmt.Errorf("%w: group end outside group", wire.ErrBadFrame)
+			}
+			raw, derr := codec.Decompress(st.level, st.groupBuf.Bytes(), fr.rawLen)
+			if derr != nil {
+				return false, derr
+			}
+			if adler32.Checksum(raw) != fr.checksum {
+				return false, wire.ErrChecksum
+			}
+			e.recvBuf.Write(raw)
+			st.inGroup = false
+			e.stats.rawReceived.Add(int64(fr.rawLen))
+			return true, nil
+		case wire.MarkMsgEnd:
+			if st.inGroup {
+				return false, fmt.Errorf("%w: message end inside group", wire.ErrBadFrame)
+			}
+			return false, errMsgEnd
+		default:
+			return false, fmt.Errorf("%w: marker %d", wire.ErrBadFrame, fr.mark)
+		}
+	}
+}
+
+// finishStream retires the completed stream message.
+func (e *Engine) finishStream() {
+	e.storeCur(nil)
+	e.stats.msgsReceived.Add(1)
+}
+
+// Read implements the adoc_read semantics: it fills p with the next bytes
+// of the incoming byte stream, blocking until at least one byte is
+// available, and returns the count. Message boundaries are not preserved —
+// "a sender can send 100 MB, and the receiver can perform two reads one of
+// 60 MB and one of 40 MB" (paper §4.1) — leftovers stay buffered for the
+// next Read.
+func (e *Engine) Read(p []byte) (int, error) {
+	if len(p) == 0 {
+		return 0, nil
+	}
+	e.rmu.Lock()
+	defer e.rmu.Unlock()
+	for {
+		if e.closed.Load() {
+			return 0, ErrClosed
+		}
+		if e.recvBuf.Len() > 0 {
+			// Top up from already-arrived frames without blocking, then
+			// hand out as much as fits.
+			if st := e.loadCur(); st != nil {
+				for e.recvBuf.Len() < len(p) {
+					progress, err := e.advanceStream(st, false)
+					if err == errMsgEnd {
+						e.finishStream()
+						break
+					}
+					if err != nil {
+						// Bytes already decoded are still valid; deliver
+						// them first, surface the error on the next call.
+						break
+					}
+					if !progress {
+						break
+					}
+				}
+			}
+			return e.recvBuf.Read(p)
+		}
+		if st := e.loadCur(); st != nil {
+			progress, err := e.advanceStream(st, true)
+			if err == errMsgEnd {
+				e.finishStream()
+				continue
+			}
+			if err != nil {
+				return 0, e.normalizeErr(err)
+			}
+			if progress {
+				continue // recvBuf now has bytes
+			}
+			continue
+		}
+		// Between messages: read the next message header directly.
+		h, err := e.dec.ReadMsgHeader()
+		if err != nil {
+			return 0, e.normalizeErr(err)
+		}
+		switch h.Kind {
+		case wire.KindSmall:
+			e.stats.wireReceived.Add(int64(wire.MsgHeaderLen + 4 + h.RawLen))
+			if h.RawLen == 0 {
+				// A zero-byte message adds nothing to the byte stream.
+				e.stats.msgsReceived.Add(1)
+				continue
+			}
+			if len(p) >= int(h.RawLen) {
+				// Zero-copy: decode straight into the caller's buffer.
+				out, err := e.dec.ReadSmallPayload(h, p)
+				if err != nil {
+					return 0, e.normalizeErr(err)
+				}
+				e.stats.msgsReceived.Add(1)
+				e.stats.rawReceived.Add(int64(len(out)))
+				return len(out), nil
+			}
+			tmp := make([]byte, h.RawLen)
+			if _, err := e.dec.ReadSmallPayload(h, tmp); err != nil {
+				return 0, e.normalizeErr(err)
+			}
+			e.recvBuf.Write(tmp)
+			e.stats.msgsReceived.Add(1)
+			e.stats.rawReceived.Add(int64(len(tmp)))
+		case wire.KindStream:
+			e.stats.wireReceived.Add(wire.MsgHeaderLen + 8)
+			e.storeCur(e.startStream())
+		}
+	}
+}
+
+// ReceiveMessage consumes exactly one AdOC message and writes its raw
+// content to w, returning the byte count — the adoc_receive_file
+// equivalent. It must be called on a message boundary: mixing it with a
+// partial Read of another message is an error.
+func (e *Engine) ReceiveMessage(w io.Writer) (int64, error) {
+	e.rmu.Lock()
+	defer e.rmu.Unlock()
+	if e.closed.Load() {
+		return 0, ErrClosed
+	}
+	if e.recvBuf.Len() > 0 || e.loadCur() != nil {
+		return 0, ErrMidMessage
+	}
+	h, err := e.dec.ReadMsgHeader()
+	if err != nil {
+		return 0, e.normalizeErr(err)
+	}
+	switch h.Kind {
+	case wire.KindSmall:
+		e.stats.wireReceived.Add(int64(wire.MsgHeaderLen + 4 + h.RawLen))
+		buf := make([]byte, h.RawLen)
+		if _, err := e.dec.ReadSmallPayload(h, buf); err != nil {
+			return 0, e.normalizeErr(err)
+		}
+		if _, err := w.Write(buf); err != nil {
+			return 0, err
+		}
+		e.stats.msgsReceived.Add(1)
+		e.stats.rawReceived.Add(int64(len(buf)))
+		return int64(len(buf)), nil
+	case wire.KindStream:
+		e.stats.wireReceived.Add(wire.MsgHeaderLen + 8)
+		st := e.startStream()
+		e.storeCur(st)
+		var total int64
+		for {
+			_, err := e.advanceStream(st, true)
+			if e.recvBuf.Len() > 0 {
+				n, werr := e.recvBuf.WriteTo(w)
+				total += n
+				if werr != nil {
+					st.frames.Abort(werr)
+					e.storeCur(nil)
+					return total, werr
+				}
+			}
+			if err == errMsgEnd {
+				e.finishStream()
+				return total, nil
+			}
+			if err != nil {
+				e.storeCur(nil)
+				return total, e.normalizeErr(err)
+			}
+		}
+	default:
+		return 0, wire.ErrBadKind
+	}
+}
+
+// normalizeErr maps low-level failures after Close to ErrClosed so callers
+// see one stable sentinel.
+func (e *Engine) normalizeErr(err error) error {
+	if e.closed.Load() {
+		return ErrClosed
+	}
+	return err
+}

@@ -1,0 +1,545 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"hash/adler32"
+	"io"
+	"time"
+
+	"adoc/internal/codec"
+	"adoc/internal/fifo"
+	"adoc/internal/wire"
+)
+
+// segment is one FIFO item: pre-framed wire bytes plus the bookkeeping the
+// emission thread needs to attribute bandwidth to compression levels.
+type segment struct {
+	data       []byte
+	groupStart bool
+	groupEnd   bool
+	level      codec.Level
+	groupRaw   int // raw payload of the whole group; set on the end segment
+	groupWire  int // wire bytes of the whole group; set on the end segment
+}
+
+// WriteMessage sends p as one AdOC message at the engine's level bounds.
+// It returns the number of bytes that hit the wire (framing included) —
+// the value adoc_write reports through slen. On success the entire p was
+// sent, matching the write system-call contract the library preserves.
+func (e *Engine) WriteMessage(p []byte) (wireN int64, err error) {
+	return e.WriteMessageLevels(p, e.opts.MinLevel, e.opts.MaxLevel)
+}
+
+// WriteMessageLevels is WriteMessage with per-call level bounds
+// (adoc_write_levels): min > 0 forces compression, max == 0 disables it.
+func (e *Engine) WriteMessageLevels(p []byte, min, max codec.Level) (int64, error) {
+	if !min.Valid() || !max.Valid() || min > max {
+		return 0, codec.ErrBadLevel
+	}
+	e.wmu.Lock()
+	defer e.wmu.Unlock()
+	if e.closed.Load() {
+		return 0, ErrClosed
+	}
+	if min == codec.MinLevel && len(p) < e.opts.SmallThreshold {
+		n, err := e.writeSmall(p)
+		return n, err
+	}
+	n, err := e.writeStream(bytes.NewReader(p), int64(len(p)), min, max)
+	return n, err
+}
+
+// SendMessage streams size bytes from r as one AdOC message; size < 0
+// means unknown (read until EOF). It returns the raw byte count consumed
+// from r and the wire byte count — the pair adoc_send_file returns (file
+// size) and outputs (slen). This is the adoc_send_file equivalent.
+func (e *Engine) SendMessage(r io.Reader, size int64) (raw, wireN int64, err error) {
+	return e.SendMessageLevels(r, size, e.opts.MinLevel, e.opts.MaxLevel)
+}
+
+// SendMessageLevels is SendMessage with per-call level bounds.
+func (e *Engine) SendMessageLevels(r io.Reader, size int64, min, max codec.Level) (raw, wireN int64, err error) {
+	if !min.Valid() || !max.Valid() || min > max {
+		return 0, 0, codec.ErrBadLevel
+	}
+	e.wmu.Lock()
+	defer e.wmu.Unlock()
+	if e.closed.Load() {
+		return 0, 0, ErrClosed
+	}
+	if size >= 0 && size < int64(e.opts.SmallThreshold) && min == codec.MinLevel {
+		buf := make([]byte, size)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return 0, 0, fmt.Errorf("adoc: reading source: %w", err)
+		}
+		n, err := e.writeSmall(buf)
+		return size, n, err
+	}
+	if size < 0 {
+		// Unknown size: peek up to SmallThreshold to decide the path.
+		probe := make([]byte, e.opts.SmallThreshold)
+		n, rerr := io.ReadFull(r, probe)
+		if rerr == io.EOF || rerr == io.ErrUnexpectedEOF {
+			if min == codec.MinLevel {
+				w, err := e.writeSmall(probe[:n])
+				return int64(n), w, err
+			}
+			w, err := e.writeStream(bytes.NewReader(probe[:n]), int64(n), min, max)
+			return int64(n), w, err
+		}
+		if rerr != nil {
+			return 0, 0, fmt.Errorf("adoc: reading source: %w", rerr)
+		}
+		src := io.MultiReader(bytes.NewReader(probe[:n]), r)
+		return e.writeStreamCounted(src, -1, min, max)
+	}
+	w, err := e.writeStream(r, size, min, max)
+	return size, w, err
+}
+
+// writeSmall sends the no-pipeline fast path: one buffer, one system call,
+// latency identical to a plain write (paper §5 "Small messages").
+func (e *Engine) writeSmall(p []byte) (int64, error) {
+	msg := wire.AppendSmall(make([]byte, 0, len(p)+wire.MsgHeaderLen+4), p)
+	if _, err := e.rw.Write(msg); err != nil {
+		return 0, err
+	}
+	e.stats.msgsSent.Add(1)
+	e.stats.smallSent.Add(1)
+	e.stats.rawSent.Add(int64(len(p)))
+	e.stats.wireSent.Add(int64(len(msg)))
+	return int64(len(msg)), nil
+}
+
+// writeStreamCounted wraps writeStream, additionally counting raw bytes for
+// unknown-size sources.
+func (e *Engine) writeStreamCounted(src io.Reader, size int64, min, max codec.Level) (raw, wireN int64, err error) {
+	cr := &countingReader{r: src}
+	wireN, err = e.writeStream(cr, size, min, max)
+	return cr.n, wireN, err
+}
+
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// writeStream sends one stream message: header, optional probe, then
+// either the raw bypass (fast link) or the adaptive two-goroutine
+// pipeline. Caller holds wmu.
+func (e *Engine) writeStream(src io.Reader, size int64, min, max codec.Level) (int64, error) {
+	if err := e.ctrl.SetBounds(min, max); err != nil {
+		return 0, err
+	}
+	var wireBytes int64
+	totalRaw := wire.UnknownTotal
+	if size >= 0 {
+		totalRaw = uint64(size)
+	}
+	hdr := wire.AppendStreamHeader(nil, totalRaw)
+	if _, err := e.rw.Write(hdr); err != nil {
+		return 0, err
+	}
+	wireBytes += int64(len(hdr))
+
+	remaining := size // < 0 when unknown
+
+	// Bandwidth probe (paper §5 "Fast Networks"): only when adaptation is
+	// allowed to pick level 0 and the payload is large enough that the
+	// probe prefix is guaranteed to exist.
+	bypass := false
+	if min == codec.MinLevel && !e.opts.DisableProbe &&
+		(size >= int64(e.opts.SmallThreshold) || size < 0) {
+		probeBuf := make([]byte, e.opts.ProbeSize)
+		n, rerr := io.ReadFull(src, probeBuf)
+		if rerr != nil && rerr != io.EOF && rerr != io.ErrUnexpectedEOF {
+			return wireBytes, fmt.Errorf("adoc: reading source: %w", rerr)
+		}
+		if n > 0 {
+			start := e.opts.Clock.Now()
+			w, err := e.writeRawGroupDirect(probeBuf[:n])
+			wireBytes += w
+			if err != nil {
+				return wireBytes, err
+			}
+			dur := e.opts.Clock.Now().Sub(start)
+			bps := float64(n) / maxSeconds(dur)
+			e.ctrl.RecordDelivery(codec.MinLevel, n, dur)
+			bypass = bps > e.opts.FastCutoffBps
+			if e.opts.Trace.OnProbe != nil {
+				e.opts.Trace.OnProbe(bps, bypass)
+			}
+			if remaining >= 0 {
+				remaining -= int64(n)
+			}
+			e.stats.rawSent.Add(int64(n))
+		}
+		if rerr == io.EOF || rerr == io.ErrUnexpectedEOF {
+			remaining = 0
+		}
+	}
+
+	var err error
+	var w int64
+	if bypass {
+		e.stats.probeBypasses.Add(1)
+		w, err = e.sendRawBypass(src, remaining)
+	} else {
+		w, err = e.sendAdaptive(src, remaining)
+	}
+	wireBytes += w
+	if err != nil {
+		return wireBytes, err
+	}
+
+	end := wire.AppendMsgEnd(nil)
+	if _, err := e.rw.Write(end); err != nil {
+		return wireBytes, err
+	}
+	wireBytes += int64(len(end))
+	e.stats.msgsSent.Add(1)
+	e.stats.wireSent.Add(wireBytes)
+	return wireBytes, nil
+}
+
+// maxSeconds avoids division by zero on clocks with coarse resolution.
+func maxSeconds(d time.Duration) float64 {
+	s := d.Seconds()
+	if s <= 0 {
+		return 1e-9
+	}
+	return s
+}
+
+// writeRawGroupDirect writes one level-0 group synchronously (probe and
+// bypass paths run on the caller thread; no pipeline exists yet).
+func (e *Engine) writeRawGroupDirect(chunk []byte) (int64, error) {
+	var wireBytes int64
+	hdr := wire.AppendGroupBegin(nil, codec.MinLevel)
+	if _, err := e.rw.Write(hdr); err != nil {
+		return wireBytes, err
+	}
+	wireBytes += int64(len(hdr))
+	frame := make([]byte, 0, e.opts.PacketSize+5)
+	for off := 0; off < len(chunk); off += e.opts.PacketSize {
+		end := off + e.opts.PacketSize
+		if end > len(chunk) {
+			end = len(chunk)
+		}
+		frame = wire.AppendPacket(frame[:0], chunk[off:end])
+		if _, err := e.rw.Write(frame); err != nil {
+			return wireBytes, err
+		}
+		wireBytes += int64(len(frame))
+	}
+	tail := wire.AppendGroupEnd(nil, len(chunk), adler32.Checksum(chunk))
+	if _, err := e.rw.Write(tail); err != nil {
+		return wireBytes, err
+	}
+	wireBytes += int64(len(tail))
+	return wireBytes, nil
+}
+
+// sendRawBypass sends the remainder of the message uncompressed on the
+// caller thread — the Gbit fast path where "we send the remaining data
+// uncompressed". remaining < 0 means until EOF.
+func (e *Engine) sendRawBypass(src io.Reader, remaining int64) (int64, error) {
+	var wireBytes int64
+	buf := make([]byte, e.opts.BufferSize)
+	for remaining != 0 {
+		want := int64(len(buf))
+		if remaining > 0 && remaining < want {
+			want = remaining
+		}
+		n, rerr := io.ReadFull(src, buf[:want])
+		if n > 0 {
+			w, err := e.writeRawGroupDirect(buf[:n])
+			wireBytes += w
+			if err != nil {
+				return wireBytes, err
+			}
+			e.stats.rawSent.Add(int64(n))
+			if remaining > 0 {
+				remaining -= int64(n)
+			}
+		}
+		if rerr == io.EOF || rerr == io.ErrUnexpectedEOF {
+			if remaining > 0 {
+				return wireBytes, fmt.Errorf("adoc: source ended %d bytes early: %w", remaining, io.ErrUnexpectedEOF)
+			}
+			break
+		}
+		if rerr != nil {
+			return wireBytes, fmt.Errorf("adoc: reading source: %w", rerr)
+		}
+	}
+	return wireBytes, nil
+}
+
+// emitResult is the emission thread's final report.
+type emitResult struct {
+	wireBytes int64
+	err       error
+}
+
+// sendAdaptive runs the paper's two-thread pipeline: the caller acts as
+// the compression thread, a spawned goroutine as the emission thread, and
+// a bounded FIFO of packets in between. remaining < 0 means until EOF.
+func (e *Engine) sendAdaptive(src io.Reader, remaining int64) (int64, error) {
+	if remaining == 0 {
+		return 0, nil
+	}
+	q := fifo.New[segment](e.opts.QueueCapacity)
+	res := make(chan emitResult, 1)
+	go e.runEmitter(q, res)
+
+	buf := make([]byte, e.opts.BufferSize)
+	var sendErr error
+	for remaining != 0 {
+		want := int64(len(buf))
+		if remaining > 0 && remaining < want {
+			want = remaining
+		}
+		n, rerr := io.ReadFull(src, buf[:want])
+		if n > 0 {
+			if err := e.compressBuffer(q, buf[:n]); err != nil {
+				sendErr = err
+				break
+			}
+			e.stats.rawSent.Add(int64(n))
+			if remaining > 0 {
+				remaining -= int64(n)
+			}
+		}
+		if rerr == io.EOF || rerr == io.ErrUnexpectedEOF {
+			if remaining > 0 {
+				sendErr = fmt.Errorf("adoc: source ended %d bytes early: %w", remaining, io.ErrUnexpectedEOF)
+			}
+			break
+		}
+		if rerr != nil {
+			sendErr = fmt.Errorf("adoc: reading source: %w", rerr)
+			break
+		}
+	}
+	if sendErr != nil {
+		q.Abort(sendErr)
+	} else {
+		q.CloseSend()
+	}
+	r := <-res
+	if hw := int64(q.HighWater()); hw > e.stats.queueHigh.Load() {
+		e.stats.queueHigh.Store(hw)
+	}
+	if sendErr != nil {
+		return r.wireBytes, sendErr
+	}
+	return r.wireBytes, r.err
+}
+
+// runEmitter is the emission thread: it drains the FIFO onto the socket
+// and measures per-group delivery time, feeding the divergence guard.
+func (e *Engine) runEmitter(q *fifo.Queue[segment], res chan<- emitResult) {
+	var wireBytes int64
+	var groupStart time.Time
+	for {
+		seg, err := q.Pop()
+		if err == io.EOF {
+			res <- emitResult{wireBytes, nil}
+			return
+		}
+		if err != nil {
+			res <- emitResult{wireBytes, err}
+			return
+		}
+		if seg.groupStart {
+			groupStart = e.opts.Clock.Now()
+		}
+		if _, werr := e.rw.Write(seg.data); werr != nil {
+			q.Abort(werr)
+			res <- emitResult{wireBytes, werr}
+			return
+		}
+		wireBytes += int64(len(seg.data))
+		if seg.groupEnd {
+			dur := e.opts.Clock.Now().Sub(groupStart)
+			e.ctrl.RecordDelivery(seg.level, seg.groupRaw, dur)
+			if e.opts.Trace.OnGroupSent != nil {
+				e.opts.Trace.OnGroupSent(seg.level, seg.groupRaw, seg.groupWire, q.Len())
+			}
+		}
+	}
+}
+
+// compressBuffer handles one adaptation unit (≤ BufferSize bytes): asks the
+// controller for a level, compresses, and pushes wire-framed packets into
+// the FIFO. It implements the incompressible-data guard by aborting DEFLATE
+// buffers whose running ratio is poor and sending the remainder raw.
+func (e *Engine) compressBuffer(q *fifo.Queue[segment], chunk []byte) error {
+	level := e.ctrl.LevelForNextBuffer(q.Len())
+	switch {
+	case level == codec.MinLevel:
+		return e.pushBlockGroup(q, codec.MinLevel, chunk, chunk)
+	case level == codec.LZF:
+		blk, used, err := codec.Compress(codec.LZF, chunk)
+		if err != nil {
+			return err
+		}
+		if used == codec.MinLevel {
+			// Did not shrink: raw group plus the incompressible pin.
+			e.ctrl.NotePacketRatio(codec.LZF, len(chunk), len(chunk))
+			return e.pushBlockGroup(q, codec.MinLevel, chunk, chunk)
+		}
+		e.ctrl.NotePacketRatio(used, len(chunk), len(blk))
+		return e.pushBlockGroup(q, used, blk, chunk)
+	default:
+		return e.pushFlateGroup(q, level, chunk)
+	}
+}
+
+// pushBlockGroup frames a fully materialized group (raw or LZF block) into
+// packet segments. raw is the uncompressed data (for the checksum).
+func (e *Engine) pushBlockGroup(q *fifo.Queue[segment], level codec.Level, block, raw []byte) error {
+	p := newPacketizer(e, q, level)
+	if _, err := p.Write(block); err != nil {
+		return err
+	}
+	return p.finish(len(raw), adler32.Checksum(raw))
+}
+
+// pushFlateGroup streams chunk through a DEFLATE compressor, checking the
+// running ratio after every flush so incompressible data aborts the buffer
+// early (paper §5 "Compressed and random data").
+func (e *Engine) pushFlateGroup(q *fifo.Queue[segment], level codec.Level, chunk []byte) error {
+	p := newPacketizer(e, q, level)
+	sw, err := codec.NewStreamWriter(level, p)
+	if err != nil {
+		return err
+	}
+	fed := 0
+	aborted := false
+	for fed < len(chunk) {
+		step := e.opts.FlushInterval
+		if fed+step > len(chunk) {
+			step = len(chunk) - fed
+		}
+		before := p.total
+		if _, err := sw.Write(chunk[fed : fed+step]); err != nil {
+			sw.Close()
+			return err
+		}
+		if err := sw.Flush(); err != nil {
+			sw.Close()
+			return err
+		}
+		fed += step
+		produced := p.total - before
+		if e.ctrl.NotePacketRatio(level, step, produced) {
+			aborted = true
+			break
+		}
+	}
+	if err := sw.Close(); err != nil {
+		return err
+	}
+	if err := p.finish(fed, adler32.Checksum(chunk[:fed])); err != nil {
+		return err
+	}
+	if aborted && fed < len(chunk) {
+		// Remainder of the buffer goes out raw.
+		rest := chunk[fed:]
+		return e.pushBlockGroup(q, codec.MinLevel, rest, rest)
+	}
+	return nil
+}
+
+// packetizer is an io.Writer that cuts a group's byte stream into
+// packet-framed FIFO segments of at most PacketSize payload bytes.
+type packetizer struct {
+	e       *Engine
+	q       *fifo.Queue[segment]
+	level   codec.Level
+	pending []byte
+	first   bool
+	total   int // compressed bytes accepted so far
+	wire    int // wire bytes pushed so far (framing included)
+	packets int
+}
+
+func newPacketizer(e *Engine, q *fifo.Queue[segment], level codec.Level) *packetizer {
+	return &packetizer{e: e, q: q, level: level, first: true,
+		pending: make([]byte, 0, e.opts.PacketSize)}
+}
+
+func (p *packetizer) Write(b []byte) (int, error) {
+	n := len(b)
+	p.total += n
+	for len(b) > 0 {
+		space := p.e.opts.PacketSize - len(p.pending)
+		take := len(b)
+		if take > space {
+			take = space
+		}
+		p.pending = append(p.pending, b[:take]...)
+		b = b[take:]
+		if len(p.pending) == p.e.opts.PacketSize {
+			if err := p.flushPacket(false, 0, 0); err != nil {
+				return n - len(b), err
+			}
+		}
+	}
+	return n, nil
+}
+
+// flushPacket pushes the pending payload as one segment. When end is true
+// the groupEnd frame (with rawLen and checksum) is glued onto the same
+// segment so the group closes without an extra FIFO slot.
+func (p *packetizer) flushPacket(end bool, rawLen int, sum uint32) error {
+	if len(p.pending) == 0 && !end {
+		return nil
+	}
+	frame := make([]byte, 0, len(p.pending)+16)
+	if p.first {
+		frame = wire.AppendGroupBegin(frame, p.level)
+	}
+	if len(p.pending) > 0 {
+		frame = wire.AppendPacket(frame, p.pending)
+		p.packets++
+	}
+	if end {
+		frame = wire.AppendGroupEnd(frame, rawLen, sum)
+	}
+	seg := segment{
+		data:       frame,
+		groupStart: p.first,
+		groupEnd:   end,
+		level:      p.level,
+	}
+	p.first = false
+	p.pending = p.pending[:0]
+	p.wire += len(frame)
+	if end {
+		seg.groupRaw = rawLen
+		seg.groupWire = p.wire
+	}
+	if err := p.q.Push(seg); err != nil {
+		return err
+	}
+	if len(seg.data) > 0 {
+		p.e.ctrl.NotePacketsSent(1)
+	}
+	return nil
+}
+
+// finish closes the group, emitting any partial packet plus the groupEnd
+// frame.
+func (p *packetizer) finish(rawLen int, sum uint32) error {
+	return p.flushPacket(true, rawLen, sum)
+}

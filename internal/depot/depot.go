@@ -1,0 +1,251 @@
+// Package depot is an IBP-style storage depot (Internet Backplane
+// Protocol): clients store and retrieve named byte ranges over the
+// network. The paper reports incorporating AdOC into IBP's multi-threaded
+// data handlers as its thread-safety proof ("We have incorporated AdOC
+// into the Internet Backplane Protocol ... It works without error",
+// §4.2); this package reproduces that integration: every data connection
+// runs through the AdOC library, many in parallel.
+package depot
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+
+	"adoc"
+)
+
+// Depot serves STORE/RETRIEVE/DELETE requests over AdOC connections.
+type Depot struct {
+	mu    sync.RWMutex
+	blobs map[string][]byte
+	ln    net.Listener
+	wg    sync.WaitGroup
+}
+
+// New returns an empty depot.
+func New() *Depot { return &Depot{blobs: map[string][]byte{}} }
+
+// Serve accepts clients on ln until Close. Each connection may issue any
+// number of requests.
+func (d *Depot) Serve(ln net.Listener) {
+	d.ln = ln
+	d.wg.Add(1)
+	go func() {
+		defer d.wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			d.wg.Add(1)
+			go func() {
+				defer d.wg.Done()
+				d.handle(conn)
+			}()
+		}
+	}()
+}
+
+// Close stops the depot.
+func (d *Depot) Close() {
+	if d.ln != nil {
+		d.ln.Close()
+	}
+	d.wg.Wait()
+}
+
+// Len reports the number of stored blobs.
+func (d *Depot) Len() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.blobs)
+}
+
+// The wire protocol is line-oriented commands with AdOC-framed payloads:
+//
+//	STORE <name> <len>\n  followed by len payload bytes -> OK\n
+//	RETRIEVE <name>\n     -> OK <len>\n followed by payload, or ERR ...\n
+//	DELETE <name>\n       -> OK\n or ERR ...\n
+//
+// Both commands and payloads flow through the AdOC connection, so large
+// payloads are adaptively compressed.
+func (d *Depot) handle(raw net.Conn) {
+	conn, err := adoc.NewConn(raw, adoc.DefaultOptions())
+	if err != nil {
+		raw.Close()
+		return
+	}
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			return
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "STORE":
+			if len(fields) != 3 {
+				fmt.Fprintf(conn, "ERR store syntax\n")
+				continue
+			}
+			n, err := strconv.Atoi(fields[2])
+			if err != nil || n < 0 {
+				fmt.Fprintf(conn, "ERR bad length\n")
+				continue
+			}
+			payload := make([]byte, n)
+			if _, err := io.ReadFull(br, payload); err != nil {
+				return
+			}
+			d.mu.Lock()
+			d.blobs[fields[1]] = payload
+			d.mu.Unlock()
+			fmt.Fprintf(conn, "OK\n")
+		case "RETRIEVE":
+			if len(fields) != 2 {
+				fmt.Fprintf(conn, "ERR retrieve syntax\n")
+				continue
+			}
+			d.mu.RLock()
+			payload, ok := d.blobs[fields[1]]
+			d.mu.RUnlock()
+			if !ok {
+				fmt.Fprintf(conn, "ERR no such blob\n")
+				continue
+			}
+			// Header and payload in one message each: the payload write
+			// is what AdOC compresses adaptively.
+			if _, err := fmt.Fprintf(conn, "OK %d\n", len(payload)); err != nil {
+				return
+			}
+			if _, err := conn.Write(payload); err != nil {
+				return
+			}
+		case "DELETE":
+			if len(fields) != 2 {
+				fmt.Fprintf(conn, "ERR delete syntax\n")
+				continue
+			}
+			d.mu.Lock()
+			_, ok := d.blobs[fields[1]]
+			delete(d.blobs, fields[1])
+			d.mu.Unlock()
+			if ok {
+				fmt.Fprintf(conn, "OK\n")
+			} else {
+				fmt.Fprintf(conn, "ERR no such blob\n")
+			}
+		default:
+			fmt.Fprintf(conn, "ERR unknown command %q\n", fields[0])
+		}
+	}
+}
+
+// Client talks to a depot over one AdOC connection. It is safe for
+// sequential use; open one client per goroutine (like IBP's handlers).
+type Client struct {
+	conn *adoc.Conn
+	br   *bufio.Reader
+}
+
+// Dial connects to a depot.
+func Dial(dial func() (net.Conn, error)) (*Client, error) {
+	raw, err := dial()
+	if err != nil {
+		return nil, err
+	}
+	conn, err := adoc.NewConn(raw, adoc.DefaultOptions())
+	if err != nil {
+		raw.Close()
+		return nil, err
+	}
+	return &Client{conn: conn, br: bufio.NewReader(conn)}, nil
+}
+
+// Close releases the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Stats exposes the underlying AdOC connection counters.
+func (c *Client) Stats() adoc.Stats { return c.conn.Stats() }
+
+func (c *Client) expectOK() error {
+	line, err := c.br.ReadString('\n')
+	if err != nil {
+		return err
+	}
+	if !strings.HasPrefix(line, "OK") {
+		return fmt.Errorf("depot: %s", strings.TrimSpace(line))
+	}
+	return nil
+}
+
+// Store uploads a blob under name.
+func (c *Client) Store(name string, payload []byte) error {
+	if strings.ContainsAny(name, " \n") {
+		return fmt.Errorf("depot: invalid name %q", name)
+	}
+	if _, err := fmt.Fprintf(c.conn, "STORE %s %d\n", name, len(payload)); err != nil {
+		return err
+	}
+	if _, err := c.conn.Write(payload); err != nil {
+		return err
+	}
+	return c.expectOK()
+}
+
+// Retrieve downloads the named blob.
+func (c *Client) Retrieve(name string) ([]byte, error) {
+	if _, err := fmt.Fprintf(c.conn, "RETRIEVE %s\n", name); err != nil {
+		return nil, err
+	}
+	line, err := c.br.ReadString('\n')
+	if err != nil {
+		return nil, err
+	}
+	if !strings.HasPrefix(line, "OK ") {
+		return nil, fmt.Errorf("depot: %s", strings.TrimSpace(line))
+	}
+	n, err := strconv.Atoi(strings.TrimSpace(strings.TrimPrefix(line, "OK ")))
+	if err != nil {
+		return nil, fmt.Errorf("depot: bad length in %q", line)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(c.br, payload); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}
+
+// Delete removes the named blob.
+func (c *Client) Delete(name string) error {
+	if _, err := fmt.Fprintf(c.conn, "DELETE %s\n", name); err != nil {
+		return err
+	}
+	return c.expectOK()
+}
+
+// RoundtripCheck stores then retrieves a blob and verifies the bytes — a
+// convenience for integration tests and examples.
+func (c *Client) RoundtripCheck(name string, payload []byte) error {
+	if err := c.Store(name, payload); err != nil {
+		return err
+	}
+	got, err := c.Retrieve(name)
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(got, payload) {
+		return fmt.Errorf("depot: roundtrip mismatch for %q", name)
+	}
+	return nil
+}

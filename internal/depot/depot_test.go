@@ -1,0 +1,155 @@
+package depot
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"adoc/internal/datagen"
+	"adoc/internal/netsim"
+)
+
+func startDepot(t *testing.T) (*Depot, func() (net.Conn, error)) {
+	t.Helper()
+	nw := netsim.NewNetwork(netsim.Profile{
+		Name: "depotnet", BandwidthBps: 1e9, Latency: 20 * time.Microsecond, MTU: 16384,
+	})
+	ln, err := nw.Listen("depot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := New()
+	d.Serve(ln)
+	t.Cleanup(d.Close)
+	return d, func() (net.Conn, error) { return nw.Dial("depot") }
+}
+
+func TestStoreRetrieveDelete(t *testing.T) {
+	d, dial := startDepot(t)
+	c, err := Dial(dial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	payload := datagen.ASCII(100000, 1)
+	if err := c.Store("blob1", payload); err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 1 {
+		t.Fatalf("depot has %d blobs", d.Len())
+	}
+	got, err := c.Retrieve("blob1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("payload mismatch")
+	}
+	if err := c.Delete("blob1"); err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 0 {
+		t.Fatal("blob not deleted")
+	}
+}
+
+func TestRetrieveMissing(t *testing.T) {
+	_, dial := startDepot(t)
+	c, err := Dial(dial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Retrieve("ghost"); err == nil {
+		t.Fatal("missing blob retrieved")
+	}
+	if err := c.Delete("ghost"); err == nil {
+		t.Fatal("missing blob deleted")
+	}
+}
+
+func TestBadName(t *testing.T) {
+	_, dial := startDepot(t)
+	c, err := Dial(dial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Store("has space", []byte("x")); err == nil {
+		t.Fatal("invalid name accepted")
+	}
+}
+
+func TestEmptyPayload(t *testing.T) {
+	_, dial := startDepot(t)
+	c, err := Dial(dial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.RoundtripCheck("empty", nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLargeCompressiblePayload(t *testing.T) {
+	// Above the 512 KB threshold: the pipeline engages on the data
+	// connection.
+	_, dial := startDepot(t)
+	c, err := Dial(dial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	payload := datagen.ASCII(1<<20, 2)
+	if err := c.RoundtripCheck("big", payload); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	// The paper's IBP thread-safety scenario: many threads storing and
+	// retrieving through AdOC at once, each on its own descriptor.
+	_, dial := startDepot(t)
+	const clients = 8
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, err := Dial(dial)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer c.Close()
+			for round := 0; round < 5; round++ {
+				name := fmt.Sprintf("blob-%d-%d", i, round)
+				payload := datagen.ByKind(datagen.Kinds()[i%3], 30000+i*1000+round, int64(i*100+round))
+				if err := c.RoundtripCheck(name, payload); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+func TestSequentialCommandsSameConnection(t *testing.T) {
+	_, dial := startDepot(t)
+	c, err := Dial(dial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; i < 20; i++ {
+		name := fmt.Sprintf("seq-%d", i)
+		if err := c.RoundtripCheck(name, datagen.Binary(5000+i*37, int64(i))); err != nil {
+			t.Fatalf("round %d: %v", i, err)
+		}
+	}
+}

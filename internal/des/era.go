@@ -1,0 +1,112 @@
+package des
+
+import (
+	"adoc/internal/codec"
+	"adoc/internal/datagen"
+	"adoc/internal/netsim"
+)
+
+// EraCalibration returns per-level codec throughputs reconstructed from
+// the paper's own Table 1 (compression timings on a 1 GHz PowerPC G4).
+// Table 1 reports seconds and ratios for two bench files of undisclosed
+// size; taking the size as ~60 MB makes lzf run at ~40 MB/s, which is
+// what sustains the paper's measured 1.85-2.36x best case on a 100 Mbit
+// LAN (lzf must outpace the 12.5 MB/s link even after the ~1.7-3.3x
+// ratio). Each row then turns into a throughput. Using these tables, the
+// virtual-time model reproduces the 2005 CPU:network balance — on a 2025
+// CPU DEFLATE is an order of magnitude faster, which would shift every
+// crossover the paper reports (see EXPERIMENTS.md).
+//
+// The returned slice is indexed by level: 0 none, 1 lzf, 2..10 gzip 1..9.
+func EraCalibration(kind datagen.Kind) []codec.Throughput {
+	const S = 60e6 // assumed Table 1 file size in bytes
+	mk := func(rows [10][3]float64, ratios func(i int) float64) []codec.Throughput {
+		out := make([]codec.Throughput, 11)
+		out[0] = codec.Throughput{Level: 0, CompressBps: 4e9, DecompressBps: 4e9, Ratio: 1}
+		for i, r := range rows {
+			cTime, ratio, dTime := r[0], r[1], r[2]
+			if ratios != nil {
+				ratio = ratios(i)
+			}
+			out[i+1] = codec.Throughput{
+				Level:         codec.Level(i + 1),
+				CompressBps:   S / cTime,
+				DecompressBps: S / dTime,
+				Ratio:         ratio,
+			}
+		}
+		return out
+	}
+	switch kind {
+	case datagen.KindASCII:
+		// Table 1, oilpann.hb: {c.time, ratio, d.time} for lzf, gzip 1..9.
+		return mk([10][3]float64{
+			{1.5, 3.26, 2.7},
+			{4.4, 4.88, 2.7},
+			{4.4, 5.13, 3.0},
+			{4.6, 5.52, 3.0},
+			{6.0, 5.83, 2.5},
+			{6.6, 6.32, 2.9},
+			{8.1, 6.64, 2.5},
+			{10.1, 6.75, 2.8},
+			{26.7, 6.99, 3.8},
+			{46.0, 7.02, 2.6},
+		}, nil)
+	case datagen.KindBinary:
+		// Table 1, bin.tar.
+		return mk([10][3]float64{
+			{2.3, 1.68, 3.2},
+			{8.0, 2.23, 3.1},
+			{8.6, 2.27, 3.3},
+			{10.0, 2.31, 3.1},
+			{11.5, 2.38, 2.9},
+			{12.3, 2.43, 3.0},
+			{16.3, 2.44, 3.0},
+			{18.4, 2.45, 3.5},
+			{24.1, 2.45, 3.0},
+			{34.3, 2.46, 3.2},
+		}, nil)
+	case datagen.KindIncompressible:
+		// No published row; random data costs about what bin.tar costs to
+		// scan but yields ratio 1 (the engine's guard then pins level 0).
+		return mk([10][3]float64{
+			{2.3, 1, 3.2},
+			{8.0, 1, 3.1},
+			{8.6, 1, 3.3},
+			{10.0, 1, 3.1},
+			{11.5, 1, 2.9},
+			{12.3, 1, 3.0},
+			{16.3, 1, 3.0},
+			{18.4, 1, 3.5},
+			{24.1, 1, 3.0},
+			{34.3, 1, 3.2},
+		}, nil)
+	default:
+		return EraCalibration(datagen.KindBinary)
+	}
+}
+
+// Calibration selects the model's cost table source.
+type Calibration string
+
+// Calibration modes for experiments.
+const (
+	// CalibLive measures this machine's codec (2025 CPU:network balance).
+	CalibLive Calibration = "live"
+	// CalibEra reconstructs the paper's Table 1 hardware (2005 balance).
+	CalibEra Calibration = "era"
+)
+
+// NewModelWith builds a model using the requested calibration source.
+func NewModelWith(net netsim.Profile, kind datagen.Kind, calib Calibration) (*Model, error) {
+	if calib == CalibEra {
+		return &Model{
+			Net:      net,
+			Calib:    EraCalibration(kind),
+			Limits:   DefaultLimits(),
+			MinLevel: codec.MinLevel,
+			MaxLevel: codec.MaxLevel,
+		}, nil
+	}
+	return NewModel(net, kind)
+}

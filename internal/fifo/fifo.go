@@ -1,0 +1,204 @@
+// Package fifo provides the bounded FIFO queue shared between the AdOC
+// compression and emission threads (paper §3.1). The queue stores packets;
+// its occupancy n and the variation δ of n between level updates are the
+// only signals the adaptive controller uses (paper Figure 2), so the queue
+// exposes them explicitly.
+//
+// The queue is bounded so that a stalled link cannot grow sender memory
+// without limit; a blocked producer only ever raises the occupancy signal,
+// which Figure 2 already interprets as "time available to compress more".
+package fifo
+
+import (
+	"errors"
+	"io"
+	"sync"
+)
+
+// ErrClosed is returned by Push after CloseSend or Abort.
+var ErrClosed = errors.New("fifo: queue closed")
+
+// Queue is a bounded, thread-safe FIFO. The zero value is not usable; use
+// New.
+type Queue[T any] struct {
+	mu       sync.Mutex
+	notEmpty sync.Cond
+	notFull  sync.Cond
+
+	items []T // ring buffer
+	head  int
+	count int
+
+	sendClosed bool  // no more pushes; pops drain remaining items
+	aborted    bool  // terminal failure; pops fail immediately
+	err        error // abort cause (nil for clean CloseSend)
+	drainErr   error // deferred error delivered after draining (CloseSendWithError)
+
+	highWater int
+	pushed    int64
+	popped    int64
+}
+
+// New returns an empty queue holding at most capacity items.
+func New[T any](capacity int) *Queue[T] {
+	if capacity <= 0 {
+		panic("fifo: capacity must be positive")
+	}
+	q := &Queue[T]{items: make([]T, capacity)}
+	q.notEmpty.L = &q.mu
+	q.notFull.L = &q.mu
+	return q
+}
+
+// Push appends v, blocking while the queue is full. It returns ErrClosed
+// after CloseSend, or the abort cause after Abort.
+func (q *Queue[T]) Push(v T) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.count == len(q.items) && !q.sendClosed && !q.aborted {
+		q.notFull.Wait()
+	}
+	if q.aborted {
+		if q.err != nil {
+			return q.err
+		}
+		return ErrClosed
+	}
+	if q.sendClosed {
+		return ErrClosed
+	}
+	q.items[(q.head+q.count)%len(q.items)] = v
+	q.count++
+	q.pushed++
+	if q.count > q.highWater {
+		q.highWater = q.count
+	}
+	q.notEmpty.Signal()
+	return nil
+}
+
+// Pop removes and returns the oldest item, blocking while the queue is
+// empty. After CloseSend it drains the remaining items and then returns
+// io.EOF. After Abort it returns the abort cause immediately, discarding
+// any queued items.
+func (q *Queue[T]) Pop() (T, error) {
+	var zero T
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.count == 0 && !q.sendClosed && !q.aborted {
+		q.notEmpty.Wait()
+	}
+	if q.aborted {
+		if q.err != nil {
+			return zero, q.err
+		}
+		return zero, ErrClosed
+	}
+	if q.count == 0 {
+		// sendClosed and drained.
+		if q.drainErr != nil {
+			return zero, q.drainErr
+		}
+		return zero, io.EOF
+	}
+	v := q.items[q.head]
+	q.items[q.head] = zero // release the reference for the GC
+	q.head = (q.head + 1) % len(q.items)
+	q.count--
+	q.popped++
+	q.notFull.Signal()
+	return v, nil
+}
+
+// TryPop is Pop without blocking; ok is false when no item was available.
+func (q *Queue[T]) TryPop() (v T, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.count == 0 || q.aborted {
+		return v, false
+	}
+	var zero T
+	v = q.items[q.head]
+	q.items[q.head] = zero
+	q.head = (q.head + 1) % len(q.items)
+	q.count--
+	q.popped++
+	q.notFull.Signal()
+	return v, true
+}
+
+// CloseSend marks the producer side finished. Blocked and future pushes
+// fail with ErrClosed; consumers drain the queue and then see io.EOF.
+func (q *Queue[T]) CloseSend() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.sendClosed || q.aborted {
+		return
+	}
+	q.sendClosed = true
+	q.notEmpty.Broadcast()
+	q.notFull.Broadcast()
+}
+
+// CloseSendWithError is CloseSend with a deferred failure: consumers drain
+// the items already queued (they are valid — e.g. frames that arrived
+// before a link error) and then receive err instead of io.EOF. A nil err
+// is equivalent to CloseSend.
+func (q *Queue[T]) CloseSendWithError(err error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.sendClosed || q.aborted {
+		return
+	}
+	q.sendClosed = true
+	q.drainErr = err
+	q.notEmpty.Broadcast()
+	q.notFull.Broadcast()
+}
+
+// Abort terminates the queue with cause err (may be nil): queued items are
+// discarded and both sides unblock with an error. Abort after CloseSend is
+// allowed and turns the remaining drain into a failure, which is what the
+// emitter needs when the link dies mid-stream.
+func (q *Queue[T]) Abort(err error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.aborted {
+		return
+	}
+	q.aborted = true
+	q.err = err
+	// Drop references so the GC can reclaim payloads immediately.
+	var zero T
+	for i := 0; i < q.count; i++ {
+		q.items[(q.head+i)%len(q.items)] = zero
+	}
+	q.count = 0
+	q.notEmpty.Broadcast()
+	q.notFull.Broadcast()
+}
+
+// Len returns the current occupancy n — the "number of stored packets" of
+// paper Figure 2.
+func (q *Queue[T]) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.count
+}
+
+// Cap returns the queue capacity.
+func (q *Queue[T]) Cap() int { return len(q.items) }
+
+// HighWater returns the maximum occupancy ever reached.
+func (q *Queue[T]) HighWater() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.highWater
+}
+
+// Counts returns the total numbers of items pushed and popped.
+func (q *Queue[T]) Counts() (pushed, popped int64) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.pushed, q.popped
+}

@@ -1,0 +1,111 @@
+package gridrpc
+
+import (
+	"fmt"
+	"runtime"
+	"strconv"
+	"sync"
+
+	"adoc/internal/datagen"
+)
+
+// DgemmService computes C = A×B for square matrices — the workload of the
+// paper's NetSolve evaluation (Figures 8 and 9). Arguments: n (decimal
+// ASCII), A and B in the 13-significant-digit ASCII matrix encoding;
+// result: C in the same encoding.
+func DgemmService(args [][]byte) ([][]byte, error) {
+	if len(args) != 3 {
+		return nil, fmt.Errorf("dgemm: want 3 args (n, A, B), got %d", len(args))
+	}
+	n, err := strconv.Atoi(string(args[0]))
+	if err != nil || n <= 0 {
+		return nil, fmt.Errorf("dgemm: bad dimension %q", args[0])
+	}
+	a, err := datagen.DecodeMatrixASCII(args[1], n*n)
+	if err != nil {
+		return nil, fmt.Errorf("dgemm: A: %w", err)
+	}
+	b, err := datagen.DecodeMatrixASCII(args[2], n*n)
+	if err != nil {
+		return nil, fmt.Errorf("dgemm: B: %w", err)
+	}
+	c := Dgemm(n, a, b)
+	return [][]byte{datagen.EncodeMatrixASCII(c)}, nil
+}
+
+// Dgemm multiplies two n×n row-major matrices with a cache-blocked,
+// goroutine-parallel kernel.
+func Dgemm(n int, a, b []float64) []float64 {
+	c := make([]float64, n*n)
+	const blk = 64
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	// Parallelize over row blocks; each worker owns disjoint rows of C.
+	rowBlocks := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i0 := range rowBlocks {
+				iMax := i0 + blk
+				if iMax > n {
+					iMax = n
+				}
+				for k0 := 0; k0 < n; k0 += blk {
+					kMax := k0 + blk
+					if kMax > n {
+						kMax = n
+					}
+					for j0 := 0; j0 < n; j0 += blk {
+						jMax := j0 + blk
+						if jMax > n {
+							jMax = n
+						}
+						for i := i0; i < iMax; i++ {
+							for k := k0; k < kMax; k++ {
+								aik := a[i*n+k]
+								if aik == 0 {
+									continue
+								}
+								ci := c[i*n+j0 : i*n+jMax]
+								bk := b[k*n+j0 : k*n+jMax]
+								for j := range ci {
+									ci[j] += aik * bk[j]
+								}
+							}
+						}
+					}
+				}
+			}
+		}()
+	}
+	for i0 := 0; i0 < n; i0 += blk {
+		rowBlocks <- i0
+	}
+	close(rowBlocks)
+	wg.Wait()
+	return c
+}
+
+// EncodeDgemmArgs packs the request arguments for a Call("dgemm", ...).
+func EncodeDgemmArgs(n int, a, b []float64) [][]byte {
+	return [][]byte{
+		[]byte(strconv.Itoa(n)),
+		datagen.EncodeMatrixASCII(a),
+		datagen.EncodeMatrixASCII(b),
+	}
+}
+
+// DecodeDgemmResult unpacks the reply of a dgemm call.
+func DecodeDgemmResult(res [][]byte, n int) ([]float64, error) {
+	if len(res) != 1 {
+		return nil, fmt.Errorf("dgemm: want 1 result, got %d", len(res))
+	}
+	return datagen.DecodeMatrixASCII(res[0], n*n)
+}

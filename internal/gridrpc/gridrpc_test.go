@@ -1,0 +1,361 @@
+package gridrpc
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"adoc/internal/datagen"
+	"adoc/internal/netsim"
+)
+
+// fastNet returns a near-instant simulated fabric.
+func fastNet() *netsim.Network {
+	return netsim.NewNetwork(netsim.Profile{
+		Name: "fast", BandwidthBps: 2e9, Latency: 5 * time.Microsecond, MTU: 16384,
+		SocketBuf: 4 << 20,
+	})
+}
+
+// startGrid brings up an agent plus one server hosting dgemm and an echo
+// service, and returns a client.
+func startGrid(t *testing.T, nw Network, transport Transport) *Client {
+	t.Helper()
+	agentLn, err := nw.Listen("agent:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	agent := NewAgent()
+	agent.Serve(agentLn)
+	t.Cleanup(agent.Close)
+
+	srv := NewServer("server:0", transport)
+	srv.Register("dgemm", DgemmService)
+	srv.Register("echo", func(args [][]byte) ([][]byte, error) { return args, nil })
+	srv.Register("fail", func(args [][]byte) ([][]byte, error) {
+		return nil, fmt.Errorf("deliberate failure")
+	})
+	srvLn, err := nw.Listen("server:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Serve(srvLn)
+	t.Cleanup(srv.Close)
+	if err := srv.RegisterWithAgent(nw, "agent:0"); err != nil {
+		t.Fatal(err)
+	}
+	return NewClient(nw, "agent:0", transport)
+}
+
+func TestEchoRawAndAdOC(t *testing.T) {
+	for _, tr := range []Transport{TransportRaw, TransportAdOC} {
+		t.Run(tr.String(), func(t *testing.T) {
+			client := startGrid(t, fastNet(), tr)
+			payload := bytes.Repeat([]byte("grid payload "), 10000)
+			res, err := client.Call("echo", [][]byte{payload, []byte("second")})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res) != 2 || !bytes.Equal(res[0], payload) || string(res[1]) != "second" {
+				t.Fatal("echo mismatch")
+			}
+		})
+	}
+}
+
+func TestLookupUnknownService(t *testing.T) {
+	client := startGrid(t, fastNet(), TransportRaw)
+	if _, err := client.Lookup("no-such-service"); err == nil {
+		t.Fatal("lookup of unknown service succeeded")
+	}
+}
+
+func TestRemoteError(t *testing.T) {
+	client := startGrid(t, fastNet(), TransportRaw)
+	_, err := client.Call("fail", nil)
+	if err == nil || !strings.Contains(err.Error(), "deliberate failure") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestUnknownServiceCall(t *testing.T) {
+	client := startGrid(t, fastNet(), TransportAdOC)
+	// The agent knows no such service.
+	if _, err := client.Call("missing", nil); err == nil {
+		t.Fatal("call to unknown service succeeded")
+	}
+}
+
+func TestDgemmCorrectness(t *testing.T) {
+	// Numeric check against the naive triple loop.
+	n := 37
+	a := datagen.DenseMatrix(n, 1)
+	b := datagen.DenseMatrix(n, 2)
+	got := Dgemm(n, a, b)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var want float64
+			for k := 0; k < n; k++ {
+				want += a[i*n+k] * b[k*n+j]
+			}
+			g := got[i*n+j]
+			scale := math.Abs(want)
+			if scale < 1 {
+				scale = 1
+			}
+			if math.Abs(g-want) > 1e-9*scale {
+				t.Fatalf("C[%d,%d] = %v, want %v", i, j, g, want)
+			}
+		}
+	}
+}
+
+func TestDgemmIdentity(t *testing.T) {
+	n := 16
+	a := datagen.DenseMatrix(n, 3)
+	id := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		id[i*n+i] = 1
+	}
+	got := Dgemm(n, a, id)
+	for i := range a {
+		rel := math.Abs(got[i] - a[i])
+		if mag := math.Abs(a[i]); mag > 1 {
+			rel /= mag
+		}
+		if rel > 1e-12 {
+			t.Fatalf("A*I != A at %d: %v vs %v", i, got[i], a[i])
+		}
+	}
+}
+
+func TestDgemmRPCEndToEnd(t *testing.T) {
+	for _, tr := range []Transport{TransportRaw, TransportAdOC} {
+		t.Run(tr.String(), func(t *testing.T) {
+			client := startGrid(t, fastNet(), tr)
+			n := 24
+			a := datagen.DenseMatrix(n, 4)
+			b := datagen.DenseMatrix(n, 5)
+			res, err := client.Call("dgemm", EncodeDgemmArgs(n, a, b))
+			if err != nil {
+				t.Fatal(err)
+			}
+			c, err := DecodeDgemmResult(res, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := Dgemm(n, a, b)
+			for i := range want {
+				rel := math.Abs(c[i] - want[i])
+				if mag := math.Abs(want[i]); mag > 1 {
+					rel /= mag
+				}
+				// The ASCII wire format carries 13 significant digits.
+				if rel > 1e-10 {
+					t.Fatalf("element %d: %v vs %v", i, c[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+func TestDgemmServiceBadArgs(t *testing.T) {
+	if _, err := DgemmService(nil); err == nil {
+		t.Fatal("no args accepted")
+	}
+	if _, err := DgemmService([][]byte{[]byte("x"), nil, nil}); err == nil {
+		t.Fatal("bad n accepted")
+	}
+	if _, err := DgemmService([][]byte{[]byte("4"), []byte("1 2"), []byte("3")}); err == nil {
+		t.Fatal("short matrix accepted")
+	}
+}
+
+func TestSparseDgemmCompressesOnAdOC(t *testing.T) {
+	// A sparse (all-zero) request over AdOC must move far fewer wire
+	// bytes than its raw size — the mechanism behind the 30.8x gain of
+	// Figure 9. Use a modest WAN so compression engages.
+	prof := netsim.Profile{Name: "wan", BandwidthBps: 1e6, Latency: 2 * time.Millisecond,
+		MTU: 1500, SocketBuf: 128 * 1024}
+	nw := netsim.NewNetwork(prof)
+	client := startGrid(t, nw, TransportAdOC)
+	n := 200 // 200x200 zeros: ~760 KB ASCII per matrix, above the 512 KB threshold
+	args := EncodeDgemmArgs(n, datagen.SparseMatrix(n), datagen.SparseMatrix(n))
+	start := time.Now()
+	res, err := client.Call("dgemm", args)
+	adocTime := time.Since(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := DecodeDgemmResult(res, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range c {
+		if c[i] != 0 {
+			t.Fatal("zero matrix product non-zero")
+		}
+	}
+
+	clientRaw := startGrid(t, netsim.NewNetwork(prof), TransportRaw)
+	start = time.Now()
+	if _, err := clientRaw.Call("dgemm", args); err != nil {
+		t.Fatal(err)
+	}
+	rawTime := time.Since(start)
+	if adocTime >= rawTime {
+		t.Fatalf("AdOC (%v) not faster than raw (%v) on sparse dgemm over a WAN", adocTime, rawTime)
+	}
+}
+
+func TestConcurrentCalls(t *testing.T) {
+	client := startGrid(t, fastNet(), TransportAdOC)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			msg := bytes.Repeat([]byte{byte(i)}, 10000)
+			res, err := client.Call("echo", [][]byte{msg})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if !bytes.Equal(res[0], msg) {
+				t.Errorf("call %d corrupted", i)
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+func TestAgentServicesList(t *testing.T) {
+	nw := fastNet()
+	startGrid(t, nw, TransportRaw)
+	conn, err := nw.Dial("agent:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := writeMessage(conn, "services", nil); err != nil {
+		t.Fatal(err)
+	}
+	res, err := readResponse(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, r := range res {
+		names = append(names, string(r))
+	}
+	joined := strings.Join(names, ",")
+	if !strings.Contains(joined, "dgemm") || !strings.Contains(joined, "echo") {
+		t.Fatalf("services = %q", joined)
+	}
+}
+
+func TestTCPNetworkGrid(t *testing.T) {
+	// The same middleware stack over real TCP loopback.
+	nw := TCPNetwork{}
+	agentLn, err := nw.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	agent := NewAgent()
+	agent.Serve(agentLn)
+	defer agent.Close()
+
+	srvLn, err := nw.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(srvLn.Addr().String(), TransportAdOC)
+	srv.Register("echo", func(args [][]byte) ([][]byte, error) { return args, nil })
+	srv.Serve(srvLn)
+	defer srv.Close()
+	if err := srv.RegisterWithAgent(nw, agentLn.Addr().String()); err != nil {
+		t.Fatal(err)
+	}
+
+	client := NewClient(nw, agentLn.Addr().String(), TransportAdOC)
+	payload := bytes.Repeat([]byte("tcp grid "), 5000)
+	res, err := client.Call("echo", [][]byte{payload})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(res[0], payload) {
+		t.Fatal("echo over TCP mismatch")
+	}
+}
+
+func BenchmarkDgemm256(b *testing.B) {
+	n := 256
+	x := datagen.DenseMatrix(n, 1)
+	y := datagen.DenseMatrix(n, 2)
+	b.SetBytes(int64(2 * n * n * n)) // flops as a throughput proxy
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Dgemm(n, x, y)
+	}
+}
+
+func TestAgentRoundRobinAcrossServers(t *testing.T) {
+	nw := fastNet()
+	agentLn, err := nw.Listen("agent:rr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	agent := NewAgent()
+	agent.Serve(agentLn)
+	t.Cleanup(agent.Close)
+
+	// Two servers offering the same service, each tagging replies with
+	// its own name.
+	for _, name := range []string{"s1", "s2"} {
+		name := name
+		ln, err := nw.Listen(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := NewServer(name, TransportRaw)
+		srv.Register("who", func(args [][]byte) ([][]byte, error) {
+			return [][]byte{[]byte(name)}, nil
+		})
+		srv.Serve(ln)
+		t.Cleanup(srv.Close)
+		if err := srv.RegisterWithAgent(nw, "agent:rr"); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	client := NewClient(nw, "agent:rr", TransportRaw)
+	seen := map[string]int{}
+	for i := 0; i < 6; i++ {
+		res, err := client.Call("who", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[string(res[0])]++
+	}
+	if len(seen) != 2 || seen["s1"] != 3 || seen["s2"] != 3 {
+		t.Fatalf("round robin skewed: %v", seen)
+	}
+}
+
+func TestLargeArgumentIntegrity(t *testing.T) {
+	// A >1 MB argument crosses the AdOC pipeline (above the small
+	// threshold) and must arrive bit-exact.
+	client := startGrid(t, fastNet(), TransportAdOC)
+	payload := datagen.Incompressible(1500*1024, 77)
+	res, err := client.Call("echo", [][]byte{payload})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(res[0], payload) {
+		t.Fatal("large incompressible argument corrupted")
+	}
+}

@@ -1,0 +1,279 @@
+package gridrpc
+
+import (
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+)
+
+// Network abstracts the fabric the middleware runs on: real TCP in
+// deployments, netsim.Network in the reproduction experiments.
+type Network interface {
+	Dial(addr string) (net.Conn, error)
+	Listen(addr string) (net.Listener, error)
+}
+
+// TCPNetwork is the real-sockets fabric.
+type TCPNetwork struct{}
+
+// Dial implements Network over TCP.
+func (TCPNetwork) Dial(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }
+
+// Listen implements Network over TCP.
+func (TCPNetwork) Listen(addr string) (net.Listener, error) { return net.Listen("tcp", addr) }
+
+// Service computes a reply from request arguments.
+type Service func(args [][]byte) ([][]byte, error)
+
+// Agent is the NetSolve agent: servers register their services with it and
+// clients ask it which server can run a request.
+type Agent struct {
+	mu       sync.Mutex
+	services map[string][]string // service -> server addresses (round robin)
+	rr       map[string]int
+	ln       net.Listener
+	wg       sync.WaitGroup
+}
+
+// NewAgent returns an empty registry.
+func NewAgent() *Agent {
+	return &Agent{services: map[string][]string{}, rr: map[string]int{}}
+}
+
+// Serve starts answering register/lookup requests on ln until Close.
+func (a *Agent) Serve(ln net.Listener) {
+	a.ln = ln
+	a.wg.Add(1)
+	go func() {
+		defer a.wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			a.wg.Add(1)
+			go func() {
+				defer a.wg.Done()
+				a.handle(conn)
+			}()
+		}
+	}()
+}
+
+// Close stops the agent.
+func (a *Agent) Close() {
+	if a.ln != nil {
+		a.ln.Close()
+	}
+	a.wg.Wait()
+}
+
+// handle answers one agent request (agent traffic is tiny; always raw).
+func (a *Agent) handle(conn net.Conn) {
+	defer conn.Close()
+	method, args, err := readMessage(conn)
+	if err != nil {
+		return
+	}
+	switch method {
+	case "register":
+		if len(args) < 2 {
+			writeResponse(conn, nil, fmt.Errorf("register needs addr + services"))
+			return
+		}
+		addr := string(args[0])
+		a.mu.Lock()
+		for _, s := range args[1:] {
+			a.services[string(s)] = append(a.services[string(s)], addr)
+		}
+		a.mu.Unlock()
+		writeResponse(conn, nil, nil)
+	case "lookup":
+		if len(args) != 1 {
+			writeResponse(conn, nil, fmt.Errorf("lookup needs a service name"))
+			return
+		}
+		svc := string(args[0])
+		a.mu.Lock()
+		addrs := a.services[svc]
+		var addr string
+		if len(addrs) > 0 {
+			addr = addrs[a.rr[svc]%len(addrs)]
+			a.rr[svc]++
+		}
+		a.mu.Unlock()
+		if addr == "" {
+			writeResponse(conn, nil, fmt.Errorf("no server for service %q", svc))
+			return
+		}
+		writeResponse(conn, [][]byte{[]byte(addr)}, nil)
+	case "services":
+		a.mu.Lock()
+		var names []string
+		for s := range a.services {
+			names = append(names, s)
+		}
+		a.mu.Unlock()
+		sort.Strings(names)
+		var out [][]byte
+		for _, n := range names {
+			out = append(out, []byte(n))
+		}
+		writeResponse(conn, out, nil)
+	default:
+		writeResponse(conn, nil, fmt.Errorf("unknown agent method %q", method))
+	}
+}
+
+// Server hosts computational services, answering requests over the
+// configured transport.
+type Server struct {
+	addr      string
+	transport Transport
+	mu        sync.Mutex
+	services  map[string]Service
+	ln        net.Listener
+	wg        sync.WaitGroup
+}
+
+// NewServer returns a server that will answer at addr using the given
+// transport for request/response payloads.
+func NewServer(addr string, transport Transport) *Server {
+	return &Server{addr: addr, transport: transport, services: map[string]Service{}}
+}
+
+// Register adds a service implementation.
+func (s *Server) Register(name string, svc Service) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.services[name] = svc
+}
+
+// RegisterWithAgent announces this server's services to the agent.
+func (s *Server) RegisterWithAgent(nw Network, agentAddr string) error {
+	s.mu.Lock()
+	args := [][]byte{[]byte(s.addr)}
+	for name := range s.services {
+		args = append(args, []byte(name))
+	}
+	s.mu.Unlock()
+	conn, err := nw.Dial(agentAddr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	if err := writeMessage(conn, "register", args); err != nil {
+		return err
+	}
+	_, err = readResponse(conn)
+	return err
+}
+
+// Serve accepts and answers requests on ln until Close.
+func (s *Server) Serve(ln net.Listener) {
+	s.ln = ln
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				s.handle(conn)
+			}()
+		}
+	}()
+}
+
+// Close stops accepting; in-flight requests finish.
+func (s *Server) Close() {
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	s.wg.Wait()
+}
+
+// handle answers one RPC over its own connection (the NetSolve model:
+// one connection per request).
+func (s *Server) handle(conn net.Conn) {
+	ch, err := openChannel(conn, s.transport)
+	if err != nil {
+		conn.Close()
+		return
+	}
+	defer ch.Close()
+	method, args, err := readMessage(ch)
+	if err != nil {
+		return
+	}
+	s.mu.Lock()
+	svc, ok := s.services[method]
+	s.mu.Unlock()
+	if !ok {
+		writeResponse(ch, nil, fmt.Errorf("unknown service %q", method))
+		return
+	}
+	results, callErr := svc(args)
+	writeResponse(ch, results, callErr)
+}
+
+// Client executes GridRPC calls: lookup at the agent, then the request to
+// the chosen server.
+type Client struct {
+	nw        Network
+	agentAddr string
+	transport Transport
+}
+
+// NewClient returns a client bound to an agent.
+func NewClient(nw Network, agentAddr string, transport Transport) *Client {
+	return &Client{nw: nw, agentAddr: agentAddr, transport: transport}
+}
+
+// Lookup asks the agent for a server handling the service.
+func (c *Client) Lookup(service string) (string, error) {
+	conn, err := c.nw.Dial(c.agentAddr)
+	if err != nil {
+		return "", err
+	}
+	defer conn.Close()
+	if err := writeMessage(conn, "lookup", [][]byte{[]byte(service)}); err != nil {
+		return "", err
+	}
+	res, err := readResponse(conn)
+	if err != nil {
+		return "", err
+	}
+	if len(res) != 1 {
+		return "", fmt.Errorf("gridrpc: malformed lookup response")
+	}
+	return string(res[0]), nil
+}
+
+// Call runs service(args) on a server chosen by the agent — the "normal
+// RPC" execution of paper §6.2.
+func (c *Client) Call(service string, args [][]byte) ([][]byte, error) {
+	addr, err := c.Lookup(service)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := c.nw.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	ch, err := openChannel(conn, c.transport)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	defer ch.Close()
+	if err := writeMessage(ch, service, args); err != nil {
+		return nil, err
+	}
+	return readResponse(ch)
+}

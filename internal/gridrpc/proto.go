@@ -1,0 +1,174 @@
+// Package gridrpc is a NetSolve-like GridRPC middleware (paper §6.2): an
+// agent registers servers and their services; a client asks the agent for
+// a server and executes a request as a remote procedure call. Its
+// communicator writes length-prefixed frames over a connection — and,
+// exactly like the paper's NetSolve integration, switching the middleware
+// to AdOC replaces each read/write on the socket with adoc_read/adoc_write
+// and nothing else ("we changed each read call into adoc_read and each
+// write call into adoc_write"; here: the connection is wrapped in an
+// adoc.Conn, the communicator code is untouched).
+package gridrpc
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+
+	"adoc"
+)
+
+// Transport selects the communicator's byte channel.
+type Transport int
+
+// Transports of the §6.2 comparison.
+const (
+	// TransportRaw writes straight to the socket (stock NetSolve).
+	TransportRaw Transport = iota
+	// TransportAdOC routes every read/write through the AdOC library
+	// (NetSolve+AdOC).
+	TransportAdOC
+)
+
+// String names the transport as in the paper's figures.
+func (t Transport) String() string {
+	if t == TransportAdOC {
+		return "NetSolve+AdOC"
+	}
+	return "NetSolve"
+}
+
+// maxFrame bounds a single frame (a matrix argument can be large).
+const maxFrame = 1 << 30
+
+// ErrFrameTooBig reports an implausible frame length (corrupt stream).
+var ErrFrameTooBig = errors.New("gridrpc: frame exceeds limit")
+
+// channel is the communicator's view of a connection.
+type channel interface {
+	io.ReadWriter
+	Close() error
+}
+
+// rawChannel adapts a net.Conn.
+type rawChannel struct{ net.Conn }
+
+// openChannel wraps conn according to the transport.
+func openChannel(conn net.Conn, t Transport) (channel, error) {
+	switch t {
+	case TransportRaw:
+		return rawChannel{conn}, nil
+	case TransportAdOC:
+		return adoc.NewConn(conn, adoc.DefaultOptions())
+	default:
+		return nil, fmt.Errorf("gridrpc: unknown transport %d", int(t))
+	}
+}
+
+// writeFrame sends one length-prefixed frame with a single payload write,
+// so that large arguments travel as one message and AdOC's adaptation can
+// engage (NetSolve also writes whole objects at once).
+func writeFrame(w io.Writer, payload []byte) error {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(payload) == 0 {
+		return nil
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrame receives one length-prefixed frame.
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, ErrFrameTooBig
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("gridrpc: truncated frame: %w", err)
+	}
+	return payload, nil
+}
+
+// writeMessage sends a method name plus arguments.
+func writeMessage(w io.Writer, method string, args [][]byte) error {
+	if err := writeFrame(w, []byte(method)); err != nil {
+		return err
+	}
+	var cnt [4]byte
+	binary.BigEndian.PutUint32(cnt[:], uint32(len(args)))
+	if _, err := w.Write(cnt[:]); err != nil {
+		return err
+	}
+	for _, a := range args {
+		if err := writeFrame(w, a); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readMessage receives a method name plus arguments.
+func readMessage(r io.Reader) (string, [][]byte, error) {
+	method, err := readFrame(r)
+	if err != nil {
+		return "", nil, err
+	}
+	var cnt [4]byte
+	if _, err := io.ReadFull(r, cnt[:]); err != nil {
+		return "", nil, err
+	}
+	n := binary.BigEndian.Uint32(cnt[:])
+	if n > 1024 {
+		return "", nil, fmt.Errorf("gridrpc: %d arguments is not plausible", n)
+	}
+	args := make([][]byte, n)
+	for i := range args {
+		if args[i], err = readFrame(r); err != nil {
+			return "", nil, err
+		}
+	}
+	return string(method), args, nil
+}
+
+// status bytes prefixing every response.
+const (
+	statusOK  = "ok"
+	statusErr = "error"
+)
+
+// writeResponse sends a success or failure reply.
+func writeResponse(w io.Writer, results [][]byte, callErr error) error {
+	if callErr != nil {
+		return writeMessage(w, statusErr, [][]byte{[]byte(callErr.Error())})
+	}
+	return writeMessage(w, statusOK, results)
+}
+
+// readResponse receives a reply, converting remote failures to errors.
+func readResponse(r io.Reader) ([][]byte, error) {
+	status, payload, err := readMessage(r)
+	if err != nil {
+		return nil, err
+	}
+	if status == statusErr {
+		msg := "unknown remote error"
+		if len(payload) > 0 {
+			msg = string(payload[0])
+		}
+		return nil, fmt.Errorf("gridrpc: remote: %s", msg)
+	}
+	if status != statusOK {
+		return nil, fmt.Errorf("gridrpc: bad response status %q", status)
+	}
+	return payload, nil
+}

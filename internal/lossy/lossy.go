@@ -1,0 +1,289 @@
+// Package lossy implements the paper's stated future work (§8): "lossy
+// compression for image transfer with various resolution. This is useful
+// when a user has to choose one image among a set of images (thumbnails):
+// the resolution and accuracy of the thumbnails is not necessary required
+// to be very high."
+//
+// The codec combines three orthogonal loss dials — spatial downsampling
+// (resolution), uniform quantization (accuracy) and left-neighbor delta
+// prediction followed by DEFLATE (entropy) — into five preset qualities
+// plus a lossless mode. Encoded images are ordinary byte slices, so they
+// travel through AdOC connections like any other payload and thumbnails
+// of large images fit comfortably under the 512 KB small-message
+// threshold.
+package lossy
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Image is a simple 8-bit grayscale raster (row-major).
+type Image struct {
+	W, H int
+	Pix  []byte
+}
+
+// NewImage allocates a w×h image.
+func NewImage(w, h int) *Image {
+	if w <= 0 || h <= 0 {
+		panic("lossy: image dimensions must be positive")
+	}
+	return &Image{W: w, H: h, Pix: make([]byte, w*h)}
+}
+
+// At returns the pixel at (x, y).
+func (im *Image) At(x, y int) byte { return im.Pix[y*im.W+x] }
+
+// Set writes the pixel at (x, y).
+func (im *Image) Set(x, y int, v byte) { im.Pix[y*im.W+x] = v }
+
+// Quality selects a loss preset.
+type Quality int
+
+// Presets: higher quality keeps more resolution and more bits.
+const (
+	// Lossless keeps every pixel exactly (delta + DEFLATE only).
+	Lossless Quality = 0
+	// Q5..Q1 trade accuracy for size; Q1 is a coarse thumbnail.
+	Q5 Quality = 5 // full resolution, 7-bit
+	Q4 Quality = 4 // full resolution, 6-bit
+	Q3 Quality = 3 // 1/2 resolution, 6-bit
+	Q2 Quality = 2 // 1/4 resolution, 5-bit
+	Q1 Quality = 1 // 1/8 resolution, 4-bit
+)
+
+// params maps a quality to (downsample factor, kept bits).
+func (q Quality) params() (factor, bits int, err error) {
+	switch q {
+	case Lossless:
+		return 1, 8, nil
+	case Q5:
+		return 1, 7, nil
+	case Q4:
+		return 1, 6, nil
+	case Q3:
+		return 2, 6, nil
+	case Q2:
+		return 4, 5, nil
+	case Q1:
+		return 8, 4, nil
+	default:
+		return 0, 0, fmt.Errorf("lossy: unknown quality %d", int(q))
+	}
+}
+
+// Valid reports whether q is a defined preset.
+func (q Quality) Valid() bool { _, _, err := q.params(); return err == nil }
+
+// Downsample reduces resolution by an integer factor with a box filter.
+func Downsample(im *Image, factor int) *Image {
+	if factor <= 1 {
+		cp := NewImage(im.W, im.H)
+		copy(cp.Pix, im.Pix)
+		return cp
+	}
+	w := (im.W + factor - 1) / factor
+	h := (im.H + factor - 1) / factor
+	out := NewImage(w, h)
+	for oy := 0; oy < h; oy++ {
+		for ox := 0; ox < w; ox++ {
+			var sum, n int
+			for dy := 0; dy < factor; dy++ {
+				for dx := 0; dx < factor; dx++ {
+					x, y := ox*factor+dx, oy*factor+dy
+					if x < im.W && y < im.H {
+						sum += int(im.At(x, y))
+						n++
+					}
+				}
+			}
+			out.Set(ox, oy, byte(sum/n))
+		}
+	}
+	return out
+}
+
+// Upsample scales an image to w×h with bilinear interpolation.
+func Upsample(im *Image, w, h int) *Image {
+	out := NewImage(w, h)
+	if im.W == w && im.H == h {
+		copy(out.Pix, im.Pix)
+		return out
+	}
+	for y := 0; y < h; y++ {
+		fy := float64(y) * float64(im.H-1) / float64(max(h-1, 1))
+		y0 := int(fy)
+		y1 := min(y0+1, im.H-1)
+		wy := fy - float64(y0)
+		for x := 0; x < w; x++ {
+			fx := float64(x) * float64(im.W-1) / float64(max(w-1, 1))
+			x0 := int(fx)
+			x1 := min(x0+1, im.W-1)
+			wx := fx - float64(x0)
+			v := (1-wy)*((1-wx)*float64(im.At(x0, y0))+wx*float64(im.At(x1, y0))) +
+				wy*((1-wx)*float64(im.At(x0, y1))+wx*float64(im.At(x1, y1)))
+			out.Set(x, y, byte(v+0.5))
+		}
+	}
+	return out
+}
+
+// quantize drops low bits, keeping the representative at the bucket
+// midpoint to halve the expected error.
+func quantize(pix []byte, bits int) {
+	if bits >= 8 {
+		return
+	}
+	shift := uint(8 - bits)
+	half := byte(1<<shift) / 2
+	for i, v := range pix {
+		q := v >> shift << shift
+		if int(q)+int(half) <= 255 {
+			q += half
+		}
+		pix[i] = q
+	}
+}
+
+// Encoded format:
+//
+//	magic(2)=0x1055 quality(1) origW(4) origH(4) codedW(4) codedH(4)
+//	deflate( delta-coded pixels )
+const magic = 0x1055
+
+// ErrCorrupt reports an undecodable image payload.
+var ErrCorrupt = errors.New("lossy: corrupt image data")
+
+// Encode compresses im at the given quality.
+func Encode(im *Image, q Quality) ([]byte, error) {
+	factor, bits, err := q.params()
+	if err != nil {
+		return nil, err
+	}
+	coded := Downsample(im, factor)
+	quantize(coded.Pix, bits)
+
+	// Left-neighbor delta prediction turns smooth gradients into runs of
+	// near-zero bytes that DEFLATE devours.
+	delta := make([]byte, len(coded.Pix))
+	for y := 0; y < coded.H; y++ {
+		prev := byte(0)
+		row := coded.Pix[y*coded.W : (y+1)*coded.W]
+		for x, v := range row {
+			delta[y*coded.W+x] = v - prev
+			prev = v
+		}
+	}
+
+	var buf bytes.Buffer
+	hdr := make([]byte, 0, 19)
+	hdr = binary.BigEndian.AppendUint16(hdr, magic)
+	hdr = append(hdr, byte(q))
+	hdr = binary.BigEndian.AppendUint32(hdr, uint32(im.W))
+	hdr = binary.BigEndian.AppendUint32(hdr, uint32(im.H))
+	hdr = binary.BigEndian.AppendUint32(hdr, uint32(coded.W))
+	hdr = binary.BigEndian.AppendUint32(hdr, uint32(coded.H))
+	buf.Write(hdr)
+	fw, err := flate.NewWriter(&buf, 6)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := fw.Write(delta); err != nil {
+		return nil, err
+	}
+	if err := fw.Close(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode reconstructs an image at its original dimensions (upsampling if
+// the quality preset reduced resolution).
+func Decode(data []byte) (*Image, Quality, error) {
+	if len(data) < 19 {
+		return nil, 0, ErrCorrupt
+	}
+	if binary.BigEndian.Uint16(data) != magic {
+		return nil, 0, ErrCorrupt
+	}
+	q := Quality(data[2])
+	if !q.Valid() {
+		return nil, 0, fmt.Errorf("%w: quality %d", ErrCorrupt, data[2])
+	}
+	origW := int(binary.BigEndian.Uint32(data[3:]))
+	origH := int(binary.BigEndian.Uint32(data[7:]))
+	codedW := int(binary.BigEndian.Uint32(data[11:]))
+	codedH := int(binary.BigEndian.Uint32(data[15:]))
+	const maxDim = 1 << 16
+	if origW <= 0 || origH <= 0 || codedW <= 0 || codedH <= 0 ||
+		origW > maxDim || origH > maxDim || codedW > origW || codedH > origH {
+		return nil, 0, ErrCorrupt
+	}
+	fr := flate.NewReader(bytes.NewReader(data[19:]))
+	delta := make([]byte, codedW*codedH)
+	if _, err := io.ReadFull(fr, delta); err != nil {
+		return nil, 0, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	coded := &Image{W: codedW, H: codedH, Pix: delta}
+	for y := 0; y < codedH; y++ {
+		prev := byte(0)
+		row := coded.Pix[y*codedW : (y+1)*codedW]
+		for x := range row {
+			row[x] += prev
+			prev = row[x]
+		}
+	}
+	return Upsample(coded, origW, origH), q, nil
+}
+
+// PSNR returns the peak signal-to-noise ratio between two equally sized
+// images in dB (+Inf for identical images).
+func PSNR(a, b *Image) (float64, error) {
+	if a.W != b.W || a.H != b.H {
+		return 0, fmt.Errorf("lossy: size mismatch %dx%d vs %dx%d", a.W, a.H, b.W, b.H)
+	}
+	var se float64
+	for i := range a.Pix {
+		d := float64(a.Pix[i]) - float64(b.Pix[i])
+		se += d * d
+	}
+	if se == 0 {
+		return math.Inf(1), nil
+	}
+	mse := se / float64(len(a.Pix))
+	return 10 * math.Log10(255*255/mse), nil
+}
+
+// Thumbnail returns the image downsampled so its longest side is at most
+// maxDim.
+func Thumbnail(im *Image, maxDim int) *Image {
+	if maxDim <= 0 {
+		maxDim = 128
+	}
+	longest := max(im.W, im.H)
+	if longest <= maxDim {
+		return Downsample(im, 1)
+	}
+	factor := (longest + maxDim - 1) / maxDim
+	return Downsample(im, factor)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

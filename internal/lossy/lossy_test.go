@@ -1,0 +1,211 @@
+package lossy
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// gradient builds a smooth test image (the friendly case).
+func gradient(w, h int) *Image {
+	im := NewImage(w, h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			im.Set(x, y, byte((x+y)*255/(w+h)))
+		}
+	}
+	return im
+}
+
+// noisy builds a hostile random image.
+func noisy(w, h int, seed int64) *Image {
+	im := NewImage(w, h)
+	rand.New(rand.NewSource(seed)).Read(im.Pix)
+	return im
+}
+
+// photoLike mixes smooth regions with edges and texture.
+func photoLike(w, h int, seed int64) *Image {
+	im := gradient(w, h)
+	rng := rand.New(rand.NewSource(seed))
+	// Rectangles of differing brightness (edges).
+	for i := 0; i < 12; i++ {
+		x0, y0 := rng.Intn(w), rng.Intn(h)
+		x1, y1 := min(w, x0+rng.Intn(w/3)+1), min(h, y0+rng.Intn(h/3)+1)
+		v := byte(rng.Intn(256))
+		for y := y0; y < y1; y++ {
+			for x := x0; x < x1; x++ {
+				im.Set(x, y, v)
+			}
+		}
+	}
+	// Mild texture.
+	for i := range im.Pix {
+		im.Pix[i] = byte(int(im.Pix[i]) + rng.Intn(7) - 3)
+	}
+	return im
+}
+
+func TestLosslessRoundtripExact(t *testing.T) {
+	for _, im := range []*Image{gradient(100, 80), noisy(64, 64, 1), photoLike(120, 90, 2)} {
+		data, err := Encode(im, Lossless)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, q, err := Decode(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if q != Lossless {
+			t.Fatalf("quality = %d", q)
+		}
+		if got.W != im.W || got.H != im.H {
+			t.Fatalf("size %dx%d", got.W, got.H)
+		}
+		for i := range im.Pix {
+			if got.Pix[i] != im.Pix[i] {
+				t.Fatalf("lossless roundtrip altered pixel %d", i)
+			}
+		}
+	}
+}
+
+func TestQualityLadderSizeAndPSNR(t *testing.T) {
+	im := photoLike(256, 192, 3)
+	type point struct {
+		q    Quality
+		size int
+		psnr float64
+	}
+	var pts []point
+	for _, q := range []Quality{Q5, Q4, Q3, Q2, Q1} {
+		data, err := Encode(im, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := Decode(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := PSNR(im, got)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pts = append(pts, point{q, len(data), p})
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].size >= pts[i-1].size {
+			t.Errorf("size not decreasing: %v=%d then %v=%d",
+				pts[i-1].q, pts[i-1].size, pts[i].q, pts[i].size)
+		}
+		if pts[i].psnr >= pts[i-1].psnr {
+			t.Errorf("psnr not decreasing: %v=%.1f then %v=%.1f",
+				pts[i-1].q, pts[i-1].psnr, pts[i].q, pts[i].psnr)
+		}
+	}
+	if pts[0].psnr < 30 {
+		t.Errorf("Q5 PSNR %.1f dB too low", pts[0].psnr)
+	}
+	if pts[len(pts)-1].psnr < 10 {
+		t.Errorf("Q1 PSNR %.1f dB implausibly low", pts[len(pts)-1].psnr)
+	}
+	raw := im.W * im.H
+	if pts[len(pts)-1].size > raw/20 {
+		t.Errorf("Q1 thumbnail %d bytes for %d raw: not small enough", pts[len(pts)-1].size, raw)
+	}
+}
+
+func TestGradientCompressesExtremely(t *testing.T) {
+	im := gradient(512, 512)
+	data, err := Encode(im, Q5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) > len(im.Pix)/20 {
+		t.Fatalf("smooth gradient compressed to %d bytes of %d", len(data), len(im.Pix))
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, _, err := Decode(nil); err == nil {
+		t.Fatal("nil accepted")
+	}
+	if _, _, err := Decode(make([]byte, 30)); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	good, _ := Encode(gradient(10, 10), Q5)
+	// Corrupt the deflate payload.
+	bad := append([]byte(nil), good...)
+	for i := 19; i < len(bad); i++ {
+		bad[i] ^= 0xAA
+	}
+	if _, _, err := Decode(bad); err == nil {
+		t.Fatal("corrupt payload accepted")
+	}
+	// Truncate.
+	if _, _, err := Decode(good[:len(good)/2]); err == nil {
+		t.Fatal("truncated payload accepted")
+	}
+	// Implausible header dims.
+	hdr := append([]byte(nil), good...)
+	hdr[3], hdr[4], hdr[5], hdr[6] = 0xFF, 0xFF, 0xFF, 0xFF
+	if _, _, err := Decode(hdr); err == nil {
+		t.Fatal("oversized dims accepted")
+	}
+}
+
+func TestEncodeBadQuality(t *testing.T) {
+	if _, err := Encode(gradient(4, 4), Quality(42)); err == nil {
+		t.Fatal("bad quality accepted")
+	}
+}
+
+func TestDownsampleUpsampleDims(t *testing.T) {
+	im := gradient(101, 67) // deliberately not divisible
+	d := Downsample(im, 4)
+	if d.W != 26 || d.H != 17 {
+		t.Fatalf("downsampled to %dx%d", d.W, d.H)
+	}
+	u := Upsample(d, 101, 67)
+	if u.W != 101 || u.H != 67 {
+		t.Fatalf("upsampled to %dx%d", u.W, u.H)
+	}
+}
+
+func TestThumbnail(t *testing.T) {
+	im := gradient(1000, 400)
+	th := Thumbnail(im, 128)
+	if th.W > 128 || th.H > 128 {
+		t.Fatalf("thumbnail %dx%d exceeds 128", th.W, th.H)
+	}
+	small := gradient(50, 40)
+	if th2 := Thumbnail(small, 128); th2.W != 50 || th2.H != 40 {
+		t.Fatal("small image was resized")
+	}
+}
+
+func TestPSNR(t *testing.T) {
+	a := gradient(32, 32)
+	b := gradient(32, 32)
+	p, err := PSNR(a, b)
+	if err != nil || !math.IsInf(p, 1) {
+		t.Fatalf("identical images: %v, %v", p, err)
+	}
+	b.Pix[0] ^= 0xFF
+	p, err = PSNR(a, b)
+	if err != nil || math.IsInf(p, 1) || p < 0 {
+		t.Fatalf("perturbed: %v, %v", p, err)
+	}
+	if _, err := PSNR(a, gradient(16, 16)); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+}
+
+func TestNewImagePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for zero dims")
+		}
+	}()
+	NewImage(0, 10)
+}

@@ -1,0 +1,276 @@
+// Package lzf implements the LZF compression format of Marc Lehmann's
+// liblzf, the fast low-ratio compressor AdOC uses as compression level 1
+// (paper §2 and §5 "Fast Networks"). The implementation is written from the
+// format specification and is byte-compatible with liblzf output streams:
+//
+//	control byte c:
+//	  c < 0x20           literal run of c+1 bytes follows
+//	  c >= 0x20, len<7   back reference: length = (c>>5)+2,
+//	                     offset = ((c&0x1f)<<8 | next byte) + 1
+//	  c >= 0xe0 (len==7) long back reference: length = (next byte)+9,
+//	                     offset = ((c&0x1f)<<8 | byte after) + 1
+//
+// Matches are found with a 3-byte rolling hash into a chained-free table of
+// most-recent positions, exactly the data structure liblzf uses. LZF trades
+// ratio (~1.5-2x) for speed comparable to memcpy, which is what makes it
+// usable on 100 Mbit networks where DEFLATE level 1 is already too slow.
+package lzf
+
+import "errors"
+
+const (
+	hlog   = 16                  // log2 of the hash table size
+	hsize  = 1 << hlog           // number of hash buckets
+	maxOff = 1 << 13             // maximum back-reference distance (8192)
+	maxRef = (1 << 8) + (1 << 3) // maximum match length (264)
+	maxLit = 1 << 5              // maximum literal run length (32)
+	// minMatch is the shortest encodable match (a short back reference
+	// encodes length-2 in 3 bits, so length >= 3... liblzf emits matches
+	// of length >= 3).
+	minMatch = 3
+)
+
+// ErrCorrupt is returned by Decompress when the input is not a valid LZF
+// stream or references data outside the produced output.
+var ErrCorrupt = errors.New("lzf: corrupt input")
+
+// ErrShortBuffer is returned when the destination buffer is too small to
+// hold the output.
+var ErrShortBuffer = errors.New("lzf: destination buffer too small")
+
+// hash returns the table index for the 3 bytes starting at p[i].
+// It mirrors liblzf's FRST/NEXT/IDX macros: a multiplicative hash over the
+// 24-bit window.
+func hash(v uint32) uint32 {
+	return ((v >> (3*8 - hlog)) - v*5) & (hsize - 1)
+}
+
+// next24 returns the 24-bit big-endian window at in[i..i+2].
+func next24(in []byte, i int) uint32 {
+	return uint32(in[i])<<16 | uint32(in[i+1])<<8 | uint32(in[i+2])
+}
+
+// CompressBound returns the size of a destination buffer guaranteed to hold
+// the worst-case compressed form of n input bytes. LZF worst case expands
+// by one control byte per 32 literals, plus one for a trailing partial run.
+func CompressBound(n int) int {
+	if n == 0 {
+		return 1
+	}
+	return n + (n+31)/32 + 1
+}
+
+// Compress compresses src into dst and returns the number of bytes written.
+// If dst is too small to hold the compressed output, or if the data is
+// incompressible enough that the output would not fit, it returns
+// ErrShortBuffer; callers normally pass a buffer of len(src) (to detect
+// expansion and fall back to raw transmission, as AdOC does) or
+// CompressBound(len(src)) (to always succeed).
+//
+// Compress is deterministic and uses no package-level state, so it is safe
+// for concurrent use.
+func Compress(src, dst []byte) (int, error) {
+	in := src
+	out := dst
+	n := len(in)
+	if n == 0 {
+		return 0, nil
+	}
+	if n < minMatch+1 {
+		// Too short to contain any match; emit one literal run.
+		return copyLiterals(in, out)
+	}
+
+	var tab [hsize]int32
+	for i := range tab {
+		tab[i] = -1
+	}
+
+	op := 0               // output position
+	lit := 0              // start of the pending literal run
+	i := 0                // input position
+	limit := n - minMatch // last position where a 3-byte window fits
+
+	flushLit := func(end int) bool {
+		// Emit pending literals in[lit:end] as runs of <= maxLit.
+		for lit < end {
+			run := end - lit
+			if run > maxLit {
+				run = maxLit
+			}
+			if op+1+run > len(out) {
+				return false
+			}
+			out[op] = byte(run - 1)
+			op++
+			copy(out[op:], in[lit:lit+run])
+			op += run
+			lit += run
+		}
+		return true
+	}
+
+	for i < limit {
+		v := next24(in, i)
+		h := hash(v)
+		ref := tab[h]
+		tab[h] = int32(i)
+		dist := i - int(ref)
+		if ref >= 0 && dist > 0 && dist <= maxOff && next24(in, int(ref)) == v {
+			// Extend the match beyond the first 3 bytes.
+			mlen := minMatch
+			maxLen := n - i
+			if maxLen > maxRef {
+				maxLen = maxRef
+			}
+			for mlen < maxLen && in[int(ref)+mlen] == in[i+mlen] {
+				mlen++
+			}
+			if !flushLit(i) {
+				return 0, ErrShortBuffer
+			}
+			// Encode the back reference.
+			off := dist - 1
+			l := mlen - 2 // encoded length
+			if l < 7 {
+				if op+2 > len(out) {
+					return 0, ErrShortBuffer
+				}
+				out[op] = byte(off>>8)&0x1f | byte(l)<<5
+				out[op+1] = byte(off)
+				op += 2
+			} else {
+				if op+3 > len(out) {
+					return 0, ErrShortBuffer
+				}
+				out[op] = byte(off>>8)&0x1f | 0xe0
+				out[op+1] = byte(l - 7)
+				out[op+2] = byte(off)
+				op += 3
+			}
+			// Seed the hash table with positions inside the match so
+			// later data can reference them (liblzf seeds two; seeding
+			// a stride keeps compression close at similar speed).
+			end := i + mlen
+			i++
+			for i < end && i < limit {
+				tab[hash(next24(in, i))] = int32(i)
+				i++
+			}
+			if i < end {
+				i = end
+			}
+			lit = i
+			continue
+		}
+		i++
+	}
+	if !flushLit(n) {
+		return 0, ErrShortBuffer
+	}
+	return op, nil
+}
+
+// copyLiterals emits src as pure literal runs into dst.
+func copyLiterals(src, dst []byte) (int, error) {
+	op := 0
+	for s := 0; s < len(src); {
+		run := len(src) - s
+		if run > maxLit {
+			run = maxLit
+		}
+		if op+1+run > len(dst) {
+			return 0, ErrShortBuffer
+		}
+		dst[op] = byte(run - 1)
+		op++
+		copy(dst[op:], src[s:s+run])
+		op += run
+		s += run
+	}
+	return op, nil
+}
+
+// Appendable compression: Encode compresses src and returns a fresh slice,
+// falling back to nil, false when the data does not shrink. This is the
+// form the AdOC codec layer uses: an unsuccessful Encode means "send raw".
+func Encode(src []byte) ([]byte, bool) {
+	if len(src) == 0 {
+		return nil, false
+	}
+	dst := make([]byte, len(src)-1)
+	n, err := Compress(src, dst)
+	if err != nil {
+		return nil, false
+	}
+	return dst[:n], true
+}
+
+// Decompress decompresses src into dst and returns the number of bytes
+// produced. dst must be large enough for the whole output (the AdOC wire
+// format carries the raw length, so callers always know it).
+func Decompress(src, dst []byte) (int, error) {
+	ip, op := 0, 0
+	n := len(src)
+	for ip < n {
+		c := int(src[ip])
+		ip++
+		if c < 0x20 {
+			// Literal run of c+1 bytes.
+			run := c + 1
+			if ip+run > n {
+				return 0, ErrCorrupt
+			}
+			if op+run > len(dst) {
+				return 0, ErrShortBuffer
+			}
+			copy(dst[op:], src[ip:ip+run])
+			ip += run
+			op += run
+			continue
+		}
+		// Back reference.
+		mlen := c>>5 + 2
+		if mlen == 9 { // encoded length 7 -> long form
+			if ip >= n {
+				return 0, ErrCorrupt
+			}
+			mlen = int(src[ip]) + 9
+			ip++
+		}
+		if ip >= n {
+			return 0, ErrCorrupt
+		}
+		off := (c&0x1f)<<8 | int(src[ip])
+		ip++
+		ref := op - off - 1
+		if ref < 0 {
+			return 0, ErrCorrupt
+		}
+		if op+mlen > len(dst) {
+			return 0, ErrShortBuffer
+		}
+		// Byte-at-a-time copy: source and destination may overlap
+		// (run-length-style references with off < mlen).
+		for k := 0; k < mlen; k++ {
+			dst[op] = dst[ref]
+			op++
+			ref++
+		}
+	}
+	return op, nil
+}
+
+// Decode decompresses src, allocating the output; rawLen must be the exact
+// decompressed size recorded alongside the block.
+func Decode(src []byte, rawLen int) ([]byte, error) {
+	dst := make([]byte, rawLen)
+	n, err := Decompress(src, dst)
+	if err != nil {
+		return nil, err
+	}
+	if n != rawLen {
+		return nil, ErrCorrupt
+	}
+	return dst, nil
+}

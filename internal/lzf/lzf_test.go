@@ -1,0 +1,267 @@
+package lzf
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// roundtrip compresses and decompresses data through freshly sized buffers
+// and fails the test on any mismatch.
+func roundtrip(t *testing.T, data []byte) {
+	t.Helper()
+	dst := make([]byte, CompressBound(len(data)))
+	n, err := Compress(data, dst)
+	if err != nil {
+		t.Fatalf("Compress(%d bytes): %v", len(data), err)
+	}
+	got := make([]byte, len(data))
+	m, err := Decompress(dst[:n], got)
+	if err != nil {
+		t.Fatalf("Decompress: %v", err)
+	}
+	if m != len(data) {
+		t.Fatalf("Decompress produced %d bytes, want %d", m, len(data))
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("roundtrip mismatch for %d-byte input", len(data))
+	}
+}
+
+func TestRoundtripEmpty(t *testing.T) {
+	dst := make([]byte, 4)
+	n, err := Compress(nil, dst)
+	if err != nil || n != 0 {
+		t.Fatalf("Compress(nil) = %d, %v; want 0, nil", n, err)
+	}
+	m, err := Decompress(nil, nil)
+	if err != nil || m != 0 {
+		t.Fatalf("Decompress(nil) = %d, %v; want 0, nil", m, err)
+	}
+}
+
+func TestRoundtripTiny(t *testing.T) {
+	for n := 1; n <= 8; n++ {
+		data := bytes.Repeat([]byte{'x'}, n)
+		roundtrip(t, data)
+	}
+}
+
+func TestRoundtripAllByteValues(t *testing.T) {
+	data := make([]byte, 256)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	roundtrip(t, data)
+}
+
+func TestRoundtripRepetitive(t *testing.T) {
+	roundtrip(t, bytes.Repeat([]byte("abcabcabc"), 1000))
+	roundtrip(t, bytes.Repeat([]byte{0}, 100000))
+	roundtrip(t, []byte(strings.Repeat("the quick brown fox ", 500)))
+}
+
+func TestRoundtripLongMatches(t *testing.T) {
+	// Exercise the long back-reference form (length > 8) and max-length
+	// matches (264).
+	base := bytes.Repeat([]byte{0xAA}, 3000)
+	roundtrip(t, base)
+	// A pattern repeating beyond maxOff forces distinct references.
+	pat := make([]byte, 0, 40000)
+	for i := 0; i < 200; i++ {
+		pat = append(pat, bytes.Repeat([]byte{byte(i)}, 200)...)
+	}
+	roundtrip(t, pat)
+}
+
+func TestRoundtripRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 3, 17, 100, 1000, 65536, 200 * 1024} {
+		data := make([]byte, n)
+		rng.Read(data)
+		roundtrip(t, data)
+	}
+}
+
+func TestRoundtripMixed(t *testing.T) {
+	// Alternate compressible and random sections, like a tar of binaries.
+	rng := rand.New(rand.NewSource(2))
+	var buf bytes.Buffer
+	for i := 0; i < 50; i++ {
+		if i%2 == 0 {
+			buf.WriteString(strings.Repeat("segment header padding ", 100))
+		} else {
+			chunk := make([]byte, 1500)
+			rng.Read(chunk)
+			buf.Write(chunk)
+		}
+	}
+	roundtrip(t, buf.Bytes())
+}
+
+func TestCompressShrinksCompressible(t *testing.T) {
+	data := bytes.Repeat([]byte("hello world "), 10000)
+	dst := make([]byte, CompressBound(len(data)))
+	n, err := Compress(data, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n >= len(data)/2 {
+		t.Fatalf("compressed %d -> %d; expected at least 2x shrink on repetitive text", len(data), n)
+	}
+}
+
+func TestEncodeIncompressibleFails(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	data := make([]byte, 64*1024)
+	rng.Read(data)
+	if _, ok := Encode(data); ok {
+		t.Fatal("Encode of random data reported success; expected fallback signal")
+	}
+}
+
+func TestEncodeCompressible(t *testing.T) {
+	data := bytes.Repeat([]byte("abcd"), 5000)
+	out, ok := Encode(data)
+	if !ok {
+		t.Fatal("Encode failed on compressible data")
+	}
+	got, err := Decode(out, len(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("Encode/Decode mismatch")
+	}
+}
+
+func TestCompressShortBuffer(t *testing.T) {
+	data := make([]byte, 1024)
+	rand.New(rand.NewSource(4)).Read(data)
+	dst := make([]byte, 10)
+	if _, err := Compress(data, dst); err != ErrShortBuffer {
+		t.Fatalf("Compress into tiny buffer: err = %v, want ErrShortBuffer", err)
+	}
+}
+
+func TestDecompressShortBuffer(t *testing.T) {
+	data := bytes.Repeat([]byte("xyz"), 1000)
+	dst := make([]byte, CompressBound(len(data)))
+	n, err := Compress(data, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small := make([]byte, 10)
+	if _, err := Decompress(dst[:n], small); err != ErrShortBuffer {
+		t.Fatalf("Decompress into tiny buffer: err = %v, want ErrShortBuffer", err)
+	}
+}
+
+func TestDecompressCorrupt(t *testing.T) {
+	cases := [][]byte{
+		{0x05},                  // literal run of 6 with no payload
+		{0xe0},                  // long match missing length byte
+		{0xe0, 0x01},            // long match missing offset byte
+		{0x20},                  // short match missing offset byte
+		{0x00, 'a', 0x3f, 0xff}, // reference beyond produced output
+	}
+	for i, src := range cases {
+		dst := make([]byte, 1024)
+		if _, err := Decompress(src, dst); err == nil {
+			t.Errorf("case %d: corrupt input decoded without error", i)
+		}
+	}
+}
+
+func TestDecompressKnownVector(t *testing.T) {
+	// Hand-assembled stream: literal "ab", then back reference
+	// length 4 offset 2 -> "ababab" overlap copy, then literal "!".
+	src := []byte{
+		0x01, 'a', 'b', // literal run of 2
+		0x40 | 0x00, 0x01, // c=0x40: len=(2)+2=4, off=(0<<8|1)+1=2
+		0x00, '!', // literal run of 1
+	}
+	dst := make([]byte, 16)
+	n, err := Decompress(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := string(dst[:n]), "ababab!"; got != want {
+		t.Fatalf("decoded %q, want %q", got, want)
+	}
+}
+
+func TestQuickRoundtrip(t *testing.T) {
+	f := func(data []byte) bool {
+		dst := make([]byte, CompressBound(len(data)))
+		n, err := Compress(data, dst)
+		if err != nil {
+			return false
+		}
+		got := make([]byte, len(data))
+		m, err := Decompress(dst[:n], got)
+		if err != nil || m != len(data) {
+			return false
+		}
+		return bytes.Equal(got, data)
+	}
+	cfg := &quick.Config{MaxCount: 300}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickCompressBound(t *testing.T) {
+	f := func(data []byte) bool {
+		dst := make([]byte, CompressBound(len(data)))
+		n, err := Compress(data, dst)
+		return err == nil && n <= CompressBound(len(data))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkCompressText(b *testing.B) {
+	data := []byte(strings.Repeat("AdOC adaptive online compression library text corpus ", 4000))
+	dst := make([]byte, CompressBound(len(data)))
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compress(data, dst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecompressText(b *testing.B) {
+	data := []byte(strings.Repeat("AdOC adaptive online compression library text corpus ", 4000))
+	dst := make([]byte, CompressBound(len(data)))
+	n, err := Compress(data, dst)
+	if err != nil {
+		b.Fatal(err)
+	}
+	out := make([]byte, len(data))
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decompress(dst[:n], out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCompressRandom(b *testing.B) {
+	data := make([]byte, 256*1024)
+	rand.New(rand.NewSource(5)).Read(data)
+	dst := make([]byte, CompressBound(len(data)))
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compress(data, dst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

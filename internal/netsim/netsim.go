@@ -1,0 +1,399 @@
+// Package netsim provides in-process network links with configurable
+// bandwidth, propagation delay, jitter and cross-traffic noise. It stands
+// in for the physical networks of the paper's evaluation (100 Mbit LAN,
+// Gbit LAN, the Renater WAN and a transatlantic Internet path): the AdOC
+// adaptation loop only observes queue occupancy and delivery timing, both
+// of which these links reproduce.
+//
+// A link models, per direction:
+//
+//   - serialization: writers are paced by a token-bucket so that n bytes
+//     occupy the wire for n/bandwidth seconds (Write blocks like a socket
+//     send on a full buffer);
+//   - propagation: each segment becomes readable one latency later;
+//   - a bounded in-flight buffer: like a TCP window, a slow reader
+//     eventually blocks the writer (backpressure — this is what lets the
+//     AdOC sender *feel* a slow receiver and is essential for the
+//     divergence experiments);
+//   - optional noise: per-segment jitter and randomized bandwidth dips
+//     that model cross traffic on shared WANs (the reason the paper plots
+//     best-of-40 for Renater and Internet).
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// ErrClosed is returned for operations on a closed simulated connection.
+var ErrClosed = errors.New("netsim: connection closed")
+
+// Profile describes one direction of a simulated link.
+type Profile struct {
+	// Name labels the profile in reports.
+	Name string
+	// BandwidthBps is the link speed in bytes per second.
+	BandwidthBps float64
+	// Latency is the one-way propagation delay.
+	Latency time.Duration
+	// Jitter adds a uniform [0, Jitter) delay per segment (delivery stays
+	// in order).
+	Jitter time.Duration
+	// SocketBuf bounds in-flight bytes (default 256 KB).
+	SocketBuf int
+	// MTU is the pacing granularity in bytes (default 1500).
+	MTU int
+	// Noise models cross traffic: every NoiseInterval the effective
+	// bandwidth is resampled uniformly from [NoiseFloor, 1] × bandwidth.
+	// NoiseFloor == 0 or >= 1 disables it.
+	NoiseFloor    float64
+	NoiseInterval time.Duration
+	// Seed makes the jitter/noise streams reproducible.
+	Seed int64
+}
+
+func (p Profile) withDefaults() Profile {
+	if p.SocketBuf <= 0 {
+		p.SocketBuf = 256 * 1024
+	}
+	if p.MTU <= 0 {
+		p.MTU = 1500
+	}
+	if p.NoiseInterval <= 0 {
+		p.NoiseInterval = 50 * time.Millisecond
+	}
+	return p
+}
+
+// String formats the profile like the paper names its networks.
+func (p Profile) String() string {
+	return fmt.Sprintf("%s (%.0f Mbit/s, %v RTT)", p.Name, p.BandwidthBps*8/1e6, 2*p.Latency)
+}
+
+// segment is one paced unit in flight.
+type segment struct {
+	data []byte
+	at   time.Time // delivery time
+}
+
+// Sleep quanta: time.Sleep on Linux overshoots by hundreds of
+// microseconds, so sleeping per 1500-byte segment would throttle every
+// link far below its configured bandwidth. The sender keeps exact token
+// accounting and only sleeps once its backlog exceeds writeSlack — like a
+// real socket absorbing a burst into the kernel buffer. The receiver, by
+// contrast, must honor per-segment arrival times exactly (both microsecond
+// ping-pong latency and wire-rate pacing depend on it): sleepUntil sleeps
+// coarsely and busy-waits the final stretch, so overshoot cannot throttle
+// the drain; readSlack merely absorbs scheduler noise.
+const (
+	writeSlack = 10 * time.Millisecond
+	readSlack  = 20 * time.Microsecond
+)
+
+// sleepUntil blocks until t with microsecond accuracy: coarse sleep for
+// the bulk of the wait, then a hard busy-wait for the final stretch.
+// runtime.Gosched is useless here — on this class of kernel a yielded
+// goroutine returns ~0.7 ms late whenever anything else is runnable, which
+// is exactly the error this function exists to avoid. The busy stretch is
+// capped at about a millisecond, so the burned CPU is bounded per call.
+func sleepUntil(t time.Time) {
+	if d := time.Until(t); d > 2*time.Millisecond {
+		time.Sleep(d - time.Millisecond)
+	}
+	for !time.Now().After(t) {
+		// busy-wait: time.Now is a few tens of nanoseconds
+	}
+}
+
+// pacer serializes bytes at the profile bandwidth with optional noise.
+type pacer struct {
+	mu       sync.Mutex
+	rate     float64
+	next     time.Time
+	factor   float64
+	until    time.Time // when to resample factor
+	floor    float64
+	interval time.Duration
+	rng      *rand.Rand
+}
+
+func newPacer(p Profile) *pacer {
+	return &pacer{
+		rate:     p.BandwidthBps,
+		factor:   1,
+		floor:    p.NoiseFloor,
+		interval: p.NoiseInterval,
+		rng:      rand.New(rand.NewSource(p.Seed ^ 0x5eed)),
+	}
+}
+
+// admit blocks until n bytes have been serialized and returns the time the
+// last byte left the NIC.
+func (pc *pacer) admit(n int) time.Time {
+	pc.mu.Lock()
+	now := time.Now()
+	if pc.next.Before(now) {
+		pc.next = now
+	}
+	if pc.floor > 0 && pc.floor < 1 {
+		if now.After(pc.until) {
+			pc.factor = pc.floor + pc.rng.Float64()*(1-pc.floor)
+			pc.until = now.Add(pc.interval)
+		}
+	}
+	rate := pc.rate * pc.factor
+	d := time.Duration(float64(n) / rate * float64(time.Second))
+	pc.next = pc.next.Add(d)
+	end := pc.next
+	pc.mu.Unlock()
+	if wait := end.Sub(now); wait > writeSlack {
+		time.Sleep(wait)
+	}
+	return end
+}
+
+// halfLink is one direction of a duplex link.
+type halfLink struct {
+	prof Profile
+	pc   *pacer
+	segs chan segment
+
+	wmu     sync.Mutex // serializes writers
+	lastAt  time.Time  // monotonic delivery ordering
+	jrng    *rand.Rand
+	closed  chan struct{}
+	closeMu sync.Mutex
+	isDown  bool
+
+	rmu       sync.Mutex // serializes readers
+	pending   []byte     // reader-side remainder of the current segment
+	pendingAt time.Time  // its delivery time
+}
+
+func newHalfLink(p Profile) *halfLink {
+	p = p.withDefaults()
+	capSegs := p.SocketBuf / p.MTU
+	if capSegs < 2 {
+		capSegs = 2
+	}
+	return &halfLink{
+		prof:   p,
+		pc:     newPacer(p),
+		segs:   make(chan segment, capSegs),
+		jrng:   rand.New(rand.NewSource(p.Seed ^ 0x717e4)),
+		closed: make(chan struct{}),
+	}
+}
+
+func (h *halfLink) write(p []byte) (int, error) {
+	h.wmu.Lock()
+	defer h.wmu.Unlock()
+	written := 0
+	for len(p) > 0 {
+		n := h.prof.MTU
+		if n > len(p) {
+			n = len(p)
+		}
+		sent := h.pc.admit(n)
+		at := sent.Add(h.prof.Latency)
+		if h.prof.Jitter > 0 {
+			at = at.Add(time.Duration(h.jrng.Int63n(int64(h.prof.Jitter))))
+		}
+		if at.Before(h.lastAt) {
+			at = h.lastAt // in-order delivery
+		}
+		h.lastAt = at
+		seg := segment{data: append([]byte(nil), p[:n]...), at: at}
+		select {
+		case h.segs <- seg:
+		case <-h.closed:
+			return written, ErrClosed
+		}
+		p = p[n:]
+		written += n
+	}
+	return written, nil
+}
+
+// read implements stream reads over the segment channel. deadline zero
+// means no deadline.
+func (h *halfLink) read(p []byte, deadline time.Time) (int, error) {
+	if len(p) == 0 {
+		return 0, nil
+	}
+	h.rmu.Lock()
+	defer h.rmu.Unlock()
+	// Block for the first readable byte.
+	if len(h.pending) == 0 {
+		var timeout <-chan time.Time
+		if !deadline.IsZero() {
+			d := time.Until(deadline)
+			if d <= 0 {
+				return 0, timeoutError{}
+			}
+			t := time.NewTimer(d)
+			defer t.Stop()
+			timeout = t.C
+		}
+		select {
+		case seg := <-h.segs:
+			h.pending, h.pendingAt = seg.data, seg.at
+		case <-h.closed:
+			// Drain anything already queued before reporting EOF.
+			select {
+			case seg := <-h.segs:
+				h.pending, h.pendingAt = seg.data, seg.at
+			default:
+				return 0, io.EOF
+			}
+		case <-timeout:
+			return 0, timeoutError{}
+		}
+	}
+	// Honor the arrival time of the pending segment exactly: data that
+	// has not finished crossing the wire is not readable, whether the
+	// reader was idle (latency measurements) or draining a burst
+	// (bandwidth pacing). sleepUntil spin-finishes, so per-segment sleep
+	// overshoot cannot throttle the drain rate below the link rate.
+	if wait := time.Until(h.pendingAt); wait > readSlack {
+		if !deadline.IsZero() && h.pendingAt.After(deadline) {
+			sleepUntil(deadline)
+			return 0, timeoutError{}
+		}
+		sleepUntil(h.pendingAt)
+	}
+	n := copy(p, h.pending)
+	h.pending = h.pending[n:]
+	// Opportunistically fill the rest of p from segments that have
+	// already arrived (like a socket read draining its receive buffer).
+	for n < len(p) && len(h.pending) == 0 {
+		select {
+		case seg := <-h.segs:
+			h.pending, h.pendingAt = seg.data, seg.at
+			if time.Until(seg.at) > readSlack {
+				// Not arrived yet; the next read will wait for it.
+				return n, nil
+			}
+			m := copy(p[n:], h.pending)
+			h.pending = h.pending[m:]
+			n += m
+		default:
+			return n, nil
+		}
+	}
+	return n, nil
+}
+
+func (h *halfLink) close() {
+	h.closeMu.Lock()
+	defer h.closeMu.Unlock()
+	if !h.isDown {
+		h.isDown = true
+		close(h.closed)
+	}
+}
+
+// timeoutError satisfies net.Error for deadline expiry.
+type timeoutError struct{}
+
+func (timeoutError) Error() string   { return "netsim: i/o timeout" }
+func (timeoutError) Timeout() bool   { return true }
+func (timeoutError) Temporary() bool { return true }
+
+// Conn is one endpoint of a simulated duplex link; it implements net.Conn.
+type Conn struct {
+	out *halfLink // we write here
+	in  *halfLink // we read here
+
+	dmu           sync.Mutex
+	readDeadline  time.Time
+	writeDeadline time.Time
+
+	name string
+}
+
+var _ net.Conn = (*Conn)(nil)
+
+// Pair returns the two endpoints of a symmetric duplex link with the given
+// per-direction profile.
+func Pair(p Profile) (*Conn, *Conn) {
+	return AsymPair(p, p)
+}
+
+// AsymPair returns endpoints of a link with distinct profiles per
+// direction: a2b paces bytes written on the first conn, b2a the second.
+func AsymPair(a2b, b2a Profile) (*Conn, *Conn) {
+	l1 := newHalfLink(a2b)
+	l2 := newHalfLink(b2a)
+	a := &Conn{out: l1, in: l2, name: a2b.Name + "/a"}
+	b := &Conn{out: l2, in: l1, name: b2a.Name + "/b"}
+	return a, b
+}
+
+// Read receives the next delivered bytes, honoring the read deadline.
+func (c *Conn) Read(p []byte) (int, error) {
+	c.dmu.Lock()
+	dl := c.readDeadline
+	c.dmu.Unlock()
+	return c.in.read(p, dl)
+}
+
+// Write paces p onto the link, blocking for serialization and in-flight
+// window space.
+func (c *Conn) Write(p []byte) (int, error) {
+	select {
+	case <-c.out.closed:
+		return 0, ErrClosed
+	default:
+	}
+	return c.out.write(p)
+}
+
+// Close shuts both directions down; the peer's pending data remains
+// readable (half-closed drain, like TCP FIN).
+func (c *Conn) Close() error {
+	c.out.close()
+	c.in.close()
+	return nil
+}
+
+// LocalAddr returns a synthetic address.
+func (c *Conn) LocalAddr() net.Addr { return simAddr(c.name + ":local") }
+
+// RemoteAddr returns a synthetic address.
+func (c *Conn) RemoteAddr() net.Addr { return simAddr(c.name + ":remote") }
+
+// SetDeadline sets both deadlines.
+func (c *Conn) SetDeadline(t time.Time) error {
+	c.dmu.Lock()
+	defer c.dmu.Unlock()
+	c.readDeadline, c.writeDeadline = t, t
+	return nil
+}
+
+// SetReadDeadline sets the read deadline.
+func (c *Conn) SetReadDeadline(t time.Time) error {
+	c.dmu.Lock()
+	defer c.dmu.Unlock()
+	c.readDeadline = t
+	return nil
+}
+
+// SetWriteDeadline sets the write deadline (accepted; pacing writes are
+// not interruptible in this simulator).
+func (c *Conn) SetWriteDeadline(t time.Time) error {
+	c.dmu.Lock()
+	defer c.dmu.Unlock()
+	c.writeDeadline = t
+	return nil
+}
+
+type simAddr string
+
+func (a simAddr) Network() string { return "netsim" }
+func (a simAddr) String() string  { return string(a) }

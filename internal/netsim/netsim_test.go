@@ -1,0 +1,354 @@
+package netsim
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fastProfile is a high-bandwidth, low-latency link for functional tests.
+func fastProfile() Profile {
+	return Profile{Name: "test", BandwidthBps: 1e9, Latency: 10 * time.Microsecond, MTU: 8192}
+}
+
+func TestRoundtripBytes(t *testing.T) {
+	a, b := Pair(fastProfile())
+	defer a.Close()
+	defer b.Close()
+	data := make([]byte, 100000)
+	rand.New(rand.NewSource(1)).Read(data)
+	go func() {
+		if _, err := a.Write(data); err != nil {
+			t.Error(err)
+		}
+	}()
+	got := make([]byte, len(data))
+	if _, err := io.ReadFull(b, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("data corrupted in transit")
+	}
+}
+
+func TestBidirectional(t *testing.T) {
+	a, b := Pair(fastProfile())
+	defer a.Close()
+	defer b.Close()
+	m1 := bytes.Repeat([]byte("x"), 50000)
+	m2 := bytes.Repeat([]byte("y"), 60000)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); a.Write(m1) }()
+	go func() { defer wg.Done(); b.Write(m2) }()
+	g1 := make([]byte, len(m1))
+	g2 := make([]byte, len(m2))
+	var rg sync.WaitGroup
+	rg.Add(2)
+	go func() { defer rg.Done(); io.ReadFull(b, g1) }()
+	go func() { defer rg.Done(); io.ReadFull(a, g2) }()
+	wg.Wait()
+	rg.Wait()
+	if !bytes.Equal(g1, m1) || !bytes.Equal(g2, m2) {
+		t.Fatal("bidirectional corruption")
+	}
+}
+
+func TestBandwidthPacing(t *testing.T) {
+	// 2 MB over a 10 MB/s link must take at least ~200 ms.
+	p := Profile{Name: "paced", BandwidthBps: 10e6, Latency: 0, MTU: 8192, SocketBuf: 64 * 1024}
+	a, b := Pair(p)
+	defer a.Close()
+	defer b.Close()
+	const n = 2 << 20
+	start := time.Now()
+	go func() {
+		buf := make([]byte, 64*1024)
+		for i := 0; i < n/len(buf); i++ {
+			a.Write(buf)
+		}
+	}()
+	got := 0
+	buf := make([]byte, 64*1024)
+	for got < n {
+		m, err := b.Read(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got += m
+	}
+	elapsed := time.Since(start)
+	ideal := time.Duration(float64(n) / p.BandwidthBps * float64(time.Second))
+	if elapsed < ideal*8/10 {
+		t.Fatalf("transfer too fast: %v for ideal %v", elapsed, ideal)
+	}
+	if elapsed > ideal*2 {
+		t.Fatalf("transfer too slow: %v for ideal %v", elapsed, ideal)
+	}
+}
+
+func TestLatency(t *testing.T) {
+	p := Profile{Name: "lat", BandwidthBps: 1e9, Latency: 30 * time.Millisecond, MTU: 1500}
+	a, b := Pair(p)
+	defer a.Close()
+	defer b.Close()
+	start := time.Now()
+	go a.Write([]byte("ping"))
+	buf := make([]byte, 4)
+	if _, err := io.ReadFull(b, buf); err != nil {
+		t.Fatal(err)
+	}
+	oneWay := time.Since(start)
+	if oneWay < 30*time.Millisecond {
+		t.Fatalf("delivery before propagation delay: %v", oneWay)
+	}
+	if oneWay > 100*time.Millisecond {
+		t.Fatalf("delivery too slow: %v", oneWay)
+	}
+}
+
+func TestPingPongRTT(t *testing.T) {
+	p := Profile{Name: "rtt", BandwidthBps: 1e9, Latency: 5 * time.Millisecond, MTU: 1500}
+	a, b := Pair(p)
+	defer a.Close()
+	defer b.Close()
+	go func() {
+		buf := make([]byte, 1)
+		for {
+			if _, err := io.ReadFull(b, buf); err != nil {
+				return
+			}
+			b.Write(buf)
+		}
+	}()
+	buf := make([]byte, 1)
+	start := time.Now()
+	const rounds = 5
+	for i := 0; i < rounds; i++ {
+		a.Write([]byte{1})
+		if _, err := io.ReadFull(a, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rtt := time.Since(start) / rounds
+	if rtt < 10*time.Millisecond {
+		t.Fatalf("RTT %v below 2x latency", rtt)
+	}
+	if rtt > 40*time.Millisecond {
+		t.Fatalf("RTT %v far above 2x latency", rtt)
+	}
+}
+
+func TestBackpressureSlowReader(t *testing.T) {
+	// A slow reader must block the writer once SocketBuf is in flight.
+	p := Profile{Name: "bp", BandwidthBps: 1e9, Latency: 0, MTU: 1024, SocketBuf: 8 * 1024}
+	a, b := Pair(p)
+	defer a.Close()
+	defer b.Close()
+	wrote := make(chan int, 1)
+	go func() {
+		total := 0
+		buf := make([]byte, 4096)
+		deadline := time.Now().Add(150 * time.Millisecond)
+		for time.Now().Before(deadline) {
+			a.SetWriteDeadline(deadline)
+			n, err := a.Write(buf)
+			total += n
+			if err != nil {
+				break
+			}
+		}
+		wrote <- total
+	}()
+	// Reader consumes nothing for 150 ms.
+	time.Sleep(160 * time.Millisecond)
+	var drained int
+	go func() {
+		buf := make([]byte, 64*1024)
+		for {
+			n, err := b.Read(buf)
+			drained += n
+			if err != nil {
+				return
+			}
+		}
+	}()
+	total := <-wrote
+	if total > 64*1024 {
+		t.Fatalf("writer pushed %d bytes into an 8 KB window with no reader", total)
+	}
+}
+
+func TestCloseUnblocksPeerRead(t *testing.T) {
+	a, b := Pair(fastProfile())
+	done := make(chan error, 1)
+	go func() {
+		_, err := b.Read(make([]byte, 10))
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	a.Close()
+	b.Close()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("Read returned data after close with none sent")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Read did not unblock after close")
+	}
+}
+
+func TestCloseDrainsDelivered(t *testing.T) {
+	a, b := Pair(fastProfile())
+	a.Write([]byte("tail"))
+	time.Sleep(5 * time.Millisecond)
+	a.Close()
+	buf := make([]byte, 4)
+	if _, err := io.ReadFull(b, buf); err != nil {
+		t.Fatalf("pending data lost on close: %v", err)
+	}
+	if string(buf) != "tail" {
+		t.Fatalf("got %q", buf)
+	}
+	if _, err := b.Read(buf); err != io.EOF {
+		t.Fatalf("after drain: %v, want io.EOF", err)
+	}
+}
+
+func TestWriteAfterCloseFails(t *testing.T) {
+	a, b := Pair(fastProfile())
+	b.Close()
+	a.Close()
+	if _, err := a.Write([]byte("x")); err == nil {
+		t.Fatal("Write after close succeeded")
+	}
+}
+
+func TestReadDeadline(t *testing.T) {
+	a, b := Pair(fastProfile())
+	defer a.Close()
+	defer b.Close()
+	b.SetReadDeadline(time.Now().Add(30 * time.Millisecond))
+	start := time.Now()
+	_, err := b.Read(make([]byte, 10))
+	if err == nil {
+		t.Fatal("expected timeout")
+	}
+	nerr, ok := err.(net.Error)
+	if !ok || !nerr.Timeout() {
+		t.Fatalf("err = %v, want net.Error timeout", err)
+	}
+	if time.Since(start) > 500*time.Millisecond {
+		t.Fatal("deadline ignored")
+	}
+	// Clearing the deadline restores blocking reads.
+	b.SetReadDeadline(time.Time{})
+	go a.Write([]byte("late"))
+	buf := make([]byte, 4)
+	if _, err := io.ReadFull(b, buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInOrderDeliveryWithJitter(t *testing.T) {
+	p := Profile{Name: "jit", BandwidthBps: 50e6, Latency: time.Millisecond,
+		Jitter: 3 * time.Millisecond, MTU: 512, Seed: 9}
+	a, b := Pair(p)
+	defer a.Close()
+	defer b.Close()
+	data := make([]byte, 50000)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	go a.Write(data)
+	got := make([]byte, len(data))
+	if _, err := io.ReadFull(b, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("jitter broke in-order delivery")
+	}
+}
+
+func TestNoiseReducesThroughput(t *testing.T) {
+	// Slow enough that pacing dominates scheduler jitter even under the
+	// race detector.
+	base := Profile{Name: "clean", BandwidthBps: 4e6, MTU: 8192, SocketBuf: 64 * 1024}
+	noisy := base
+	noisy.NoiseFloor = 0.3
+	noisy.NoiseInterval = 5 * time.Millisecond
+	noisy.Seed = 4
+
+	measure := func(p Profile) time.Duration {
+		a, b := Pair(p)
+		defer a.Close()
+		defer b.Close()
+		const n = 1 << 20
+		start := time.Now()
+		go func() {
+			buf := make([]byte, 32*1024)
+			for i := 0; i < n/len(buf); i++ {
+				a.Write(buf)
+			}
+		}()
+		got := 0
+		buf := make([]byte, 32*1024)
+		for got < n {
+			m, err := b.Read(buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got += m
+		}
+		return time.Since(start)
+	}
+	clean := measure(base)
+	dirty := measure(noisy)
+	if dirty <= clean {
+		t.Fatalf("noise did not slow the link: clean %v, noisy %v", clean, dirty)
+	}
+}
+
+func TestProfilesComplete(t *testing.T) {
+	ps := Profiles(1)
+	for _, name := range []string{"lan100", "gbit", "renater", "internet"} {
+		p, ok := ps[name]
+		if !ok {
+			t.Fatalf("missing profile %q", name)
+		}
+		if p.BandwidthBps <= 0 {
+			t.Fatalf("%s: no bandwidth", name)
+		}
+		if p.String() == "" {
+			t.Fatalf("%s: empty String()", name)
+		}
+	}
+	// Sanity: the paper's ordering of network speeds.
+	if !(ps["gbit"].BandwidthBps > ps["lan100"].BandwidthBps &&
+		ps["lan100"].BandwidthBps > ps["renater"].BandwidthBps &&
+		ps["renater"].BandwidthBps > ps["internet"].BandwidthBps) {
+		t.Fatal("profile bandwidth ordering violated")
+	}
+	if q := Quiet(ps["renater"]); q.Jitter != 0 || q.NoiseFloor != 0 {
+		t.Fatal("Quiet did not strip noise")
+	}
+	if s := Scaled(ps["lan100"], 2); s.BandwidthBps != 2*ps["lan100"].BandwidthBps {
+		t.Fatal("Scaled wrong")
+	}
+}
+
+func TestNetConnInterface(t *testing.T) {
+	a, _ := Pair(fastProfile())
+	var c net.Conn = a
+	if c.LocalAddr().Network() != "netsim" || c.RemoteAddr().String() == "" {
+		t.Fatal("addresses malformed")
+	}
+	if err := c.SetDeadline(time.Now().Add(time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+}

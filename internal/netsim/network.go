@@ -1,0 +1,92 @@
+package netsim
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// Network is an in-process dial/listen fabric whose every connection is a
+// simulated link with the Network's profile — the substrate the GridRPC
+// middleware experiments run on (client on one end of the WAN, agent and
+// server on the other, as in paper §6.2).
+type Network struct {
+	prof Profile
+	mu   sync.Mutex
+	lns  map[string]*Listener
+	seed atomic.Int64
+}
+
+// NewNetwork returns a fabric whose links all use the given profile.
+func NewNetwork(prof Profile) *Network {
+	n := &Network{prof: prof, lns: map[string]*Listener{}}
+	n.seed.Store(prof.Seed)
+	return n
+}
+
+// Listener accepts simulated connections for one address.
+type Listener struct {
+	net     *Network
+	addr    string
+	backlog chan net.Conn
+	done    chan struct{}
+	once    sync.Once
+}
+
+var _ net.Listener = (*Listener)(nil)
+
+// Listen binds addr on the fabric.
+func (n *Network) Listen(addr string) (net.Listener, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, exists := n.lns[addr]; exists {
+		return nil, fmt.Errorf("netsim: address %q already bound", addr)
+	}
+	ln := &Listener{net: n, addr: addr, backlog: make(chan net.Conn, 16), done: make(chan struct{})}
+	n.lns[addr] = ln
+	return ln, nil
+}
+
+// Dial connects to addr through a fresh simulated link.
+func (n *Network) Dial(addr string) (net.Conn, error) {
+	n.mu.Lock()
+	ln, ok := n.lns[addr]
+	n.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("netsim: connection refused: %q", addr)
+	}
+	p := n.prof
+	p.Seed = n.seed.Add(1)
+	client, server := Pair(p)
+	select {
+	case ln.backlog <- server:
+		return client, nil
+	case <-ln.done:
+		return nil, fmt.Errorf("netsim: connection refused: %q (listener closed)", addr)
+	}
+}
+
+// Accept waits for the next inbound connection.
+func (l *Listener) Accept() (net.Conn, error) {
+	select {
+	case c := <-l.backlog:
+		return c, nil
+	case <-l.done:
+		return nil, fmt.Errorf("netsim: listener %q closed", l.addr)
+	}
+}
+
+// Close unbinds the address.
+func (l *Listener) Close() error {
+	l.once.Do(func() {
+		close(l.done)
+		l.net.mu.Lock()
+		delete(l.net.lns, l.addr)
+		l.net.mu.Unlock()
+	})
+	return nil
+}
+
+// Addr returns the bound address.
+func (l *Listener) Addr() net.Addr { return simAddr(l.addr) }

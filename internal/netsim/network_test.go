@@ -1,0 +1,184 @@
+package netsim
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sync"
+	"testing"
+	"time"
+)
+
+func testNetwork() *Network {
+	return NewNetwork(Profile{Name: "fab", BandwidthBps: 1e9, Latency: 10 * time.Microsecond, MTU: 8192})
+}
+
+func TestDialListen(t *testing.T) {
+	nw := testNetwork()
+	ln, err := nw.Listen("svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		c, err := nw.Dial("svc")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		c.Write([]byte("hello"))
+		c.Close()
+	}()
+	conn, err := ln.Accept()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	buf := make([]byte, 5)
+	if _, err := io.ReadFull(conn, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, []byte("hello")) {
+		t.Fatalf("got %q", buf)
+	}
+}
+
+func TestDialUnknownAddr(t *testing.T) {
+	nw := testNetwork()
+	if _, err := nw.Dial("nowhere"); err == nil {
+		t.Fatal("dial to unbound address succeeded")
+	}
+}
+
+func TestDoubleListenRejected(t *testing.T) {
+	nw := testNetwork()
+	if _, err := nw.Listen("svc"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nw.Listen("svc"); err == nil {
+		t.Fatal("double bind allowed")
+	}
+}
+
+func TestListenerCloseUnbinds(t *testing.T) {
+	nw := testNetwork()
+	ln, err := nw.Listen("svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln.Close()
+	if _, err := nw.Dial("svc"); err == nil {
+		t.Fatal("dial to closed listener succeeded")
+	}
+	// The address is free again.
+	if _, err := nw.Listen("svc"); err != nil {
+		t.Fatalf("rebind after close: %v", err)
+	}
+}
+
+func TestListenerCloseUnblocksAccept(t *testing.T) {
+	nw := testNetwork()
+	ln, _ := nw.Listen("svc")
+	done := make(chan error, 1)
+	go func() {
+		_, err := ln.Accept()
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	ln.Close()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("Accept returned a conn after close")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Accept did not unblock")
+	}
+}
+
+func TestManyConcurrentDials(t *testing.T) {
+	nw := testNetwork()
+	ln, _ := nw.Listen("svc")
+	defer ln.Close()
+	const conns = 12
+	// Echo server.
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer c.Close()
+				io.Copy(c, c)
+			}()
+		}
+	}()
+	var wg sync.WaitGroup
+	for i := 0; i < conns; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, err := nw.Dial("svc")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer c.Close()
+			msg := []byte(fmt.Sprintf("conn-%d-payload", i))
+			if _, err := c.Write(msg); err != nil {
+				t.Error(err)
+				return
+			}
+			got := make([]byte, len(msg))
+			if _, err := io.ReadFull(c, got); err != nil {
+				t.Error(err)
+				return
+			}
+			if !bytes.Equal(got, msg) {
+				t.Errorf("conn %d echo mismatch", i)
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+func TestListenerAddr(t *testing.T) {
+	nw := testNetwork()
+	ln, _ := nw.Listen("svc:1")
+	defer ln.Close()
+	if ln.Addr().String() != "svc:1" || ln.Addr().Network() != "netsim" {
+		t.Fatalf("addr = %v/%v", ln.Addr().Network(), ln.Addr().String())
+	}
+}
+
+func TestAsymPair(t *testing.T) {
+	fast := Profile{Name: "down", BandwidthBps: 1e9, MTU: 8192}
+	slow := Profile{Name: "up", BandwidthBps: 1e6, MTU: 1500}
+	a, b := AsymPair(fast, slow)
+	defer a.Close()
+	defer b.Close()
+
+	// a->b direction is fast: 1 MB should take ~1 ms of pacing.
+	go a.Write(make([]byte, 1<<20))
+	start := time.Now()
+	if _, err := io.ReadFull(b, make([]byte, 1<<20)); err != nil {
+		t.Fatal(err)
+	}
+	fastDur := time.Since(start)
+
+	// b->a direction is slow: 100 KB at 1 MB/s ≈ 100 ms.
+	go b.Write(make([]byte, 100<<10))
+	start = time.Now()
+	if _, err := io.ReadFull(a, make([]byte, 100<<10)); err != nil {
+		t.Fatal(err)
+	}
+	slowDur := time.Since(start)
+
+	if slowDur < 60*time.Millisecond {
+		t.Fatalf("slow direction too fast: %v", slowDur)
+	}
+	if fastDur > slowDur/3 {
+		t.Fatalf("asymmetry not observed: fast=%v slow=%v", fastDur, slowDur)
+	}
+}

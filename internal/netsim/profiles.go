@@ -1,0 +1,95 @@
+package netsim
+
+import "time"
+
+// The paper's four evaluation networks (§6, Table 2 and Figures 3-7).
+// Bandwidths are the application-visible single-stream TCP throughputs the
+// figures show for plain read/write; latencies are Table 2's POSIX
+// ping-pong times divided by two (one-way).
+
+// LAN100 models the Fast Ethernet LAN of Figure 3 (Table 2: 0.18 ms
+// ping-pong).
+func LAN100(seed int64) Profile {
+	return Profile{
+		Name:         "100Mbit-LAN",
+		BandwidthBps: 100e6 / 8,
+		Latency:      90 * time.Microsecond,
+		SocketBuf:    256 * 1024,
+		MTU:          9000, // pacing quantum: amortizes per-segment delivery cost
+		Seed:         seed,
+	}
+}
+
+// GbitLAN models the Gigabit Ethernet LAN of Figure 7 (Table 2: 0.030 ms
+// ping-pong).
+func GbitLAN(seed int64) Profile {
+	return Profile{
+		Name:         "Gbit-LAN",
+		BandwidthBps: 1e9 / 8,
+		Latency:      15 * time.Microsecond,
+		SocketBuf:    1024 * 1024,
+		MTU:          64 * 1024, // pacing quantum: at 1 Gbit finer quanta cost more than the wire time
+		Seed:         seed,
+	}
+}
+
+// Renater models the French academic WAN between Nancy and Lyon of
+// Figures 4-5 (Table 2: 9.2 ms ping-pong; best-case app throughput around
+// 5-6 Mbit/s for a single stream in 2005). Noise reproduces the shared
+// backbone whose perturbations motivated the paper's best-of-40
+// methodology.
+func Renater(seed int64) Profile {
+	return Profile{
+		Name:          "Renater-WAN",
+		BandwidthBps:  5.5e6 / 8 * 2, // raw link share; TCP sees roughly half under noise
+		Latency:       4600 * time.Microsecond,
+		Jitter:        2 * time.Millisecond,
+		NoiseFloor:    0.35,
+		NoiseInterval: 40 * time.Millisecond,
+		SocketBuf:     128 * 1024,
+		MTU:           4500,
+		Seed:          seed,
+	}
+}
+
+// Internet models the Tennessee-France path of Figure 6 (Table 2: 80 ms
+// ping-pong; app throughput around 3.5-4 Mbit/s best case).
+func Internet(seed int64) Profile {
+	return Profile{
+		Name:          "Internet-TN-FR",
+		BandwidthBps:  3.8e6 / 8 * 2,
+		Latency:       40 * time.Millisecond,
+		Jitter:        5 * time.Millisecond,
+		NoiseFloor:    0.30,
+		NoiseInterval: 60 * time.Millisecond,
+		SocketBuf:     128 * 1024,
+		MTU:           4500,
+		Seed:          seed,
+	}
+}
+
+// Quiet strips the noise and jitter from a profile — the "best of 40
+// measurements" limit the paper plots for WANs (Figure 5 vs Figure 4).
+func Quiet(p Profile) Profile {
+	p.Jitter = 0
+	p.NoiseFloor = 0
+	return p
+}
+
+// Scaled returns the profile with bandwidth multiplied by f (used by
+// sweep experiments exploring the CPU:network speed ratio).
+func Scaled(p Profile, f float64) Profile {
+	p.BandwidthBps *= f
+	return p
+}
+
+// Profiles returns the paper's four networks keyed by the names used in
+// experiment tables.
+func Profiles(seed int64) map[string]Profile {
+	return map[string]Profile{
+		"lan100":   LAN100(seed),
+		"gbit":     GbitLAN(seed),
+		"renater":  Renater(seed),
+		"internet": Internet(seed),
+	}
+}

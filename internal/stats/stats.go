@@ -1,0 +1,148 @@
+// Package stats provides the measurement-series arithmetic the evaluation
+// harness uses: mean, standard deviation, min/max, percentiles, and the
+// best-of-N policy the paper argues for on non-reproducible WANs
+// (§6.1.1: "we have decided to use only best values for Renater and
+// Internet figures").
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Series accumulates float64 samples.
+type Series struct {
+	vals []float64
+}
+
+// Add appends a sample.
+func (s *Series) Add(v float64) { s.vals = append(s.vals, v) }
+
+// AddDuration appends a duration sample in seconds.
+func (s *Series) AddDuration(d time.Duration) { s.Add(d.Seconds()) }
+
+// N returns the sample count.
+func (s *Series) N() int { return len(s.vals) }
+
+// Values returns a copy of the samples.
+func (s *Series) Values() []float64 {
+	out := make([]float64, len(s.vals))
+	copy(out, s.vals)
+	return out
+}
+
+// Mean returns the arithmetic mean (0 for an empty series).
+func (s *Series) Mean() float64 {
+	if len(s.vals) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range s.vals {
+		sum += v
+	}
+	return sum / float64(len(s.vals))
+}
+
+// Std returns the sample standard deviation (0 for fewer than 2 samples).
+func (s *Series) Std() float64 {
+	n := len(s.vals)
+	if n < 2 {
+		return 0
+	}
+	m := s.Mean()
+	var ss float64
+	for _, v := range s.vals {
+		d := v - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(n-1))
+}
+
+// Min returns the smallest sample — the "best timing" of the paper's
+// Figures 5 and 6 when the samples are durations.
+func (s *Series) Min() float64 {
+	if len(s.vals) == 0 {
+		return 0
+	}
+	m := s.vals[0]
+	for _, v := range s.vals[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Max returns the largest sample.
+func (s *Series) Max() float64 {
+	if len(s.vals) == 0 {
+		return 0
+	}
+	m := s.vals[0]
+	for _, v := range s.vals[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) by linear
+// interpolation.
+func (s *Series) Percentile(p float64) float64 {
+	n := len(s.vals)
+	if n == 0 {
+		return 0
+	}
+	sorted := s.Values()
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[n-1]
+	}
+	rank := p / 100 * float64(n-1)
+	lo := int(rank)
+	frac := rank - float64(lo)
+	if lo+1 >= n {
+		return sorted[n-1]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// Summary is a one-line snapshot of a series.
+type Summary struct {
+	N         int
+	Mean, Std float64
+	Min, Max  float64
+}
+
+// Summarize returns the Summary of the series.
+func (s *Series) Summarize() Summary {
+	return Summary{N: s.N(), Mean: s.Mean(), Std: s.Std(), Min: s.Min(), Max: s.Max()}
+}
+
+// String formats the summary.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.6g std=%.6g min=%.6g max=%.6g", s.N, s.Mean, s.Std, s.Min, s.Max)
+}
+
+// Mbps converts bytes transferred in a duration to megabits per second,
+// the unit of the paper's bandwidth figures.
+func Mbps(bytes int64, d time.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(bytes) * 8 / 1e6 / d.Seconds()
+}
+
+// MbpsFromSeconds is Mbps with the duration in seconds.
+func MbpsFromSeconds(bytes int64, sec float64) float64 {
+	if sec <= 0 {
+		return 0
+	}
+	return float64(bytes) * 8 / 1e6 / sec
+}

@@ -1,0 +1,143 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func seriesOf(vals ...float64) *Series {
+	var s Series
+	for _, v := range vals {
+		s.Add(v)
+	}
+	return &s
+}
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestEmptySeries(t *testing.T) {
+	var s Series
+	if s.Mean() != 0 || s.Std() != 0 || s.Min() != 0 || s.Max() != 0 || s.Percentile(50) != 0 {
+		t.Fatal("empty series must return zeros")
+	}
+	if s.N() != 0 {
+		t.Fatal("N != 0")
+	}
+}
+
+func TestMeanStd(t *testing.T) {
+	s := seriesOf(2, 4, 4, 4, 5, 5, 7, 9)
+	if !approx(s.Mean(), 5, 1e-12) {
+		t.Fatalf("Mean = %v", s.Mean())
+	}
+	// Sample std of this classic set is sqrt(32/7).
+	if !approx(s.Std(), math.Sqrt(32.0/7.0), 1e-12) {
+		t.Fatalf("Std = %v", s.Std())
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	s := seriesOf(3, -1, 4, 1, 5)
+	if s.Min() != -1 || s.Max() != 5 {
+		t.Fatalf("Min=%v Max=%v", s.Min(), s.Max())
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	s := seriesOf(1, 2, 3, 4, 5)
+	cases := map[float64]float64{0: 1, 25: 2, 50: 3, 75: 4, 100: 5}
+	for p, want := range cases {
+		if got := s.Percentile(p); !approx(got, want, 1e-12) {
+			t.Errorf("P%.0f = %v, want %v", p, got, want)
+		}
+	}
+	if got := s.Percentile(90); !approx(got, 4.6, 1e-12) {
+		t.Errorf("P90 = %v, want 4.6", got)
+	}
+}
+
+func TestPercentileClamps(t *testing.T) {
+	s := seriesOf(10, 20)
+	if s.Percentile(-5) != 10 || s.Percentile(200) != 20 {
+		t.Fatal("percentile bounds not clamped")
+	}
+}
+
+func TestAddDuration(t *testing.T) {
+	var s Series
+	s.AddDuration(1500 * time.Millisecond)
+	if !approx(s.Mean(), 1.5, 1e-12) {
+		t.Fatalf("Mean = %v", s.Mean())
+	}
+}
+
+func TestSummary(t *testing.T) {
+	s := seriesOf(1, 2, 3)
+	sum := s.Summarize()
+	if sum.N != 3 || sum.Min != 1 || sum.Max != 3 || !approx(sum.Mean, 2, 1e-12) {
+		t.Fatalf("summary = %+v", sum)
+	}
+	if sum.String() == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestValuesIsCopy(t *testing.T) {
+	s := seriesOf(1, 2)
+	v := s.Values()
+	v[0] = 99
+	if s.Min() != 1 {
+		t.Fatal("Values exposed internal storage")
+	}
+}
+
+func TestMbps(t *testing.T) {
+	// 1 MB in one second = 8 Mbit/s.
+	if got := Mbps(1e6, time.Second); !approx(got, 8, 1e-9) {
+		t.Fatalf("Mbps = %v", got)
+	}
+	if Mbps(1000, 0) != 0 {
+		t.Fatal("zero duration must return 0")
+	}
+	if got := MbpsFromSeconds(1e6, 2); !approx(got, 4, 1e-9) {
+		t.Fatalf("MbpsFromSeconds = %v", got)
+	}
+	if MbpsFromSeconds(1000, 0) != 0 {
+		t.Fatal("zero seconds must return 0")
+	}
+}
+
+func TestQuickInvariants(t *testing.T) {
+	f := func(vals []float64) bool {
+		for _, v := range vals {
+			// Skip degenerate inputs and magnitudes where the running sum
+			// itself overflows float64 (not a regime measurements live in).
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e300 {
+				return true
+			}
+		}
+		var s Series
+		for _, v := range vals {
+			s.Add(v)
+		}
+		if len(vals) == 0 {
+			return true
+		}
+		min, max, mean := s.Min(), s.Max(), s.Mean()
+		if min > max {
+			return false
+		}
+		if mean < min-1e-9 || mean > max+1e-9 {
+			return false
+		}
+		if s.Percentile(50) < min || s.Percentile(50) > max {
+			return false
+		}
+		return s.Std() >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

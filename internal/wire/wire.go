@@ -1,0 +1,276 @@
+// Package wire defines the AdOC stream format. The paper does not publish
+// a byte-level protocol, so this package documents ours:
+//
+// Every adoc_write / adoc_send_file call produces one *message*:
+//
+//	message        = msgHeader (smallBody | streamBody)
+//	msgHeader      = magic(2) version(1) kind(1)
+//	smallBody      = rawLen(4) payload            kind = Small, < 512 KB
+//	streamBody     = totalRaw(8) frame* msgEnd    kind = Stream
+//
+// A stream is a sequence of *buffer groups*; each group is one AdOC buffer
+// (≤ 200 KB of user data) compressed as a single self-contained block at
+// one level, cut into packets of at most 8 KB for the emission FIFO:
+//
+//	groupBegin     = marker(1)=1 level(1)
+//	packet         = marker(1)=2 compLen(4) payload
+//	groupEnd       = marker(1)=3 rawLen(4) adler32OfRaw(4)
+//	msgEnd         = marker(1)=4
+//
+// All integers are big-endian. A group at level 0 carries raw payload; any
+// other level carries one LZF block or one DEFLATE stream whose
+// decompressed size is exactly rawLen. The raw length travels in groupEnd,
+// not groupBegin, because the sender may abort compression mid-buffer when
+// the incompressible-data guard fires (paper §5) — the group's true raw
+// size is only known once it has been fully emitted. Packets within a
+// group are just a transport-level segmentation of the group's byte
+// stream — the unit the FIFO queue counts and the controller's δ observes.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"adoc/internal/codec"
+)
+
+// Protocol constants.
+const (
+	Magic   = 0xAD0C
+	Version = 1
+
+	// Frame markers.
+	MarkGroupBegin = 1
+	MarkPacket     = 2
+	MarkGroupEnd   = 3
+	MarkMsgEnd     = 4
+
+	// MsgHeaderLen is the fixed message header size.
+	MsgHeaderLen = 4
+
+	// UnknownTotal is the totalRaw value for streams of unknown length
+	// (files read until EOF).
+	UnknownTotal = ^uint64(0)
+
+	// MaxGroupRaw bounds the raw size of one buffer group; decoders
+	// reject larger values to bound allocations. The engine produces
+	// groups of at most its buffer size (default 200 KB).
+	MaxGroupRaw = 16 << 20
+	// MaxPacketLen bounds one packet payload; the engine produces 8 KB.
+	MaxPacketLen = 1 << 20
+)
+
+// Kind discriminates the two message bodies.
+type Kind uint8
+
+// Message kinds.
+const (
+	KindSmall  Kind = 1 // single raw chunk, no pipeline
+	KindStream Kind = 2 // buffer groups, adaptive pipeline
+)
+
+// Protocol errors.
+var (
+	ErrBadMagic   = errors.New("wire: bad magic (not an AdOC stream)")
+	ErrBadVersion = errors.New("wire: unsupported protocol version")
+	ErrBadKind    = errors.New("wire: unknown message kind")
+	ErrBadFrame   = errors.New("wire: malformed frame")
+	ErrTooBig     = errors.New("wire: frame exceeds size limit")
+	ErrChecksum   = errors.New("wire: group checksum mismatch")
+)
+
+// MsgHeader is the decoded fixed message header plus the body prefix.
+type MsgHeader struct {
+	Kind Kind
+	// RawLen is the payload size for KindSmall messages.
+	RawLen uint32
+	// TotalRaw is the announced stream size for KindStream messages
+	// (UnknownTotal when the sender did not know it).
+	TotalRaw uint64
+}
+
+// AppendMsgHeader appends the fixed 4-byte header.
+func AppendMsgHeader(dst []byte, kind Kind) []byte {
+	dst = binary.BigEndian.AppendUint16(dst, Magic)
+	dst = append(dst, Version, byte(kind))
+	return dst
+}
+
+// AppendSmall appends a complete small message (header + length + payload).
+// Callers hand the result to a single Write so that small messages cost one
+// system call, keeping AdOC's latency equal to plain write (paper §5
+// "Small messages").
+func AppendSmall(dst, payload []byte) []byte {
+	dst = AppendMsgHeader(dst, KindSmall)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(payload)))
+	return append(dst, payload...)
+}
+
+// AppendStreamHeader appends the header of a stream message announcing
+// totalRaw bytes (UnknownTotal if not known in advance).
+func AppendStreamHeader(dst []byte, totalRaw uint64) []byte {
+	dst = AppendMsgHeader(dst, KindStream)
+	return binary.BigEndian.AppendUint64(dst, totalRaw)
+}
+
+// AppendGroupBegin appends a groupBegin frame announcing the level of the
+// next buffer group.
+func AppendGroupBegin(dst []byte, level codec.Level) []byte {
+	return append(dst, MarkGroupBegin, byte(level))
+}
+
+// AppendPacket appends a packet frame carrying payload.
+func AppendPacket(dst, payload []byte) []byte {
+	dst = append(dst, MarkPacket)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(payload)))
+	return append(dst, payload...)
+}
+
+// AppendGroupEnd appends a groupEnd frame carrying the raw (uncompressed)
+// size of the group and the Adler-32 checksum of its raw data.
+func AppendGroupEnd(dst []byte, rawLen int, sum uint32) []byte {
+	dst = append(dst, MarkGroupEnd)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(rawLen))
+	return binary.BigEndian.AppendUint32(dst, sum)
+}
+
+// AppendMsgEnd appends the stream terminator.
+func AppendMsgEnd(dst []byte) []byte { return append(dst, MarkMsgEnd) }
+
+// Frame is one decoded stream frame.
+type Frame struct {
+	Mark byte
+	// GroupBegin field.
+	Level codec.Level
+	// Packet payload (valid until the next Reader call).
+	Payload []byte
+	// GroupEnd fields.
+	RawLen   int
+	Checksum uint32
+}
+
+// Reader decodes AdOC messages from an io.Reader. It performs its own
+// buffering of frame headers but reads payloads directly, so it never
+// consumes bytes beyond the frames it has returned... within a message.
+// (All traffic on an AdOC descriptor is AdOC-framed, as in the C library,
+// so read-ahead across frames inside one message is safe; Reader still
+// avoids it to keep ping-pong latency predictable.)
+type Reader struct {
+	r       io.Reader
+	scratch [16]byte
+	packet  []byte // reusable packet payload buffer
+}
+
+// NewReader returns a frame decoder reading from r.
+func NewReader(r io.Reader) *Reader { return &Reader{r: r} }
+
+// ReadMsgHeader reads and validates a message header.
+func (d *Reader) ReadMsgHeader() (MsgHeader, error) {
+	var h MsgHeader
+	b := d.scratch[:MsgHeaderLen]
+	if _, err := io.ReadFull(d.r, b); err != nil {
+		return h, err // io.EOF here means "no more messages", pass through
+	}
+	if binary.BigEndian.Uint16(b) != Magic {
+		return h, ErrBadMagic
+	}
+	if b[2] != Version {
+		return h, fmt.Errorf("%w: %d", ErrBadVersion, b[2])
+	}
+	h.Kind = Kind(b[3])
+	switch h.Kind {
+	case KindSmall:
+		if _, err := io.ReadFull(d.r, d.scratch[:4]); err != nil {
+			return h, unexpected(err)
+		}
+		h.RawLen = binary.BigEndian.Uint32(d.scratch[:4])
+		if h.RawLen > MaxGroupRaw {
+			return h, ErrTooBig
+		}
+	case KindStream:
+		if _, err := io.ReadFull(d.r, d.scratch[:8]); err != nil {
+			return h, unexpected(err)
+		}
+		h.TotalRaw = binary.BigEndian.Uint64(d.scratch[:8])
+	default:
+		return h, fmt.Errorf("%w: %d", ErrBadKind, b[3])
+	}
+	return h, nil
+}
+
+// ReadSmallPayload reads the payload of a KindSmall message into dst, which
+// must be at least h.RawLen long; it returns the filled prefix.
+func (d *Reader) ReadSmallPayload(h MsgHeader, dst []byte) ([]byte, error) {
+	if h.Kind != KindSmall {
+		return nil, ErrBadKind
+	}
+	if uint32(len(dst)) < h.RawLen {
+		return nil, io.ErrShortBuffer
+	}
+	if _, err := io.ReadFull(d.r, dst[:h.RawLen]); err != nil {
+		return nil, unexpected(err)
+	}
+	return dst[:h.RawLen], nil
+}
+
+// ReadFrame reads the next frame of a stream message. The Payload field of
+// packet frames aliases an internal buffer reused by the next ReadFrame
+// call; callers that keep it must copy.
+func (d *Reader) ReadFrame() (Frame, error) {
+	var f Frame
+	if _, err := io.ReadFull(d.r, d.scratch[:1]); err != nil {
+		return f, unexpected(err)
+	}
+	f.Mark = d.scratch[0]
+	switch f.Mark {
+	case MarkGroupBegin:
+		if _, err := io.ReadFull(d.r, d.scratch[:1]); err != nil {
+			return f, unexpected(err)
+		}
+		f.Level = codec.Level(d.scratch[0])
+		if !f.Level.Valid() {
+			return f, fmt.Errorf("%w: level %d", ErrBadFrame, d.scratch[0])
+		}
+	case MarkPacket:
+		if _, err := io.ReadFull(d.r, d.scratch[:4]); err != nil {
+			return f, unexpected(err)
+		}
+		n := binary.BigEndian.Uint32(d.scratch[:4])
+		if n > MaxPacketLen {
+			return f, ErrTooBig
+		}
+		if cap(d.packet) < int(n) {
+			d.packet = make([]byte, n)
+		}
+		f.Payload = d.packet[:n]
+		if _, err := io.ReadFull(d.r, f.Payload); err != nil {
+			return f, unexpected(err)
+		}
+	case MarkGroupEnd:
+		if _, err := io.ReadFull(d.r, d.scratch[:8]); err != nil {
+			return f, unexpected(err)
+		}
+		f.RawLen = int(binary.BigEndian.Uint32(d.scratch[:4]))
+		if f.RawLen > MaxGroupRaw {
+			return f, ErrTooBig
+		}
+		f.Checksum = binary.BigEndian.Uint32(d.scratch[4:8])
+	case MarkMsgEnd:
+		// no body
+	default:
+		return f, fmt.Errorf("%w: marker %d", ErrBadFrame, f.Mark)
+	}
+	return f, nil
+}
+
+// unexpected converts a bare io.EOF in the middle of a structure into
+// io.ErrUnexpectedEOF so callers can distinguish truncation from a clean
+// end of message sequence.
+func unexpected(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
