@@ -81,6 +81,11 @@ type Options struct {
 	FastCutoffBps float64
 	// QueueCapacity bounds the emission FIFO in packets (default 256).
 	QueueCapacity int
+	// Parallelism is the number of compression/decompression workers the
+	// pipeline shards buffers across (default min(GOMAXPROCS, 4)).
+	// 1 selects the paper's sequential two-goroutine pipeline. Every
+	// setting produces the same wire framing and delivers bytes in order.
+	Parallelism int
 	// DisableProbe skips the bandwidth probe.
 	DisableProbe bool
 	// Trace receives engine events.
@@ -114,6 +119,9 @@ func (o Options) toCore() core.Options {
 	}
 	if o.QueueCapacity > 0 {
 		c.QueueCapacity = o.QueueCapacity
+	}
+	if o.Parallelism > 0 {
+		c.Parallelism = o.Parallelism
 	}
 	c.DisableProbe = o.DisableProbe
 	c.Trace = o.Trace

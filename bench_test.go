@@ -247,6 +247,23 @@ func BenchmarkAblateBufferSize(b *testing.B) {
 	}
 }
 
+// BenchmarkParallelPipeline measures sender-pipeline throughput at a fixed
+// DEFLATE level across worker counts — the scaling curve of the sharded
+// compression pool (Parallelism 1 is the paper's sequential pipeline).
+func BenchmarkParallelPipeline(b *testing.B) {
+	data := datagen.ByKind(datagen.KindASCII, 4<<20, 1)
+	for _, p := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("P%d", p), func(b *testing.B) {
+			b.SetBytes(int64(len(data)))
+			for i := 0; i < b.N; i++ {
+				if _, err := bench.PipelineThroughput(p, adoc.Level(7), data, 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkEngineThroughput measures the raw engine pipeline over an
 // unconstrained in-memory link (how fast can AdOC itself go).
 func BenchmarkEngineThroughput(b *testing.B) {

@@ -85,5 +85,10 @@ func (c *Conn) Stats() Stats { return c.eng.Stats() }
 // (1.0 means no gain; higher is better).
 func (c *Conn) CompressionRatio() float64 { return c.eng.CompressionRatio() }
 
+// Parallelism returns the effective compression worker count after
+// defaulting: 1 means the sequential two-goroutine pipeline, higher values
+// the sharded worker pool.
+func (c *Conn) Parallelism() int { return c.eng.Options().Parallelism }
+
 // Underlying returns the wrapped stream.
 func (c *Conn) Underlying() io.ReadWriter { return c.rw }

@@ -1,0 +1,3 @@
+module adoc
+
+go 1.24

@@ -1,0 +1,45 @@
+package adapt
+
+import "sync/atomic"
+
+// Backlog counts packets that exist in the sender pipeline but are not yet
+// visible in the emission FIFO: segments produced by parallel compression
+// workers that are still waiting in the in-order reassembly stage.
+//
+// Paper Figure 2 drives the level from the occupancy n of the single FIFO
+// between the compression thread and the emission thread. With a sharded
+// worker pool there are packets in flight outside that queue, so the
+// occupancy the controller sees must be the sum over the whole pipeline —
+// fifo.Len() + backlog.Len() — or the control law would systematically
+// under-read the work the network has not yet absorbed. Workers increment
+// the backlog as each segment is produced; the reassembly stage decrements
+// it as segments are handed to the emission FIFO (where Len counts them
+// again).
+//
+// A nil *Backlog is valid and always empty, so the sequential path can pass
+// nil instead of special-casing.
+type Backlog struct {
+	n atomic.Int64
+}
+
+// Add adjusts the backlog by delta packets (negative to drain).
+func (b *Backlog) Add(delta int) {
+	if b == nil {
+		return
+	}
+	b.n.Add(int64(delta))
+}
+
+// Len returns the current backlog in packets, never negative: a transient
+// negative value (decrement racing an increment) reads as empty rather than
+// skewing the controller's delta.
+func (b *Backlog) Len() int {
+	if b == nil {
+		return 0
+	}
+	n := b.n.Load()
+	if n < 0 {
+		return 0
+	}
+	return int(n)
+}

@@ -1,0 +1,60 @@
+package bench
+
+import (
+	"runtime"
+	"testing"
+
+	"adoc"
+	"adoc/internal/datagen"
+)
+
+// TestPipelineThroughputRuns smoke-tests the measurement harness itself on
+// every machine: both pipelines must run and report a positive rate.
+func TestPipelineThroughputRuns(t *testing.T) {
+	data := datagen.ByKind(datagen.KindASCII, 2<<20, 1)
+	for _, p := range []int{1, 4} {
+		bps, err := PipelineThroughput(p, adoc.Level(7), data, 1)
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", p, err)
+		}
+		if bps <= 0 {
+			t.Fatalf("parallelism %d: non-positive throughput %f", p, bps)
+		}
+	}
+}
+
+// TestParallelPipelineSpeedup is the scaling acceptance check: on a ≥4-core
+// machine, Parallelism = 4 must push compressible data through a fixed
+// DEFLATE level at least 1.5× as fast as the sequential pipeline. Skipped
+// where the hardware cannot show the effect.
+func TestParallelPipelineSpeedup(t *testing.T) {
+	if runtime.NumCPU() < 4 {
+		t.Skipf("need >= 4 cores to demonstrate compression scaling, have %d", runtime.NumCPU())
+	}
+	if testing.Short() {
+		t.Skip("scaling measurement skipped in -short mode")
+	}
+	if raceEnabled {
+		t.Skip("race-detector instrumentation distorts the scaling measurement; CI runs this without -race")
+	}
+	data := datagen.ByKind(datagen.KindASCII, 8<<20, 1)
+	const want = 1.5
+	var best float64
+	// Two attempts absorb scheduler noise on shared CI runners.
+	for attempt := 0; attempt < 2; attempt++ {
+		s, err := PipelineSpeedup(4, adoc.Level(7), data, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s > best {
+			best = s
+		}
+		if best >= want {
+			break
+		}
+	}
+	if best < want {
+		t.Fatalf("Parallelism 4 speedup %.2fx, want >= %.1fx", best, want)
+	}
+	t.Logf("Parallelism 4 speedup: %.2fx", best)
+}

@@ -100,6 +100,23 @@ func putFlateWriter(lvl int, fw *flate.Writer) { flateWriterPools[lvl].Put(fw) }
 // level 0, mirroring AdOC's per-packet expansion check: the wire never
 // carries a block larger than its raw form plus framing.
 func Compress(level Level, src []byte) ([]byte, Level, error) {
+	return CompressAppend(nil, level, src)
+}
+
+// sliceWriter appends to a caller-provided slice, letting the pooled flate
+// writers emit into reusable scratch instead of a fresh bytes.Buffer.
+type sliceWriter struct{ buf []byte }
+
+func (w *sliceWriter) Write(p []byte) (int, error) {
+	w.buf = append(w.buf, p...)
+	return len(p), nil
+}
+
+// CompressAppend is Compress writing the block into scratch's backing array
+// when capacity allows, so each compression worker can reuse one scratch
+// buffer across blocks instead of allocating per buffer. The returned block
+// may alias scratch or src; it is valid only until scratch's next use.
+func CompressAppend(scratch []byte, level Level, src []byte) ([]byte, Level, error) {
 	if !level.Valid() {
 		return nil, 0, ErrBadLevel
 	}
@@ -108,15 +125,19 @@ func Compress(level Level, src []byte) ([]byte, Level, error) {
 	}
 	switch {
 	case level == LZF:
-		out, ok := lzf.Encode(src)
+		out, ok := lzf.EncodeTo(scratch, src)
 		if !ok {
 			return src, MinLevel, nil
 		}
 		return out, LZF, nil
 	default:
-		var buf bytes.Buffer
-		buf.Grow(len(src))
-		fw := getFlateWriter(flateLevel(level), &buf)
+		if cap(scratch) < len(src) {
+			// Match the compressed-fits-in-raw common case with one upfront
+			// allocation instead of append growth.
+			scratch = make([]byte, 0, len(src))
+		}
+		w := sliceWriter{buf: scratch[:0]}
+		fw := getFlateWriter(flateLevel(level), &w)
 		_, werr := fw.Write(src)
 		cerr := fw.Close()
 		putFlateWriter(flateLevel(level), fw)
@@ -126,10 +147,10 @@ func Compress(level Level, src []byte) ([]byte, Level, error) {
 		if cerr != nil {
 			return nil, 0, cerr
 		}
-		if buf.Len() >= len(src) {
+		if len(w.buf) >= len(src) {
 			return src, MinLevel, nil
 		}
-		return buf.Bytes(), level, nil
+		return w.buf, level, nil
 	}
 }
 

@@ -276,3 +276,34 @@ func BenchmarkCompressLevels(b *testing.B) {
 		})
 	}
 }
+
+// TestCompressAppendReusesScratch checks the worker-reuse contract: with a
+// large enough scratch buffer the block aliases it, and the content matches
+// the allocating path at every level.
+func TestCompressAppendReusesScratch(t *testing.T) {
+	src := textSample(64 * 1024)
+	scratch := make([]byte, len(src))
+	for l := MinLevel; l <= MaxLevel; l++ {
+		want, wantUsed, err := Compress(l, src)
+		if err != nil {
+			t.Fatalf("level %s: %v", l, err)
+		}
+		got, used, err := CompressAppend(scratch, l, src)
+		if err != nil {
+			t.Fatalf("level %s: %v", l, err)
+		}
+		if used != wantUsed || !bytes.Equal(got, want) {
+			t.Fatalf("level %s: CompressAppend diverges from Compress (used %s vs %s)", l, used, wantUsed)
+		}
+		if used != MinLevel && len(got) > 0 && &got[0] != &scratch[0] {
+			t.Fatalf("level %s: block did not reuse scratch", l)
+		}
+		back, err := Decompress(used, append([]byte(nil), got...), len(src))
+		if err != nil {
+			t.Fatalf("level %s: decompress: %v", l, err)
+		}
+		if !bytes.Equal(back, src) {
+			t.Fatalf("level %s: roundtrip mismatch", l)
+		}
+	}
+}

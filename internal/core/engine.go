@@ -46,6 +46,10 @@ type Engine struct {
 	curMu   sync.Mutex
 	cur     *streamState // in-progress stream message, if any
 
+	// bufPool recycles BufferSize read buffers for the parallel sender,
+	// where each in-flight buffer needs its own backing array.
+	bufPool sync.Pool
+
 	stats engineStats
 }
 
@@ -144,9 +148,9 @@ func (e *Engine) Close() error {
 // taking rmu (Close must not wait for a blocked Read).
 func (e *Engine) abortCurrentStream(err error) {
 	// cur is written under rmu; reading it racily here is acceptable
-	// because Abort is idempotent and the queue outlives the stream.
+	// because Abort is idempotent and the queues outlive the stream.
 	if st := e.loadCur(); st != nil {
-		st.frames.Abort(err)
+		st.abort(err)
 	}
 }
 

@@ -11,6 +11,7 @@
 package core
 
 import (
+	"runtime"
 	"time"
 
 	"adoc/internal/clock"
@@ -44,7 +45,25 @@ const (
 	// compressor between flushes — the granularity at which compressed
 	// packets become available and the incompressible guard can abort.
 	DefaultFlushInterval = 32 * 1024
+	// MaxDefaultParallelism caps the default compression worker count.
+	// Beyond ~4 workers the emission socket, not the compressor, is the
+	// bottleneck on typical links; callers that know better can raise
+	// Parallelism explicitly.
+	MaxDefaultParallelism = 4
 )
+
+// DefaultParallelism is min(GOMAXPROCS, MaxDefaultParallelism): one
+// compression worker per core up to the default cap, never less than one.
+func DefaultParallelism() int {
+	p := runtime.GOMAXPROCS(0)
+	if p > MaxDefaultParallelism {
+		p = MaxDefaultParallelism
+	}
+	if p < 1 {
+		p = 1
+	}
+	return p
+}
 
 // Trace receives engine events; any field may be nil. Used by the examples
 // to visualize adaptation and by tests to observe internals.
@@ -84,6 +103,11 @@ type Options struct {
 	QueueCapacity int
 	// FlushInterval is the raw-byte granularity of streaming compression.
 	FlushInterval int
+	// Parallelism is the number of compression (and decompression) workers
+	// the pipeline shards buffers across. 1 selects the paper's sequential
+	// two-thread pipeline; 0 selects DefaultParallelism(). Wire framing and
+	// ordering are identical at every setting.
+	Parallelism int
 	// DisableProbe skips the bandwidth probe (ablation).
 	DisableProbe bool
 	// DisableDivergenceGuard and DisableIncompressibleGuard pass through
@@ -110,6 +134,7 @@ func DefaultOptions() Options {
 		FastCutoffBps:  DefaultFastCutoffBps,
 		QueueCapacity:  DefaultQueueCapacity,
 		FlushInterval:  DefaultFlushInterval,
+		Parallelism:    DefaultParallelism(),
 		Clock:          clock.System,
 	}
 }
@@ -137,6 +162,9 @@ func (o Options) sanitize() (Options, error) {
 	}
 	if o.FlushInterval <= 0 {
 		o.FlushInterval = d.FlushInterval
+	}
+	if o.Parallelism <= 0 {
+		o.Parallelism = DefaultParallelism()
 	}
 	if o.Clock == nil {
 		o.Clock = d.Clock

@@ -1,0 +1,354 @@
+// Parallel compression pipeline (Parallelism > 1): the sequential
+// compression goroutine of the paper becomes a sharded worker pool. The
+// writer splits the message into adaptation buffers exactly as before and
+// chooses a level for each buffer at enqueue time; N workers compress
+// buffers concurrently; an in-order reassembly stage feeds the unchanged
+// emission goroutine, so the wire stream is byte-identical in ordering and
+// framing to the sequential path for the same sequence of level choices.
+// The receive side mirrors this with parallel block decompression behind
+// the same in-order delivery guarantee.
+
+package core
+
+import (
+	"fmt"
+	"hash/adler32"
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"adoc/internal/adapt"
+	"adoc/internal/codec"
+	"adoc/internal/fifo"
+	"adoc/internal/wire"
+)
+
+// compJob is one adaptation buffer handed to a compression worker. level is
+// fixed at enqueue time — the controller's choice for this buffer — so a
+// level change always lands on a buffer boundary, exactly as in the
+// sequential pipeline.
+type compJob struct {
+	buf   []byte // pooled backing array, released after compression
+	data  []byte // buf[:n], the raw adaptation buffer
+	level codec.Level
+	res   chan compResult
+}
+
+// compResult is one compressed buffer: its wire-framed segments in order.
+type compResult struct {
+	segs []segment
+	raw  int // raw bytes the segments carry, for rawSent accounting
+	err  error
+}
+
+// segList collects the segments of one buffer on a worker's stack, counting
+// each one into the shared pipeline backlog so the controller's occupancy
+// signal covers work the emission FIFO cannot see yet.
+type segList struct {
+	segs    []segment
+	backlog *adapt.Backlog
+}
+
+func (l *segList) Push(s segment) error {
+	l.segs = append(l.segs, s)
+	l.backlog.Add(1)
+	return nil
+}
+
+// getChunkBuf returns a BufferSize-capacity read buffer from the engine
+// pool (each in-flight parallel buffer needs its own backing array).
+func (e *Engine) getChunkBuf() []byte {
+	if v := e.bufPool.Get(); v != nil {
+		return v.([]byte)
+	}
+	return make([]byte, e.opts.BufferSize)
+}
+
+func (e *Engine) putChunkBuf(b []byte) {
+	e.bufPool.Put(b[:cap(b)]) //nolint:staticcheck // slice headers are small
+}
+
+// sendAdaptiveParallel is sendAdaptive with the compression stage sharded
+// across Parallelism workers. The caller goroutine reads and assigns
+// levels, workers compress, the reassembly goroutine restores buffer order
+// into the emission FIFO, and the emitter is exactly the sequential one.
+// remaining < 0 means until EOF.
+func (e *Engine) sendAdaptiveParallel(src io.Reader, remaining int64) (int64, error) {
+	if remaining == 0 {
+		return 0, nil
+	}
+	q := fifo.New[segment](e.opts.QueueCapacity)
+	res := make(chan emitResult, 1)
+	go e.runEmitter(q, res)
+
+	workers := e.opts.Parallelism
+	backlog := &adapt.Backlog{}
+	jobs := make(chan compJob)
+	// order carries one result channel per buffer in enqueue order; its
+	// capacity is the reassembly window and bounds in-flight memory.
+	order := make(chan chan compResult, 2*workers)
+
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer wg.Done()
+			var scratch []byte
+			for j := range jobs {
+				if scratch == nil && j.level == codec.LZF {
+					scratch = make([]byte, e.opts.BufferSize)
+				}
+				dst := &segList{backlog: backlog}
+				err := e.compressBufferAt(dst, j.level, j.data, scratch)
+				raw := len(j.data)
+				e.putChunkBuf(j.buf)
+				j.res <- compResult{segs: dst.segs, raw: raw, err: err}
+			}
+		}()
+	}
+
+	// Reassembly: pop result channels in enqueue order and feed the
+	// emission FIFO. On the first failure it aborts the FIFO and keeps
+	// draining so neither the reader nor the workers can block.
+	var failed atomic.Bool
+	reasmDone := make(chan error, 1)
+	go func() {
+		var firstErr error
+		for rc := range order {
+			r := <-rc
+			if firstErr != nil {
+				continue
+			}
+			if r.err != nil {
+				firstErr = r.err
+			} else {
+				for _, s := range r.segs {
+					if err := q.Push(s); err != nil {
+						firstErr = err
+						break
+					}
+					backlog.Add(-1)
+				}
+				if firstErr == nil {
+					// Counted here, not at dispatch, so a failed send
+					// reports the same rawSent the sequential path would.
+					e.stats.rawSent.Add(int64(r.raw))
+				}
+			}
+			if firstErr != nil {
+				failed.Store(true)
+				q.Abort(firstErr)
+			}
+		}
+		reasmDone <- firstErr
+	}()
+
+	var sendErr error
+	for remaining != 0 && !failed.Load() {
+		buf := e.getChunkBuf()
+		want := int64(len(buf))
+		if remaining > 0 && remaining < want {
+			want = remaining
+		}
+		n, rerr := io.ReadFull(src, buf[:want])
+		if n > 0 {
+			// The level is chosen here, against the whole-pipeline
+			// occupancy, and travels with the buffer.
+			level := e.ctrl.LevelForNextBuffer(q.Len() + backlog.Len())
+			rc := make(chan compResult, 1)
+			order <- rc
+			jobs <- compJob{buf: buf, data: buf[:n], level: level, res: rc}
+			if remaining > 0 {
+				remaining -= int64(n)
+			}
+		} else {
+			e.putChunkBuf(buf)
+		}
+		if rerr == io.EOF || rerr == io.ErrUnexpectedEOF {
+			if remaining > 0 {
+				sendErr = fmt.Errorf("adoc: source ended %d bytes early: %w", remaining, io.ErrUnexpectedEOF)
+			}
+			break
+		}
+		if rerr != nil {
+			sendErr = fmt.Errorf("adoc: reading source: %w", rerr)
+			break
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	close(order)
+	pipeErr := <-reasmDone
+
+	if sendErr != nil {
+		q.Abort(sendErr)
+	} else if pipeErr == nil {
+		q.CloseSend()
+	} // on pipeErr the reassembly stage already aborted the FIFO
+	r := <-res
+	if hw := int64(q.HighWater()); hw > e.stats.queueHigh.Load() {
+		e.stats.queueHigh.Store(hw)
+	}
+	switch {
+	case sendErr != nil:
+		return r.wireBytes, sendErr
+	case pipeErr != nil:
+		return r.wireBytes, pipeErr
+	}
+	return r.wireBytes, r.err
+}
+
+// decGroup is one decoded group — or the message-end marker — delivered in
+// wire order to the consumer.
+type decGroup struct {
+	data   []byte
+	rawLen int
+	end    bool
+}
+
+// decJob is one complete compressed group handed to a decompression worker.
+type decJob struct {
+	completedGroup
+	res chan decResult
+}
+
+type decResult struct {
+	data   []byte
+	rawLen int
+	end    bool
+	err    error
+}
+
+// decodeGroup expands and verifies one assembled group — the same
+// per-group work on both receive paths (the sequential consumer calls it
+// inline, the parallel workers concurrently).
+func decodeGroup(g completedGroup) decResult {
+	raw, err := codec.Decompress(g.level, g.block, g.rawLen)
+	if err != nil {
+		return decResult{err: err}
+	}
+	if adler32.Checksum(raw) != g.sum {
+		return decResult{err: wire.ErrChecksum}
+	}
+	return decResult{data: raw, rawLen: g.rawLen}
+}
+
+// runDecodePipeline is the receive-side mirror of the parallel sender: an
+// assembler goroutine pops frames from the reception FIFO and rebuilds
+// groups, Parallelism workers decompress groups concurrently, and a
+// collector delivers decoded groups to st.decoded strictly in wire order.
+// Groups decoded before a failure are delivered first, matching the
+// sequential path's drain-then-error contract.
+func (e *Engine) runDecodePipeline(st *streamState) {
+	workers := e.opts.Parallelism
+	jobs := make(chan decJob)
+	order := make(chan chan decResult, 2*workers)
+
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				j.res <- decodeGroup(j.completedGroup)
+			}
+		}()
+	}
+
+	go func() {
+		failed := false
+		for rc := range order {
+			r := <-rc
+			if failed {
+				continue
+			}
+			switch {
+			case r.err != nil:
+				failed = true
+				st.decoded.CloseSendWithError(r.err)
+			case r.end:
+				if st.decoded.Push(decGroup{end: true}) != nil {
+					failed = true
+				}
+			default:
+				if st.decoded.Push(decGroup{data: r.data, rawLen: r.rawLen}) != nil {
+					failed = true
+				}
+			}
+		}
+		if !failed {
+			st.decoded.CloseSend()
+		}
+	}()
+
+	// fail threads a terminal condition through the order channel so it is
+	// delivered only after every group dispatched before it.
+	fail := func(err error) {
+		rc := make(chan decResult, 1)
+		rc <- decResult{err: err}
+		order <- rc
+	}
+	// asm is the same frame state machine the sequential consumer runs;
+	// reuse stays false because workers hold each group's block while the
+	// next group assembles.
+	var asm groupAssembler
+	for {
+		fr, err := st.frames.Pop()
+		if err == io.EOF {
+			// The queue drained after MsgEnd was already consumed; a
+			// well-formed stream never gets here.
+			fail(io.ErrUnexpectedEOF)
+			break
+		}
+		if err != nil {
+			fail(err)
+			break
+		}
+		g, end, ferr := asm.feed(fr)
+		if ferr != nil {
+			fail(ferr)
+			break
+		}
+		if end {
+			rc := make(chan decResult, 1)
+			rc <- decResult{end: true}
+			order <- rc
+			break
+		}
+		if g != nil {
+			rc := make(chan decResult, 1)
+			order <- rc
+			jobs <- decJob{completedGroup: *g, res: rc}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	close(order)
+}
+
+// advanceDecoded is advanceStream for the parallel receive pipeline: it
+// consumes in-order decoded groups instead of raw frames.
+func (e *Engine) advanceDecoded(st *streamState, block bool) (progress bool, err error) {
+	var g decGroup
+	if block {
+		g, err = st.decoded.Pop()
+		if err == io.EOF {
+			return false, io.ErrUnexpectedEOF
+		}
+		if err != nil {
+			return false, err
+		}
+	} else {
+		var ok bool
+		g, ok = st.decoded.TryPop()
+		if !ok {
+			return false, nil
+		}
+	}
+	if g.end {
+		return false, errMsgEnd
+	}
+	e.recvBuf.Write(g.data)
+	e.stats.rawReceived.Add(int64(g.rawLen))
+	return true, nil
+}

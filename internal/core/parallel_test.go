@@ -1,0 +1,357 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"hash/adler32"
+	"io"
+	"net"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"adoc/internal/codec"
+	"adoc/internal/wire"
+)
+
+// parallelOptions is smallPipelineOptions at an explicit worker count.
+func parallelOptions(workers int) Options {
+	o := smallPipelineOptions()
+	o.Parallelism = workers
+	return o
+}
+
+// receiveAll reads exactly total decompressed bytes from e.
+func receiveAll(t *testing.T, e *Engine, total int) []byte {
+	t.Helper()
+	got := make([]byte, total)
+	if _, err := io.ReadFull(e, got); err != nil {
+		t.Fatalf("ReadFull: %v", err)
+	}
+	return got
+}
+
+// TestParallelMatchesSequential sends the same deterministic message
+// sequence at Parallelism 1 and 4 and requires the received byte streams to
+// be identical — the in-order reassembly guarantee of the worker pool.
+func TestParallelMatchesSequential(t *testing.T) {
+	msgs := [][]byte{
+		compressibleData(300 * 1024),
+		incompressibleData(200*1024, 11),
+		compressibleData(5 * 1024), // small-path message interleaved
+		incompressibleData(64*1024, 13),
+		compressibleData(150 * 1024),
+	}
+	var want int
+	for _, m := range msgs {
+		want += len(m)
+	}
+	streams := map[int][]byte{}
+	for _, workers := range []int{1, 4} {
+		e1, e2 := pipePair(t, parallelOptions(workers))
+		done := make(chan error, 1)
+		go func() {
+			for _, m := range msgs {
+				if _, err := e1.WriteMessage(m); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}()
+		streams[workers] = receiveAll(t, e2, want)
+		if err := <-done; err != nil {
+			t.Fatalf("workers=%d WriteMessage: %v", workers, err)
+		}
+	}
+	if !bytes.Equal(streams[1], streams[4]) {
+		t.Fatal("received bytes differ between Parallelism 1 and 4")
+	}
+}
+
+// TestParallelConcurrentWriters hammers one parallel engine with
+// interleaved messages from concurrent writers (run under -race in CI) and
+// checks that every message arrives intact and that the delivered message
+// multiset matches what the sequential path delivers.
+func TestParallelConcurrentWriters(t *testing.T) {
+	const writers = 6
+	const perWriter = 4
+	const msgSize = 40 * 1024
+
+	run := func(workers int) map[byte]int {
+		e1, e2 := pipePair(t, parallelOptions(workers))
+		var wg sync.WaitGroup
+		for i := 0; i < writers; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				msg := bytes.Repeat([]byte{byte('A' + i)}, msgSize)
+				for j := 0; j < perWriter; j++ {
+					if _, err := e1.WriteMessage(msg); err != nil {
+						t.Errorf("writer %d: %v", i, err)
+						return
+					}
+				}
+			}(i)
+		}
+		got := receiveAll(t, e2, writers*perWriter*msgSize)
+		wg.Wait()
+		counts := map[byte]int{}
+		for i := 0; i < writers*perWriter; i++ {
+			seg := got[i*msgSize : (i+1)*msgSize]
+			for _, c := range seg {
+				if c != seg[0] {
+					t.Fatalf("workers=%d: message %d interleaved", workers, i)
+				}
+			}
+			counts[seg[0]]++
+		}
+		return counts
+	}
+
+	seq, par := run(1), run(4)
+	for b, n := range seq {
+		if par[b] != n {
+			t.Fatalf("writer %c: %d messages at Parallelism 4, %d at 1", b, par[b], n)
+		}
+	}
+}
+
+// slowWriter delays every write so the emission FIFO backs up and the
+// controller walks the level upward mid-message.
+type slowWriter struct {
+	delay time.Duration
+}
+
+func (w *slowWriter) Write(p []byte) (int, error) {
+	time.Sleep(w.delay)
+	return len(p), nil
+}
+
+func (w *slowWriter) Read(p []byte) (int, error) { select {} }
+
+// TestLevelChangesOnBufferBoundaries drives the adaptive sender over a slow
+// sink so the level rises mid-message, then checks via OnGroupSent that
+// every level change landed on an adaptation-buffer boundary: each group is
+// exactly one full buffer (the tail excepted), so no buffer was split
+// between levels.
+func TestLevelChangesOnBufferBoundaries(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		o := parallelOptions(workers)
+		type group struct {
+			level  codec.Level
+			rawLen int
+		}
+		var mu sync.Mutex
+		var groups []group
+		o.Trace.OnGroupSent = func(level codec.Level, rawLen, wireLen, queueLen int) {
+			mu.Lock()
+			groups = append(groups, group{level, rawLen})
+			mu.Unlock()
+		}
+		e, err := New(&slowWriter{delay: 300 * time.Microsecond}, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const size = 48 * 8 * 1024 // 48 buffers at the 8 KB test BufferSize
+		if _, err := e.WriteMessage(compressibleData(size)); err != nil {
+			t.Fatal(err)
+		}
+		mu.Lock()
+		snapshot := append([]group(nil), groups...)
+		mu.Unlock()
+
+		levels := map[codec.Level]bool{}
+		var total int
+		for i, g := range snapshot {
+			levels[g.level] = true
+			total += g.rawLen
+			if i < len(snapshot)-1 && g.rawLen != o.BufferSize {
+				t.Fatalf("workers=%d: group %d carries %d raw bytes; level changes must land on %d-byte buffer boundaries",
+					workers, i, g.rawLen, o.BufferSize)
+			}
+		}
+		if total != size {
+			t.Fatalf("workers=%d: groups carry %d raw bytes, want %d", workers, total, size)
+		}
+		if len(levels) < 2 {
+			t.Fatalf("workers=%d: level never changed mid-message (levels %v); the boundary property was not exercised", workers, levels)
+		}
+	}
+}
+
+// TestParallelCorruptChecksumDetected feeds the parallel receive pipeline a
+// group with a wrong checksum and requires the same error the sequential
+// path reports.
+func TestParallelCorruptChecksumDetected(t *testing.T) {
+	raw := compressibleData(1000)
+	blk, used, err := codec.Compress(3, raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var msg []byte
+	msg = wire.AppendStreamHeader(msg, uint64(len(raw)))
+	msg = wire.AppendGroupBegin(msg, used)
+	msg = wire.AppendPacket(msg, blk)
+	msg = wire.AppendGroupEnd(msg, len(raw), 0xDEADBEEF)
+	msg = wire.AppendMsgEnd(msg)
+
+	o := DefaultOptions()
+	o.Parallelism = 4
+	e, err := New(&rawConn{Reader: bytes.NewReader(msg)}, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Read(make([]byte, 2000)); !errors.Is(err, wire.ErrChecksum) {
+		t.Fatalf("err = %v, want ErrChecksum", err)
+	}
+}
+
+// TestParallelGoodGroupsDeliveredBeforeError checks the drain-then-error
+// contract on the parallel receive path: groups that decoded cleanly before
+// a corrupt one must still reach the application.
+func TestParallelGoodGroupsDeliveredBeforeError(t *testing.T) {
+	good := compressibleData(4096)
+	blk, used, err := codec.Compress(3, good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var msg []byte
+	msg = wire.AppendStreamHeader(msg, uint64(2*len(good)))
+	msg = wire.AppendGroupBegin(msg, used)
+	msg = wire.AppendPacket(msg, blk)
+	msg = wire.AppendGroupEnd(msg, len(good), adler32.Checksum(good))
+	msg = wire.AppendGroupBegin(msg, used)
+	msg = wire.AppendPacket(msg, blk)
+	msg = wire.AppendGroupEnd(msg, len(good), 0xDEADBEEF)
+	msg = wire.AppendMsgEnd(msg)
+
+	o := DefaultOptions()
+	o.Parallelism = 4
+	e, err := New(&rawConn{Reader: bytes.NewReader(msg)}, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(good))
+	if _, err := io.ReadFull(e, got); err != nil {
+		t.Fatalf("good group not delivered: %v", err)
+	}
+	if !bytes.Equal(got, good) {
+		t.Fatal("good group corrupted")
+	}
+	if _, err := e.Read(make([]byte, 1)); !errors.Is(err, wire.ErrChecksum) {
+		t.Fatalf("err = %v, want ErrChecksum after the good group", err)
+	}
+}
+
+// TestParallelCloseUnblocks makes sure Close aborts a parallel receive
+// pipeline whose consumer is genuinely blocked mid-message: the peer sends
+// one group of a stream message and then goes silent, so the reader is
+// parked on the decoded queue when Close lands.
+func TestParallelCloseUnblocks(t *testing.T) {
+	o := DefaultOptions()
+	o.Parallelism = 4
+	c1, c2 := net.Pipe()
+	e, err := New(c2, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := compressibleData(4096)
+	blk, used, err := codec.Compress(3, raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var msg []byte
+	msg = wire.AppendStreamHeader(msg, wire.UnknownTotal)
+	msg = wire.AppendGroupBegin(msg, used)
+	msg = wire.AppendPacket(msg, blk)
+	msg = wire.AppendGroupEnd(msg, len(raw), adler32.Checksum(raw))
+	go c1.Write(msg) // one group, then silence — the message never ends
+
+	buf := make([]byte, len(raw))
+	if _, err := io.ReadFull(e, buf); err != nil {
+		t.Fatal(err)
+	}
+	readErr := make(chan error, 1)
+	go func() {
+		_, err := e.Read(buf)
+		readErr <- err
+	}()
+	time.Sleep(50 * time.Millisecond) // let the reader park on the pipeline
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-readErr:
+		if err != ErrClosed {
+			t.Fatalf("blocked Read returned %v, want ErrClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Read still blocked after Close")
+	}
+}
+
+// TestParallelismSanitize checks the option defaulting contract.
+func TestParallelismSanitize(t *testing.T) {
+	var o Options
+	s, err := o.sanitize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Parallelism != DefaultParallelism() {
+		t.Fatalf("Parallelism = %d, want default %d", s.Parallelism, DefaultParallelism())
+	}
+	if d := DefaultParallelism(); d < 1 || d > MaxDefaultParallelism {
+		t.Fatalf("DefaultParallelism() = %d out of [1, %d]", d, MaxDefaultParallelism)
+	}
+	o.Parallelism = 7
+	if s, err = o.sanitize(); err != nil || s.Parallelism != 7 {
+		t.Fatalf("explicit Parallelism not preserved: %d %v", s.Parallelism, err)
+	}
+}
+
+// TestReceiveMessageErrorReleasesPipeline is the regression test for a
+// leak: ReceiveMessage failing mid-stream (corrupt group) must abort the
+// reception pipeline, or its goroutines stay blocked on full queues
+// forever — unreachable even by Close, since cur is already nil.
+func TestReceiveMessageErrorReleasesPipeline(t *testing.T) {
+	raw := compressibleData(1000)
+	blk, used, err := codec.Compress(3, raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := DefaultOptions()
+	o.Parallelism = 4
+	o.QueueCapacity = 4 // small, so a leaked reception loop blocks fast
+
+	var msg []byte
+	msg = wire.AppendStreamHeader(msg, wire.UnknownTotal)
+	msg = wire.AppendGroupBegin(msg, used)
+	msg = wire.AppendPacket(msg, blk)
+	msg = wire.AppendGroupEnd(msg, len(raw), 0xBAD) // corrupt checksum
+	// Far more frames than QueueCapacity behind the corrupt group.
+	for i := 0; i < 64; i++ {
+		msg = wire.AppendGroupBegin(msg, used)
+		msg = wire.AppendPacket(msg, blk)
+		msg = wire.AppendGroupEnd(msg, len(raw), adler32.Checksum(raw))
+	}
+	msg = wire.AppendMsgEnd(msg)
+
+	before := runtime.NumGoroutine()
+	e, err := New(&rawConn{Reader: bytes.NewReader(msg)}, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.ReceiveMessage(io.Discard); !errors.Is(err, wire.ErrChecksum) {
+		t.Fatalf("err = %v, want ErrChecksum", err)
+	}
+	// All pipeline goroutines must wind down without Close's help.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before {
+		t.Fatalf("%d goroutines leaked after ReceiveMessage error", n-before)
+	}
+}

@@ -1,10 +1,8 @@
 package core
 
 import (
-	"bytes"
 	"errors"
 	"fmt"
-	"hash/adler32"
 	"io"
 
 	"adoc/internal/codec"
@@ -28,19 +26,102 @@ type recvFrame struct {
 
 // streamState is the receive pipeline for one in-progress stream message:
 // a reception goroutine (the paper's reception thread) pushes frames into
-// a bounded FIFO; the Read caller plays the decompression thread.
+// a bounded FIFO; the Read caller plays the decompression thread. With
+// Parallelism > 1 a decode pipeline (assembler, worker pool, in-order
+// collector) sits between the two and decoded holds its output.
 type streamState struct {
-	frames *fifo.Queue[recvFrame]
+	frames  *fifo.Queue[recvFrame]
+	decoded *fifo.Queue[decGroup] // nil on the sequential path
 
-	// Group assembly, owned by the consumer (guarded by rmu).
-	inGroup  bool
-	level    codec.Level
-	groupBuf bytes.Buffer
+	// Group assembly, owned by the consumer (guarded by rmu); unused when
+	// the decode pipeline assembles groups instead.
+	asm groupAssembler
 }
 
-// startStream launches the reception thread for a stream message.
+// completedGroup is one fully assembled compressed group ready to decode.
+type completedGroup struct {
+	level  codec.Level
+	block  []byte
+	rawLen int
+	sum    uint32
+}
+
+// groupAssembler validates the frame sequence of a stream message and
+// accumulates packet payloads into complete groups. It is the one frame
+// state machine, shared by the sequential consumer and the parallel decode
+// pipeline so the two paths cannot drift.
+type groupAssembler struct {
+	// reuse keeps one block buffer across groups. Only safe when each
+	// completed group is fully consumed before the next feed call (the
+	// sequential path); the parallel path hands groups to workers and
+	// needs fresh ownership per group.
+	reuse bool
+
+	inGroup bool
+	level   codec.Level
+	block   []byte
+}
+
+// feed consumes one frame. At most one of the results is set: a completed
+// group, the message-end signal, or a framing error; all unset means
+// mid-group progress.
+func (a *groupAssembler) feed(fr recvFrame) (g *completedGroup, end bool, err error) {
+	switch fr.mark {
+	case wire.MarkGroupBegin:
+		if a.inGroup {
+			return nil, false, fmt.Errorf("%w: nested group", wire.ErrBadFrame)
+		}
+		a.inGroup = true
+		a.level = fr.level
+		if a.reuse {
+			a.block = a.block[:0]
+		} else {
+			a.block = nil
+		}
+	case wire.MarkPacket:
+		if !a.inGroup {
+			return nil, false, fmt.Errorf("%w: packet outside group", wire.ErrBadFrame)
+		}
+		a.block = append(a.block, fr.payload...)
+	case wire.MarkGroupEnd:
+		if !a.inGroup {
+			return nil, false, fmt.Errorf("%w: group end outside group", wire.ErrBadFrame)
+		}
+		a.inGroup = false
+		g = &completedGroup{level: a.level, block: a.block, rawLen: fr.rawLen, sum: fr.checksum}
+		if !a.reuse {
+			a.block = nil
+		}
+		return g, false, nil
+	case wire.MarkMsgEnd:
+		if a.inGroup {
+			return nil, false, fmt.Errorf("%w: message end inside group", wire.ErrBadFrame)
+		}
+		return nil, true, nil
+	default:
+		return nil, false, fmt.Errorf("%w: marker %d", wire.ErrBadFrame, fr.mark)
+	}
+	return nil, false, nil
+}
+
+// abort terminates the stream's queues so blocked producers and consumers
+// unblock with err.
+func (st *streamState) abort(err error) {
+	st.frames.Abort(err)
+	if st.decoded != nil {
+		st.decoded.Abort(err)
+	}
+}
+
+// startStream launches the reception thread — and, for Parallelism > 1,
+// the parallel decode pipeline — for a stream message.
 func (e *Engine) startStream() *streamState {
 	st := &streamState{frames: fifo.New[recvFrame](e.opts.QueueCapacity)}
+	st.asm.reuse = true // the consumer decodes each group before the next
+	if e.opts.Parallelism > 1 {
+		st.decoded = fifo.New[decGroup](2 * e.opts.Parallelism)
+		go e.runDecodePipeline(st)
+	}
 	go e.receiveLoop(st)
 	return st
 }
@@ -83,8 +164,12 @@ func (e *Engine) receiveLoop(st *streamState) {
 // advanceStream consumes frames until it has appended at least one group
 // of decompressed bytes to recvBuf (progress), the message ends
 // (errMsgEnd), or — in non-blocking mode — the FIFO runs dry (progress
-// false, nil error).
+// false, nil error). On the parallel path the decode pipeline has already
+// turned frames into in-order groups, so this consumes those instead.
 func (e *Engine) advanceStream(st *streamState, block bool) (progress bool, err error) {
+	if st.decoded != nil {
+		return e.advanceDecoded(st, block)
+	}
 	for {
 		var fr recvFrame
 		if block {
@@ -104,41 +189,20 @@ func (e *Engine) advanceStream(st *streamState, block bool) (progress bool, err 
 				return false, nil
 			}
 		}
-		switch fr.mark {
-		case wire.MarkGroupBegin:
-			if st.inGroup {
-				return false, fmt.Errorf("%w: nested group", wire.ErrBadFrame)
-			}
-			st.inGroup = true
-			st.level = fr.level
-			st.groupBuf.Reset()
-		case wire.MarkPacket:
-			if !st.inGroup {
-				return false, fmt.Errorf("%w: packet outside group", wire.ErrBadFrame)
-			}
-			st.groupBuf.Write(fr.payload)
-		case wire.MarkGroupEnd:
-			if !st.inGroup {
-				return false, fmt.Errorf("%w: group end outside group", wire.ErrBadFrame)
-			}
-			raw, derr := codec.Decompress(st.level, st.groupBuf.Bytes(), fr.rawLen)
-			if derr != nil {
-				return false, derr
-			}
-			if adler32.Checksum(raw) != fr.checksum {
-				return false, wire.ErrChecksum
-			}
-			e.recvBuf.Write(raw)
-			st.inGroup = false
-			e.stats.rawReceived.Add(int64(fr.rawLen))
-			return true, nil
-		case wire.MarkMsgEnd:
-			if st.inGroup {
-				return false, fmt.Errorf("%w: message end inside group", wire.ErrBadFrame)
-			}
+		g, end, ferr := st.asm.feed(fr)
+		switch {
+		case ferr != nil:
+			return false, ferr
+		case end:
 			return false, errMsgEnd
-		default:
-			return false, fmt.Errorf("%w: marker %d", wire.ErrBadFrame, fr.mark)
+		case g != nil:
+			r := decodeGroup(*g)
+			if r.err != nil {
+				return false, r.err
+			}
+			e.recvBuf.Write(r.data)
+			e.stats.rawReceived.Add(int64(r.rawLen))
+			return true, nil
 		}
 	}
 }
@@ -279,7 +343,7 @@ func (e *Engine) ReceiveMessage(w io.Writer) (int64, error) {
 				n, werr := e.recvBuf.WriteTo(w)
 				total += n
 				if werr != nil {
-					st.frames.Abort(werr)
+					st.abort(werr)
 					e.storeCur(nil)
 					return total, werr
 				}
@@ -289,6 +353,10 @@ func (e *Engine) ReceiveMessage(w io.Writer) (int64, error) {
 				return total, nil
 			}
 			if err != nil {
+				// Abort before dropping cur: the reception goroutine (and
+				// decode pipeline) would otherwise block on full queues
+				// forever, unreachable even by Close.
+				st.abort(err)
 				e.storeCur(nil)
 				return total, e.normalizeErr(err)
 			}

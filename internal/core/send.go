@@ -188,10 +188,13 @@ func (e *Engine) writeStream(src io.Reader, size int64, min, max codec.Level) (i
 
 	var err error
 	var w int64
-	if bypass {
+	switch {
+	case bypass:
 		e.stats.probeBypasses.Add(1)
 		w, err = e.sendRawBypass(src, remaining)
-	} else {
+	case e.opts.Parallelism > 1:
+		w, err = e.sendAdaptiveParallel(src, remaining)
+	default:
 		w, err = e.sendAdaptive(src, remaining)
 	}
 	wireBytes += w
@@ -292,6 +295,7 @@ type emitResult struct {
 // sendAdaptive runs the paper's two-thread pipeline: the caller acts as
 // the compression thread, a spawned goroutine as the emission thread, and
 // a bounded FIFO of packets in between. remaining < 0 means until EOF.
+// Parallelism > 1 takes sendAdaptiveParallel instead.
 func (e *Engine) sendAdaptive(src io.Reader, remaining int64) (int64, error) {
 	if remaining == 0 {
 		return 0, nil
@@ -301,6 +305,7 @@ func (e *Engine) sendAdaptive(src io.Reader, remaining int64) (int64, error) {
 	go e.runEmitter(q, res)
 
 	buf := make([]byte, e.opts.BufferSize)
+	var scratch []byte
 	var sendErr error
 	for remaining != 0 {
 		want := int64(len(buf))
@@ -309,7 +314,11 @@ func (e *Engine) sendAdaptive(src io.Reader, remaining int64) (int64, error) {
 		}
 		n, rerr := io.ReadFull(src, buf[:want])
 		if n > 0 {
-			if err := e.compressBuffer(q, buf[:n]); err != nil {
+			level := e.ctrl.LevelForNextBuffer(q.Len())
+			if scratch == nil && level == codec.LZF {
+				scratch = make([]byte, e.opts.BufferSize)
+			}
+			if err := e.compressBufferAt(q, level, buf[:n], scratch); err != nil {
 				sendErr = err
 				break
 			}
@@ -378,36 +387,44 @@ func (e *Engine) runEmitter(q *fifo.Queue[segment], res chan<- emitResult) {
 	}
 }
 
-// compressBuffer handles one adaptation unit (≤ BufferSize bytes): asks the
-// controller for a level, compresses, and pushes wire-framed packets into
-// the FIFO. It implements the incompressible-data guard by aborting DEFLATE
-// buffers whose running ratio is poor and sending the remainder raw.
-func (e *Engine) compressBuffer(q *fifo.Queue[segment], chunk []byte) error {
-	level := e.ctrl.LevelForNextBuffer(q.Len())
+// segDst receives the wire-framed segments of a compressed group: the
+// emission FIFO on the sequential path, a per-worker reorder list on the
+// parallel path.
+type segDst interface {
+	Push(segment) error
+}
+
+// compressBufferAt handles one adaptation unit (≤ BufferSize bytes) at a
+// level the controller already chose: compresses and pushes wire-framed
+// packets into dst. It implements the incompressible-data guard by aborting
+// DEFLATE buffers whose running ratio is poor and sending the remainder
+// raw. scratch, when non-nil, is a caller-owned buffer reused for LZF
+// blocks (the segments copy out of it before returning).
+func (e *Engine) compressBufferAt(dst segDst, level codec.Level, chunk, scratch []byte) error {
 	switch {
 	case level == codec.MinLevel:
-		return e.pushBlockGroup(q, codec.MinLevel, chunk, chunk)
+		return e.pushBlockGroup(dst, codec.MinLevel, chunk, chunk)
 	case level == codec.LZF:
-		blk, used, err := codec.Compress(codec.LZF, chunk)
+		blk, used, err := codec.CompressAppend(scratch, codec.LZF, chunk)
 		if err != nil {
 			return err
 		}
 		if used == codec.MinLevel {
 			// Did not shrink: raw group plus the incompressible pin.
 			e.ctrl.NotePacketRatio(codec.LZF, len(chunk), len(chunk))
-			return e.pushBlockGroup(q, codec.MinLevel, chunk, chunk)
+			return e.pushBlockGroup(dst, codec.MinLevel, chunk, chunk)
 		}
 		e.ctrl.NotePacketRatio(used, len(chunk), len(blk))
-		return e.pushBlockGroup(q, used, blk, chunk)
+		return e.pushBlockGroup(dst, used, blk, chunk)
 	default:
-		return e.pushFlateGroup(q, level, chunk)
+		return e.pushFlateGroup(dst, level, chunk)
 	}
 }
 
 // pushBlockGroup frames a fully materialized group (raw or LZF block) into
 // packet segments. raw is the uncompressed data (for the checksum).
-func (e *Engine) pushBlockGroup(q *fifo.Queue[segment], level codec.Level, block, raw []byte) error {
-	p := newPacketizer(e, q, level)
+func (e *Engine) pushBlockGroup(dst segDst, level codec.Level, block, raw []byte) error {
+	p := newPacketizer(e, dst, level)
 	if _, err := p.Write(block); err != nil {
 		return err
 	}
@@ -417,8 +434,8 @@ func (e *Engine) pushBlockGroup(q *fifo.Queue[segment], level codec.Level, block
 // pushFlateGroup streams chunk through a DEFLATE compressor, checking the
 // running ratio after every flush so incompressible data aborts the buffer
 // early (paper §5 "Compressed and random data").
-func (e *Engine) pushFlateGroup(q *fifo.Queue[segment], level codec.Level, chunk []byte) error {
-	p := newPacketizer(e, q, level)
+func (e *Engine) pushFlateGroup(dst segDst, level codec.Level, chunk []byte) error {
+	p := newPacketizer(e, dst, level)
 	sw, err := codec.NewStreamWriter(level, p)
 	if err != nil {
 		return err
@@ -455,16 +472,16 @@ func (e *Engine) pushFlateGroup(q *fifo.Queue[segment], level codec.Level, chunk
 	if aborted && fed < len(chunk) {
 		// Remainder of the buffer goes out raw.
 		rest := chunk[fed:]
-		return e.pushBlockGroup(q, codec.MinLevel, rest, rest)
+		return e.pushBlockGroup(dst, codec.MinLevel, rest, rest)
 	}
 	return nil
 }
 
 // packetizer is an io.Writer that cuts a group's byte stream into
-// packet-framed FIFO segments of at most PacketSize payload bytes.
+// packet-framed segments of at most PacketSize payload bytes.
 type packetizer struct {
 	e       *Engine
-	q       *fifo.Queue[segment]
+	dst     segDst
 	level   codec.Level
 	pending []byte
 	first   bool
@@ -473,8 +490,8 @@ type packetizer struct {
 	packets int
 }
 
-func newPacketizer(e *Engine, q *fifo.Queue[segment], level codec.Level) *packetizer {
-	return &packetizer{e: e, q: q, level: level, first: true,
+func newPacketizer(e *Engine, dst segDst, level codec.Level) *packetizer {
+	return &packetizer{e: e, dst: dst, level: level, first: true,
 		pending: make([]byte, 0, e.opts.PacketSize)}
 }
 
@@ -529,7 +546,7 @@ func (p *packetizer) flushPacket(end bool, rawLen int, sum uint32) error {
 		seg.groupRaw = rawLen
 		seg.groupWire = p.wire
 	}
-	if err := p.q.Push(seg); err != nil {
+	if err := p.dst.Push(seg); err != nil {
 		return err
 	}
 	if len(seg.data) > 0 {

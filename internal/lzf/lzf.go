@@ -195,10 +195,24 @@ func copyLiterals(src, dst []byte) (int, error) {
 // falling back to nil, false when the data does not shrink. This is the
 // form the AdOC codec layer uses: an unsuccessful Encode means "send raw".
 func Encode(src []byte) ([]byte, bool) {
+	return EncodeTo(nil, src)
+}
+
+// EncodeTo is Encode writing into buf's backing array when its capacity
+// suffices (allocating otherwise), so a compression worker can reuse one
+// scratch buffer across blocks. The returned slice aliases buf in the reuse
+// case and is only valid until buf's next use.
+func EncodeTo(buf, src []byte) ([]byte, bool) {
 	if len(src) == 0 {
 		return nil, false
 	}
-	dst := make([]byte, len(src)-1)
+	need := len(src) - 1
+	var dst []byte
+	if cap(buf) >= need {
+		dst = buf[:need]
+	} else {
+		dst = make([]byte, need)
+	}
 	n, err := Compress(src, dst)
 	if err != nil {
 		return nil, false

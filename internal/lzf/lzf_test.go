@@ -265,3 +265,27 @@ func BenchmarkCompressRandom(b *testing.B) {
 		}
 	}
 }
+
+// TestEncodeToReusesBuffer checks that EncodeTo writes into a
+// caller-provided buffer of sufficient capacity and matches Encode.
+func TestEncodeToReusesBuffer(t *testing.T) {
+	src := []byte(strings.Repeat("reusable scratch buffers for workers ", 200))
+	want, ok := Encode(src)
+	if !ok {
+		t.Fatal("sample did not compress")
+	}
+	buf := make([]byte, len(src))
+	got, ok := EncodeTo(buf, src)
+	if !ok {
+		t.Fatal("EncodeTo did not compress")
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("EncodeTo output differs from Encode")
+	}
+	if &got[0] != &buf[0] {
+		t.Fatal("EncodeTo did not reuse the provided buffer")
+	}
+	if out, ok := EncodeTo(make([]byte, 1), src); !ok || !bytes.Equal(out, want) {
+		t.Fatal("EncodeTo with a too-small buffer must allocate and still match")
+	}
+}
