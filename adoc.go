@@ -26,8 +26,10 @@
 package adoc
 
 import (
+	"fmt"
 	"io"
 	"os"
+	"reflect"
 	"sync"
 
 	"adoc/internal/codec"
@@ -98,6 +100,28 @@ func DefaultOptions() Options {
 	return Options{MinLevel: MinLevel, MaxLevel: MaxLevel}
 }
 
+// Effective returns o with zero-valued fields resolved to the paper
+// defaults — the configuration a Conn built from o actually runs. The
+// resolution is the engine's own (one rule set, no drift): sizes and
+// thresholds fill from the defaults, level bounds pass through as given
+// (a zero MaxLevel really does mean compression off), and invalid bounds
+// return the same error NewConn would.
+func (o Options) Effective() (Options, error) {
+	c, err := o.toCore().Sanitized()
+	if err != nil {
+		return o, err
+	}
+	o.MinLevel, o.MaxLevel = c.MinLevel, c.MaxLevel
+	o.PacketSize = c.PacketSize
+	o.BufferSize = c.BufferSize
+	o.SmallThreshold = c.SmallThreshold
+	o.ProbeSize = c.ProbeSize
+	o.FastCutoffBps = c.FastCutoffBps
+	o.QueueCapacity = c.QueueCapacity
+	o.Parallelism = c.Parallelism
+	return o, nil
+}
+
 func (o Options) toCore() core.Options {
 	c := core.DefaultOptions()
 	c.MinLevel = o.MinLevel
@@ -137,8 +161,27 @@ var (
 	registry   = map[io.ReadWriter]*Conn{}
 )
 
+// checkRegistryKey rejects values the registry map cannot hold: indexing a
+// map with an interface whose dynamic type is non-comparable (a struct
+// with a slice field, a func, ...) panics at runtime, which would crash
+// the caller deep inside Write/Read. Such types get a descriptive error
+// instead; wrapping the value in a pointer (or using NewConn directly)
+// sidesteps the restriction.
+func checkRegistryKey(d io.ReadWriter) error {
+	if d == nil {
+		return fmt.Errorf("adoc: nil connection")
+	}
+	if t := reflect.TypeOf(d); !t.Comparable() {
+		return fmt.Errorf("adoc: connection type %v is not comparable and cannot key the connection registry; pass a pointer (e.g. *%v) or use NewConn/Configure's Conn directly", t, t)
+	}
+	return nil
+}
+
 // connFor returns (creating if needed) the Conn bound to d.
 func connFor(d io.ReadWriter) (*Conn, error) {
+	if err := checkRegistryKey(d); err != nil {
+		return nil, err
+	}
 	registryMu.Lock()
 	defer registryMu.Unlock()
 	if c, ok := registry[d]; ok {
@@ -156,6 +199,9 @@ func connFor(d io.ReadWriter) (*Conn, error) {
 // before the first Write/Read on d, and is optional: the defaults apply
 // otherwise.
 func Configure(d io.ReadWriter, opts Options) (*Conn, error) {
+	if err := checkRegistryKey(d); err != nil {
+		return nil, err
+	}
 	registryMu.Lock()
 	defer registryMu.Unlock()
 	if c, ok := registry[d]; ok {
@@ -260,10 +306,17 @@ func ReceiveFile(d io.ReadWriter, f *os.File) (int64, error) {
 // pipelines) and closes d itself if it implements io.Closer —
 // adoc_close.
 func Close(d io.ReadWriter) error {
-	registryMu.Lock()
-	c, ok := registry[d]
-	delete(registry, d)
-	registryMu.Unlock()
+	var c *Conn
+	ok := false
+	if checkRegistryKey(d) == nil {
+		// A non-comparable d can never have been registered (connFor and
+		// Configure refuse it), so skipping the lookup loses nothing — and
+		// avoids panicking on the map index.
+		registryMu.Lock()
+		c, ok = registry[d]
+		delete(registry, d)
+		registryMu.Unlock()
+	}
 	if !ok {
 		// Never used through this package: just close the descriptor.
 		if cl, okc := d.(io.Closer); okc {

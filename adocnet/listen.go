@@ -1,0 +1,148 @@
+package adocnet
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"time"
+)
+
+// HandshakeError reports a connection that was accepted (or dialed) but
+// failed the AdOC handshake. For a listener this is a per-connection
+// condition — the listener itself is still healthy — so accept loops
+// should treat it as "skip this client", not "stop serving":
+//
+//	for {
+//		c, err := ln.Accept()
+//		var he *adocnet.HandshakeError
+//		if errors.As(err, &he) {
+//			log.Printf("rejected %v: %v", he.Addr, he.Err)
+//			continue
+//		}
+//		if err != nil {
+//			return err // listener is gone
+//		}
+//		go serve(c)
+//	}
+type HandshakeError struct {
+	// Addr is the peer address, when known.
+	Addr net.Addr
+	// Err is the underlying negotiation or I/O failure.
+	Err error
+}
+
+func (e *HandshakeError) Error() string {
+	if e.Addr != nil {
+		return fmt.Sprintf("adocnet: handshake with %v failed: %v", e.Addr, e.Err)
+	}
+	return fmt.Sprintf("adocnet: handshake failed: %v", e.Err)
+}
+
+func (e *HandshakeError) Unwrap() error { return e.Err }
+
+// Listener accepts negotiated AdOC connections.
+type Listener struct {
+	ln   net.Listener
+	opts Options
+}
+
+// Listen announces on the local network address and returns a listener
+// whose Accept performs the AdOC handshake — the server half of the
+// transport.
+func Listen(network, addr string, opts Options) (*Listener, error) {
+	ln, err := net.Listen(network, addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewListener(ln, opts), nil
+}
+
+// NewListener wraps an existing net.Listener (a TLS listener, a simulated
+// fabric, a unix socket) so its connections handshake as AdOC.
+func NewListener(ln net.Listener, opts Options) *Listener {
+	return &Listener{ln: ln, opts: opts}
+}
+
+// Accept waits for the next connection and runs the handshake on it. A
+// handshake failure closes that connection and returns a *HandshakeError;
+// the listener remains usable.
+//
+// The handshake runs synchronously, so a stalled client occupies Accept
+// for up to HandshakeTimeout. Servers that cannot afford that
+// head-of-line blocking should use Server, which moves the handshake
+// onto each connection's own goroutine.
+func (l *Listener) Accept() (*Conn, error) {
+	conn, err := l.ln.Accept()
+	if err != nil {
+		return nil, err
+	}
+	c, err := Handshake(conn, l.opts)
+	if err != nil {
+		addr := conn.RemoteAddr()
+		conn.Close()
+		return nil, &HandshakeError{Addr: addr, Err: err}
+	}
+	return c, nil
+}
+
+// Addr returns the listener's network address.
+func (l *Listener) Addr() net.Addr { return l.ln.Addr() }
+
+// Close stops the listener. Established connections are unaffected.
+func (l *Listener) Close() error { return l.ln.Close() }
+
+// Dial connects to addr and negotiates AdOC — the client half of the
+// transport. On failure the underlying connection is closed.
+func Dial(network, addr string, opts Options) (*Conn, error) {
+	return DialContext(context.Background(), network, addr, opts)
+}
+
+// DialContext is Dial honoring the context through connection
+// establishment AND the handshake: cancellation mid-handshake aborts the
+// connection and returns the context's error, and a context deadline
+// bounds the handshake even when HandshakeTimeout is longer or disabled.
+func DialContext(ctx context.Context, network, addr string, opts Options) (*Conn, error) {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, network, addr)
+	if err != nil {
+		return nil, err
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		// A deadline that has already passed must fail now — a
+		// non-positive value would read as "default" or "disabled" and
+		// hang instead.
+		t := time.Until(dl)
+		if t <= 0 {
+			conn.Close()
+			return nil, context.DeadlineExceeded
+		}
+		if opts.HandshakeTimeout <= 0 || t < opts.HandshakeTimeout {
+			opts.HandshakeTimeout = t
+		}
+	}
+
+	// Watch for cancellation while the handshake runs: closing the conn is
+	// the only way to interrupt its blocking reads.
+	stop := make(chan struct{})
+	watchDone := make(chan struct{})
+	go func() {
+		defer close(watchDone)
+		select {
+		case <-ctx.Done():
+			conn.Close()
+		case <-stop:
+		}
+	}()
+	c, err := Handshake(conn, opts)
+	close(stop)
+	<-watchDone
+	if ctxErr := ctx.Err(); ctxErr != nil {
+		conn.Close()
+		return nil, ctxErr
+	}
+	if err != nil {
+		conn.Close()
+		return nil, &HandshakeError{Addr: conn.RemoteAddr(), Err: err}
+	}
+	return c, nil
+}

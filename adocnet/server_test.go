@@ -1,0 +1,330 @@
+package adocnet
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"net"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+// echoServer starts a Server whose handler echoes every message back,
+// returning the server, its address, and a channel with Serve's result.
+func echoServer(t *testing.T, opts Options) (*Server, string, <-chan error) {
+	t.Helper()
+	srv := NewServer(opts, func(c *Conn) {
+		for {
+			var buf bytes.Buffer
+			if _, err := c.ReceiveMessage(&buf); err != nil {
+				return
+			}
+			if _, err := c.WriteMessage(buf.Bytes()); err != nil {
+				return
+			}
+		}
+	})
+	ln, err := Listen("tcp", "127.0.0.1:0", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	return srv, ln.Addr().String(), serveErr
+}
+
+func TestServerEchoAndStats(t *testing.T) {
+	srv, addr, serveErr := echoServer(t, Defaults())
+
+	const clients = 3
+	msg := payload(256 * 1024)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := Dial("tcp", addr, Defaults())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer c.Close()
+			if _, err := c.WriteMessage(msg); err != nil {
+				t.Error(err)
+				return
+			}
+			var got bytes.Buffer
+			if _, err := c.ReceiveMessage(&got); err != nil {
+				t.Error(err)
+				return
+			}
+			if !bytes.Equal(got.Bytes(), msg) {
+				t.Error("echo mismatch")
+			}
+		}()
+	}
+	wg.Wait()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("graceful shutdown failed: %v", err)
+	}
+	if err := <-serveErr; !errors.Is(err, ErrServerClosed) {
+		t.Fatalf("Serve returned %v, want ErrServerClosed", err)
+	}
+
+	s := srv.Stats()
+	if s.MsgsReceived != clients || s.MsgsSent != clients {
+		t.Errorf("aggregate messages = %d in / %d out, want %d / %d",
+			s.MsgsReceived, s.MsgsSent, clients, clients)
+	}
+	if s.RawReceived != int64(clients*len(msg)) {
+		t.Errorf("aggregate RawReceived = %d, want %d", s.RawReceived, clients*len(msg))
+	}
+	if srv.ConnCount() != 0 {
+		t.Errorf("%d connections survived shutdown", srv.ConnCount())
+	}
+}
+
+// TestServerShutdownDrains checks the graceful path: a message in flight
+// when Shutdown starts is still answered.
+func TestServerShutdownDrains(t *testing.T) {
+	started := make(chan struct{})
+	srv := NewServer(Defaults(), func(c *Conn) {
+		close(started)
+		var buf bytes.Buffer
+		if _, err := c.ReceiveMessage(&buf); err != nil {
+			return
+		}
+		time.Sleep(50 * time.Millisecond) // in-flight work
+		c.WriteMessage(buf.Bytes())
+	})
+	ln, err := Listen("tcp", "127.0.0.1:0", Defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+
+	c, err := Dial("tcp", ln.Addr().String(), Defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	<-started
+	if _, err := c.WriteMessage([]byte("drain me")); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	var got bytes.Buffer
+	if _, err := c.ReceiveMessage(&got); err != nil {
+		t.Fatalf("reply lost in shutdown: %v", err)
+	}
+	if got.String() != "drain me" {
+		t.Fatalf("got %q", got.String())
+	}
+}
+
+// TestServerShutdownForcesAfterDeadline checks the other half of the
+// contract: a handler that never finishes is cut off when ctx expires.
+func TestServerShutdownForcesAfterDeadline(t *testing.T) {
+	started := make(chan struct{})
+	srv := NewServer(Defaults(), func(c *Conn) {
+		close(started)
+		io.Copy(io.Discard, c) // blocks until the connection dies
+	})
+	ln, err := Listen("tcp", "127.0.0.1:0", Defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+
+	c, err := Dial("tcp", ln.Addr().String(), Defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	<-started
+
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	if err := srv.Shutdown(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("shutdown = %v, want DeadlineExceeded", err)
+	}
+	// Shutdown returns at the deadline without waiting for handler
+	// goroutines to unwind; the force-closed connections retire shortly
+	// after.
+	for i := 0; srv.ConnCount() > 0 && i < 200; i++ {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if srv.ConnCount() != 0 {
+		t.Errorf("%d connections survived forced shutdown", srv.ConnCount())
+	}
+}
+
+// TestServerSurvivesBadHandshake: one incompatible client must not take
+// the accept loop down.
+func TestServerSurvivesBadHandshake(t *testing.T) {
+	srv, addr, _ := echoServer(t, Defaults())
+	defer srv.Close()
+
+	// A client that is not speaking AdOC at all.
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw.Write([]byte("GET / HTTP/1.1\r\n\r\n"))
+	raw.Close()
+
+	// A well-behaved client right after still gets served.
+	c, err := Dial("tcp", addr, Defaults())
+	if err != nil {
+		t.Fatalf("good client rejected after bad one: %v", err)
+	}
+	defer c.Close()
+	if _, err := c.WriteMessage([]byte("still alive")); err != nil {
+		t.Fatal(err)
+	}
+	var got bytes.Buffer
+	if _, err := c.ReceiveMessage(&got); err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != "still alive" {
+		t.Fatalf("got %q", got.String())
+	}
+}
+
+// TestServerStatsIdempotent: Stats is a read — polling it must not
+// change the aggregate. The pre-fix accumulate shared LevelCount backing
+// arrays between the retired aggregate and the returned snapshot, so
+// every poll with a live connection compounded counts into server state.
+func TestServerStatsIdempotent(t *testing.T) {
+	opts := Defaults()
+	opts.MinLevel = 1 // force the compressing stream path: LevelCount fills
+	srv, addr, _ := echoServer(t, opts)
+	defer srv.Close()
+
+	msg := payload(600 * 1024)
+	roundtrip := func(c *Conn) {
+		t.Helper()
+		if _, err := c.WriteMessage(msg); err != nil {
+			t.Fatal(err)
+		}
+		var got bytes.Buffer
+		if _, err := c.ReceiveMessage(&got); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// One connection that retires...
+	c1, err := Dial("tcp", addr, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	roundtrip(c1)
+	c1.Close()
+	for i := 0; srv.ConnCount() > 0 && i < 200; i++ {
+		time.Sleep(5 * time.Millisecond)
+	}
+	// ...and one that stays live with nonzero level counts.
+	c2, err := Dial("tcp", addr, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	roundtrip(c2)
+
+	a := srv.Stats()
+	b := srv.Stats()
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("two idle Stats() polls differ:\n first: %+v\nsecond: %+v", a, b)
+	}
+	// The snapshot must be detached: scribbling on it cannot reach the
+	// server's internals.
+	if len(a.Controller.LevelCount) > 0 {
+		a.Controller.LevelCount[0] += 1 << 40
+		if c := srv.Stats(); reflect.DeepEqual(c.Controller.LevelCount, a.Controller.LevelCount) {
+			t.Error("caller mutation of a Stats snapshot leaked into the server")
+		}
+	}
+}
+
+// TestServerCloseAbortsPendingHandshake: Close promises to tear down all
+// connections — including ones still inside the handshake, which would
+// otherwise linger for the full handshake timeout.
+func TestServerCloseAbortsPendingHandshake(t *testing.T) {
+	srv, addr, _ := echoServer(t, Defaults())
+
+	mute, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mute.Close()
+	// Let the server accept and enter the handshake read.
+	time.Sleep(100 * time.Millisecond)
+	srv.Close()
+
+	mute.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 64)
+	mute.Read(buf) // server's hello frame may arrive first
+	if _, err := mute.Read(buf); err == nil {
+		t.Fatal("mid-handshake socket still open after server Close")
+	} else if ne, ok := err.(net.Error); ok && ne.Timeout() {
+		t.Fatal("server Close did not abort the pending handshake within 2s")
+	}
+}
+
+// TestDialContextCancelMidHandshake: cancelling the context while the
+// handshake is blocked must abort promptly with the context's error, not
+// run out the (much longer) handshake timeout.
+func TestDialContextCancelMidHandshake(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		time.Sleep(5 * time.Second) // mute peer: never sends its hello
+	}()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(100 * time.Millisecond)
+		cancel()
+	}()
+	opts := Defaults()
+	opts.HandshakeTimeout = 30 * time.Second
+	start := time.Now()
+	_, err = DialContext(ctx, "tcp", ln.Addr().String(), opts)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("cancellation took %v, want ~100ms", elapsed)
+	}
+}
+
+func TestServeAfterCloseRefused(t *testing.T) {
+	srv := NewServer(Defaults(), func(*Conn) {})
+	srv.Close()
+	ln, err := Listen("tcp", "127.0.0.1:0", Defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Serve(ln); !errors.Is(err, ErrServerClosed) {
+		t.Fatalf("Serve on closed server = %v, want ErrServerClosed", err)
+	}
+}

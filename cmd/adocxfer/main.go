@@ -1,22 +1,25 @@
 // Command adocxfer sends and receives files over TCP with AdOC adaptive
 // compression — an scp-lite built on the library, demonstrating the
-// adoc_send_file / adoc_receive_file API over a real network.
+// adocnet transport over a real network.
 //
 // Receiver:  adocxfer -recv -listen :9000 -out dest.dat
 // Sender:    adocxfer -send src.dat -to host:9000 [-min 0 -max 10]
 //
-// The sender prints the achieved compression ratio and the adaptation
-// trace when -trace is set.
+// Both ends open the connection through adocnet, so the compression
+// parameters (packet/buffer sizes, level bounds) are negotiated at
+// connect time: either side may restrict them and the transfer uses the
+// intersection. The sender prints the negotiated configuration and the
+// adaptation trace when -trace is set.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"net"
 	"os"
 	"time"
 
 	"adoc"
+	"adoc/adocnet"
 )
 
 func main() {
@@ -28,18 +31,20 @@ func main() {
 		out    = flag.String("out", "received.dat", "output file (receive mode)")
 		min    = flag.Int("min", 0, "minimum compression level (>=1 forces compression)")
 		max    = flag.Int("max", 10, "maximum compression level (0 disables compression)")
-		trace  = flag.Bool("trace", false, "log level changes and probe decisions")
+		packet = flag.Int("packet", 0, "packet size offer in bytes (0 = default 8 KB)")
+		buffer = flag.Int("buffer", 0, "buffer size offer in bytes (0 = default 200 KB)")
+		trace  = flag.Bool("trace", false, "log negotiation, level changes and probe decisions")
 	)
 	flag.Parse()
 
 	switch {
 	case *recv:
-		if err := receive(*listen, *out); err != nil {
+		if err := receive(*listen, *out, options(*min, *max, *packet, *buffer, *trace)); err != nil {
 			fmt.Fprintln(os.Stderr, "adocxfer:", err)
 			os.Exit(1)
 		}
 	case *send != "" && *to != "":
-		if err := transmit(*send, *to, adoc.Level(*min), adoc.Level(*max), *trace); err != nil {
+		if err := transmit(*send, *to, options(*min, *max, *packet, *buffer, *trace), *trace); err != nil {
 			fmt.Fprintln(os.Stderr, "adocxfer:", err)
 			os.Exit(1)
 		}
@@ -49,8 +54,31 @@ func main() {
 	}
 }
 
-func receive(listen, out string) error {
-	ln, err := net.Listen("tcp", listen)
+// options builds this endpoint's negotiation offer.
+func options(min, max, packet, buffer int, trace bool) adocnet.Options {
+	opts := adocnet.Defaults()
+	opts.MinLevel = adoc.Level(min)
+	opts.MaxLevel = adoc.Level(max)
+	opts.PacketSize = packet
+	opts.BufferSize = buffer
+	if trace {
+		opts.Trace = adoc.Trace{
+			OnLevelChange: func(old, new adoc.Level) {
+				fmt.Printf("  level %v -> %v\n", old, new)
+			},
+			OnProbe: func(bps float64, bypass bool) {
+				fmt.Printf("  probe: %.1f Mbit/s, bypass=%v\n", bps*8/1e6, bypass)
+			},
+			OnDivergence: func(from, to adoc.Level) {
+				fmt.Printf("  divergence: %v -> %v\n", from, to)
+			},
+		}
+	}
+	return opts
+}
+
+func receive(listen, out string, opts adocnet.Options) error {
+	ln, err := adocnet.Listen("tcp", listen, opts)
 	if err != nil {
 		return err
 	}
@@ -60,14 +88,15 @@ func receive(listen, out string) error {
 	if err != nil {
 		return err
 	}
-	defer adoc.Close(conn)
+	defer conn.Close()
+	fmt.Printf("negotiated %v with %v\n", conn.Negotiated(), conn.RemoteAddr())
 	f, err := os.Create(out)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
 	start := time.Now()
-	n, err := adoc.ReceiveFile(conn, f)
+	n, err := conn.ReceiveMessage(f)
 	if err != nil {
 		return err
 	}
@@ -77,41 +106,26 @@ func receive(listen, out string) error {
 	return nil
 }
 
-func transmit(path, to string, min, max adoc.Level, trace bool) error {
+func transmit(path, to string, opts adocnet.Options, trace bool) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	raw, err := net.Dial("tcp", to)
-	if err != nil {
-		return err
-	}
-	opts := adoc.DefaultOptions()
-	if trace {
-		opts.Trace = adoc.Trace{
-			OnLevelChange: func(old, new adoc.Level) {
-				fmt.Printf("  level %v -> %v\n", old, new)
-			},
-			OnProbe: func(bps float64, bypass bool) {
-				fmt.Printf("  probe: %.1f Mbit/s, bypass=%v\n", bps*8/1e6, bypass)
-			},
-			OnDivergence: func(from, toL adoc.Level) {
-				fmt.Printf("  divergence: %v -> %v\n", from, toL)
-			},
-		}
-	}
-	conn, err := adoc.Configure(raw, opts)
+	conn, err := adocnet.Dial("tcp", to, opts)
 	if err != nil {
 		return err
 	}
 	defer conn.Close()
+	if trace {
+		fmt.Printf("negotiated %v with %v\n", conn.Negotiated(), conn.RemoteAddr())
+	}
 	start := time.Now()
 	fi, err := f.Stat()
 	if err != nil {
 		return err
 	}
-	size, sent, err := conn.SendStreamLevels(f, fi.Size(), min, max)
+	size, sent, err := conn.SendStream(f, fi.Size())
 	if err != nil {
 		return err
 	}

@@ -9,11 +9,11 @@ import (
 	"sync"
 	"testing"
 
-	"adoc"
+	"adoc/adocnet"
 )
 
 // TestSendReceiveOverLoopback exercises the tool's two halves end to end
-// on a real TCP loopback socket.
+// on a real TCP loopback socket, through the negotiated transport.
 func TestSendReceiveOverLoopback(t *testing.T) {
 	dir := t.TempDir()
 	src := filepath.Join(dir, "src.dat")
@@ -23,7 +23,10 @@ func TestSendReceiveOverLoopback(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	// The receiver offers a smaller buffer and a capped level range; the
+	// handshake must reconcile that with the sender's defaults.
+	recvOpts := options(0, 8, 4096, 100*1024, false)
+	ln, err := adocnet.Listen("tcp", "127.0.0.1:0", recvOpts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -38,19 +41,22 @@ func TestSendReceiveOverLoopback(t *testing.T) {
 			t.Error(err)
 			return
 		}
-		defer adoc.Close(conn)
+		defer conn.Close()
+		if neg := conn.Negotiated(); neg.PacketSize != 4096 || neg.MaxLevel != 8 {
+			t.Errorf("unexpected negotiation: %v", neg)
+		}
 		f, err := os.Create(dst)
 		if err != nil {
 			t.Error(err)
 			return
 		}
 		defer f.Close()
-		if _, err := adoc.ReceiveFile(conn, f); err != nil {
+		if _, err := conn.ReceiveMessage(f); err != nil {
 			t.Error(err)
 		}
 	}()
 
-	if err := transmit(src, addr, adoc.MinLevel, adoc.MaxLevel, false); err != nil {
+	if err := transmit(src, addr, options(0, 10, 0, 0, false), false); err != nil {
 		t.Fatal(err)
 	}
 	wg.Wait()
@@ -66,7 +72,7 @@ func TestSendReceiveOverLoopback(t *testing.T) {
 }
 
 func TestTransmitMissingFile(t *testing.T) {
-	if err := transmit(filepath.Join(t.TempDir(), "nope"), "127.0.0.1:1", 0, 10, false); err == nil {
+	if err := transmit(filepath.Join(t.TempDir(), "nope"), "127.0.0.1:1", options(0, 10, 0, 0, false), false); err == nil {
 		t.Fatal("missing source accepted")
 	}
 }
@@ -76,7 +82,31 @@ func TestTransmitConnectionRefused(t *testing.T) {
 	src := filepath.Join(dir, "src.dat")
 	os.WriteFile(src, []byte("x"), 0o644)
 	// A port nothing listens on.
-	if err := transmit(src, "127.0.0.1:1", 0, 10, false); err == nil {
+	if err := transmit(src, "127.0.0.1:1", options(0, 10, 0, 0, false), false); err == nil {
 		t.Fatal("dial to dead port succeeded")
+	}
+}
+
+// TestTransmitToNonAdocPeer: dialing something that is not an adocnet
+// listener must fail with a handshake error, not hang or garble.
+func TestTransmitToNonAdocPeer(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "src.dat")
+	os.WriteFile(src, []byte(strings.Repeat("y", 1024)), 0o644)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		conn.Write([]byte("SSH-2.0-OpenSSH\r\n"))
+		conn.Close()
+	}()
+	if err := transmit(src, ln.Addr().String(), options(0, 10, 0, 0, false), false); err == nil {
+		t.Fatal("handshake with non-AdOC peer succeeded")
 	}
 }

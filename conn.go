@@ -38,9 +38,16 @@ func (c *Conn) Read(p []byte) (int, error) { return c.eng.Read(p) }
 // Write sends p as one adaptively compressed message and returns
 // (len(p), nil) on success, satisfying io.Writer. Use WriteMessage to
 // also learn the wire byte count.
+//
+// On failure the returned count honors the io.Writer contract: it is the
+// number of p's bytes confirmed delivered to the peer (the payload of
+// every group that fully reached the socket) rather than a hard-coded 0,
+// so callers that resume after a transient error do not resend data the
+// other side already has.
 func (c *Conn) Write(p []byte) (int, error) {
-	if _, err := c.eng.WriteMessage(p); err != nil {
-		return 0, err
+	n, _, err := c.eng.WriteMessageFull(p)
+	if err != nil {
+		return n, err
 	}
 	return len(p), nil
 }

@@ -1,6 +1,12 @@
 // Gridrpc: the paper's NetSolve experiment in miniature — a dgemm request
 // through a GridRPC middleware (agent + server + client) over a simulated
 // 100 Mbit LAN, with and without AdOC in the middleware's communicator.
+//
+// The AdOC variant opens its data channels through the adocnet transport:
+// client and server handshake at connect time and negotiate the
+// compression configuration, so a heterogeneous deployment (endpoints
+// built with different defaults) still interoperates — the scenario the
+// paper's hand-patched NetSolve could not handle.
 package main
 
 import (

@@ -1,36 +1,48 @@
-// Quickstart: send adaptively compressed data between two goroutines over
-// a real TCP loopback connection using the package-level API that mirrors
-// the C library (adoc_write / adoc_read / adoc_close).
+// Quickstart: open a negotiated AdOC connection over a real TCP loopback
+// socket with the adocnet transport — Listen/Accept on one side, Dial on
+// the other — and send adaptively compressed messages through it.
+//
+// The two endpoints are deliberately configured differently (packet and
+// buffer sizes, level bounds): the connect-time handshake intersects the
+// offers, both sides print the same negotiated configuration, and the
+// transfer runs with it.
 package main
 
 import (
 	"fmt"
 	"log"
-	"net"
-	"strings"
 
 	"adoc"
+	"adoc/adocnet"
 )
 
 func main() {
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	// Receiver offer: small packets, capped compression.
+	recvOpts := adocnet.Defaults()
+	recvOpts.PacketSize = 4 * 1024
+	recvOpts.BufferSize = 100 * 1024
+	recvOpts.MaxLevel = 8
+
+	ln, err := adocnet.Listen("tcp", "127.0.0.1:0", recvOpts)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer ln.Close()
 
-	// Receiver: accept one connection, read everything with adoc.Read.
+	// Receiver: accept one connection, read everything with Conn.Read —
+	// plain io.Reader semantics, message boundaries invisible.
 	done := make(chan int, 1)
 	go func() {
 		conn, err := ln.Accept()
 		if err != nil {
 			log.Fatal(err)
 		}
-		defer adoc.Close(conn)
+		defer conn.Close()
+		fmt.Printf("receiver negotiated: %v\n", conn.Negotiated())
 		var total int
 		buf := make([]byte, 64*1024)
 		for total < 2*(3<<20) {
-			n, err := adoc.Read(conn, buf)
+			n, err := conn.Read(buf)
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -39,33 +51,39 @@ func main() {
 		done <- total
 	}()
 
-	// Sender: one adoc.Write per message; slen reports the wire bytes.
-	raw, err := net.Dial("tcp", ln.Addr().String())
+	// Sender offer: default sizes, full level range. The handshake picks
+	// the intersection: 4 KB packets, 100 KB buffers, levels [0,8].
+	conn, err := adocnet.Dial("tcp", ln.Addr().String(), adocnet.Defaults())
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer adoc.Close(raw)
+	defer conn.Close()
+	fmt.Printf("sender negotiated:   %v\n", conn.Negotiated())
 
+	payload := make([]byte, 3<<20)
 	const line = "grid middleware traffic compresses rather well\n"
-	payload := []byte(strings.Repeat(line, 3<<20/len(line)+1))[:3<<20]
+	for i := 0; i < len(payload); i += len(line) {
+		copy(payload[i:], line)
+	}
 
-	// First write: on a loopback socket the 256 KB probe measures far
+	// First message: on a loopback socket the 256 KB probe measures far
 	// more than 500 Mbit/s, so AdOC correctly refuses to compress (the
 	// paper's Gbit-LAN behaviour).
-	n, sent, err := adoc.Write(raw, payload)
+	sent, err := conn.WriteMessage(payload)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("loopback is faster than 500 Mbit/s -> probe bypass: %d bytes, %d on the wire (ratio %.2f)\n",
-		n, sent, float64(n)/float64(sent))
+		len(payload), sent, float64(len(payload))/float64(sent))
 
-	// Second write: force compression on (min level 1), the
-	// adoc_write_levels escape hatch, to see the codec work.
-	n, sent, err = adoc.WriteLevels(raw, payload, adoc.MinLevel+1, adoc.MaxLevel)
+	// Second message: force compression on (min level 1), the
+	// adoc_write_levels escape hatch, to see the codec work. Asking for
+	// the full range is fine — the call clamps to the negotiated [1,8].
+	sent, err = conn.WriteMessageLevels(payload, adoc.MinLevel+1, adoc.MaxLevel)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("forced compression:                               %d bytes, %d on the wire (ratio %.2f)\n",
-		n, sent, float64(n)/float64(sent))
+		len(payload), sent, float64(len(payload))/float64(sent))
 	fmt.Printf("receiver got %d bytes intact\n", <-done)
 }

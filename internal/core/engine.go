@@ -87,7 +87,7 @@ type Stats struct {
 
 // New wraps a bidirectional connection in an AdOC engine.
 func New(rw io.ReadWriter, opts Options) (*Engine, error) {
-	opts, err := opts.sanitize()
+	opts, err := opts.Sanitized()
 	if err != nil {
 		return nil, err
 	}

@@ -617,7 +617,7 @@ func TestStatsAccounting(t *testing.T) {
 
 func TestOptionsSanitize(t *testing.T) {
 	var o Options // all zero
-	s, err := o.sanitize()
+	s, err := o.Sanitized()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -627,13 +627,13 @@ func TestOptionsSanitize(t *testing.T) {
 	bad := DefaultOptions()
 	bad.MinLevel = 7
 	bad.MaxLevel = 3
-	if _, err := bad.sanitize(); err == nil {
+	if _, err := bad.Sanitized(); err == nil {
 		t.Fatal("min>max accepted")
 	}
 	tiny := DefaultOptions()
 	tiny.BufferSize = 100
 	tiny.PacketSize = 1000
-	s, err = tiny.sanitize()
+	s, err = tiny.Sanitized()
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -139,8 +139,12 @@ func DefaultOptions() Options {
 	}
 }
 
-// sanitize fills zero fields with defaults and validates the rest.
-func (o Options) sanitize() (Options, error) {
+// Sanitized returns o with zero fields filled from the defaults and the
+// rest validated — the configuration an Engine built from o actually
+// runs. Exported so the transport layer can compute its handshake offer
+// from the same resolution the engine applies, with no second copy of
+// these rules to drift.
+func (o Options) Sanitized() (Options, error) {
 	d := DefaultOptions()
 	if o.PacketSize <= 0 {
 		o.PacketSize = d.PacketSize

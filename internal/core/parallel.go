@@ -73,9 +73,9 @@ func (e *Engine) putChunkBuf(b []byte) {
 // levels, workers compress, the reassembly goroutine restores buffer order
 // into the emission FIFO, and the emitter is exactly the sequential one.
 // remaining < 0 means until EOF.
-func (e *Engine) sendAdaptiveParallel(src io.Reader, remaining int64) (int64, error) {
+func (e *Engine) sendAdaptiveParallel(src io.Reader, remaining int64) (delivered, wireBytes int64, err error) {
 	if remaining == 0 {
-		return 0, nil
+		return 0, 0, nil
 	}
 	q := fifo.New[segment](e.opts.QueueCapacity)
 	res := make(chan emitResult, 1)
@@ -191,11 +191,11 @@ func (e *Engine) sendAdaptiveParallel(src io.Reader, remaining int64) (int64, er
 	}
 	switch {
 	case sendErr != nil:
-		return r.wireBytes, sendErr
+		return r.rawDelivered, r.wireBytes, sendErr
 	case pipeErr != nil:
-		return r.wireBytes, pipeErr
+		return r.rawDelivered, r.wireBytes, pipeErr
 	}
-	return r.wireBytes, r.err
+	return r.rawDelivered, r.wireBytes, r.err
 }
 
 // decGroup is one decoded group — or the message-end marker — delivered in

@@ -295,7 +295,7 @@ func TestParallelCloseUnblocks(t *testing.T) {
 // TestParallelismSanitize checks the option defaulting contract.
 func TestParallelismSanitize(t *testing.T) {
 	var o Options
-	s, err := o.sanitize()
+	s, err := o.Sanitized()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -306,7 +306,7 @@ func TestParallelismSanitize(t *testing.T) {
 		t.Fatalf("DefaultParallelism() = %d out of [1, %d]", d, MaxDefaultParallelism)
 	}
 	o.Parallelism = 7
-	if s, err = o.sanitize(); err != nil || s.Parallelism != 7 {
+	if s, err = o.Sanitized(); err != nil || s.Parallelism != 7 {
 		t.Fatalf("explicit Parallelism not preserved: %d %v", s.Parallelism, err)
 	}
 }

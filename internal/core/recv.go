@@ -140,16 +140,18 @@ func (e *Engine) receiveLoop(st *streamState) {
 			return
 		}
 		fr := recvFrame{mark: f.Mark, level: f.Level, rawLen: f.RawLen, checksum: f.Checksum}
+		// Frame overheads come from the wire constants — never literal byte
+		// counts — so receive stats track the protocol by construction.
 		switch f.Mark {
 		case wire.MarkPacket:
 			fr.payload = append([]byte(nil), f.Payload...)
-			e.stats.wireReceived.Add(int64(5 + len(f.Payload)))
+			e.stats.wireReceived.Add(int64(wire.FramePacketOverhead + len(f.Payload)))
 		case wire.MarkGroupBegin:
-			e.stats.wireReceived.Add(2)
+			e.stats.wireReceived.Add(wire.FrameGroupBeginLen)
 		case wire.MarkGroupEnd:
-			e.stats.wireReceived.Add(9)
+			e.stats.wireReceived.Add(wire.FrameGroupEndLen)
 		case wire.MarkMsgEnd:
-			e.stats.wireReceived.Add(1)
+			e.stats.wireReceived.Add(wire.FrameMsgEndLen)
 		}
 		if err := st.frames.Push(fr); err != nil {
 			return // consumer or Close aborted the queue
@@ -272,7 +274,7 @@ func (e *Engine) Read(p []byte) (int, error) {
 		}
 		switch h.Kind {
 		case wire.KindSmall:
-			e.stats.wireReceived.Add(int64(wire.MsgHeaderLen + 4 + h.RawLen))
+			e.stats.wireReceived.Add(int64(wire.SmallOverhead) + int64(h.RawLen))
 			if h.RawLen == 0 {
 				// A zero-byte message adds nothing to the byte stream.
 				e.stats.msgsReceived.Add(1)
@@ -296,7 +298,7 @@ func (e *Engine) Read(p []byte) (int, error) {
 			e.stats.msgsReceived.Add(1)
 			e.stats.rawReceived.Add(int64(len(tmp)))
 		case wire.KindStream:
-			e.stats.wireReceived.Add(wire.MsgHeaderLen + 8)
+			e.stats.wireReceived.Add(wire.StreamHeaderLen)
 			e.storeCur(e.startStream())
 		}
 	}
@@ -321,7 +323,7 @@ func (e *Engine) ReceiveMessage(w io.Writer) (int64, error) {
 	}
 	switch h.Kind {
 	case wire.KindSmall:
-		e.stats.wireReceived.Add(int64(wire.MsgHeaderLen + 4 + h.RawLen))
+		e.stats.wireReceived.Add(int64(wire.SmallOverhead) + int64(h.RawLen))
 		buf := make([]byte, h.RawLen)
 		if _, err := e.dec.ReadSmallPayload(h, buf); err != nil {
 			return 0, e.normalizeErr(err)
@@ -333,7 +335,7 @@ func (e *Engine) ReceiveMessage(w io.Writer) (int64, error) {
 		e.stats.rawReceived.Add(int64(len(buf)))
 		return int64(len(buf)), nil
 	case wire.KindStream:
-		e.stats.wireReceived.Add(wire.MsgHeaderLen + 8)
+		e.stats.wireReceived.Add(wire.StreamHeaderLen)
 		st := e.startStream()
 		e.storeCur(st)
 		var total int64

@@ -34,20 +34,37 @@ func (e *Engine) WriteMessage(p []byte) (wireN int64, err error) {
 // WriteMessageLevels is WriteMessage with per-call level bounds
 // (adoc_write_levels): min > 0 forces compression, max == 0 disables it.
 func (e *Engine) WriteMessageLevels(p []byte, min, max codec.Level) (int64, error) {
+	_, wireN, err := e.writeMessage(p, min, max)
+	return wireN, err
+}
+
+// WriteMessageFull is WriteMessage returning additionally the number of
+// p's bytes confirmed delivered to the underlying writer — len(p) on
+// success, and on failure the count an io.Writer must report: the payload
+// of every group that fully reached the socket before the error. Conn's
+// io.Writer adapter relies on this to honor the partial-write contract.
+func (e *Engine) WriteMessageFull(p []byte) (accepted int, wireN int64, err error) {
+	return e.writeMessage(p, e.opts.MinLevel, e.opts.MaxLevel)
+}
+
+func (e *Engine) writeMessage(p []byte, min, max codec.Level) (accepted int, wireN int64, err error) {
 	if !min.Valid() || !max.Valid() || min > max {
-		return 0, codec.ErrBadLevel
+		return 0, 0, codec.ErrBadLevel
 	}
 	e.wmu.Lock()
 	defer e.wmu.Unlock()
 	if e.closed.Load() {
-		return 0, ErrClosed
+		return 0, 0, ErrClosed
 	}
 	if min == codec.MinLevel && len(p) < e.opts.SmallThreshold {
-		n, err := e.writeSmall(p)
-		return n, err
+		acc, n, err := e.writeSmall(p)
+		return int(acc), n, err
 	}
-	n, err := e.writeStream(bytes.NewReader(p), int64(len(p)), min, max)
-	return n, err
+	acc, n, err := e.writeStream(bytes.NewReader(p), int64(len(p)), min, max)
+	if err == nil {
+		acc = int64(len(p))
+	}
+	return int(acc), n, err
 }
 
 // SendMessage streams size bytes from r as one AdOC message; size < 0
@@ -73,7 +90,7 @@ func (e *Engine) SendMessageLevels(r io.Reader, size int64, min, max codec.Level
 		if _, err := io.ReadFull(r, buf); err != nil {
 			return 0, 0, fmt.Errorf("adoc: reading source: %w", err)
 		}
-		n, err := e.writeSmall(buf)
+		_, n, err := e.writeSmall(buf)
 		return size, n, err
 	}
 	if size < 0 {
@@ -82,10 +99,10 @@ func (e *Engine) SendMessageLevels(r io.Reader, size int64, min, max codec.Level
 		n, rerr := io.ReadFull(r, probe)
 		if rerr == io.EOF || rerr == io.ErrUnexpectedEOF {
 			if min == codec.MinLevel {
-				w, err := e.writeSmall(probe[:n])
+				_, w, err := e.writeSmall(probe[:n])
 				return int64(n), w, err
 			}
-			w, err := e.writeStream(bytes.NewReader(probe[:n]), int64(n), min, max)
+			_, w, err := e.writeStream(bytes.NewReader(probe[:n]), int64(n), min, max)
 			return int64(n), w, err
 		}
 		if rerr != nil {
@@ -94,29 +111,37 @@ func (e *Engine) SendMessageLevels(r io.Reader, size int64, min, max codec.Level
 		src := io.MultiReader(bytes.NewReader(probe[:n]), r)
 		return e.writeStreamCounted(src, -1, min, max)
 	}
-	w, err := e.writeStream(r, size, min, max)
+	_, w, err := e.writeStream(r, size, min, max)
 	return size, w, err
 }
 
 // writeSmall sends the no-pipeline fast path: one buffer, one system call,
 // latency identical to a plain write (paper §5 "Small messages").
-func (e *Engine) writeSmall(p []byte) (int64, error) {
-	msg := wire.AppendSmall(make([]byte, 0, len(p)+wire.MsgHeaderLen+4), p)
-	if _, err := e.rw.Write(msg); err != nil {
-		return 0, err
+// accepted is the count of p's bytes confirmed delivered: len(p) on
+// success, always 0 on error — a truncated KindSmall message is discarded
+// whole by the receiver, so partially-written payload bytes were NOT
+// delivered and must not be reported as consumed to an io.Writer caller.
+// wireN still counts what actually hit the wire on every return path, so
+// a partial write shows up in Stats.
+func (e *Engine) writeSmall(p []byte) (accepted, wireN int64, err error) {
+	msg := wire.AppendSmall(make([]byte, 0, len(p)+wire.SmallOverhead), p)
+	n, err := e.rw.Write(msg)
+	if err != nil {
+		e.stats.wireSent.Add(int64(n))
+		return 0, int64(n), err
 	}
 	e.stats.msgsSent.Add(1)
 	e.stats.smallSent.Add(1)
 	e.stats.rawSent.Add(int64(len(p)))
 	e.stats.wireSent.Add(int64(len(msg)))
-	return int64(len(msg)), nil
+	return int64(len(p)), int64(len(msg)), nil
 }
 
 // writeStreamCounted wraps writeStream, additionally counting raw bytes for
 // unknown-size sources.
 func (e *Engine) writeStreamCounted(src io.Reader, size int64, min, max codec.Level) (raw, wireN int64, err error) {
 	cr := &countingReader{r: src}
-	wireN, err = e.writeStream(cr, size, min, max)
+	_, wireN, err = e.writeStream(cr, size, min, max)
 	return cr.n, wireN, err
 }
 
@@ -133,21 +158,26 @@ func (c *countingReader) Read(p []byte) (int, error) {
 
 // writeStream sends one stream message: header, optional probe, then
 // either the raw bypass (fast link) or the adaptive two-goroutine
-// pipeline. Caller holds wmu.
-func (e *Engine) writeStream(src io.Reader, size int64, min, max codec.Level) (int64, error) {
+// pipeline. Caller holds wmu. delivered is the raw payload of every group
+// that fully reached the socket (the basis of the io.Writer partial-write
+// count); wireBytes counts everything written, and is folded into Stats on
+// every return path — error or not — so a mid-stream failure cannot leave
+// socket bytes unaccounted.
+func (e *Engine) writeStream(src io.Reader, size int64, min, max codec.Level) (delivered, wireBytes int64, err error) {
 	if err := e.ctrl.SetBounds(min, max); err != nil {
-		return 0, err
+		return 0, 0, err
 	}
-	var wireBytes int64
+	defer func() { e.stats.wireSent.Add(wireBytes) }()
 	totalRaw := wire.UnknownTotal
 	if size >= 0 {
 		totalRaw = uint64(size)
 	}
 	hdr := wire.AppendStreamHeader(nil, totalRaw)
-	if _, err := e.rw.Write(hdr); err != nil {
-		return 0, err
+	hn, err := e.rw.Write(hdr)
+	wireBytes += int64(hn)
+	if err != nil {
+		return 0, wireBytes, err
 	}
-	wireBytes += int64(len(hdr))
 
 	remaining := size // < 0 when unknown
 
@@ -160,15 +190,16 @@ func (e *Engine) writeStream(src io.Reader, size int64, min, max codec.Level) (i
 		probeBuf := make([]byte, e.opts.ProbeSize)
 		n, rerr := io.ReadFull(src, probeBuf)
 		if rerr != nil && rerr != io.EOF && rerr != io.ErrUnexpectedEOF {
-			return wireBytes, fmt.Errorf("adoc: reading source: %w", rerr)
+			return delivered, wireBytes, fmt.Errorf("adoc: reading source: %w", rerr)
 		}
 		if n > 0 {
 			start := e.opts.Clock.Now()
 			w, err := e.writeRawGroupDirect(probeBuf[:n])
 			wireBytes += w
 			if err != nil {
-				return wireBytes, err
+				return delivered, wireBytes, err
 			}
+			delivered += int64(n)
 			dur := e.opts.Clock.Now().Sub(start)
 			bps := float64(n) / maxSeconds(dur)
 			e.ctrl.RecordDelivery(codec.MinLevel, n, dur)
@@ -186,30 +217,30 @@ func (e *Engine) writeStream(src io.Reader, size int64, min, max codec.Level) (i
 		}
 	}
 
-	var err error
-	var w int64
+	var d, w int64
 	switch {
 	case bypass:
 		e.stats.probeBypasses.Add(1)
-		w, err = e.sendRawBypass(src, remaining)
+		d, w, err = e.sendRawBypass(src, remaining)
 	case e.opts.Parallelism > 1:
-		w, err = e.sendAdaptiveParallel(src, remaining)
+		d, w, err = e.sendAdaptiveParallel(src, remaining)
 	default:
-		w, err = e.sendAdaptive(src, remaining)
+		d, w, err = e.sendAdaptive(src, remaining)
 	}
+	delivered += d
 	wireBytes += w
 	if err != nil {
-		return wireBytes, err
+		return delivered, wireBytes, err
 	}
 
 	end := wire.AppendMsgEnd(nil)
-	if _, err := e.rw.Write(end); err != nil {
-		return wireBytes, err
+	en, err := e.rw.Write(end)
+	wireBytes += int64(en)
+	if err != nil {
+		return delivered, wireBytes, err
 	}
-	wireBytes += int64(len(end))
 	e.stats.msgsSent.Add(1)
-	e.stats.wireSent.Add(wireBytes)
-	return wireBytes, nil
+	return delivered, wireBytes, nil
 }
 
 // maxSeconds avoids division by zero on clocks with coarse resolution.
@@ -222,39 +253,42 @@ func maxSeconds(d time.Duration) float64 {
 }
 
 // writeRawGroupDirect writes one level-0 group synchronously (probe and
-// bypass paths run on the caller thread; no pipeline exists yet).
+// bypass paths run on the caller thread; no pipeline exists yet). Bytes a
+// failed Write did manage to push are included in the returned count.
 func (e *Engine) writeRawGroupDirect(chunk []byte) (int64, error) {
 	var wireBytes int64
 	hdr := wire.AppendGroupBegin(nil, codec.MinLevel)
-	if _, err := e.rw.Write(hdr); err != nil {
+	n, err := e.rw.Write(hdr)
+	wireBytes += int64(n)
+	if err != nil {
 		return wireBytes, err
 	}
-	wireBytes += int64(len(hdr))
-	frame := make([]byte, 0, e.opts.PacketSize+5)
+	frame := make([]byte, 0, e.opts.PacketSize+wire.FramePacketOverhead)
 	for off := 0; off < len(chunk); off += e.opts.PacketSize {
 		end := off + e.opts.PacketSize
 		if end > len(chunk) {
 			end = len(chunk)
 		}
 		frame = wire.AppendPacket(frame[:0], chunk[off:end])
-		if _, err := e.rw.Write(frame); err != nil {
+		n, err := e.rw.Write(frame)
+		wireBytes += int64(n)
+		if err != nil {
 			return wireBytes, err
 		}
-		wireBytes += int64(len(frame))
 	}
 	tail := wire.AppendGroupEnd(nil, len(chunk), adler32.Checksum(chunk))
-	if _, err := e.rw.Write(tail); err != nil {
+	n, err = e.rw.Write(tail)
+	wireBytes += int64(n)
+	if err != nil {
 		return wireBytes, err
 	}
-	wireBytes += int64(len(tail))
 	return wireBytes, nil
 }
 
 // sendRawBypass sends the remainder of the message uncompressed on the
 // caller thread — the Gbit fast path where "we send the remaining data
 // uncompressed". remaining < 0 means until EOF.
-func (e *Engine) sendRawBypass(src io.Reader, remaining int64) (int64, error) {
-	var wireBytes int64
+func (e *Engine) sendRawBypass(src io.Reader, remaining int64) (delivered, wireBytes int64, err error) {
 	buf := make([]byte, e.opts.BufferSize)
 	for remaining != 0 {
 		want := int64(len(buf))
@@ -266,8 +300,9 @@ func (e *Engine) sendRawBypass(src io.Reader, remaining int64) (int64, error) {
 			w, err := e.writeRawGroupDirect(buf[:n])
 			wireBytes += w
 			if err != nil {
-				return wireBytes, err
+				return delivered, wireBytes, err
 			}
+			delivered += int64(n)
 			e.stats.rawSent.Add(int64(n))
 			if remaining > 0 {
 				remaining -= int64(n)
@@ -275,30 +310,32 @@ func (e *Engine) sendRawBypass(src io.Reader, remaining int64) (int64, error) {
 		}
 		if rerr == io.EOF || rerr == io.ErrUnexpectedEOF {
 			if remaining > 0 {
-				return wireBytes, fmt.Errorf("adoc: source ended %d bytes early: %w", remaining, io.ErrUnexpectedEOF)
+				return delivered, wireBytes, fmt.Errorf("adoc: source ended %d bytes early: %w", remaining, io.ErrUnexpectedEOF)
 			}
 			break
 		}
 		if rerr != nil {
-			return wireBytes, fmt.Errorf("adoc: reading source: %w", rerr)
+			return delivered, wireBytes, fmt.Errorf("adoc: reading source: %w", rerr)
 		}
 	}
-	return wireBytes, nil
+	return delivered, wireBytes, nil
 }
 
-// emitResult is the emission thread's final report.
+// emitResult is the emission thread's final report. rawDelivered is the
+// raw payload of the groups whose bytes all reached the socket.
 type emitResult struct {
-	wireBytes int64
-	err       error
+	wireBytes    int64
+	rawDelivered int64
+	err          error
 }
 
 // sendAdaptive runs the paper's two-thread pipeline: the caller acts as
 // the compression thread, a spawned goroutine as the emission thread, and
 // a bounded FIFO of packets in between. remaining < 0 means until EOF.
 // Parallelism > 1 takes sendAdaptiveParallel instead.
-func (e *Engine) sendAdaptive(src io.Reader, remaining int64) (int64, error) {
+func (e *Engine) sendAdaptive(src io.Reader, remaining int64) (delivered, wireBytes int64, err error) {
 	if remaining == 0 {
-		return 0, nil
+		return 0, 0, nil
 	}
 	q := fifo.New[segment](e.opts.QueueCapacity)
 	res := make(chan emitResult, 1)
@@ -348,36 +385,38 @@ func (e *Engine) sendAdaptive(src io.Reader, remaining int64) (int64, error) {
 		e.stats.queueHigh.Store(hw)
 	}
 	if sendErr != nil {
-		return r.wireBytes, sendErr
+		return r.rawDelivered, r.wireBytes, sendErr
 	}
-	return r.wireBytes, r.err
+	return r.rawDelivered, r.wireBytes, r.err
 }
 
 // runEmitter is the emission thread: it drains the FIFO onto the socket
 // and measures per-group delivery time, feeding the divergence guard.
 func (e *Engine) runEmitter(q *fifo.Queue[segment], res chan<- emitResult) {
-	var wireBytes int64
+	var wireBytes, rawDelivered int64
 	var groupStart time.Time
 	for {
 		seg, err := q.Pop()
 		if err == io.EOF {
-			res <- emitResult{wireBytes, nil}
+			res <- emitResult{wireBytes, rawDelivered, nil}
 			return
 		}
 		if err != nil {
-			res <- emitResult{wireBytes, err}
+			res <- emitResult{wireBytes, rawDelivered, err}
 			return
 		}
 		if seg.groupStart {
 			groupStart = e.opts.Clock.Now()
 		}
-		if _, werr := e.rw.Write(seg.data); werr != nil {
+		n, werr := e.rw.Write(seg.data)
+		wireBytes += int64(n)
+		if werr != nil {
 			q.Abort(werr)
-			res <- emitResult{wireBytes, werr}
+			res <- emitResult{wireBytes, rawDelivered, werr}
 			return
 		}
-		wireBytes += int64(len(seg.data))
 		if seg.groupEnd {
+			rawDelivered += int64(seg.groupRaw)
 			dur := e.opts.Clock.Now().Sub(groupStart)
 			e.ctrl.RecordDelivery(seg.level, seg.groupRaw, dur)
 			if e.opts.Trace.OnGroupSent != nil {

@@ -1,0 +1,199 @@
+package core
+
+import (
+	"errors"
+	"io"
+	"testing"
+
+	"adoc/internal/wire"
+)
+
+// limitedConn accepts exactly limit bytes and then fails, reporting the
+// partial count the way a real socket does when the link dies mid-write.
+type limitedConn struct {
+	limit   int
+	written int
+}
+
+var errLinkDown = errors.New("link down")
+
+func (c *limitedConn) Write(p []byte) (int, error) {
+	if c.written >= c.limit {
+		return 0, errLinkDown
+	}
+	if c.written+len(p) > c.limit {
+		n := c.limit - c.written
+		c.written = c.limit
+		return n, errLinkDown
+	}
+	c.written += len(p)
+	return len(p), nil
+}
+
+func (c *limitedConn) Read(p []byte) (int, error) { return 0, io.EOF }
+
+// rawStreamOptions forces the deterministic worst case for accounting:
+// stream path, no probe, level pinned to 0 so every group is raw.
+func rawStreamOptions(parallelism int) Options {
+	o := DefaultOptions()
+	o.MinLevel = 0
+	o.MaxLevel = 0
+	o.SmallThreshold = 1
+	o.BufferSize = 4 * 1024
+	o.PacketSize = 1024
+	o.DisableProbe = true
+	o.Parallelism = parallelism
+	return o
+}
+
+// rawGroupWire is the wire size of one level-0 group carrying rawLen
+// payload cut into packetSize packets.
+func rawGroupWire(rawLen, packetSize int) int {
+	packets := (rawLen + packetSize - 1) / packetSize
+	return wire.FrameGroupBeginLen + packets*wire.FramePacketOverhead + rawLen + wire.FrameGroupEndLen
+}
+
+// TestSenderStatsAfterMidStreamFailure: bytes that hit the socket before
+// a mid-stream write failure must show up in Stats().WireSent. The
+// pre-fix code only counted wireSent on full success of writeStream, so
+// a failed send reported 0 wire bytes no matter how many were delivered.
+func TestSenderStatsAfterMidStreamFailure(t *testing.T) {
+	for _, par := range []int{1, 4} {
+		name := map[int]string{1: "sequential", 4: "parallel"}[par]
+		t.Run(name, func(t *testing.T) {
+			opts := rawStreamOptions(par)
+			group := rawGroupWire(int(opts.BufferSize), opts.PacketSize)
+			// Fail a few bytes into the second group.
+			limit := wire.StreamHeaderLen + group + 100
+			conn := &limitedConn{limit: limit}
+			e, err := New(conn, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			data := make([]byte, 3*opts.BufferSize)
+			if _, err := e.WriteMessage(data); !errors.Is(err, errLinkDown) {
+				t.Fatalf("err = %v, want errLinkDown", err)
+			}
+			if got := e.Stats().WireSent; got != int64(conn.written) {
+				t.Errorf("WireSent = %d after failure, want %d (bytes the socket accepted)",
+					got, conn.written)
+			}
+			if conn.written != limit {
+				t.Fatalf("test harness: conn accepted %d bytes, want %d", conn.written, limit)
+			}
+		})
+	}
+}
+
+// TestSenderStatsAfterSmallWriteFailure is the same contract on the
+// small-message fast path, where the pre-fix code skipped all counters on
+// error.
+func TestSenderStatsAfterSmallWriteFailure(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Parallelism = 1
+	conn := &limitedConn{limit: 500}
+	e, err := New(conn, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.WriteMessage(make([]byte, 1024)); !errors.Is(err, errLinkDown) {
+		t.Fatalf("err = %v, want errLinkDown", err)
+	}
+	if got := e.Stats().WireSent; got != 500 {
+		t.Errorf("WireSent = %d after partial small write, want 500", got)
+	}
+	if s := e.Stats(); s.MsgsSent != 0 {
+		t.Errorf("MsgsSent = %d for a failed message, want 0", s.MsgsSent)
+	}
+}
+
+// TestWriteMessageFullPartialDelivery pins the accepted-byte count the
+// io.Writer contract needs: the payload of every group that fully reached
+// the socket, not a hard-coded 0.
+func TestWriteMessageFullPartialDelivery(t *testing.T) {
+	for _, par := range []int{1, 4} {
+		name := map[int]string{1: "sequential", 4: "parallel"}[par]
+		t.Run(name, func(t *testing.T) {
+			opts := rawStreamOptions(par)
+			group := rawGroupWire(int(opts.BufferSize), opts.PacketSize)
+			// Two full groups fit; the third is cut off.
+			conn := &limitedConn{limit: wire.StreamHeaderLen + 2*group + 7}
+			e, err := New(conn, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			data := make([]byte, 4*opts.BufferSize)
+			accepted, _, err := e.WriteMessageFull(data)
+			if !errors.Is(err, errLinkDown) {
+				t.Fatalf("err = %v, want errLinkDown", err)
+			}
+			if want := 2 * opts.BufferSize; accepted != want {
+				t.Errorf("accepted = %d, want %d (two complete groups)", accepted, want)
+			}
+		})
+	}
+}
+
+// TestWriteMessageFullSmallNoPartialDelivery: a truncated small message
+// is discarded whole by the receiver, so the accepted count must be 0 on
+// error — never the partially-written payload bytes, which would make an
+// io.Writer caller resume past data the peer never got.
+func TestWriteMessageFullSmallNoPartialDelivery(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Parallelism = 1
+	for _, limit := range []int{3, 500} {
+		conn := &limitedConn{limit: limit}
+		e, err := New(conn, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		accepted, wireN, err := e.WriteMessageFull(make([]byte, 1024))
+		if !errors.Is(err, errLinkDown) {
+			t.Fatalf("err = %v, want errLinkDown", err)
+		}
+		if accepted != 0 {
+			t.Errorf("limit %d: accepted = %d, want 0 (undeliverable truncated message)", limit, accepted)
+		}
+		if wireN != int64(limit) {
+			t.Errorf("limit %d: wireN = %d, want %d", limit, wireN, limit)
+		}
+	}
+}
+
+// TestWireStatsMatchAcrossEndpoints: the receiver derives frame overheads
+// from the wire constants, so its WireReceived must equal the sender's
+// WireSent byte for byte — for the pipelined stream path, the forced
+// compression path, and the small fast path.
+func TestWireStatsMatchAcrossEndpoints(t *testing.T) {
+	opts := smallPipelineOptions()
+	e1, e2 := pipePair(t, opts)
+
+	// Stream message (multiple raw + compressed groups).
+	payload := compressibleData(64 * 1024)
+	got := sendRecv(t, e1, e2, payload)
+	if len(got) != len(payload) {
+		t.Fatalf("got %d bytes, want %d", len(got), len(payload))
+	}
+
+	mid := e1.Stats()
+
+	// Small message fast path: its exact wire size is payload plus the
+	// constant-derived overhead on both ends.
+	small := compressibleData(512)
+	got = sendRecv(t, e1, e2, small)
+	if len(got) != len(small) {
+		t.Fatalf("got %d bytes, want %d", len(got), len(small))
+	}
+
+	s1, s2 := e1.Stats(), e2.Stats()
+	if s1.WireSent != s2.WireReceived {
+		t.Errorf("WireSent = %d but WireReceived = %d; receive accounting drifted from the wire format",
+			s1.WireSent, s2.WireReceived)
+	}
+	if s1.RawSent != s2.RawReceived {
+		t.Errorf("RawSent = %d but RawReceived = %d", s1.RawSent, s2.RawReceived)
+	}
+	if delta, want := s1.WireSent-mid.WireSent, int64(len(small)+wire.SmallOverhead); delta != want {
+		t.Errorf("small message cost %d wire bytes, want %d", delta, want)
+	}
+}

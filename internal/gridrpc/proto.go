@@ -5,8 +5,11 @@
 // exactly like the paper's NetSolve integration, switching the middleware
 // to AdOC replaces each read/write on the socket with adoc_read/adoc_write
 // and nothing else ("we changed each read call into adoc_read and each
-// write call into adoc_write"; here: the connection is wrapped in an
-// adoc.Conn, the communicator code is untouched).
+// write call into adoc_write"; here: the connection is upgraded through
+// the adocnet transport, the communicator code is untouched). The adocnet
+// handshake is symmetric, so client and server run the same upgrade and
+// both ends converge on one negotiated configuration even if their
+// deployments are configured differently.
 package gridrpc
 
 import (
@@ -16,7 +19,7 @@ import (
 	"io"
 	"net"
 
-	"adoc"
+	"adoc/adocnet"
 )
 
 // Transport selects the communicator's byte channel.
@@ -54,13 +57,16 @@ type channel interface {
 // rawChannel adapts a net.Conn.
 type rawChannel struct{ net.Conn }
 
-// openChannel wraps conn according to the transport.
+// openChannel wraps conn according to the transport. The AdOC path runs
+// the adocnet handshake — negotiating packet/buffer sizes and level
+// bounds with the peer — before any RPC bytes flow; its symmetry means
+// this same call serves the requesting client and the answering server.
 func openChannel(conn net.Conn, t Transport) (channel, error) {
 	switch t {
 	case TransportRaw:
 		return rawChannel{conn}, nil
 	case TransportAdOC:
-		return adoc.NewConn(conn, adoc.DefaultOptions())
+		return adocnet.Handshake(conn, adocnet.Defaults())
 	default:
 		return nil, fmt.Errorf("gridrpc: unknown transport %d", int(t))
 	}

@@ -50,6 +50,26 @@ const (
 	// MsgHeaderLen is the fixed message header size.
 	MsgHeaderLen = 4
 
+	// Exact frame sizes, the single source of truth for wire-byte
+	// accounting on both ends. Stats code must derive overheads from
+	// these, never from literal byte counts, so a protocol change (like
+	// the handshake frame) cannot silently skew the counters.
+	//
+	// FrameGroupBeginLen is a groupBegin frame: marker + level.
+	FrameGroupBeginLen = 1 + 1
+	// FramePacketOverhead is a packet frame minus its payload: marker +
+	// compLen.
+	FramePacketOverhead = 1 + 4
+	// FrameGroupEndLen is a groupEnd frame: marker + rawLen + checksum.
+	FrameGroupEndLen = 1 + 4 + 4
+	// FrameMsgEndLen is the stream terminator: marker only.
+	FrameMsgEndLen = 1
+	// SmallOverhead is a small message minus its payload: msgHeader +
+	// rawLen.
+	SmallOverhead = MsgHeaderLen + 4
+	// StreamHeaderLen is a stream message header: msgHeader + totalRaw.
+	StreamHeaderLen = MsgHeaderLen + 8
+
 	// UnknownTotal is the totalRaw value for streams of unknown length
 	// (files read until EOF).
 	UnknownTotal = ^uint64(0)
@@ -67,8 +87,9 @@ type Kind uint8
 
 // Message kinds.
 const (
-	KindSmall  Kind = 1 // single raw chunk, no pipeline
-	KindStream Kind = 2 // buffer groups, adaptive pipeline
+	KindSmall     Kind = 1 // single raw chunk, no pipeline
+	KindStream    Kind = 2 // buffer groups, adaptive pipeline
+	KindHandshake Kind = 3 // connect-time option negotiation (adocnet)
 )
 
 // Protocol errors.
@@ -263,6 +284,107 @@ func (d *Reader) ReadFrame() (Frame, error) {
 		return f, fmt.Errorf("%w: marker %d", ErrBadFrame, f.Mark)
 	}
 	return f, nil
+}
+
+// Handshake is the connect-time negotiation frame exchanged by adocnet
+// before any message flows:
+//
+//	handshake = magic(2) version(1) kind(1)=3 payloadLen(2) payload
+//	payload   = minVer(1) maxVer(1) packetSize(4) bufferSize(4)
+//	            minLevel(1) maxLevel(1) [future fields]
+//
+// The payload length is self-describing: a decoder reads exactly
+// payloadLen bytes and ignores fields beyond the ones it knows, so future
+// versions can append fields without breaking older peers. A pre-handshake
+// (v1) peer that receives this frame fails loudly — ReadMsgHeader rejects
+// kind 3 with ErrBadKind — instead of silently misparsing the stream.
+type Handshake struct {
+	// MinVersion and MaxVersion bound the stream protocol versions the
+	// speaker can use; the connection runs at the highest version inside
+	// both ranges.
+	MinVersion, MaxVersion byte
+	// PacketSize and BufferSize are the speaker's effective sizes; the
+	// connection uses the minimum of both sides.
+	PacketSize, BufferSize uint32
+	// MinLevel and MaxLevel bound the speaker's compression levels; the
+	// connection uses the intersection of both ranges.
+	MinLevel, MaxLevel codec.Level
+}
+
+const (
+	// HandshakeEnvelopeVersion is the version byte of the handshake
+	// frame's own header. It is pinned at 1 forever, independent of the
+	// stream protocol Version: the whole point of carrying a version
+	// *range* in the payload is that peers of different stream versions
+	// can still parse each other's hello and negotiate (or refuse
+	// loudly); stamping the envelope with the sender's stream version
+	// would make every future bump unreadable to older peers before
+	// negotiation could happen. Frame evolution happens by appending
+	// payload fields under the self-describing length instead.
+	HandshakeEnvelopeVersion = 1
+	// handshakePayloadLen is the payload this version writes.
+	handshakePayloadLen = 1 + 1 + 4 + 4 + 1 + 1
+	// MaxHandshakeLen bounds the announced payload length so a corrupt or
+	// hostile peer cannot force a large allocation.
+	MaxHandshakeLen = 4096
+	// HandshakeLen is the total size of the handshake frame this version
+	// writes, for wire accounting.
+	HandshakeLen = MsgHeaderLen + 2 + handshakePayloadLen
+)
+
+// ErrNotHandshake reports that the peer spoke a regular AdOC message (or
+// something else entirely) where a handshake frame was required.
+var ErrNotHandshake = errors.New("wire: peer did not send a handshake frame")
+
+// AppendHandshake appends a complete handshake frame. The header carries
+// HandshakeEnvelopeVersion, not Version — see that constant.
+func AppendHandshake(dst []byte, h Handshake) []byte {
+	dst = binary.BigEndian.AppendUint16(dst, Magic)
+	dst = append(dst, HandshakeEnvelopeVersion, byte(KindHandshake))
+	dst = binary.BigEndian.AppendUint16(dst, handshakePayloadLen)
+	dst = append(dst, h.MinVersion, h.MaxVersion)
+	dst = binary.BigEndian.AppendUint32(dst, h.PacketSize)
+	dst = binary.BigEndian.AppendUint32(dst, h.BufferSize)
+	return append(dst, byte(h.MinLevel), byte(h.MaxLevel))
+}
+
+// ReadHandshake reads and validates one handshake frame. It must be the
+// first read on a connection; any other frame kind yields ErrNotHandshake
+// (the peer predates the handshake or is not speaking AdOC at all).
+func (d *Reader) ReadHandshake() (Handshake, error) {
+	var h Handshake
+	b := d.scratch[:MsgHeaderLen+2]
+	if _, err := io.ReadFull(d.r, b); err != nil {
+		return h, unexpected(err)
+	}
+	if binary.BigEndian.Uint16(b) != Magic {
+		return h, ErrBadMagic
+	}
+	if b[2] != HandshakeEnvelopeVersion {
+		return h, fmt.Errorf("%w: handshake envelope %d", ErrBadVersion, b[2])
+	}
+	if Kind(b[3]) != KindHandshake {
+		return h, fmt.Errorf("%w: got kind %d", ErrNotHandshake, b[3])
+	}
+	n := binary.BigEndian.Uint16(b[4:6])
+	if n > MaxHandshakeLen {
+		return h, ErrTooBig
+	}
+	if n < handshakePayloadLen {
+		return h, fmt.Errorf("%w: handshake payload %d bytes", ErrBadFrame, n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(d.r, payload); err != nil {
+		return h, unexpected(err)
+	}
+	h.MinVersion = payload[0]
+	h.MaxVersion = payload[1]
+	h.PacketSize = binary.BigEndian.Uint32(payload[2:6])
+	h.BufferSize = binary.BigEndian.Uint32(payload[6:10])
+	h.MinLevel = codec.Level(payload[10])
+	h.MaxLevel = codec.Level(payload[11])
+	// payload[12:] belongs to a future version; ignored by design.
+	return h, nil
 }
 
 // unexpected converts a bare io.EOF in the middle of a structure into

@@ -1,0 +1,118 @@
+package adoc
+
+import (
+	"errors"
+	"io"
+	"strings"
+	"testing"
+
+	"adoc/internal/wire"
+)
+
+// sliceRW is an io.ReadWriter whose dynamic type is NOT comparable (the
+// slice field poisons ==): using it as a map key panics at runtime.
+type sliceRW struct {
+	bufs [][]byte //nolint:unused // present to make the type non-comparable
+}
+
+func (sliceRW) Read(p []byte) (int, error)  { return 0, io.EOF }
+func (sliceRW) Write(p []byte) (int, error) { return len(p), nil }
+
+// TestRegistryRejectsNonComparableKey: the package-level API keys its
+// registry by connection value; a non-comparable value must produce a
+// descriptive error, not a runtime panic deep inside Write.
+func TestRegistryRejectsNonComparableKey(t *testing.T) {
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("package API panicked on non-comparable connection: %v", r)
+		}
+	}()
+	if _, _, err := Write(sliceRW{}, []byte("x")); err == nil {
+		t.Error("Write accepted a non-comparable connection")
+	} else if !strings.Contains(err.Error(), "not comparable") {
+		t.Errorf("Write error %q does not explain the problem", err)
+	}
+	if _, err := Read(sliceRW{}, make([]byte, 1)); err == nil {
+		t.Error("Read accepted a non-comparable connection")
+	}
+	if _, err := Configure(sliceRW{}, DefaultOptions()); err == nil {
+		t.Error("Configure accepted a non-comparable connection")
+	}
+	// Close must not panic either; with nothing registered it is a no-op.
+	if err := Close(sliceRW{}); err != nil {
+		t.Errorf("Close on unregistered non-comparable connection: %v", err)
+	}
+}
+
+func TestRegistryRejectsNil(t *testing.T) {
+	if _, err := Configure(nil, DefaultOptions()); err == nil {
+		t.Error("Configure accepted nil")
+	}
+}
+
+// limitedWriter accepts exactly limit bytes then fails, like a socket
+// whose peer vanished mid-write.
+type limitedWriter struct {
+	limit   int
+	written int
+}
+
+var errLinkDown = errors.New("link down")
+
+func (w *limitedWriter) Write(p []byte) (int, error) {
+	if w.written+len(p) > w.limit {
+		n := w.limit - w.written
+		w.written = w.limit
+		return n, errLinkDown
+	}
+	w.written += len(p)
+	return len(p), nil
+}
+
+func (w *limitedWriter) Read(p []byte) (int, error) { return 0, io.EOF }
+
+// TestConnWritePartialReport: io.Writer requires Write to report the
+// bytes consumed before an error. The pre-fix Conn.Write hard-coded 0.
+func TestConnWritePartialReport(t *testing.T) {
+	opts := DefaultOptions()
+	opts.MaxLevel = 0 // raw groups: the wire layout is deterministic
+	opts.SmallThreshold = 1
+	opts.PacketSize = 1024
+	opts.BufferSize = 4096
+	opts.DisableProbe = true
+	opts.Parallelism = 1
+
+	packets := opts.BufferSize / opts.PacketSize
+	groupWire := wire.FrameGroupBeginLen + packets*(wire.FramePacketOverhead+opts.PacketSize) + wire.FrameGroupEndLen
+	// One full group fits, the second is cut short.
+	w := &limitedWriter{limit: wire.StreamHeaderLen + groupWire + 50}
+
+	c, err := NewConn(w, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := c.Write(make([]byte, 3*opts.BufferSize))
+	if !errors.Is(err, errLinkDown) {
+		t.Fatalf("err = %v, want errLinkDown", err)
+	}
+	if n != opts.BufferSize {
+		t.Errorf("Write reported %d bytes, want %d (the one fully delivered group)", n, opts.BufferSize)
+	}
+}
+
+func TestConnWriteSmallPartialReport(t *testing.T) {
+	w := &limitedWriter{limit: 300}
+	c, err := NewConn(w, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := c.Write(make([]byte, 1024)) // small fast path: header + payload
+	if !errors.Is(err, errLinkDown) {
+		t.Fatalf("err = %v, want errLinkDown", err)
+	}
+	// A truncated small message is discarded whole by the receiver, so
+	// nothing was delivered and Write must say so.
+	if n != 0 {
+		t.Errorf("Write reported %d bytes, want 0", n)
+	}
+}
