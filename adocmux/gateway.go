@@ -1,0 +1,299 @@
+package adocmux
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"adoc"
+	"adoc/adocnet"
+)
+
+// This file implements adocproxy's two halves as a library, so the
+// gateways are testable in-process and reusable by other middleware; the
+// adocproxy command is a flag wrapper around them.
+//
+// The deployment shape is the paper's transparent-middleware story made
+// operational: unmodified applications speak plain TCP to the Ingress
+// gateway near them; it tunnels every accepted connection as one mux
+// stream over a single long-lived AdOC connection to the Egress gateway,
+// which dials the real backend and pipes bytes. Only the
+// gateway-to-gateway hop is compressed — adaptively, for the aggregate
+// of all tunneled flows, with one shared controller and one shared
+// pipeline.
+
+// halfCloser is the shutdown(SHUT_WR) surface shared by *net.TCPConn and
+// *Stream.
+type halfCloser interface {
+	CloseWrite() error
+}
+
+// proxyPipe copies bytes both ways between a and b, propagating EOF as a
+// half-close in each direction, and closes both once both directions
+// finish. This preserves request/response protocols that rely on FIN
+// (e.g. "write request, shutdown, read reply to EOF").
+func proxyPipe(a, b io.ReadWriteCloser) {
+	var wg sync.WaitGroup
+	half := func(dst, src io.ReadWriteCloser) {
+		defer wg.Done()
+		io.Copy(dst, src)
+		if hc, ok := dst.(halfCloser); ok {
+			hc.CloseWrite()
+		} else {
+			dst.Close()
+		}
+	}
+	wg.Add(2)
+	go half(a, b)
+	half(b, a)
+	wg.Wait()
+	a.Close()
+	b.Close()
+}
+
+// Ingress is the application-facing gateway: it accepts plain TCP
+// connections and tunnels each as one mux stream over a single
+// long-lived AdOC connection to the peer (Egress) gateway. The session
+// is dialed lazily on first use and redialed transparently if it dies,
+// so a gateway restart on the far side costs the flows in flight, not
+// the ingress process.
+type Ingress struct {
+	peerAddr string
+	opts     adocnet.Options
+	cfg      Config
+
+	mu     sync.Mutex
+	sess   *Session
+	ln     net.Listener
+	closed bool
+}
+
+// NewIngress returns an ingress gateway that tunnels to the egress
+// gateway at peerAddr, negotiating the AdOC connection with opts (use
+// TransportOptions as the base) and running the session with cfg.
+func NewIngress(peerAddr string, opts adocnet.Options, cfg Config) *Ingress {
+	return &Ingress{peerAddr: peerAddr, opts: opts, cfg: cfg}
+}
+
+// dialTimeout bounds one attempt to reach the egress gateway, so an
+// unreachable peer fails clients promptly instead of pinning them on
+// the OS connect timeout.
+const dialTimeout = 15 * time.Second
+
+// session returns the live session, dialing a fresh one if none exists
+// or the previous one died. The dial happens OUTSIDE the ingress lock:
+// Close, Stats, and other clients must never serialize behind a slow or
+// blackholed connect. Concurrent cold-start dials may race; the loser
+// closes its session and adopts the winner's.
+func (in *Ingress) session() (*Session, error) {
+	in.mu.Lock()
+	if in.closed {
+		in.mu.Unlock()
+		return nil, ErrSessionClosed
+	}
+	if in.sess != nil && !in.sess.IsClosed() {
+		sess := in.sess
+		in.mu.Unlock()
+		return sess, nil
+	}
+	in.mu.Unlock()
+
+	ctx, cancel := context.WithTimeout(context.Background(), dialTimeout)
+	defer cancel()
+	conn, err := adocnet.DialContext(ctx, "tcp", in.peerAddr, in.opts)
+	if err != nil {
+		return nil, fmt.Errorf("adocmux: dialing egress %s: %w", in.peerAddr, err)
+	}
+	sess, err := Client(conn, in.cfg)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.closed {
+		sess.Close()
+		return nil, ErrSessionClosed
+	}
+	if in.sess != nil && !in.sess.IsClosed() {
+		sess.Close() // another client won the dial race
+		return in.sess, nil
+	}
+	in.sess = sess
+	return sess, nil
+}
+
+// Serve accepts plain TCP clients on ln until the listener closes. Each
+// accepted connection becomes one mux stream; per-connection tunnel
+// failures (e.g. the egress going away) close that client and keep
+// serving.
+func (in *Ingress) Serve(ln net.Listener) error {
+	in.mu.Lock()
+	if in.closed {
+		in.mu.Unlock()
+		ln.Close()
+		return ErrSessionClosed
+	}
+	in.ln = ln
+	in.mu.Unlock()
+	for {
+		client, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		go func() {
+			sess, err := in.session()
+			if err != nil {
+				client.Close()
+				return
+			}
+			st, err := sess.OpenStream()
+			if err != nil {
+				client.Close()
+				return
+			}
+			proxyPipe(client, st)
+		}()
+	}
+}
+
+// Stats snapshots the current tunnel connection's engine counters
+// (including the Adapt decision state); ok is false when no session has
+// been dialed yet.
+func (in *Ingress) Stats() (s adoc.Stats, ok bool) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.sess == nil {
+		return adoc.Stats{}, false
+	}
+	return in.sess.Stats(), true
+}
+
+// Close stops the ingress: the listener and the tunnel session close;
+// in-flight tunneled connections fail.
+func (in *Ingress) Close() error {
+	in.mu.Lock()
+	in.closed = true
+	ln, sess := in.ln, in.sess
+	in.ln, in.sess = nil, nil
+	in.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	if sess != nil {
+		sess.Close()
+	}
+	return nil
+}
+
+// Egress is the backend-facing gateway: it accepts AdOC connections from
+// ingress gateways, runs a mux session on each, and dials the real
+// backend once per accepted stream, piping bytes both ways.
+type Egress struct {
+	backendAddr string
+	cfg         Config
+
+	mu     sync.Mutex
+	conns  map[*Session]struct{}
+	closed bool
+}
+
+// NewEgress returns an egress gateway that connects tunneled streams to
+// the plain TCP backend at backendAddr.
+func NewEgress(backendAddr string, cfg Config) *Egress {
+	return &Egress{backendAddr: backendAddr, cfg: cfg, conns: map[*Session]struct{}{}}
+}
+
+// SetBackend re-points the gateway at a new backend address. Streams
+// accepted from now on dial the new backend; established pipes are
+// untouched.
+func (eg *Egress) SetBackend(addr string) {
+	eg.mu.Lock()
+	eg.backendAddr = addr
+	eg.mu.Unlock()
+}
+
+func (eg *Egress) backend() string {
+	eg.mu.Lock()
+	defer eg.mu.Unlock()
+	return eg.backendAddr
+}
+
+// Serve accepts ingress connections on ln until the listener closes.
+// Handshake failures skip that client (the listener stays healthy), as
+// adocnet documents.
+func (eg *Egress) Serve(ln *adocnet.Listener) error {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if _, ok := err.(*adocnet.HandshakeError); ok {
+				continue
+			}
+			return err
+		}
+		go eg.ServeConn(conn)
+	}
+}
+
+// ServeConn runs the egress side of one tunnel connection until its
+// session ends, returning the session's terminal error. Exposed so
+// deployments with their own listeners (TLS, unix sockets) can drive it
+// directly.
+func (eg *Egress) ServeConn(conn *adocnet.Conn) error {
+	sess, err := Server(conn, eg.cfg)
+	if err != nil {
+		conn.Close()
+		return err
+	}
+	eg.mu.Lock()
+	if eg.closed {
+		eg.mu.Unlock()
+		sess.Close()
+		return ErrSessionClosed
+	}
+	eg.conns[sess] = struct{}{}
+	eg.mu.Unlock()
+	defer func() {
+		eg.mu.Lock()
+		delete(eg.conns, sess)
+		eg.mu.Unlock()
+	}()
+	for {
+		st, err := sess.AcceptStream()
+		if err != nil {
+			return err
+		}
+		go func() {
+			backend, err := net.Dial("tcp", eg.backend())
+			if err != nil {
+				// Backend down: refuse just this stream; the tunnel and
+				// its other streams are fine.
+				st.Close()
+				return
+			}
+			// proxyPipe detects CloseWrite on the dynamic type, so the
+			// TCP half-close works through the net.Conn interface.
+			proxyPipe(backend, st)
+		}()
+	}
+}
+
+// Close stops the egress: every live session closes, failing its
+// streams. The caller owns the listener passed to Serve.
+func (eg *Egress) Close() error {
+	eg.mu.Lock()
+	eg.closed = true
+	sessions := make([]*Session, 0, len(eg.conns))
+	for s := range eg.conns {
+		sessions = append(sessions, s)
+	}
+	eg.mu.Unlock()
+	for _, s := range sessions {
+		s.Close()
+	}
+	return nil
+}

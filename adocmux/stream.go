@@ -1,0 +1,247 @@
+package adocmux
+
+import (
+	"bytes"
+	"io"
+	"sync"
+
+	"adoc/internal/wire"
+)
+
+// Stream is one logical byte stream of a session: an io.ReadWriteCloser
+// with TCP-like half-close. Reads and writes are independent; Read and
+// Write each serialize among themselves. Every stream of a session
+// shares the session's adaptive controller and compression pipeline —
+// there is no per-stream compression state.
+type Stream struct {
+	id   uint32
+	sess *Session
+
+	wmu sync.Mutex // serializes writers (order across credit + enqueue)
+
+	mu   sync.Mutex
+	cond sync.Cond // readers wait for data/FIN; writers wait for credit
+
+	recvBuf    bytes.Buffer // delivered, not yet consumed by Read
+	recvEOF    bool         // peer sent FIN
+	consumed   int          // bytes read since the last credit grant
+	sendWin    int64        // remaining credit toward the peer
+	recvBudget int64        // bytes the peer may still send (granted - delivered)
+	wclosed    bool         // we sent FIN
+	rclosed    bool         // local read side closed (Close)
+	err        error        // terminal session error
+}
+
+func newStream(s *Session, id uint32) *Stream {
+	st := &Stream{id: id, sess: s, sendWin: InitialWindow, recvBudget: InitialWindow}
+	st.cond.L = &st.mu
+	return st
+}
+
+// addRecvBudget records credit this endpoint granted (or refunded), so
+// deliverData can tell honored flow control from an overrun.
+func (st *Stream) addRecvBudget(delta int64) {
+	st.mu.Lock()
+	st.recvBudget += delta
+	st.mu.Unlock()
+}
+
+// ID returns the stream's session-unique identifier (odd for
+// client-opened, even for server-opened streams).
+func (st *Stream) ID() uint32 { return st.id }
+
+// Session returns the stream's session.
+func (st *Stream) Session() *Session { return st.sess }
+
+// Read fills p with the next bytes of the stream, blocking until at
+// least one byte is available, the peer half-closes (io.EOF after the
+// buffered bytes drain), or the session dies.
+func (st *Stream) Read(p []byte) (int, error) {
+	if len(p) == 0 {
+		return 0, nil
+	}
+	st.mu.Lock()
+	for st.recvBuf.Len() == 0 {
+		switch {
+		case st.err != nil:
+			err := st.err
+			st.mu.Unlock()
+			return 0, err
+		case st.rclosed:
+			st.mu.Unlock()
+			return 0, ErrStreamClosed
+		case st.recvEOF:
+			st.mu.Unlock()
+			return 0, io.EOF
+		}
+		st.cond.Wait()
+	}
+	n, _ := st.recvBuf.Read(p)
+	st.consumed += n
+	grant := 0
+	if st.consumed >= st.sess.cfg.Window/2 && !st.recvEOF {
+		grant = st.consumed
+		st.consumed = 0
+		st.recvBudget += int64(grant)
+	}
+	st.mu.Unlock()
+	if grant > 0 {
+		// Return the credit outside the stream lock; enqueueCtl never
+		// blocks, so the read path cannot wedge behind the send path.
+		st.sess.enqueueCtl(wire.AppendMuxWindow(nil, st.id, uint32(grant)))
+	}
+	return n, nil
+}
+
+// Write sends p on the stream, blocking as flow control demands: each
+// chunk needs window credit from the peer (a stalled peer reader stops
+// this writer after InitialWindow bytes — and only this writer) and
+// space in the session's outgoing batch (backpressure from the
+// connection itself).
+func (st *Stream) Write(p []byte) (int, error) {
+	st.wmu.Lock()
+	defer st.wmu.Unlock()
+	total := 0
+	for len(p) > 0 {
+		st.mu.Lock()
+		for st.sendWin == 0 && st.err == nil && !st.wclosed {
+			st.cond.Wait()
+		}
+		if st.err != nil {
+			err := st.err
+			st.mu.Unlock()
+			return total, err
+		}
+		if st.wclosed {
+			st.mu.Unlock()
+			return total, ErrStreamClosed
+		}
+		take := min(int64(len(p)), st.sendWin, int64(st.sess.cfg.MaxFrameData))
+		st.sendWin -= take
+		st.mu.Unlock()
+
+		if err := st.sess.enqueueData(st.id, p[:take]); err != nil {
+			// Credit was spent on bytes that will never leave; the
+			// session is dead anyway, so no one is counting.
+			return total, err
+		}
+		total += int(take)
+		p = p[take:]
+	}
+	return total, nil
+}
+
+// CloseWrite half-closes the stream: a FIN is queued after every write
+// so far, the peer's reads drain and then return io.EOF, and further
+// local writes fail with ErrStreamClosed. The read direction is
+// unaffected — the TCP shutdown(SHUT_WR) of the mux world.
+func (st *Stream) CloseWrite() error {
+	st.wmu.Lock()
+	defer st.wmu.Unlock()
+	st.mu.Lock()
+	if st.wclosed {
+		st.mu.Unlock()
+		return nil
+	}
+	if st.err != nil {
+		err := st.err
+		st.mu.Unlock()
+		return err
+	}
+	st.wclosed = true
+	st.cond.Broadcast()
+	st.mu.Unlock()
+	if err := st.sess.enqueueCtl(wire.AppendMuxClose(nil, st.id)); err != nil {
+		return err
+	}
+	st.maybeForget()
+	return nil
+}
+
+// Close closes both directions: CloseWrite semantics plus the read side
+// shuts down. Buffered and future incoming data is discarded with its
+// credit returned, so a peer mid-write does not wedge against a stream
+// nobody reads.
+func (st *Stream) Close() error {
+	err := st.CloseWrite()
+	st.mu.Lock()
+	if st.rclosed {
+		st.mu.Unlock()
+		return err
+	}
+	st.rclosed = true
+	refund := st.consumed + st.recvBuf.Len()
+	st.consumed = 0
+	st.recvBuf.Reset()
+	eof := st.recvEOF
+	if !eof {
+		st.recvBudget += int64(refund)
+	}
+	st.cond.Broadcast()
+	st.mu.Unlock()
+	if refund > 0 && !eof {
+		st.sess.enqueueCtl(wire.AppendMuxWindow(nil, st.id, uint32(refund)))
+	}
+	st.maybeForget()
+	return err
+}
+
+// maybeForget retires the stream from the session table once no frame
+// can matter anymore: our FIN is out, and the read side is finished
+// (peer FIN seen or locally closed). Late data frames for a forgotten
+// stream hit the session's dead-stream path, which refunds their credit.
+func (st *Stream) maybeForget() {
+	st.mu.Lock()
+	dead := st.wclosed && (st.recvEOF || st.rclosed)
+	st.mu.Unlock()
+	if dead {
+		st.sess.forget(st.id)
+	}
+}
+
+// deliverData appends incoming bytes to the receive buffer. accepted is
+// false when the read side is closed (the caller refunds the credit);
+// violation reports bytes beyond the credit this endpoint granted —
+// session-fatal, because honoring them would unbound the buffering that
+// flow control exists to bound.
+func (st *Stream) deliverData(p []byte) (accepted, violation bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.rclosed || st.recvEOF {
+		return false, false
+	}
+	st.recvBudget -= int64(len(p))
+	if st.recvBudget < 0 {
+		return false, true
+	}
+	st.recvBuf.Write(p)
+	st.cond.Broadcast()
+	return true, false
+}
+
+// deliverFIN marks the peer's write half closed.
+func (st *Stream) deliverFIN() {
+	st.mu.Lock()
+	st.recvEOF = true
+	st.cond.Broadcast()
+	st.mu.Unlock()
+	st.maybeForget()
+}
+
+// deliverCredit adds window credit granted by the peer.
+func (st *Stream) deliverCredit(delta int64) {
+	st.mu.Lock()
+	st.sendWin += delta
+	st.cond.Broadcast()
+	st.mu.Unlock()
+}
+
+// sessionFailed unblocks everything with the session's terminal error.
+func (st *Stream) sessionFailed(err error) {
+	st.mu.Lock()
+	if st.err == nil {
+		st.err = err
+	}
+	st.cond.Broadcast()
+	st.mu.Unlock()
+}

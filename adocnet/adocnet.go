@@ -65,6 +65,12 @@ type Options struct {
 	// own (Handshake's NetSolve-style use) should pass a negative value
 	// and keep managing the deadline themselves.
 	HandshakeTimeout time.Duration
+
+	// DisableMux stops this endpoint from advertising the adocmux
+	// capability, making it indistinguishable (for negotiation purposes)
+	// from a peer built before stream multiplexing existed. Mux sessions
+	// require both sides to advertise; see Negotiated.Mux.
+	DisableMux bool
 }
 
 // Defaults returns the paper configuration with the full adaptive level
@@ -82,11 +88,21 @@ type Negotiated struct {
 	PacketSize, BufferSize int
 	// MinLevel and MaxLevel are the intersection of the offered ranges.
 	MinLevel, MaxLevel adoc.Level
+	// Mux reports that both endpoints advertised the stream-multiplexing
+	// capability, so an adocmux.Session may be started on this
+	// connection. Peers that predate the capability never advertise it,
+	// and the connection degrades to plain message traffic — old peers
+	// keep working.
+	Mux bool
 }
 
 func (n Negotiated) String() string {
-	return fmt.Sprintf("v%d packet=%d buffer=%d levels=[%d,%d]",
+	s := fmt.Sprintf("v%d packet=%d buffer=%d levels=[%d,%d]",
 		n.Version, n.PacketSize, n.BufferSize, n.MinLevel, n.MaxLevel)
+	if n.Mux {
+		s += " +mux"
+	}
+	return s
 }
 
 // offer builds the handshake frame this endpoint sends: its effective
@@ -109,6 +125,10 @@ func offer(o Options) (wire.Handshake, error) {
 	if eff.BufferSize < eff.PacketSize {
 		eff.BufferSize = eff.PacketSize
 	}
+	var flags uint16
+	if !o.DisableMux {
+		flags |= wire.HandshakeFlagMux
+	}
 	return wire.Handshake{
 		MinVersion: wire.Version,
 		MaxVersion: wire.Version,
@@ -116,6 +136,7 @@ func offer(o Options) (wire.Handshake, error) {
 		BufferSize: uint32(eff.BufferSize),
 		MinLevel:   eff.MinLevel,
 		MaxLevel:   eff.MaxLevel,
+		Flags:      flags,
 	}, nil
 }
 
@@ -143,6 +164,9 @@ func negotiate(local, remote wire.Handshake) (Negotiated, error) {
 		BufferSize: int(min(local.BufferSize, remote.BufferSize)),
 		MinLevel:   max(local.MinLevel, remote.MinLevel),
 		MaxLevel:   min(local.MaxLevel, remote.MaxLevel),
+		// Capabilities are in effect only when both sides advertise them;
+		// a legacy peer's absent flags word reads as "none".
+		Mux: local.Flags&remote.Flags&wire.HandshakeFlagMux != 0,
 	}
 	if n.PacketSize <= 0 || n.BufferSize <= 0 {
 		return Negotiated{}, fmt.Errorf("adocnet: peer offered zero-sized packets or buffers")

@@ -70,12 +70,54 @@ func TestNegotiationIntersection(t *testing.T) {
 	server.MaxLevel = 8
 
 	cli, srv := pair(t, client, server)
-	want := Negotiated{Version: wire.Version, PacketSize: 4096, BufferSize: 64 * 1024, MinLevel: 2, MaxLevel: 8}
+	want := Negotiated{Version: wire.Version, PacketSize: 4096, BufferSize: 64 * 1024, MinLevel: 2, MaxLevel: 8, Mux: true}
 	if cli.Negotiated() != want {
 		t.Errorf("client negotiated %v, want %v", cli.Negotiated(), want)
 	}
 	if srv.Negotiated() != cli.Negotiated() {
 		t.Errorf("endpoints disagree: server %v, client %v", srv.Negotiated(), cli.Negotiated())
+	}
+}
+
+// TestMuxCapabilityNegotiation checks the session-upgrade bit: mux is on
+// only when BOTH endpoints advertise it, so a peer that predates the
+// capability (or disabled it) degrades the connection to plain message
+// traffic instead of breaking it.
+func TestMuxCapabilityNegotiation(t *testing.T) {
+	cases := []struct {
+		name                 string
+		clientOff, serverOff bool
+		want                 bool
+	}{
+		{"both advertise", false, false, true},
+		{"client legacy", true, false, false},
+		{"server legacy", false, true, false},
+		{"both legacy", true, true, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			client, server := Defaults(), Defaults()
+			client.DisableMux = tc.clientOff
+			server.DisableMux = tc.serverOff
+			cli, srv := pair(t, client, server)
+			if cli.Negotiated().Mux != tc.want || srv.Negotiated().Mux != tc.want {
+				t.Fatalf("mux = client %v / server %v, want %v",
+					cli.Negotiated().Mux, srv.Negotiated().Mux, tc.want)
+			}
+			// The connection still moves ordinary messages either way.
+			done := make(chan error, 1)
+			go func() {
+				_, err := cli.WriteMessage(payload(64 * 1024))
+				done <- err
+			}()
+			got := make([]byte, 64*1024)
+			if _, err := io.ReadFull(srv, got); err != nil {
+				t.Fatal(err)
+			}
+			if err := <-done; err != nil {
+				t.Fatal(err)
+			}
+		})
 	}
 }
 

@@ -153,7 +153,7 @@ func (s *Server) untrack(c *Conn) {
 	s.mu.Lock()
 	if _, ok := s.conns[c]; ok {
 		delete(s.conns, c)
-		accumulate(&s.retired, c.Stats())
+		accumulate(&s.retired, c.CounterStats())
 	}
 	if len(s.conns) == 0 {
 		s.idle.Broadcast()
@@ -171,14 +171,18 @@ func (s *Server) Stats() adoc.Stats {
 	// caller can write through into the retained aggregate.
 	agg.Controller.LevelCount = append([]int64(nil), s.retired.Controller.LevelCount...)
 	for c := range s.conns {
-		accumulate(&agg, c.Stats())
+		// CounterStats: accumulate drops the non-additive Adapt snapshot
+		// anyway, so don't build one per connection per poll.
+		accumulate(&agg, c.CounterStats())
 	}
 	return agg
 }
 
 // accumulate folds one connection's snapshot into an aggregate. Counters
 // add; QueueHighWater keeps the maximum; the controller's instantaneous
-// Level is meaningless across connections and stays zero. LevelCount is
+// Level — and the whole Adapt snapshot — is meaningless across
+// connections and stays zero (inspect a single Conn's Stats for the
+// decision state). LevelCount is
 // always summed into a freshly allocated slice: dst frequently starts as
 // a shallow copy of the server's retired aggregate, and adding in place
 // would write through the shared backing array into server state.

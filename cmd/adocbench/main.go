@@ -71,9 +71,7 @@ func main() {
 
 	experiments := flag.Args()
 	if len(experiments) == 1 && experiments[0] == "all" {
-		experiments = []string{"table1", "table2", "fig3", "fig4", "fig5", "fig6", "fig7",
-			"fig8", "fig9", "ablate-buffer", "ablate-divergence", "ablate-probe",
-			"ablate-adapt", "ablate-incompressible", "ablate-packet", "ablate-queue"}
+		experiments = experimentOrder
 	}
 
 	exit := 0
@@ -89,32 +87,47 @@ func main() {
 	os.Exit(exit)
 }
 
+// experimentOrder is the canonical run order for "all" (and the usage
+// text); experiments maps each id to its runner. The two are checked
+// against each other by the smoke test, so neither can drift.
+var experimentOrder = []string{"table1", "table2", "fig3", "fig4", "fig5", "fig6", "fig7",
+	"fig8", "fig9", "ablate-buffer", "ablate-divergence", "ablate-probe",
+	"ablate-adapt", "ablate-incompressible", "ablate-packet", "ablate-queue"}
+
+var experiments = map[string]func(cfg bench.Config, dgemmSizes []int) (*bench.Table, error){
+	"table1": func(cfg bench.Config, _ []int) (*bench.Table, error) { return bench.Table1(cfg) },
+	"table2": func(cfg bench.Config, _ []int) (*bench.Table, error) { return bench.Table2(cfg) },
+	"fig3":   figBandwidth("fig3"),
+	"fig4":   figBandwidth("fig4"),
+	"fig5":   figBandwidth("fig5"),
+	"fig6":   figBandwidth("fig6"),
+	"fig7":   figBandwidth("fig7"),
+	"fig8": func(cfg bench.Config, sizes []int) (*bench.Table, error) {
+		return bench.Fig8And9(cfg, "fig8", sizes)
+	},
+	"fig9": func(cfg bench.Config, sizes []int) (*bench.Table, error) {
+		return bench.Fig8And9(cfg, "fig9", sizes)
+	},
+	"ablate-buffer":         func(cfg bench.Config, _ []int) (*bench.Table, error) { return bench.AblateBufferSize(cfg) },
+	"ablate-divergence":     func(cfg bench.Config, _ []int) (*bench.Table, error) { return bench.AblateDivergence(cfg) },
+	"ablate-probe":          func(cfg bench.Config, _ []int) (*bench.Table, error) { return bench.AblateProbe(cfg) },
+	"ablate-adapt":          func(cfg bench.Config, _ []int) (*bench.Table, error) { return bench.AblateAdaptivity(cfg) },
+	"ablate-packet":         func(cfg bench.Config, _ []int) (*bench.Table, error) { return bench.AblatePacketSize(cfg) },
+	"ablate-queue":          func(cfg bench.Config, _ []int) (*bench.Table, error) { return bench.AblateQueueCapacity(cfg) },
+	"ablate-incompressible": func(cfg bench.Config, _ []int) (*bench.Table, error) { return bench.AblateIncompressibleGuard(cfg) },
+}
+
+func figBandwidth(fig string) func(bench.Config, []int) (*bench.Table, error) {
+	return func(cfg bench.Config, _ []int) (*bench.Table, error) {
+		return bench.FigBandwidth(cfg, fig)
+	}
+}
+
 // run dispatches one experiment id.
 func run(cfg bench.Config, exp string, dgemmSizes []int) (*bench.Table, error) {
-	switch exp {
-	case "table1":
-		return bench.Table1(cfg)
-	case "table2":
-		return bench.Table2(cfg)
-	case "fig3", "fig4", "fig5", "fig6", "fig7":
-		return bench.FigBandwidth(cfg, exp)
-	case "fig8", "fig9":
-		return bench.Fig8And9(cfg, exp, dgemmSizes)
-	case "ablate-buffer":
-		return bench.AblateBufferSize(cfg)
-	case "ablate-divergence":
-		return bench.AblateDivergence(cfg)
-	case "ablate-probe":
-		return bench.AblateProbe(cfg)
-	case "ablate-adapt":
-		return bench.AblateAdaptivity(cfg)
-	case "ablate-packet":
-		return bench.AblatePacketSize(cfg)
-	case "ablate-queue":
-		return bench.AblateQueueCapacity(cfg)
-	case "ablate-incompressible":
-		return bench.AblateIncompressibleGuard(cfg)
-	default:
+	f, ok := experiments[exp]
+	if !ok {
 		return nil, fmt.Errorf("unknown experiment %q", exp)
 	}
+	return f(cfg, dgemmSizes)
 }

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"adoc/internal/bench"
+	"adoc/internal/des"
+)
+
+// smokeConfig is a fast model-mode configuration: virtual time, one
+// repetition, sweeps capped at 1 MB.
+func smokeConfig() bench.Config {
+	return bench.Config{
+		Mode:    bench.ModeModel,
+		Calib:   des.CalibEra,
+		Reps:    1,
+		MaxSize: 1 << 20,
+		Seed:    1,
+	}
+}
+
+// TestRunExperimentsSmoke drives the same dispatch the binary runs for a
+// representative slice of experiments — a bandwidth figure, a DGEMM
+// figure, and an ablation — and checks each renders a non-empty table.
+// (table1/table2 run real compressor timing loops and are exercised by
+// the bench package's own tests.)
+func TestRunExperimentsSmoke(t *testing.T) {
+	for _, exp := range []string{"fig3", "fig5", "fig8", "ablate-adapt", "ablate-probe"} {
+		exp := exp
+		t.Run(exp, func(t *testing.T) {
+			t.Parallel()
+			tab, err := run(smokeConfig(), exp, []int{64})
+			if err != nil {
+				t.Fatalf("run(%s): %v", exp, err)
+			}
+			var out bytes.Buffer
+			tab.Render(&out)
+			s := out.String()
+			if !strings.Contains(s, "==") || len(strings.Split(s, "\n")) < 4 {
+				t.Fatalf("run(%s) rendered a degenerate table:\n%s", exp, s)
+			}
+		})
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if _, err := run(smokeConfig(), "fig99", nil); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+// TestRunAllExperimentIDs pins the dispatch table against the "all"
+// order: every advertised id dispatches, and nothing dispatchable is
+// missing from "all" — so the usage text, "all", and the dispatcher
+// cannot drift apart.
+func TestRunAllExperimentIDs(t *testing.T) {
+	if len(experimentOrder) != len(experiments) {
+		t.Errorf("'all' lists %d experiments, dispatcher knows %d", len(experimentOrder), len(experiments))
+	}
+	for _, id := range experimentOrder {
+		if _, ok := experiments[id]; !ok {
+			t.Errorf("'all' advertises %q but the dispatcher cannot run it", id)
+		}
+	}
+}

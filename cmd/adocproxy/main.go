@@ -1,0 +1,123 @@
+// Command adocproxy is a transparent compression gateway pair: it gives
+// unmodified TCP applications the paper's adaptive online compression by
+// tunneling their connections, as multiplexed streams, over one
+// long-lived negotiated AdOC connection between two gateways.
+//
+// Topology:
+//
+//	app --plain tcp--> adocproxy ingress ==one AdOC conn==> adocproxy egress --plain tcp--> backend
+//
+// Usage:
+//
+//	adocproxy -mode ingress -listen :7000 -peer egress-host:7001
+//	adocproxy -mode egress  -listen :7001 -backend backend-host:9000
+//
+// Flags -minlevel/-maxlevel bound the negotiated compression levels,
+// -parallelism sets the compression worker count, and -stats makes the
+// ingress print a periodic line explaining the tunnel's current
+// compression level (the adapt controller snapshot: level, forbidden
+// set, pin countdown, per-level bandwidth).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"strings"
+	"time"
+
+	"adoc"
+	"adoc/adocmux"
+	"adoc/adocnet"
+)
+
+func main() {
+	var (
+		mode        = flag.String("mode", "", "gateway role: ingress or egress")
+		listen      = flag.String("listen", "", "address to listen on")
+		peer        = flag.String("peer", "", "ingress: egress gateway address to tunnel to")
+		backend     = flag.String("backend", "", "egress: backend address to dial per stream")
+		minLevel    = flag.Int("minlevel", 0, "minimum compression level offered [0,10]")
+		maxLevel    = flag.Int("maxlevel", 10, "maximum compression level offered [0,10]")
+		parallelism = flag.Int("parallelism", 0, "compression workers (0 = auto)")
+		statsEvery  = flag.Duration("stats", 0, "ingress: print tunnel stats at this interval (0 = off)")
+	)
+	flag.Parse()
+
+	opts := adocmux.TransportOptions()
+	opts.MinLevel = adoc.Level(*minLevel)
+	opts.MaxLevel = adoc.Level(*maxLevel)
+	opts.Parallelism = *parallelism
+
+	switch *mode {
+	case "ingress":
+		if *listen == "" || *peer == "" {
+			fatalUsage("ingress mode needs -listen and -peer")
+		}
+		ln, err := net.Listen("tcp", *listen)
+		if err != nil {
+			log.Fatalf("adocproxy: %v", err)
+		}
+		in := adocmux.NewIngress(*peer, opts, adocmux.Config{})
+		if *statsEvery > 0 {
+			go reportStats(in, *statsEvery)
+		}
+		log.Printf("adocproxy ingress: %v -> %s", ln.Addr(), *peer)
+		log.Fatalf("adocproxy: %v", in.Serve(ln))
+	case "egress":
+		if *listen == "" || *backend == "" {
+			fatalUsage("egress mode needs -listen and -backend")
+		}
+		ln, err := adocnet.Listen("tcp", *listen, opts)
+		if err != nil {
+			log.Fatalf("adocproxy: %v", err)
+		}
+		eg := adocmux.NewEgress(*backend, adocmux.Config{})
+		log.Printf("adocproxy egress: %v -> %s", ln.Addr(), *backend)
+		log.Fatalf("adocproxy: %v", eg.Serve(ln))
+	default:
+		fatalUsage("missing or unknown -mode (want ingress or egress)")
+	}
+}
+
+func fatalUsage(msg string) {
+	fmt.Fprintf(os.Stderr, "adocproxy: %s\n", msg)
+	flag.Usage()
+	os.Exit(2)
+}
+
+// reportStats prints a periodic line from the tunnel's engine counters
+// and the adapt controller snapshot — enough to answer "is the tunnel
+// compressing, at which level, and if not, why not".
+func reportStats(in *adocmux.Ingress, every time.Duration) {
+	for range time.Tick(every) {
+		s, ok := in.Stats()
+		if !ok {
+			continue
+		}
+		log.Print(FormatStats(s))
+	}
+}
+
+// FormatStats renders one human-readable stats line.
+func FormatStats(s adoc.Stats) string {
+	var b strings.Builder
+	ratio := 1.0
+	if s.WireSent > 0 {
+		ratio = float64(s.RawSent) / float64(s.WireSent)
+	}
+	fmt.Fprintf(&b, "tunnel: raw=%dB wire=%dB ratio=%.2f level=%d bounds=[%d,%d]",
+		s.RawSent, s.WireSent, ratio, s.Adapt.Level, s.Adapt.Min, s.Adapt.Max)
+	if s.Adapt.PinRemaining > 0 {
+		fmt.Fprintf(&b, " pinned(incompressible)=%dpkts", s.Adapt.PinRemaining)
+	}
+	if forb := s.Adapt.Forbidden(); len(forb) > 0 {
+		fmt.Fprintf(&b, " forbidden(diverged)=%v", forb)
+	}
+	if bw := s.Adapt.BandwidthBps[s.Adapt.Level]; bw > 0 {
+		fmt.Fprintf(&b, " level-bw=%.1fMB/s", bw/1e6)
+	}
+	return b.String()
+}

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"adoc"
+	"adoc/internal/adapt"
+)
+
+// TestFormatStats pins the stats line the proxy logs: level and bounds
+// always; pin, forbidden set, and bandwidth only when present.
+func TestFormatStats(t *testing.T) {
+	s := adoc.Stats{RawSent: 1000, WireSent: 250}
+	s.Adapt = adapt.Snapshot{
+		Level: 3, Min: 1, Max: 9,
+		PinRemaining: 7,
+		ForbiddenFor: make([]time.Duration, int(adoc.MaxLevel)+1),
+		BandwidthBps: make([]float64, int(adoc.MaxLevel)+1),
+	}
+	s.Adapt.ForbiddenFor[5] = 300 * time.Millisecond
+	s.Adapt.BandwidthBps[3] = 12_500_000
+
+	line := FormatStats(s)
+	for _, want := range []string{
+		"ratio=4.00", "level=3", "bounds=[1,9]",
+		"pinned(incompressible)=7pkts", "forbidden(diverged)=[gzip 4]",
+		"level-bw=12.5MB/s",
+	} {
+		if !strings.Contains(line, want) {
+			t.Errorf("stats line %q missing %q", line, want)
+		}
+	}
+
+	// A quiet connection renders without the conditional parts.
+	quiet := adoc.Stats{}
+	quiet.Adapt = adapt.Snapshot{
+		ForbiddenFor: make([]time.Duration, int(adoc.MaxLevel)+1),
+		BandwidthBps: make([]float64, int(adoc.MaxLevel)+1),
+	}
+	line = FormatStats(quiet)
+	for _, absent := range []string{"pinned", "forbidden", "level-bw"} {
+		if strings.Contains(line, absent) {
+			t.Errorf("quiet stats line %q should not contain %q", line, absent)
+		}
+	}
+}

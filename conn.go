@@ -35,6 +35,15 @@ func NewConn(rw io.ReadWriter, opts Options) (*Conn, error) {
 // boundaries are not preserved).
 func (c *Conn) Read(p []byte) (int, error) { return c.eng.Read(p) }
 
+// ReadChunk returns the next contiguous span of the incoming byte stream
+// without copying: one decoded buffer group (or small-message payload)
+// per call, delivered as the interleaved groups arrive off the wire. The
+// span is only valid until the next Read/ReadChunk/ReceiveMessage call on
+// this connection; consumers that keep bytes must copy them out first.
+// This is the delivery primitive for demultiplexers (adocmux) that fan
+// the byte stream out to per-stream queues.
+func (c *Conn) ReadChunk() ([]byte, error) { return c.eng.ReadChunk() }
+
 // Write sends p as one adaptively compressed message and returns
 // (len(p), nil) on success, satisfying io.Writer. Use WriteMessage to
 // also learn the wire byte count.
@@ -85,8 +94,14 @@ func (c *Conn) ReceiveMessage(w io.Writer) (int64, error) {
 // stream if it implements io.Closer.
 func (c *Conn) Close() error { return c.eng.Close() }
 
-// Stats returns a snapshot of connection activity.
+// Stats returns a snapshot of connection activity, including the adapt
+// controller's decision state (Stats.Adapt).
 func (c *Conn) Stats() Stats { return c.eng.Stats() }
+
+// CounterStats is Stats without the Adapt snapshot; cheaper for callers
+// that aggregate counters across many connections and discard the
+// non-additive decision state.
+func (c *Conn) CounterStats() Stats { return c.eng.CounterStats() }
 
 // CompressionRatio returns rawSent/wireSent over the connection lifetime
 // (1.0 means no gain; higher is better).

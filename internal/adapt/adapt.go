@@ -310,6 +310,67 @@ func (c *Controller) Stats() Stats {
 	}
 }
 
+// Snapshot is a point-in-time view of the controller's decision state —
+// everything needed to answer "why is the connection at this level right
+// now": the level itself, the active bounds, the incompressible-guard pin
+// countdown, which levels the divergence guard currently forbids (and for
+// how much longer), and the per-level visible-bandwidth EWMAs the guard
+// compares. Unlike the additive Stats counters, a Snapshot is
+// instantaneous and not meaningful to aggregate across connections.
+type Snapshot struct {
+	// Level is the current compression level.
+	Level codec.Level
+	// Min and Max are the active bounds.
+	Min, Max codec.Level
+	// PinRemaining is how many more packets the incompressible guard
+	// holds the level at the minimum (0 = pin inactive).
+	PinRemaining int
+	// ForbiddenFor[l] is the remaining divergence penalty for level l
+	// (0 = not forbidden). Indexed by level, length MaxLevel+1.
+	ForbiddenFor []time.Duration
+	// BandwidthBps[l] is the visible-bandwidth EWMA for level l in raw
+	// bytes per second, 0 when the level has never delivered. Indexed by
+	// level, length MaxLevel+1.
+	BandwidthBps []float64
+}
+
+// Forbidden returns the levels currently under a divergence penalty.
+func (s Snapshot) Forbidden() []codec.Level {
+	var out []codec.Level
+	for l, d := range s.ForbiddenFor {
+		if d > 0 {
+			out = append(out, codec.Level(l))
+		}
+	}
+	return out
+}
+
+// Snapshot captures the controller's current decision state.
+func (c *Controller) Snapshot() Snapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.cfg.Clock.Now()
+	s := Snapshot{
+		Level:        c.level,
+		Min:          c.cfg.Min,
+		Max:          c.cfg.Max,
+		PinRemaining: c.pinRemaining,
+		ForbiddenFor: make([]time.Duration, len(c.forbidden)),
+		BandwidthBps: make([]float64, len(c.bw)),
+	}
+	for l, until := range c.forbidden {
+		if until.After(now) {
+			s.ForbiddenFor[l] = until.Sub(now)
+		}
+	}
+	for l, r := range c.bw {
+		if r.seen {
+			s.BandwidthBps[l] = r.bps
+		}
+	}
+	return s
+}
+
 // Bounds returns the controller's level bounds.
 func (c *Controller) Bounds() (min, max codec.Level) {
 	c.mu.Lock()

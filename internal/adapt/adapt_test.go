@@ -368,3 +368,61 @@ func TestSetBoundsRejectsInvalid(t *testing.T) {
 		t.Fatal("out-of-range max accepted")
 	}
 }
+
+// TestSnapshot checks the exported decision-state view: level, bounds,
+// pin countdown, forbidden set with remaining penalties, and bandwidth
+// EWMAs all reflect the controller's internals.
+func TestSnapshot(t *testing.T) {
+	clk := clock.NewManual(time.Unix(100, 0))
+	c := New(Config{Min: 0, Max: 10, Clock: clk})
+
+	// Seed bandwidth history that will trip the divergence guard.
+	c.RecordDelivery(0, 10_000_000, time.Second)
+	for l := codec.Level(1); l <= 5; l++ {
+		c.RecordDelivery(l, 2_000_000, time.Second)
+	}
+	c.LevelForNextBuffer(15)
+	c.LevelForNextBuffer(25) // guard demotes and forbids the candidate
+
+	s := c.Snapshot()
+	if s.Level != c.Level() {
+		t.Fatalf("snapshot level %v, controller says %v", s.Level, c.Level())
+	}
+	if s.Min != 0 || s.Max != 10 {
+		t.Fatalf("snapshot bounds [%d,%d], want [0,10]", s.Min, s.Max)
+	}
+	if len(s.ForbiddenFor) != int(codec.MaxLevel)+1 || len(s.BandwidthBps) != int(codec.MaxLevel)+1 {
+		t.Fatalf("snapshot slices sized %d/%d, want %d", len(s.ForbiddenFor), len(s.BandwidthBps), int(codec.MaxLevel)+1)
+	}
+	forb := s.Forbidden()
+	if len(forb) == 0 {
+		t.Fatal("divergence guard fired but snapshot forbids nothing")
+	}
+	for _, l := range forb {
+		if got := s.ForbiddenFor[l]; got <= 0 || got > DefaultForbidFor {
+			t.Fatalf("forbidden level %v has remaining penalty %v", l, got)
+		}
+	}
+	if s.BandwidthBps[0] != 10_000_000 {
+		t.Fatalf("level-0 EWMA = %v, want 10MB/s", s.BandwidthBps[0])
+	}
+	if s.BandwidthBps[9] != 0 {
+		t.Fatalf("never-delivered level has EWMA %v, want 0", s.BandwidthBps[9])
+	}
+
+	// Advance past the penalty: the forbidden set must empty out.
+	clk.Advance(2 * DefaultForbidFor)
+	if forb := c.Snapshot().Forbidden(); len(forb) != 0 {
+		t.Fatalf("penalty expired but %v still forbidden", forb)
+	}
+
+	// Pin countdown surfaces.
+	c.NotePacketRatio(5, 1000, 1000) // no gain: pins
+	if got := c.Snapshot().PinRemaining; got != DefaultPinPackets {
+		t.Fatalf("PinRemaining = %d, want %d", got, DefaultPinPackets)
+	}
+	c.NotePacketsSent(3)
+	if got := c.Snapshot().PinRemaining; got != DefaultPinPackets-3 {
+		t.Fatalf("PinRemaining after 3 packets = %d, want %d", got, DefaultPinPackets-3)
+	}
+}

@@ -41,10 +41,11 @@ type Engine struct {
 
 	// Receiver state, guarded by rmu; cur additionally by curMu so Close
 	// can abort it without waiting for a blocked Read.
-	dec     *wire.Reader
-	recvBuf bytes.Buffer // decompressed, not yet consumed by Read
-	curMu   sync.Mutex
-	cur     *streamState // in-progress stream message, if any
+	dec      *wire.Reader
+	recvBuf  bytes.Buffer // decompressed, not yet consumed by Read
+	smallBuf []byte       // reusable small-payload buffer for ReadChunk
+	curMu    sync.Mutex
+	cur      *streamState // in-progress stream message, if any
 
 	// bufPool recycles BufferSize read buffers for the parallel sender,
 	// where each in-flight buffer needs its own backing array.
@@ -83,6 +84,12 @@ type Stats struct {
 	QueueHighWater int64
 	// Controller reports the adaptive-controller counters.
 	Controller adapt.Stats
+	// Adapt is the controller's instantaneous decision state — current
+	// level, forbidden set, pin countdown, per-level bandwidth EWMAs —
+	// the "why is the level what it is" view. Unlike the counters above
+	// it is not additive; per-connection aggregators (adocnet.Server)
+	// leave it zero.
+	Adapt adapt.Snapshot
 }
 
 // New wraps a bidirectional connection in an AdOC engine.
@@ -112,8 +119,20 @@ func New(rw io.ReadWriter, opts Options) (*Engine, error) {
 // Options returns the engine's effective (sanitized) options.
 func (e *Engine) Options() Options { return e.opts }
 
-// Stats returns a snapshot of the engine counters.
+// Stats returns a snapshot of the engine counters plus the controller's
+// Adapt decision state.
 func (e *Engine) Stats() Stats {
+	s := e.CounterStats()
+	s.Adapt = e.ctrl.Snapshot()
+	return s
+}
+
+// CounterStats is Stats without the Adapt snapshot — no allocations
+// beyond the LevelCount copy. Aggregators that fold many connections
+// (and deliberately discard the non-additive Adapt state, like
+// adocnet.Server) use this to avoid building a snapshot per connection
+// per poll.
+func (e *Engine) CounterStats() Stats {
 	return Stats{
 		MsgsSent:       e.stats.msgsSent.Load(),
 		MsgsReceived:   e.stats.msgsReceived.Load(),

@@ -327,28 +327,35 @@ func (e *Engine) runDecodePipeline(st *streamState) {
 }
 
 // advanceDecoded is advanceStream for the parallel receive pipeline: it
-// consumes in-order decoded groups instead of raw frames.
-func (e *Engine) advanceDecoded(st *streamState, block bool) (progress bool, err error) {
-	var g decGroup
-	if block {
-		g, err = st.decoded.Pop()
-		if err == io.EOF {
-			return false, io.ErrUnexpectedEOF
+// consumes in-order decoded groups instead of raw frames. Decoded groups
+// are independent allocations, so the returned span stays valid until the
+// consumer releases it — stricter than the sequential path's
+// until-next-call contract, which is what callers must assume.
+func (e *Engine) advanceDecoded(st *streamState, block bool) (data []byte, err error) {
+	for {
+		var g decGroup
+		if block {
+			g, err = st.decoded.Pop()
+			if err == io.EOF {
+				return nil, io.ErrUnexpectedEOF
+			}
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			var ok bool
+			g, ok = st.decoded.TryPop()
+			if !ok {
+				return nil, nil
+			}
 		}
-		if err != nil {
-			return false, err
+		if g.end {
+			return nil, errMsgEnd
 		}
-	} else {
-		var ok bool
-		g, ok = st.decoded.TryPop()
-		if !ok {
-			return false, nil
+		e.stats.rawReceived.Add(int64(g.rawLen))
+		if len(g.data) == 0 {
+			continue // an empty group adds nothing to the byte stream
 		}
+		return g.data, nil
 	}
-	if g.end {
-		return false, errMsgEnd
-	}
-	e.recvBuf.Write(g.data)
-	e.stats.rawReceived.Add(int64(g.rawLen))
-	return true, nil
 }

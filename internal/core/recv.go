@@ -14,6 +14,10 @@ import (
 // complete.
 var errMsgEnd = errors.New("adoc: message end")
 
+// maxReusedSmallBuf caps the small-payload buffer ReadChunk keeps across
+// calls; larger payloads are allocated per message.
+const maxReusedSmallBuf = 256 * 1024
+
 // recvFrame is a decoded frame with its payload copied out of the wire
 // reader's scratch buffer, as stored in the reception FIFO.
 type recvFrame struct {
@@ -163,12 +167,16 @@ func (e *Engine) receiveLoop(st *streamState) {
 	}
 }
 
-// advanceStream consumes frames until it has appended at least one group
-// of decompressed bytes to recvBuf (progress), the message ends
-// (errMsgEnd), or — in non-blocking mode — the FIFO runs dry (progress
-// false, nil error). On the parallel path the decode pipeline has already
+// advanceStream consumes frames until it has decoded at least one group
+// of the stream — returned as a span of decompressed bytes — the message
+// ends (errMsgEnd), or, in non-blocking mode, the FIFO runs dry (nil
+// data, nil error). The span is valid until the next advanceStream call
+// on this engine: on the sequential path it may alias the assembler's
+// reused block buffer. Callers either copy it (Read buffers it in
+// recvBuf) or hand it to the consumer under the same validity contract
+// (ReadChunk). On the parallel path the decode pipeline has already
 // turned frames into in-order groups, so this consumes those instead.
-func (e *Engine) advanceStream(st *streamState, block bool) (progress bool, err error) {
+func (e *Engine) advanceStream(st *streamState, block bool) (data []byte, err error) {
 	if st.decoded != nil {
 		return e.advanceDecoded(st, block)
 	}
@@ -179,32 +187,34 @@ func (e *Engine) advanceStream(st *streamState, block bool) (progress bool, err 
 			if err == io.EOF {
 				// The queue drained after MsgEnd was already consumed;
 				// a well-formed stream never gets here.
-				return false, io.ErrUnexpectedEOF
+				return nil, io.ErrUnexpectedEOF
 			}
 			if err != nil {
-				return false, err
+				return nil, err
 			}
 		} else {
 			var ok bool
 			fr, ok = st.frames.TryPop()
 			if !ok {
-				return false, nil
+				return nil, nil
 			}
 		}
 		g, end, ferr := st.asm.feed(fr)
 		switch {
 		case ferr != nil:
-			return false, ferr
+			return nil, ferr
 		case end:
-			return false, errMsgEnd
+			return nil, errMsgEnd
 		case g != nil:
 			r := decodeGroup(*g)
 			if r.err != nil {
-				return false, r.err
+				return nil, r.err
 			}
-			e.recvBuf.Write(r.data)
 			e.stats.rawReceived.Add(int64(r.rawLen))
-			return true, nil
+			if len(r.data) == 0 {
+				continue // an empty group adds nothing to the byte stream
+			}
+			return r.data, nil
 		}
 	}
 }
@@ -236,7 +246,7 @@ func (e *Engine) Read(p []byte) (int, error) {
 			// hand out as much as fits.
 			if st := e.loadCur(); st != nil {
 				for e.recvBuf.Len() < len(p) {
-					progress, err := e.advanceStream(st, false)
+					data, err := e.advanceStream(st, false)
 					if err == errMsgEnd {
 						e.finishStream()
 						break
@@ -246,15 +256,16 @@ func (e *Engine) Read(p []byte) (int, error) {
 						// them first, surface the error on the next call.
 						break
 					}
-					if !progress {
+					if data == nil {
 						break
 					}
+					e.recvBuf.Write(data)
 				}
 			}
 			return e.recvBuf.Read(p)
 		}
 		if st := e.loadCur(); st != nil {
-			progress, err := e.advanceStream(st, true)
+			data, err := e.advanceStream(st, true)
 			if err == errMsgEnd {
 				e.finishStream()
 				continue
@@ -262,10 +273,8 @@ func (e *Engine) Read(p []byte) (int, error) {
 			if err != nil {
 				return 0, e.normalizeErr(err)
 			}
-			if progress {
-				continue // recvBuf now has bytes
-			}
-			continue
+			e.recvBuf.Write(data)
+			continue // recvBuf now has bytes (unless the group was empty)
 		}
 		// Between messages: read the next message header directly.
 		h, err := e.dec.ReadMsgHeader()
@@ -297,6 +306,82 @@ func (e *Engine) Read(p []byte) (int, error) {
 			e.recvBuf.Write(tmp)
 			e.stats.msgsReceived.Add(1)
 			e.stats.rawReceived.Add(int64(len(tmp)))
+		case wire.KindStream:
+			e.stats.wireReceived.Add(wire.StreamHeaderLen)
+			e.storeCur(e.startStream())
+		}
+	}
+}
+
+// ReadChunk returns the next contiguous span of the incoming byte stream
+// without copying it through the engine's receive buffer: one decoded
+// buffer group (or one small-message payload) per call, delivered exactly
+// as the interleaved groups arrive off the wire. It blocks until at least
+// one byte is available. Message boundaries are not preserved, matching
+// Read.
+//
+// The returned span is only valid until the next Read/ReadChunk/
+// ReceiveMessage call on this engine — it may alias internal buffers that
+// the next call reuses. This is the delivery primitive for consumers that
+// fan bytes out to their own per-stream queues (the adocmux demux loop):
+// they parse and copy out what they keep before asking for the next
+// chunk, so the bytes move decode-stage → consumer queue with no
+// intermediate buffering.
+func (e *Engine) ReadChunk() ([]byte, error) {
+	e.rmu.Lock()
+	defer e.rmu.Unlock()
+	for {
+		if e.closed.Load() {
+			return nil, ErrClosed
+		}
+		if e.recvBuf.Len() > 0 {
+			// Leftovers from a partial Read: drain them first so the two
+			// consumption styles compose.
+			return e.recvBuf.Next(e.recvBuf.Len()), nil
+		}
+		if st := e.loadCur(); st != nil {
+			data, err := e.advanceStream(st, true)
+			if err == errMsgEnd {
+				e.finishStream()
+				continue
+			}
+			if err != nil {
+				return nil, e.normalizeErr(err)
+			}
+			if len(data) > 0 {
+				return data, nil
+			}
+			continue
+		}
+		h, err := e.dec.ReadMsgHeader()
+		if err != nil {
+			return nil, e.normalizeErr(err)
+		}
+		switch h.Kind {
+		case wire.KindSmall:
+			e.stats.wireReceived.Add(int64(wire.SmallOverhead) + int64(h.RawLen))
+			if h.RawLen == 0 {
+				e.stats.msgsReceived.Add(1)
+				continue
+			}
+			// Reuse a buffer for typical small messages, but never let a
+			// peer-announced size (up to wire.MaxGroupRaw) become memory
+			// pinned for the engine's lifetime: oversized payloads get a
+			// one-off allocation instead.
+			dst := e.smallBuf
+			if int(h.RawLen) > maxReusedSmallBuf {
+				dst = make([]byte, h.RawLen)
+			} else if cap(dst) < int(h.RawLen) {
+				e.smallBuf = make([]byte, h.RawLen)
+				dst = e.smallBuf
+			}
+			out, err := e.dec.ReadSmallPayload(h, dst[:cap(dst)])
+			if err != nil {
+				return nil, e.normalizeErr(err)
+			}
+			e.stats.msgsReceived.Add(1)
+			e.stats.rawReceived.Add(int64(len(out)))
+			return out, nil
 		case wire.KindStream:
 			e.stats.wireReceived.Add(wire.StreamHeaderLen)
 			e.storeCur(e.startStream())
@@ -340,10 +425,12 @@ func (e *Engine) ReceiveMessage(w io.Writer) (int64, error) {
 		e.storeCur(st)
 		var total int64
 		for {
-			_, err := e.advanceStream(st, true)
-			if e.recvBuf.Len() > 0 {
-				n, werr := e.recvBuf.WriteTo(w)
-				total += n
+			data, err := e.advanceStream(st, true)
+			if len(data) > 0 {
+				// Straight from the decode stage to w; the engine's own
+				// receive buffer is never involved.
+				n, werr := w.Write(data)
+				total += int64(n)
 				if werr != nil {
 					st.abort(werr)
 					e.storeCur(nil)

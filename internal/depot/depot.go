@@ -5,6 +5,13 @@
 // into the Internet Backplane Protocol ... It works without error",
 // §4.2); this package reproduces that integration: every data connection
 // runs through the AdOC library, many in parallel.
+//
+// Connections run on the negotiated adocnet transport: server and client
+// exchange the version/level handshake at connect time, so
+// differently-configured (or differently-versioned) endpoints converge
+// on one configuration instead of silently assuming each other's
+// defaults — the operational posture every other consumer of the library
+// adopted with PR 2.
 package depot
 
 import (
@@ -18,18 +25,27 @@ import (
 	"sync"
 
 	"adoc"
+	"adoc/adocnet"
 )
 
-// Depot serves STORE/RETRIEVE/DELETE requests over AdOC connections.
+// Depot serves STORE/RETRIEVE/DELETE requests over negotiated AdOC
+// connections.
 type Depot struct {
+	opts  adocnet.Options
 	mu    sync.RWMutex
 	blobs map[string][]byte
 	ln    net.Listener
 	wg    sync.WaitGroup
 }
 
-// New returns an empty depot.
-func New() *Depot { return &Depot{blobs: map[string][]byte{}} }
+// New returns an empty depot negotiating the default adaptive
+// configuration.
+func New() *Depot { return NewWithOptions(adocnet.Defaults()) }
+
+// NewWithOptions returns an empty depot offering opts in its handshakes.
+func NewWithOptions(opts adocnet.Options) *Depot {
+	return &Depot{opts: opts, blobs: map[string][]byte{}}
+}
 
 // Serve accepts clients on ln until Close. Each connection may issue any
 // number of requests.
@@ -76,7 +92,10 @@ func (d *Depot) Len() int {
 // Both commands and payloads flow through the AdOC connection, so large
 // payloads are adaptively compressed.
 func (d *Depot) handle(raw net.Conn) {
-	conn, err := adoc.NewConn(raw, adoc.DefaultOptions())
+	// Negotiate instead of assuming: a client offering different sizes or
+	// level bounds gets the intersection, and a peer that is not speaking
+	// AdOC at all fails here, loudly, instead of corrupting blobs.
+	conn, err := adocnet.Handshake(raw, d.opts)
 	if err != nil {
 		raw.Close()
 		return
@@ -151,26 +170,36 @@ func (d *Depot) handle(raw net.Conn) {
 	}
 }
 
-// Client talks to a depot over one AdOC connection. It is safe for
-// sequential use; open one client per goroutine (like IBP's handlers).
+// Client talks to a depot over one negotiated AdOC connection. It is
+// safe for sequential use; open one client per goroutine (like IBP's
+// handlers).
 type Client struct {
-	conn *adoc.Conn
+	conn *adocnet.Conn
 	br   *bufio.Reader
 }
 
-// Dial connects to a depot.
+// Dial connects to a depot with the default adaptive configuration.
 func Dial(dial func() (net.Conn, error)) (*Client, error) {
+	return DialWithOptions(dial, adocnet.Defaults())
+}
+
+// DialWithOptions connects to a depot offering opts; the connection runs
+// whatever the handshake negotiates.
+func DialWithOptions(dial func() (net.Conn, error), opts adocnet.Options) (*Client, error) {
 	raw, err := dial()
 	if err != nil {
 		return nil, err
 	}
-	conn, err := adoc.NewConn(raw, adoc.DefaultOptions())
+	conn, err := adocnet.Handshake(raw, opts)
 	if err != nil {
 		raw.Close()
 		return nil, err
 	}
 	return &Client{conn: conn, br: bufio.NewReader(conn)}, nil
 }
+
+// Negotiated returns the configuration agreed with the depot.
+func (c *Client) Negotiated() adocnet.Negotiated { return c.conn.Negotiated() }
 
 // Close releases the connection.
 func (c *Client) Close() error { return c.conn.Close() }

@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"adoc/adocnet"
 	"adoc/internal/datagen"
 	"adoc/internal/netsim"
 )
@@ -151,5 +152,106 @@ func TestSequentialCommandsSameConnection(t *testing.T) {
 		if err := c.RoundtripCheck(name, datagen.Binary(5000+i*37, int64(i))); err != nil {
 			t.Fatalf("round %d: %v", i, err)
 		}
+	}
+}
+
+// TestMixedVersionClients is the regression test for the adocnet port:
+// clients offering configurations unlike the depot's — smaller packets
+// and buffers, narrower level bounds, or no mux capability at all (the
+// shape of a binary built before stream multiplexing existed) — must
+// negotiate and interoperate on the same depot, concurrently.
+func TestMixedVersionClients(t *testing.T) {
+	_, dial := startDepot(t)
+
+	older := adocnet.Defaults()
+	older.DisableMux = true // pre-mux peers never advertise the capability
+	older.PacketSize = 4096
+	older.BufferSize = 64 * 1024
+	older.MaxLevel = 5
+
+	newer := adocnet.Defaults()
+	newer.MinLevel = 1 // forces compression on
+
+	cases := []struct {
+		name string
+		opts adocnet.Options
+	}{
+		{"current defaults", adocnet.Defaults()},
+		{"older shape", older},
+		{"newer forcing compression", newer},
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, len(cases))
+	for i, tc := range cases {
+		wg.Add(1)
+		go func(i int, name string, opts adocnet.Options) {
+			defer wg.Done()
+			c, err := DialWithOptions(dial, opts)
+			if err != nil {
+				errs <- fmt.Errorf("%s: dial: %w", name, err)
+				return
+			}
+			defer c.Close()
+			payload := datagen.ASCII(1<<20, int64(i))
+			if err := c.RoundtripCheck(fmt.Sprintf("blob-%d", i), payload); err != nil {
+				errs <- fmt.Errorf("%s: %w", name, err)
+			}
+		}(i, tc.name, tc.opts)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// The negotiation really happened: the constrained client got the
+	// intersection, not its peer's defaults.
+	c, err := DialWithOptions(dial, older)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	neg := c.Negotiated()
+	if neg.PacketSize != 4096 || neg.BufferSize != 64*1024 || neg.MaxLevel != 5 {
+		t.Fatalf("negotiated %v, want the older client's constraints honored", neg)
+	}
+	if neg.Mux {
+		t.Fatal("depot negotiated mux with a client that never advertised it")
+	}
+}
+
+// TestNonAdocClientRejected: a peer that is not speaking AdOC at all
+// must be refused at the handshake, loudly and without corrupting depot
+// state, instead of being misparsed as commands.
+func TestNonAdocClientRejected(t *testing.T) {
+	d, dial := startDepot(t)
+	raw, err := dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	// Speak the old pre-handshake framing (a bare small message), which
+	// is also what a pre-PR2 depot client would send first.
+	if _, err := raw.Write([]byte("STORE x 3\nabc")); err != nil {
+		t.Fatal(err)
+	}
+	// The handshake is symmetric, so the depot's own hello frame arrives
+	// before the rejection; what must NOT arrive is a command response,
+	// and the depot must close the connection.
+	raw.SetReadDeadline(time.Now().Add(10 * time.Second))
+	all := make([]byte, 0, 256)
+	buf := make([]byte, 64)
+	for {
+		n, err := raw.Read(buf)
+		all = append(all, buf[:n]...)
+		if err != nil {
+			break // closed by the depot (or deadline: failed below anyway)
+		}
+	}
+	if bytes.Contains(all, []byte("OK")) || bytes.Contains(all, []byte("ERR")) {
+		t.Fatalf("depot answered a command to a non-AdOC client: %q", all)
+	}
+	if d.Len() != 0 {
+		t.Fatal("non-AdOC bytes mutated depot state")
 	}
 }

@@ -47,6 +47,42 @@ func TestHandshakeForwardCompatible(t *testing.T) {
 	}
 }
 
+// TestHandshakeFlagsRoundtrip checks the capability flags travel.
+func TestHandshakeFlagsRoundtrip(t *testing.T) {
+	h := Handshake{MinVersion: 1, MaxVersion: 1, PacketSize: 8192,
+		BufferSize: 200 * 1024, MaxLevel: 10, Flags: HandshakeFlagMux | 0x8000}
+	got, err := NewReader(bytes.NewReader(AppendHandshake(nil, h))).ReadHandshake()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != h {
+		t.Fatalf("roundtrip mismatch: got %+v, want %+v", got, h)
+	}
+}
+
+// TestHandshakeLegacyPayload checks backward compatibility with peers
+// that predate the flags word: their 12-byte payload still decodes, with
+// Flags reading as zero (no optional capabilities).
+func TestHandshakeLegacyPayload(t *testing.T) {
+	h := Handshake{MinVersion: 1, MaxVersion: 2, PacketSize: 4096,
+		BufferSize: 100 * 1024, MinLevel: 1, MaxLevel: 9, Flags: HandshakeFlagMux}
+	buf := AppendHandshake(nil, h)
+	// Rebuild the frame the way an old peer would: 12-byte payload, no
+	// flags word.
+	legacy := append([]byte(nil), buf[:MsgHeaderLen]...)
+	legacy = binary.BigEndian.AppendUint16(legacy, 12)
+	legacy = append(legacy, buf[MsgHeaderLen+2:MsgHeaderLen+2+12]...)
+	got, err := NewReader(bytes.NewReader(legacy)).ReadHandshake()
+	if err != nil {
+		t.Fatalf("legacy handshake rejected: %v", err)
+	}
+	want := h
+	want.Flags = 0
+	if got != want {
+		t.Fatalf("legacy decode mismatch: got %+v, want %+v", got, want)
+	}
+}
+
 // TestHandshakeRejectedByV1Reader documents the failure mode for peers
 // that predate the handshake: the message-header decoder refuses kind 3
 // loudly instead of misparsing the stream.

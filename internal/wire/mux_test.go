@@ -1,0 +1,174 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// collect decodes everything in p fed as chunks of size step (step <= 0
+// means one single feed), returning the emitted frames with payloads
+// copied out.
+func collect(t *testing.T, p []byte, step int) ([]MuxFrame, error) {
+	t.Helper()
+	var d MuxDecoder
+	var got []MuxFrame
+	emit := func(f MuxFrame) error {
+		f.Payload = append([]byte(nil), f.Payload...)
+		got = append(got, f)
+		return nil
+	}
+	if step <= 0 {
+		return got, d.Feed(p, emit)
+	}
+	for off := 0; off < len(p); off += step {
+		end := min(off+step, len(p))
+		if err := d.Feed(p[off:end], emit); err != nil {
+			return got, err
+		}
+	}
+	return got, nil
+}
+
+func sampleMuxStream() []byte {
+	var buf []byte
+	buf = AppendMuxOpen(buf, 1)
+	buf = AppendMuxData(buf, 1, []byte("hello mux"))
+	buf = AppendMuxWindow(buf, 1, 65536)
+	buf = AppendMuxData(buf, 7, bytes.Repeat([]byte("x"), 5000))
+	buf = AppendMuxClose(buf, 1)
+	return buf
+}
+
+func TestMuxRoundtrip(t *testing.T) {
+	stream := sampleMuxStream()
+	want := []MuxFrame{
+		{Kind: MuxOpen, StreamID: 1},
+		{Kind: MuxData, StreamID: 1, Payload: []byte("hello mux")},
+		{Kind: MuxWindow, StreamID: 1, Delta: 65536},
+		{Kind: MuxData, StreamID: 7, Payload: bytes.Repeat([]byte("x"), 5000)},
+		{Kind: MuxClose, StreamID: 1},
+	}
+	got, err := collect(t, stream, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("decoded %d frames, want %d", len(got), len(want))
+	}
+	for i := range want {
+		g, w := got[i], want[i]
+		if g.Kind != w.Kind || g.StreamID != w.StreamID || g.Delta != w.Delta || !bytes.Equal(g.Payload, w.Payload) {
+			t.Errorf("frame %d: got %+v, want %+v", i, g, w)
+		}
+	}
+}
+
+// TestMuxChunkingInvariance feeds the same stream at every chunk size and
+// demands identical frames: frames straddling feed boundaries are the
+// normal case on a real connection (the engine cuts at adaptation
+// buffers, not frames).
+func TestMuxChunkingInvariance(t *testing.T) {
+	stream := sampleMuxStream()
+	whole, err := collect(t, stream, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, step := range []int{1, 2, 3, 7, 9, 100, 4096} {
+		got, err := collect(t, stream, step)
+		if err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		if len(got) != len(whole) {
+			t.Fatalf("step %d: %d frames, want %d", step, len(got), len(whole))
+		}
+		for i := range whole {
+			if got[i].Kind != whole[i].Kind || got[i].StreamID != whole[i].StreamID ||
+				got[i].Delta != whole[i].Delta || !bytes.Equal(got[i].Payload, whole[i].Payload) {
+				t.Fatalf("step %d frame %d: got %+v, want %+v", step, i, got[i], whole[i])
+			}
+		}
+	}
+}
+
+// TestMuxUnknownKindSkipped checks forward compatibility: unknown frame
+// kinds are skipped via the self-describing length without desyncing.
+func TestMuxUnknownKindSkipped(t *testing.T) {
+	var buf []byte
+	buf = append(buf, 200) // unknown kind
+	buf = binary.BigEndian.AppendUint32(buf, 9)
+	buf = binary.BigEndian.AppendUint32(buf, 5)
+	buf = append(buf, "12345"...)
+	buf = AppendMuxClose(buf, 3)
+	got, err := collect(t, buf, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Kind != MuxClose || got[0].StreamID != 3 {
+		t.Fatalf("got %+v, want one close on stream 3", got)
+	}
+}
+
+func TestMuxDecoderErrors(t *testing.T) {
+	t.Run("oversized", func(t *testing.T) {
+		var buf []byte
+		buf = append(buf, byte(MuxData))
+		buf = binary.BigEndian.AppendUint32(buf, 1)
+		buf = binary.BigEndian.AppendUint32(buf, MaxMuxFrameLen+1)
+		if _, err := collect(t, buf, 0); !errors.Is(err, ErrTooBig) {
+			t.Fatalf("err = %v, want ErrTooBig", err)
+		}
+	})
+	t.Run("stream zero", func(t *testing.T) {
+		if _, err := collect(t, AppendMuxOpen(nil, 0), 0); !errors.Is(err, ErrMuxStreamZero) {
+			t.Fatalf("err = %v, want ErrMuxStreamZero", err)
+		}
+	})
+	t.Run("short window payload", func(t *testing.T) {
+		var buf []byte
+		buf = append(buf, byte(MuxWindow))
+		buf = binary.BigEndian.AppendUint32(buf, 1)
+		buf = binary.BigEndian.AppendUint32(buf, 2)
+		buf = append(buf, 0, 0)
+		if _, err := collect(t, buf, 0); !errors.Is(err, ErrBadFrame) {
+			t.Fatalf("err = %v, want ErrBadFrame", err)
+		}
+	})
+	t.Run("emit error propagates", func(t *testing.T) {
+		var d MuxDecoder
+		boom := errors.New("boom")
+		err := d.Feed(AppendMuxOpen(nil, 1), func(MuxFrame) error { return boom })
+		if !errors.Is(err, boom) {
+			t.Fatalf("err = %v, want boom", err)
+		}
+	})
+}
+
+// TestMuxWindowForwardCompatible checks a window frame with future extra
+// payload bytes still decodes its delta.
+func TestMuxWindowForwardCompatible(t *testing.T) {
+	var buf []byte
+	buf = append(buf, byte(MuxWindow))
+	buf = binary.BigEndian.AppendUint32(buf, 9)
+	buf = binary.BigEndian.AppendUint32(buf, 6)
+	buf = binary.BigEndian.AppendUint32(buf, 1234)
+	buf = append(buf, 0xAA, 0xBB)
+	got, err := collect(t, buf, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Delta != 1234 || got[0].StreamID != 9 {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestMuxKindString(t *testing.T) {
+	for k, want := range map[MuxKind]string{MuxOpen: "open", MuxData: "data",
+		MuxClose: "close", MuxWindow: "window", MuxKind(77): "mux(77)"} {
+		if got := k.String(); !strings.Contains(got, want) {
+			t.Errorf("MuxKind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}

@@ -291,13 +291,16 @@ func (d *Reader) ReadFrame() (Frame, error) {
 //
 //	handshake = magic(2) version(1) kind(1)=3 payloadLen(2) payload
 //	payload   = minVer(1) maxVer(1) packetSize(4) bufferSize(4)
-//	            minLevel(1) maxLevel(1) [future fields]
+//	            minLevel(1) maxLevel(1) [flags(2)] [future fields]
 //
 // The payload length is self-describing: a decoder reads exactly
 // payloadLen bytes and ignores fields beyond the ones it knows, so future
-// versions can append fields without breaking older peers. A pre-handshake
-// (v1) peer that receives this frame fails loudly — ReadMsgHeader rejects
-// kind 3 with ErrBadKind — instead of silently misparsing the stream.
+// versions can append fields without breaking older peers. The flags word
+// was appended exactly that way: peers that predate it send 12-byte
+// payloads, which decode with Flags == 0 (no optional capabilities). A
+// pre-handshake (v1) peer that receives this frame fails loudly —
+// ReadMsgHeader rejects kind 3 with ErrBadKind — instead of silently
+// misparsing the stream.
 type Handshake struct {
 	// MinVersion and MaxVersion bound the stream protocol versions the
 	// speaker can use; the connection runs at the highest version inside
@@ -309,7 +312,18 @@ type Handshake struct {
 	// MinLevel and MaxLevel bound the speaker's compression levels; the
 	// connection uses the intersection of both ranges.
 	MinLevel, MaxLevel codec.Level
+	// Flags advertises optional capabilities (HandshakeFlag*); a
+	// capability is in effect only when both sides advertise it. Absent on
+	// legacy peers, which is equivalent to "none".
+	Flags uint16
 }
+
+// Handshake capability flags.
+const (
+	// HandshakeFlagMux announces that the speaker can run the adocmux
+	// stream-multiplexing session protocol on this connection.
+	HandshakeFlagMux uint16 = 1 << 0
+)
 
 const (
 	// HandshakeEnvelopeVersion is the version byte of the handshake
@@ -322,8 +336,13 @@ const (
 	// negotiation could happen. Frame evolution happens by appending
 	// payload fields under the self-describing length instead.
 	HandshakeEnvelopeVersion = 1
-	// handshakePayloadLen is the payload this version writes.
-	handshakePayloadLen = 1 + 1 + 4 + 4 + 1 + 1
+	// handshakeBasePayloadLen is the mandatory payload prefix every
+	// version has written since the frame was introduced; decoders reject
+	// anything shorter.
+	handshakeBasePayloadLen = 1 + 1 + 4 + 4 + 1 + 1
+	// handshakePayloadLen is the payload this version writes: the base
+	// fields plus the capability flags word.
+	handshakePayloadLen = handshakeBasePayloadLen + 2
 	// MaxHandshakeLen bounds the announced payload length so a corrupt or
 	// hostile peer cannot force a large allocation.
 	MaxHandshakeLen = 4096
@@ -345,7 +364,8 @@ func AppendHandshake(dst []byte, h Handshake) []byte {
 	dst = append(dst, h.MinVersion, h.MaxVersion)
 	dst = binary.BigEndian.AppendUint32(dst, h.PacketSize)
 	dst = binary.BigEndian.AppendUint32(dst, h.BufferSize)
-	return append(dst, byte(h.MinLevel), byte(h.MaxLevel))
+	dst = append(dst, byte(h.MinLevel), byte(h.MaxLevel))
+	return binary.BigEndian.AppendUint16(dst, h.Flags)
 }
 
 // ReadHandshake reads and validates one handshake frame. It must be the
@@ -370,7 +390,7 @@ func (d *Reader) ReadHandshake() (Handshake, error) {
 	if n > MaxHandshakeLen {
 		return h, ErrTooBig
 	}
-	if n < handshakePayloadLen {
+	if n < handshakeBasePayloadLen {
 		return h, fmt.Errorf("%w: handshake payload %d bytes", ErrBadFrame, n)
 	}
 	payload := make([]byte, n)
@@ -383,7 +403,11 @@ func (d *Reader) ReadHandshake() (Handshake, error) {
 	h.BufferSize = binary.BigEndian.Uint32(payload[6:10])
 	h.MinLevel = codec.Level(payload[10])
 	h.MaxLevel = codec.Level(payload[11])
-	// payload[12:] belongs to a future version; ignored by design.
+	if n >= handshakeBasePayloadLen+2 {
+		h.Flags = binary.BigEndian.Uint16(payload[12:14])
+	}
+	// Bytes beyond the known fields belong to a future version; ignored
+	// by design.
 	return h, nil
 }
 
