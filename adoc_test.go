@@ -275,11 +275,19 @@ func TestConnStats(t *testing.T) {
 	defer a.Close()
 	defer b.Close()
 	data := text(100 * 1024)
-	go a.Write(data)
+	written := make(chan struct{})
+	go func() {
+		defer close(written)
+		a.Write(data)
+	}()
 	got := make([]byte, len(data))
 	if _, err := io.ReadFull(b, got); err != nil {
 		t.Fatal(err)
 	}
+	// The last bytes can be received while the writer is still folding
+	// its wire-byte accounting; sample the stats only after Write
+	// returns, or the ratio below reads a half-updated snapshot.
+	<-written
 	st := a.Stats()
 	if st.RawSent != int64(len(data)) {
 		t.Fatalf("RawSent = %d", st.RawSent)

@@ -1,0 +1,355 @@
+package adocmux
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"adoc/adocnet"
+	"adoc/internal/netsim"
+)
+
+// TestReadDeadlineUnblocksWithoutKillingSiblings is the deadline
+// regression test: a Read that times out returns os.ErrDeadlineExceeded
+// (a net.Error with Timeout() true), the stream itself survives, and a
+// sibling stream keeps flowing the whole time.
+func TestReadDeadlineUnblocksWithoutKillingSiblings(t *testing.T) {
+	cli, srv := sessionPair(t, nil)
+
+	// Server: echo every accepted stream.
+	go func() {
+		for {
+			st, err := srv.AcceptStream()
+			if err != nil {
+				return
+			}
+			go func() {
+				io.Copy(st, st)
+				st.CloseWrite()
+			}()
+		}
+	}()
+
+	// The silent stream: the server echoes, but we never send, so a read
+	// can only end by deadline.
+	silent, err := cli.OpenStream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer silent.Close()
+	silent.SetReadDeadline(time.Now().Add(150 * time.Millisecond))
+
+	readErr := make(chan error, 1)
+	go func() {
+		_, err := silent.Read(make([]byte, 1))
+		readErr <- err
+	}()
+
+	// A sibling stream must move data while the other read is pending and
+	// after it times out.
+	sibling, err := cli.OpenStream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sibling.Close()
+	payload := compressible(512*1024, 21)
+	go func() {
+		sibling.Write(payload)
+		sibling.CloseWrite()
+	}()
+	got, err := io.ReadAll(sibling)
+	if err != nil {
+		t.Fatalf("sibling read: %v", err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("sibling stream corrupted while another stream waited on a deadline")
+	}
+
+	select {
+	case err := <-readErr:
+		if !errors.Is(err, os.ErrDeadlineExceeded) {
+			t.Fatalf("timed-out read: err = %v, want os.ErrDeadlineExceeded", err)
+		}
+		var ne net.Error
+		if !errors.As(err, &ne) || !ne.Timeout() {
+			t.Fatalf("timeout error %v does not satisfy net.Error/Timeout", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("read not released by its deadline")
+	}
+
+	// The timed-out stream is still usable once the deadline is extended.
+	silent.SetReadDeadline(time.Time{})
+	msg := []byte("after the timeout")
+	if _, err := silent.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	if err := silent.CloseWrite(); err != nil {
+		t.Fatal(err)
+	}
+	echoed, err := io.ReadAll(silent)
+	if err != nil {
+		t.Fatalf("read after deadline reset: %v", err)
+	}
+	if !bytes.Equal(echoed, msg) {
+		t.Fatal("stream corrupted after a read timeout")
+	}
+	if cli.IsClosed() || srv.IsClosed() {
+		t.Fatal("a read timeout killed the session")
+	}
+}
+
+// TestWriteDeadlineReleasesBlockedWriter: a writer stalled on peer
+// credit is released by its write deadline, spends no credit on the
+// aborted chunk, and the session stays healthy.
+func TestWriteDeadlineReleasesBlockedWriter(t *testing.T) {
+	cli, srv := sessionPair(t, nil)
+
+	st, err := cli.OpenStream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	peer, err := srv.AcceptStream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer peer.Close()
+	// The peer never reads: the writer wedges once the window is spent.
+	st.SetWriteDeadline(time.Now().Add(200 * time.Millisecond))
+	start := time.Now()
+	n, err := st.Write(bytes.Repeat([]byte("w"), 2*InitialWindow))
+	if !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("blocked write: n=%d err=%v, want os.ErrDeadlineExceeded", n, err)
+	}
+	if n > InitialWindow {
+		t.Fatalf("write claimed %d bytes, more than the credit window %d", n, InitialWindow)
+	}
+	if time.Since(start) > 10*time.Second {
+		t.Fatal("write deadline fired far too late")
+	}
+
+	// Credit accounting survived the abort: once the peer drains, the
+	// remaining window is intact and the bytes already sent arrive.
+	st.SetWriteDeadline(time.Time{})
+	if err := st.CloseWrite(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(peer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != n {
+		t.Fatalf("peer read %d bytes, writer reported %d", len(got), n)
+	}
+}
+
+// TestPastWriteDeadlineWakesBatchBlockedWriter: a writer can block in
+// two places — peer credit and the session's outgoing-batch
+// backpressure. Setting a deadline already in the past must release the
+// batch wait too (regression: the immediate-expiry path used to wake
+// only the stream condition, leaving a batch-blocked writer wedged).
+func TestPastWriteDeadlineWakesBatchBlockedWriter(t *testing.T) {
+	// A link slow enough that one in-flight batch pins the send loop,
+	// and a batch cap small enough that the second write must wait.
+	prof := netsim.Profile{
+		Name: "crawl", BandwidthBps: 32 * 1024, Latency: time.Millisecond,
+		MTU: 512, SocketBuf: 1024,
+	}
+	cliConnRaw, srvConnRaw := netsim.Pair(prof)
+	t.Cleanup(func() { cliConnRaw.Close(); srvConnRaw.Close() })
+
+	opts := TransportOptions()
+	type res struct {
+		c   *adocnet.Conn
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		c, err := adocnet.Handshake(srvConnRaw, opts)
+		ch <- res{c, err}
+	}()
+	cliConn, err := adocnet.Handshake(cliConnRaw, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srvRes := <-ch
+	if srvRes.err != nil {
+		t.Fatal(srvRes.err)
+	}
+	cli, err := Client(cliConn, Config{MaxBatch: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Server(srvRes.c, Config{}); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := cli.OpenStream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrote := make(chan error, 1)
+	go func() {
+		_, err := st.Write(bytes.Repeat([]byte("b"), 128*1024))
+		wrote <- err
+	}()
+	// Let the writer wedge against the full batch (the link moves ~32
+	// KB/s, so the first swapped batch is in flight for around a second).
+	time.Sleep(200 * time.Millisecond)
+	select {
+	case err := <-wrote:
+		t.Fatalf("writer finished early (err=%v); the link is not slow enough to stage the test", err)
+	default:
+	}
+
+	st.SetWriteDeadline(time.Now().Add(-time.Second))
+	select {
+	case err := <-wrote:
+		if !errors.Is(err, os.ErrDeadlineExceeded) {
+			t.Fatalf("batch-blocked write: err = %v, want os.ErrDeadlineExceeded", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("past write deadline did not release the batch-blocked writer")
+	}
+}
+
+// TestSetDeadlineInPastExpiresImmediately: net.Conn semantics — a
+// deadline already behind the clock fails the next blocking op at once.
+func TestSetDeadlineInPastExpiresImmediately(t *testing.T) {
+	cli, _ := sessionPair(t, nil)
+	st, err := cli.OpenStream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	st.SetDeadline(time.Now().Add(-time.Second))
+	if _, err := st.Read(make([]byte, 1)); !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("read with past deadline: err = %v", err)
+	}
+}
+
+// TestConcurrentStreamChurn opens and closes hundreds of short-lived
+// streams concurrently (run it under -race): stream IDs are never
+// reused, both stream tables drain to empty, and the flow-control
+// accounting has not drifted — a fresh stream can still move several
+// full windows in both directions afterwards.
+func TestConcurrentStreamChurn(t *testing.T) {
+	cli, srv := sessionPair(t, nil)
+
+	go func() {
+		for {
+			st, err := srv.AcceptStream()
+			if err != nil {
+				return
+			}
+			go func() {
+				io.Copy(st, st)
+				st.Close()
+			}()
+		}
+	}()
+
+	const (
+		workers   = 8
+		perWorker = 32 // 256 streams total
+	)
+	var (
+		idMu  sync.Mutex
+		seen  = map[uint32]bool{}
+		reuse []uint32
+	)
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				st, err := cli.OpenStream()
+				if err != nil {
+					errs <- fmt.Errorf("worker %d open %d: %w", w, i, err)
+					return
+				}
+				idMu.Lock()
+				if seen[st.ID()] {
+					reuse = append(reuse, st.ID())
+				}
+				seen[st.ID()] = true
+				idMu.Unlock()
+
+				// Vary the payload across frame-size boundaries.
+				payload := compressible(1024+(w*perWorker+i)*311, int64(w*perWorker+i))
+				go func() {
+					st.Write(payload)
+					st.CloseWrite()
+				}()
+				got, err := io.ReadAll(st)
+				if err != nil {
+					errs <- fmt.Errorf("worker %d stream %d read: %w", w, i, err)
+					st.Close()
+					return
+				}
+				if !bytes.Equal(got, payload) {
+					errs <- fmt.Errorf("worker %d stream %d corrupted", w, i)
+				}
+				st.Close()
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if len(reuse) > 0 {
+		t.Fatalf("stream IDs reused during churn: %v", reuse)
+	}
+	if len(seen) != workers*perWorker {
+		t.Fatalf("opened %d distinct IDs, want %d", len(seen), workers*perWorker)
+	}
+
+	// Both stream tables drain: every churned stream was retired on both
+	// sides (the server side needs its late FINs to land, so poll).
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if cli.NumStreams() == 0 && srv.NumStreams() == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("stream tables not empty after churn: client=%d server=%d",
+				cli.NumStreams(), srv.NumStreams())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Window accounting did not drift: a fresh stream moves several full
+	// windows in both directions (any leaked or double-refunded credit
+	// shows up here as a wedge or an overrun-kill).
+	st, err := cli.OpenStream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	final := compressible(3*InitialWindow, 999)
+	go func() {
+		st.Write(final)
+		st.CloseWrite()
+	}()
+	got, err := io.ReadAll(st)
+	if err != nil {
+		t.Fatalf("post-churn transfer: %v", err)
+	}
+	if !bytes.Equal(got, final) {
+		t.Fatal("post-churn transfer corrupted")
+	}
+	if cli.IsClosed() || srv.IsClosed() {
+		t.Fatal("session died during churn")
+	}
+}

@@ -2,6 +2,7 @@ package adocmux
 
 import (
 	"fmt"
+	"os"
 	"sync"
 	"time"
 
@@ -266,11 +267,16 @@ func (s *Session) enqueueCtl(frame []byte) error {
 // enqueueData appends one data frame, blocking while the outgoing batch
 // is over MaxBatch — the backpressure that couples stream writers to the
 // connection's real throughput. The caller has already acquired window
-// credit for p.
-func (s *Session) enqueueData(id uint32, p []byte) error {
+// credit for p. A write deadline expiring on st aborts the wait with
+// os.ErrDeadlineExceeded before any of p enters the batch (the caller
+// refunds the credit).
+func (s *Session) enqueueData(id uint32, p []byte, st *Stream) error {
 	s.sendMu.Lock()
 	defer s.sendMu.Unlock()
 	for len(s.sendBuf) > s.cfg.MaxBatch && s.sendErr == nil {
+		if st.writeExpired() {
+			return os.ErrDeadlineExceeded
+		}
 		s.sendCond.Wait()
 	}
 	if s.sendErr != nil {
@@ -279,6 +285,14 @@ func (s *Session) enqueueData(id uint32, p []byte) error {
 	s.sendBuf = wire.AppendMuxData(s.sendBuf, id, p)
 	s.sendCond.Signal()
 	return nil
+}
+
+// wakeSenders pokes every goroutine waiting on the send-side condition —
+// used by deadline timers, whose expiry is observed inside those waits.
+func (s *Session) wakeSenders() {
+	s.sendMu.Lock()
+	s.sendCond.Broadcast()
+	s.sendMu.Unlock()
 }
 
 // sendLoop ships coalesced batches as ordinary AdOC messages. One

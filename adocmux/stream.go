@@ -3,7 +3,9 @@ package adocmux
 import (
 	"bytes"
 	"io"
+	"os"
 	"sync"
+	"time"
 
 	"adoc/internal/wire"
 )
@@ -30,6 +32,105 @@ type Stream struct {
 	wclosed    bool         // we sent FIN
 	rclosed    bool         // local read side closed (Close)
 	err        error        // terminal session error
+
+	rdl deadline // read deadline (guarded by mu)
+	wdl deadline // write deadline (guarded by mu)
+}
+
+// deadline is one direction's timeout state. A generation counter keeps a
+// stale AfterFunc (from a deadline that was since reset) from expiring
+// the new one.
+type deadline struct {
+	timer   *time.Timer
+	gen     uint64
+	expired bool
+}
+
+// set arms (or clears, for a zero t) the deadline. Called with st.mu
+// held; notify runs outside the lock when the deadline later fires.
+// expiredNow reports a deadline already in the past — the caller must do
+// any out-of-lock waking itself (the timer path handles its own).
+func (d *deadline) set(st *Stream, t time.Time) (expiredNow bool) {
+	d.gen++
+	gen := d.gen
+	if d.timer != nil {
+		d.timer.Stop()
+		d.timer = nil
+	}
+	d.expired = false
+	if t.IsZero() {
+		return false
+	}
+	wait := time.Until(t)
+	if wait <= 0 {
+		d.expired = true
+		st.cond.Broadcast()
+		return true
+	}
+	d.timer = time.AfterFunc(wait, func() {
+		st.mu.Lock()
+		if d.gen == gen {
+			d.expired = true
+			st.cond.Broadcast()
+		}
+		st.mu.Unlock()
+		// A writer may be waiting on the session's batch backpressure
+		// rather than stream credit; wake that wait too.
+		st.sess.wakeSenders()
+	})
+	return false
+}
+
+// SetDeadline sets both the read and write deadlines, net.Conn style: a
+// zero time clears them, a time in the past expires immediately. Expired
+// operations fail with os.ErrDeadlineExceeded (a net.Error with
+// Timeout() true) — the stream itself stays healthy and siblings are
+// unaffected; extend the deadline to use it again.
+func (st *Stream) SetDeadline(t time.Time) error {
+	st.mu.Lock()
+	st.rdl.set(st, t)
+	expired := st.wdl.set(st, t)
+	st.mu.Unlock()
+	if expired {
+		// Writers blocked on the session's batch backpressure wait on the
+		// send-side condition; wake them outside the stream lock (the
+		// session send lock is always taken first).
+		st.sess.wakeSenders()
+	}
+	return nil
+}
+
+// SetReadDeadline sets the deadline for future and pending Read calls.
+// Buffered data is still delivered past the deadline; only a Read that
+// would block fails with os.ErrDeadlineExceeded.
+func (st *Stream) SetReadDeadline(t time.Time) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.rdl.set(st, t)
+	return nil
+}
+
+// SetWriteDeadline sets the deadline for future and pending Write calls.
+// It bounds both waits a writer can block in — peer credit and the
+// session's outgoing-batch backpressure; bytes already accepted into the
+// batch are not recalled.
+func (st *Stream) SetWriteDeadline(t time.Time) error {
+	st.mu.Lock()
+	expired := st.wdl.set(st, t)
+	st.mu.Unlock()
+	if expired {
+		st.sess.wakeSenders()
+	}
+	return nil
+}
+
+// writeExpired reports whether the write deadline has passed (for the
+// session's batch-backpressure wait, which runs under the session send
+// lock, not the stream lock).
+func (st *Stream) writeExpired() bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.wdl.expired
 }
 
 func newStream(s *Session, id uint32) *Stream {
@@ -73,6 +174,9 @@ func (st *Stream) Read(p []byte) (int, error) {
 		case st.recvEOF:
 			st.mu.Unlock()
 			return 0, io.EOF
+		case st.rdl.expired:
+			st.mu.Unlock()
+			return 0, os.ErrDeadlineExceeded
 		}
 		st.cond.Wait()
 	}
@@ -104,7 +208,7 @@ func (st *Stream) Write(p []byte) (int, error) {
 	total := 0
 	for len(p) > 0 {
 		st.mu.Lock()
-		for st.sendWin == 0 && st.err == nil && !st.wclosed {
+		for st.sendWin == 0 && st.err == nil && !st.wclosed && !st.wdl.expired {
 			st.cond.Wait()
 		}
 		if st.err != nil {
@@ -116,11 +220,23 @@ func (st *Stream) Write(p []byte) (int, error) {
 			st.mu.Unlock()
 			return total, ErrStreamClosed
 		}
+		if st.wdl.expired {
+			st.mu.Unlock()
+			return total, os.ErrDeadlineExceeded
+		}
 		take := min(int64(len(p)), st.sendWin, int64(st.sess.cfg.MaxFrameData))
 		st.sendWin -= take
 		st.mu.Unlock()
 
-		if err := st.sess.enqueueData(st.id, p[:take]); err != nil {
+		if err := st.sess.enqueueData(st.id, p[:take], st); err != nil {
+			if err == os.ErrDeadlineExceeded {
+				// The bytes never entered the batch and the stream
+				// outlives its deadline: put the credit back.
+				st.mu.Lock()
+				st.sendWin += take
+				st.mu.Unlock()
+				return total, err
+			}
 			// Credit was spent on bytes that will never leave; the
 			// session is dead anyway, so no one is counting.
 			return total, err
@@ -193,6 +309,12 @@ func (st *Stream) Close() error {
 func (st *Stream) maybeForget() {
 	st.mu.Lock()
 	dead := st.wclosed && (st.recvEOF || st.rclosed)
+	if dead {
+		// Disarm pending deadline timers; nothing will wait on this
+		// stream again.
+		st.rdl.set(st, time.Time{})
+		st.wdl.set(st, time.Time{})
+	}
 	st.mu.Unlock()
 	if dead {
 		st.sess.forget(st.id)
@@ -242,6 +364,8 @@ func (st *Stream) sessionFailed(err error) {
 	if st.err == nil {
 		st.err = err
 	}
+	st.rdl.set(st, time.Time{})
+	st.wdl.set(st, time.Time{})
 	st.cond.Broadcast()
 	st.mu.Unlock()
 }

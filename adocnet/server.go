@@ -153,7 +153,7 @@ func (s *Server) untrack(c *Conn) {
 	s.mu.Lock()
 	if _, ok := s.conns[c]; ok {
 		delete(s.conns, c)
-		accumulate(&s.retired, c.CounterStats())
+		s.retired.Accumulate(c.CounterStats())
 	}
 	if len(s.conns) == 0 {
 		s.idle.Broadcast()
@@ -171,44 +171,11 @@ func (s *Server) Stats() adoc.Stats {
 	// caller can write through into the retained aggregate.
 	agg.Controller.LevelCount = append([]int64(nil), s.retired.Controller.LevelCount...)
 	for c := range s.conns {
-		// CounterStats: accumulate drops the non-additive Adapt snapshot
+		// CounterStats: Accumulate drops the non-additive Adapt snapshot
 		// anyway, so don't build one per connection per poll.
-		accumulate(&agg, c.CounterStats())
+		agg.Accumulate(c.CounterStats())
 	}
 	return agg
-}
-
-// accumulate folds one connection's snapshot into an aggregate. Counters
-// add; QueueHighWater keeps the maximum; the controller's instantaneous
-// Level — and the whole Adapt snapshot — is meaningless across
-// connections and stays zero (inspect a single Conn's Stats for the
-// decision state). LevelCount is
-// always summed into a freshly allocated slice: dst frequently starts as
-// a shallow copy of the server's retired aggregate, and adding in place
-// would write through the shared backing array into server state.
-func accumulate(dst *adoc.Stats, s adoc.Stats) {
-	dst.MsgsSent += s.MsgsSent
-	dst.MsgsReceived += s.MsgsReceived
-	dst.RawSent += s.RawSent
-	dst.WireSent += s.WireSent
-	dst.RawReceived += s.RawReceived
-	dst.WireReceived += s.WireReceived
-	dst.SmallSent += s.SmallSent
-	dst.ProbeBypasses += s.ProbeBypasses
-	if s.QueueHighWater > dst.QueueHighWater {
-		dst.QueueHighWater = s.QueueHighWater
-	}
-	dst.Controller.Updates += s.Controller.Updates
-	dst.Controller.Divergences += s.Controller.Divergences
-	dst.Controller.Pins += s.Controller.Pins
-	if len(s.Controller.LevelCount) > 0 || len(dst.Controller.LevelCount) > 0 {
-		lc := make([]int64, max(len(s.Controller.LevelCount), len(dst.Controller.LevelCount)))
-		copy(lc, dst.Controller.LevelCount)
-		for i, n := range s.Controller.LevelCount {
-			lc[i] += n
-		}
-		dst.Controller.LevelCount = lc
-	}
 }
 
 // ConnCount returns the number of live connections.

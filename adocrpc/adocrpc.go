@@ -1,0 +1,125 @@
+// Package adocrpc is a concurrent request/response RPC layer over
+// adaptive compressed sessions: every in-flight call rides its own
+// adocmux stream, so thousands of concurrent calls on one connection
+// share a single adaptive controller, a single parallel compression
+// pipeline, and a single bandwidth history — the paper's middleware
+// speedup (NetSolve GridRPC requests getting faster because the
+// transport compresses adaptively) applied to modern pooled RPC traffic
+// instead of one connection per request.
+//
+// # Call model
+//
+// A call is one stream: the client opens a stream, writes the request
+// (method name plus opaque byte-slice arguments) and half-closes; the
+// server reads the request, dispatches it to a registered Handler, and
+// writes back either the results or a typed wire error, then closes.
+// Because streams are independent, calls never head-of-line block each
+// other — a slow call occupies one stream's credit window and nothing
+// else — while the byte streams of all of them interleave through the
+// connection's shared compression pipeline.
+//
+// # Client pooling
+//
+// Pool maintains up to MaxSessions negotiated connections to one
+// target, dialed lazily and picked least-loaded per call. Dead sessions
+// (connection failures, peer restarts) are detected on use and replaced
+// by a fresh dial; Close drains in-flight calls before tearing the
+// sessions down. Context cancellation and deadlines propagate: a
+// cancelled call closes its own stream — releasing both endpoints'
+// stream-table entries and flow-control credit — without poisoning the
+// session the other calls are running on.
+//
+// # Error model
+//
+// Failures that cross the wire are typed: a *RemoteError carries a Code
+// (unknown method, malformed request, handler failure, server shutting
+// down) and matches the exported sentinels via errors.Is, so callers
+// can distinguish "the server rejected this method" from "my handler
+// returned an error" from "the transport died" without string matching.
+package adocrpc
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Sentinel errors. RemoteError values match these via errors.Is
+// according to their Code.
+var (
+	// ErrPoolClosed is returned by calls on a closed (or closing) Pool.
+	ErrPoolClosed = errors.New("adocrpc: pool closed")
+	// ErrServerClosed is returned by Serve after Shutdown or Close.
+	ErrServerClosed = errors.New("adocrpc: server closed")
+	// ErrUnknownMethod reports a call to a method the server has not
+	// registered.
+	ErrUnknownMethod = errors.New("adocrpc: unknown method")
+	// ErrBadRequest reports a request the server could not decode.
+	ErrBadRequest = errors.New("adocrpc: malformed request")
+	// ErrShuttingDown reports a call that reached a server after it began
+	// draining; the call was not executed and is safe to retry elsewhere.
+	ErrShuttingDown = errors.New("adocrpc: server shutting down")
+)
+
+// Code classifies a wire-visible call failure.
+type Code uint8
+
+// Wire error codes. CodeOK never reaches the caller as an error.
+const (
+	CodeOK Code = iota
+	// CodeApp: the handler ran and returned an error.
+	CodeApp
+	// CodeUnknownMethod: no handler registered under the method name.
+	CodeUnknownMethod
+	// CodeBadRequest: the request did not decode.
+	CodeBadRequest
+	// CodeShutdown: the server is draining and refused the call.
+	CodeShutdown
+)
+
+func (c Code) String() string {
+	switch c {
+	case CodeOK:
+		return "ok"
+	case CodeApp:
+		return "application error"
+	case CodeUnknownMethod:
+		return "unknown method"
+	case CodeBadRequest:
+		return "bad request"
+	case CodeShutdown:
+		return "shutting down"
+	}
+	return fmt.Sprintf("code(%d)", uint8(c))
+}
+
+// RemoteError is a failure reported by the peer over the wire (as
+// opposed to a transport failure, which surfaces as the underlying
+// stream or session error).
+type RemoteError struct {
+	// Code classifies the failure.
+	Code Code
+	// Msg is the peer's human-readable detail (the handler error's text
+	// for CodeApp).
+	Msg string
+}
+
+func (e *RemoteError) Error() string {
+	if e.Msg == "" {
+		return fmt.Sprintf("adocrpc: remote: %s", e.Code)
+	}
+	return fmt.Sprintf("adocrpc: remote: %s: %s", e.Code, e.Msg)
+}
+
+// Is maps wire codes onto the package sentinels, so
+// errors.Is(err, ErrUnknownMethod) works on remote failures.
+func (e *RemoteError) Is(target error) bool {
+	switch target {
+	case ErrUnknownMethod:
+		return e.Code == CodeUnknownMethod
+	case ErrBadRequest:
+		return e.Code == CodeBadRequest
+	case ErrShuttingDown:
+		return e.Code == CodeShutdown
+	}
+	return false
+}

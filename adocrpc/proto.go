@@ -1,0 +1,140 @@
+package adocrpc
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// The call wire format, layered on one mux stream per call:
+//
+//	request  = frame(method) argc(4) frame(arg)...
+//	response = code(1) frame(errmsg) resultc(4) frame(result)...
+//	frame    = len(4) payload
+//
+// All integers are big-endian. The client half-closes after the request,
+// so the server reads a complete, bounded request; the server closes
+// after the response. Each side writes its whole message with a single
+// Write so large calls reach the engine as spans the adaptive pipeline
+// can chew on (and small ones cost one batch, not five).
+
+const (
+	// maxFrame bounds one argument or result (matrix-sized payloads are
+	// legitimate; corrupt lengths are not).
+	maxFrame = 1 << 30
+	// maxArgs bounds the argument and result counts.
+	maxArgs = 4096
+)
+
+func appendFrame(dst []byte, p []byte) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(p)))
+	return append(dst, p...)
+}
+
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("adocrpc: frame of %d bytes exceeds limit", n)
+	}
+	p := make([]byte, n)
+	if _, err := io.ReadFull(r, p); err != nil {
+		return nil, fmt.Errorf("adocrpc: truncated frame: %w", err)
+	}
+	return p, nil
+}
+
+func readCount(r io.Reader, what string) (int, error) {
+	var cnt [4]byte
+	if _, err := io.ReadFull(r, cnt[:]); err != nil {
+		return 0, err
+	}
+	n := binary.BigEndian.Uint32(cnt[:])
+	if n > maxArgs {
+		return 0, fmt.Errorf("adocrpc: %d %s is not plausible", n, what)
+	}
+	return int(n), nil
+}
+
+// writeRequest sends method(args) as one Write.
+func writeRequest(w io.Writer, method string, args [][]byte) error {
+	size := 4 + len(method) + 4
+	for _, a := range args {
+		size += 4 + len(a)
+	}
+	buf := make([]byte, 0, size)
+	buf = appendFrame(buf, []byte(method))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(args)))
+	for _, a := range args {
+		buf = appendFrame(buf, a)
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+// readRequest receives one call's method and arguments.
+func readRequest(r io.Reader) (string, [][]byte, error) {
+	method, err := readFrame(r)
+	if err != nil {
+		return "", nil, err
+	}
+	n, err := readCount(r, "arguments")
+	if err != nil {
+		return "", nil, err
+	}
+	args := make([][]byte, n)
+	for i := range args {
+		if args[i], err = readFrame(r); err != nil {
+			return "", nil, err
+		}
+	}
+	return string(method), args, nil
+}
+
+// writeResponse sends a success (CodeOK plus results) or a typed failure
+// as one Write.
+func writeResponse(w io.Writer, code Code, msg string, results [][]byte) error {
+	size := 1 + 4 + len(msg) + 4
+	for _, res := range results {
+		size += 4 + len(res)
+	}
+	buf := make([]byte, 0, size)
+	buf = append(buf, byte(code))
+	buf = appendFrame(buf, []byte(msg))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(results)))
+	for _, res := range results {
+		buf = appendFrame(buf, res)
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+// readResponse receives one reply; wire-reported failures come back as
+// *RemoteError.
+func readResponse(r io.Reader) ([][]byte, error) {
+	var codeByte [1]byte
+	if _, err := io.ReadFull(r, codeByte[:]); err != nil {
+		return nil, err
+	}
+	msg, err := readFrame(r)
+	if err != nil {
+		return nil, err
+	}
+	n, err := readCount(r, "results")
+	if err != nil {
+		return nil, err
+	}
+	results := make([][]byte, n)
+	for i := range results {
+		if results[i], err = readFrame(r); err != nil {
+			return nil, err
+		}
+	}
+	if code := Code(codeByte[0]); code != CodeOK {
+		return nil, &RemoteError{Code: code, Msg: string(msg)}
+	}
+	return results, nil
+}

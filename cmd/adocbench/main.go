@@ -10,8 +10,14 @@
 //	adocbench fig8 -dgemm 128,256,512
 //
 // Experiments: table1 table2 fig3 fig4 fig5 fig6 fig7 fig8 fig9
-// ablate-buffer ablate-divergence ablate-probe ablate-adapt
+// rpcload ablate-buffer ablate-divergence ablate-probe ablate-adapt
 // ablate-incompressible ablate-packet ablate-queue, or "all".
+//
+// The -json flag additionally writes every experiment — rows plus the
+// machine-readable Result records some experiments attach (rpcload:
+// bytes, elapsed, throughput, negotiated transport config) — to
+// BENCH_adocbench.json (override the path with -out), so CI can archive
+// the performance trajectory per commit.
 //
 // Modes:
 //
@@ -22,6 +28,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -32,15 +39,20 @@ import (
 	"adoc/internal/des"
 )
 
+// defaultJSONPath is where -json writes unless -out overrides it.
+const defaultJSONPath = "BENCH_adocbench.json"
+
 func main() {
 	var (
-		mode    = flag.String("mode", "model", "execution mode: model or live")
-		calib   = flag.String("calib", "era", "model cost tables: era (paper Table 1 hardware) or live (this machine)")
-		reps    = flag.Int("reps", 0, "repetitions per point (0 = mode default)")
-		maxSize = flag.Int64("max", 0, "largest sweep size in bytes (0 = mode default)")
-		seed    = flag.Int64("seed", 1, "workload/noise seed")
-		dgemm   = flag.String("dgemm", "128,256,512", "matrix sizes for fig8/fig9")
-		verbose = flag.Bool("v", false, "progress logging to stderr")
+		mode     = flag.String("mode", "model", "execution mode: model or live")
+		calib    = flag.String("calib", "era", "model cost tables: era (paper Table 1 hardware) or live (this machine)")
+		reps     = flag.Int("reps", 0, "repetitions per point (0 = mode default)")
+		maxSize  = flag.Int64("max", 0, "largest sweep size in bytes (0 = mode default)")
+		seed     = flag.Int64("seed", 1, "workload/noise seed")
+		dgemm    = flag.String("dgemm", "128,256,512", "matrix sizes for fig8/fig9")
+		verbose  = flag.Bool("v", false, "progress logging to stderr")
+		jsonOut  = flag.Bool("json", false, "also write machine-readable results to -out")
+		jsonPath = flag.String("out", defaultJSONPath, "path for -json output")
 	)
 	flag.Parse()
 	if flag.NArg() == 0 {
@@ -75,6 +87,7 @@ func main() {
 	}
 
 	exit := 0
+	var tables []*bench.Table
 	for _, exp := range experiments {
 		tab, err := run(cfg, exp, sizes)
 		if err != nil {
@@ -83,15 +96,57 @@ func main() {
 			continue
 		}
 		tab.Render(os.Stdout)
+		tables = append(tables, tab)
+	}
+	if *jsonOut {
+		if err := writeJSON(*jsonPath, cfg, tables); err != nil {
+			fmt.Fprintf(os.Stderr, "adocbench: writing %s: %v\n", *jsonPath, err)
+			exit = 1
+		}
 	}
 	os.Exit(exit)
+}
+
+// jsonDoc is the schema of the -json artifact: run parameters plus one
+// entry per completed experiment, carrying both the rendered rows and
+// the structured Result records.
+type jsonDoc struct {
+	Mode        string           `json:"mode"`
+	Calib       string           `json:"calib"`
+	Seed        int64            `json:"seed"`
+	Experiments []jsonExperiment `json:"experiments"`
+}
+
+type jsonExperiment struct {
+	ID      string         `json:"id"`
+	Title   string         `json:"title"`
+	Columns []string       `json:"columns"`
+	Rows    [][]string     `json:"rows"`
+	Notes   []string       `json:"notes,omitempty"`
+	Results []bench.Result `json:"results,omitempty"`
+}
+
+// writeJSON serializes the completed experiments to path.
+func writeJSON(path string, cfg bench.Config, tables []*bench.Table) error {
+	doc := jsonDoc{Mode: string(cfg.Mode), Calib: string(cfg.Calib), Seed: cfg.Seed}
+	for _, t := range tables {
+		doc.Experiments = append(doc.Experiments, jsonExperiment{
+			ID: t.ID, Title: t.Title, Columns: t.Columns, Rows: t.Rows,
+			Notes: t.Notes, Results: t.Results,
+		})
+	}
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
 }
 
 // experimentOrder is the canonical run order for "all" (and the usage
 // text); experiments maps each id to its runner. The two are checked
 // against each other by the smoke test, so neither can drift.
 var experimentOrder = []string{"table1", "table2", "fig3", "fig4", "fig5", "fig6", "fig7",
-	"fig8", "fig9", "ablate-buffer", "ablate-divergence", "ablate-probe",
+	"fig8", "fig9", "rpcload", "ablate-buffer", "ablate-divergence", "ablate-probe",
 	"ablate-adapt", "ablate-incompressible", "ablate-packet", "ablate-queue"}
 
 var experiments = map[string]func(cfg bench.Config, dgemmSizes []int) (*bench.Table, error){
@@ -108,6 +163,9 @@ var experiments = map[string]func(cfg bench.Config, dgemmSizes []int) (*bench.Ta
 	"fig9": func(cfg bench.Config, sizes []int) (*bench.Table, error) {
 		return bench.Fig8And9(cfg, "fig9", sizes)
 	},
+	// rpcload always runs live: the scenario is the real adocrpc stack
+	// (pool, mux sessions, server dispatch) over the simulator.
+	"rpcload":               func(cfg bench.Config, _ []int) (*bench.Table, error) { return bench.RPCLoad(cfg) },
 	"ablate-buffer":         func(cfg bench.Config, _ []int) (*bench.Table, error) { return bench.AblateBufferSize(cfg) },
 	"ablate-divergence":     func(cfg bench.Config, _ []int) (*bench.Table, error) { return bench.AblateDivergence(cfg) },
 	"ablate-probe":          func(cfg bench.Config, _ []int) (*bench.Table, error) { return bench.AblateProbe(cfg) },

@@ -2,6 +2,9 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -42,6 +45,49 @@ func TestRunExperimentsSmoke(t *testing.T) {
 				t.Fatalf("run(%s) rendered a degenerate table:\n%s", exp, s)
 			}
 		})
+	}
+}
+
+// TestRPCLoadJSONArtifact runs the RPC load scenario (tiny payloads) and
+// checks the -json artifact round-trips with the fields CI archives:
+// scenario name, bytes, elapsed, throughput, and the negotiated
+// transport configuration.
+func TestRPCLoadJSONArtifact(t *testing.T) {
+	cfg := smokeConfig()
+	cfg.MaxSize = 4 << 10 // cap rpcload payloads: artifact shape, not bandwidth
+	tab, err := run(cfg, "rpcload", nil)
+	if err != nil {
+		t.Fatalf("rpcload: %v", err)
+	}
+	if len(tab.Results) == 0 {
+		t.Fatal("rpcload attached no machine-readable results")
+	}
+
+	path := filepath.Join(t.TempDir(), "BENCH_adocbench.json")
+	if err := writeJSON(path, cfg, []*bench.Table{tab}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc jsonDoc
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("artifact is not valid JSON: %v", err)
+	}
+	if len(doc.Experiments) != 1 || doc.Experiments[0].ID != "rpcload" {
+		t.Fatalf("artifact experiments = %+v", doc.Experiments)
+	}
+	for _, res := range doc.Experiments[0].Results {
+		if res.Scenario == "" || res.Bytes <= 0 || res.ElapsedSeconds <= 0 || res.ThroughputBps <= 0 {
+			t.Fatalf("degenerate result: %+v", res)
+		}
+		if !strings.Contains(res.Negotiated, "packet=") || !strings.Contains(res.Negotiated, "+mux") {
+			t.Fatalf("result %q lacks the negotiated config: %q", res.Scenario, res.Negotiated)
+		}
+		if res.Calls <= 0 || res.Concurrency <= 0 || res.WireBytes <= 0 {
+			t.Fatalf("result %q missing load fields: %+v", res.Scenario, res)
+		}
 	}
 }
 

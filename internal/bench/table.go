@@ -18,10 +18,39 @@ type Table struct {
 	Columns []string
 	Rows    [][]string
 	Notes   []string
+	// Results are the machine-readable companions of the rows, for
+	// experiments that produce them (adocbench -json serializes these
+	// into BENCH_adocbench.json so the perf trajectory is trackable
+	// across commits).
+	Results []Result
+}
+
+// Result is one machine-readable measurement of an experiment.
+type Result struct {
+	// Scenario names the measurement (experiment id + point).
+	Scenario string `json:"scenario"`
+	// Bytes is the application payload moved.
+	Bytes int64 `json:"bytes"`
+	// ElapsedSeconds is the wall (or virtual) time the scenario took.
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+	// ThroughputBps is Bytes/ElapsedSeconds.
+	ThroughputBps float64 `json:"throughput_bps"`
+	// Negotiated is the handshake-agreed transport configuration, when
+	// the scenario ran over a negotiated connection.
+	Negotiated string `json:"negotiated,omitempty"`
+	// Calls and Concurrency describe RPC-load scenarios.
+	Calls       int `json:"calls,omitempty"`
+	Concurrency int `json:"concurrency,omitempty"`
+	// WireBytes is what actually crossed the link (compressed + framing),
+	// when the scenario can observe it.
+	WireBytes int64 `json:"wire_bytes,omitempty"`
 }
 
 // AddRow appends a formatted row.
 func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// AddResult attaches one machine-readable measurement.
+func (t *Table) AddResult(r Result) { t.Results = append(t.Results, r) }
 
 // AddNote appends a footnote.
 func (t *Table) AddNote(format string, args ...any) {

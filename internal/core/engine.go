@@ -92,6 +92,39 @@ type Stats struct {
 	Adapt adapt.Snapshot
 }
 
+// Accumulate folds another snapshot's additive counters into s — the one
+// aggregation rule every multi-connection holder (adocnet.Server,
+// adocrpc.Pool) shares. Counters add and QueueHighWater keeps the
+// maximum. The controller's LevelCount is summed into a freshly
+// allocated slice: s frequently starts as a shallow copy of a retained
+// aggregate, and adding in place would write through the shared backing
+// array into the holder's state. The non-additive Adapt snapshot is
+// neither read from o nor touched on s.
+func (s *Stats) Accumulate(o Stats) {
+	s.MsgsSent += o.MsgsSent
+	s.MsgsReceived += o.MsgsReceived
+	s.RawSent += o.RawSent
+	s.WireSent += o.WireSent
+	s.RawReceived += o.RawReceived
+	s.WireReceived += o.WireReceived
+	s.SmallSent += o.SmallSent
+	s.ProbeBypasses += o.ProbeBypasses
+	if o.QueueHighWater > s.QueueHighWater {
+		s.QueueHighWater = o.QueueHighWater
+	}
+	s.Controller.Updates += o.Controller.Updates
+	s.Controller.Divergences += o.Controller.Divergences
+	s.Controller.Pins += o.Controller.Pins
+	if len(o.Controller.LevelCount) > 0 || len(s.Controller.LevelCount) > 0 {
+		lc := make([]int64, max(len(o.Controller.LevelCount), len(s.Controller.LevelCount)))
+		copy(lc, s.Controller.LevelCount)
+		for i, n := range o.Controller.LevelCount {
+			lc[i] += n
+		}
+		s.Controller.LevelCount = lc
+	}
+}
+
 // New wraps a bidirectional connection in an AdOC engine.
 func New(rw io.ReadWriter, opts Options) (*Engine, error) {
 	opts, err := opts.Sanitized()

@@ -48,11 +48,13 @@ func startGrid(t *testing.T, nw Network, transport Transport) *Client {
 	if err := srv.RegisterWithAgent(nw, "agent:0"); err != nil {
 		t.Fatal(err)
 	}
-	return NewClient(nw, "agent:0", transport)
+	client := NewClient(nw, "agent:0", transport)
+	t.Cleanup(client.Close)
+	return client
 }
 
 func TestEchoRawAndAdOC(t *testing.T) {
-	for _, tr := range []Transport{TransportRaw, TransportAdOC} {
+	for _, tr := range []Transport{TransportRaw, TransportAdOC, TransportPooled} {
 		t.Run(tr.String(), func(t *testing.T) {
 			client := startGrid(t, fastNet(), tr)
 			payload := bytes.Repeat([]byte("grid payload "), 10000)
@@ -134,7 +136,7 @@ func TestDgemmIdentity(t *testing.T) {
 }
 
 func TestDgemmRPCEndToEnd(t *testing.T) {
-	for _, tr := range []Transport{TransportRaw, TransportAdOC} {
+	for _, tr := range []Transport{TransportRaw, TransportAdOC, TransportPooled} {
 		t.Run(tr.String(), func(t *testing.T) {
 			client := startGrid(t, fastNet(), tr)
 			n := 24
@@ -213,24 +215,61 @@ func TestSparseDgemmCompressesOnAdOC(t *testing.T) {
 }
 
 func TestConcurrentCalls(t *testing.T) {
-	client := startGrid(t, fastNet(), TransportAdOC)
-	var wg sync.WaitGroup
-	for i := 0; i < 8; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			msg := bytes.Repeat([]byte{byte(i)}, 10000)
-			res, err := client.Call("echo", [][]byte{msg})
-			if err != nil {
-				t.Error(err)
-				return
+	for _, tr := range []Transport{TransportAdOC, TransportPooled} {
+		t.Run(tr.String(), func(t *testing.T) {
+			client := startGrid(t, fastNet(), tr)
+			var wg sync.WaitGroup
+			for i := 0; i < 8; i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					msg := bytes.Repeat([]byte{byte(i)}, 10000)
+					res, err := client.Call("echo", [][]byte{msg})
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					if !bytes.Equal(res[0], msg) {
+						t.Errorf("call %d corrupted", i)
+					}
+				}(i)
 			}
-			if !bytes.Equal(res[0], msg) {
-				t.Errorf("call %d corrupted", i)
-			}
-		}(i)
+			wg.Wait()
+		})
 	}
-	wg.Wait()
+}
+
+// TestPooledRemoteError: service failures keep their typed shape across
+// the pooled transport.
+func TestPooledRemoteError(t *testing.T) {
+	client := startGrid(t, fastNet(), TransportPooled)
+	_, err := client.Call("fail", nil)
+	if err == nil || !strings.Contains(err.Error(), "deliberate failure") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestPooledReusesSessions: many sequential calls over the pooled
+// transport ride warm sessions instead of dialing per request — the
+// middleware-level payoff of the RPC port.
+func TestPooledReusesSessions(t *testing.T) {
+	client := startGrid(t, fastNet(), TransportPooled)
+	payload := bytes.Repeat([]byte("pooled grid call "), 2000)
+	for i := 0; i < 10; i++ {
+		res, err := client.Call("echo", [][]byte{payload})
+		if err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+		if !bytes.Equal(res[0], payload) {
+			t.Fatalf("call %d corrupted", i)
+		}
+	}
+	client.mu.Lock()
+	n := len(client.pools)
+	client.mu.Unlock()
+	if n != 1 {
+		t.Fatalf("client holds %d pools, want 1 (one per server)", n)
+	}
 }
 
 func TestAgentServicesList(t *testing.T) {

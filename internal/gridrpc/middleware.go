@@ -1,10 +1,13 @@
 package gridrpc
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"sort"
 	"sync"
+
+	"adoc/adocrpc"
 )
 
 // Network abstracts the fabric the middleware runs on: real TCP in
@@ -135,12 +138,17 @@ type Server struct {
 	services  map[string]Service
 	ln        net.Listener
 	wg        sync.WaitGroup
+	rpc       *adocrpc.Server // the TransportPooled engine (nil otherwise)
 }
 
 // NewServer returns a server that will answer at addr using the given
 // transport for request/response payloads.
 func NewServer(addr string, transport Transport) *Server {
-	return &Server{addr: addr, transport: transport, services: map[string]Service{}}
+	s := &Server{addr: addr, transport: transport, services: map[string]Service{}}
+	if transport == TransportPooled {
+		s.rpc = adocrpc.NewServer(adocrpc.ServerConfig{})
+	}
+	return s
 }
 
 // Register adds a service implementation.
@@ -148,6 +156,13 @@ func (s *Server) Register(name string, svc Service) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.services[name] = svc
+	if s.rpc != nil {
+		// adocrpc handlers carry a context (cancelled on forced server
+		// shutdown); GridRPC services predate it and simply ignore it.
+		s.rpc.Register(name, func(_ context.Context, args [][]byte) ([][]byte, error) {
+			return svc(args)
+		})
+	}
 }
 
 // RegisterWithAgent announces this server's services to the agent.
@@ -170,9 +185,21 @@ func (s *Server) RegisterWithAgent(nw Network, agentAddr string) error {
 	return err
 }
 
-// Serve accepts and answers requests on ln until Close.
+// Serve accepts and answers requests on ln until Close. With
+// TransportPooled the listener is handed to the adocrpc server, which
+// multiplexes any number of in-flight requests per connection; the
+// other transports keep the NetSolve model of one connection per
+// request.
 func (s *Server) Serve(ln net.Listener) {
 	s.ln = ln
+	if s.rpc != nil {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.rpc.Serve(ln)
+		}()
+		return
+	}
 	s.wg.Add(1)
 	go func() {
 		defer s.wg.Done()
@@ -192,6 +219,9 @@ func (s *Server) Serve(ln net.Listener) {
 
 // Close stops accepting; in-flight requests finish.
 func (s *Server) Close() {
+	if s.rpc != nil {
+		s.rpc.Shutdown(context.Background())
+	}
 	if s.ln != nil {
 		s.ln.Close()
 	}
@@ -223,16 +253,53 @@ func (s *Server) handle(conn net.Conn) {
 }
 
 // Client executes GridRPC calls: lookup at the agent, then the request to
-// the chosen server.
+// the chosen server. With TransportPooled it keeps one adocrpc session
+// pool per server address, so repeated and concurrent calls reuse warm
+// compressed sessions; Close releases them.
 type Client struct {
 	nw        Network
 	agentAddr string
 	transport Transport
+
+	mu    sync.Mutex
+	pools map[string]*adocrpc.Pool
 }
 
 // NewClient returns a client bound to an agent.
 func NewClient(nw Network, agentAddr string, transport Transport) *Client {
-	return &Client{nw: nw, agentAddr: agentAddr, transport: transport}
+	return &Client{nw: nw, agentAddr: agentAddr, transport: transport, pools: map[string]*adocrpc.Pool{}}
+}
+
+// pool returns (or creates) the session pool for one server address.
+func (c *Client) pool(addr string) (*adocrpc.Pool, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if p, ok := c.pools[addr]; ok {
+		return p, nil
+	}
+	p, err := adocrpc.NewPool(adocrpc.PoolConfig{
+		Dial: func(context.Context) (net.Conn, error) { return c.nw.Dial(addr) },
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.pools[addr] = p
+	return p, nil
+}
+
+// Close drains and releases the client's session pools (a no-op for the
+// per-request transports, which hold no persistent state).
+func (c *Client) Close() {
+	c.mu.Lock()
+	pools := make([]*adocrpc.Pool, 0, len(c.pools))
+	for _, p := range c.pools {
+		pools = append(pools, p)
+	}
+	c.pools = map[string]*adocrpc.Pool{}
+	c.mu.Unlock()
+	for _, p := range pools {
+		p.Close()
+	}
 }
 
 // Lookup asks the agent for a server handling the service.
@@ -258,8 +325,27 @@ func (c *Client) Lookup(service string) (string, error) {
 // Call runs service(args) on a server chosen by the agent — the "normal
 // RPC" execution of paper §6.2.
 func (c *Client) Call(service string, args [][]byte) ([][]byte, error) {
+	return c.CallContext(context.Background(), service, args)
+}
+
+// CallContext is Call honoring ctx. On TransportPooled the context
+// propagates all the way into the call (its deadline bounds the wire
+// exchange; cancellation closes the call's stream); the per-request
+// transports check it only between steps, since their channels have no
+// cancellation hooks.
+func (c *Client) CallContext(ctx context.Context, service string, args [][]byte) ([][]byte, error) {
 	addr, err := c.Lookup(service)
 	if err != nil {
+		return nil, err
+	}
+	if c.transport == TransportPooled {
+		p, err := c.pool(addr)
+		if err != nil {
+			return nil, err
+		}
+		return p.Call(ctx, service, args)
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	conn, err := c.nw.Dial(addr)

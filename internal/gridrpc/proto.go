@@ -25,19 +25,29 @@ import (
 // Transport selects the communicator's byte channel.
 type Transport int
 
-// Transports of the §6.2 comparison.
+// Transports of the §6.2 comparison, plus the pooled RPC extension.
 const (
 	// TransportRaw writes straight to the socket (stock NetSolve).
 	TransportRaw Transport = iota
 	// TransportAdOC routes every read/write through the AdOC library
-	// (NetSolve+AdOC).
+	// (NetSolve+AdOC) — still one connection per request, the paper's
+	// original substitution.
 	TransportAdOC
+	// TransportPooled runs requests over adocrpc: each call is a stream
+	// of a pooled, long-lived multiplexed session, so concurrent requests
+	// to one server share a warm adaptive controller and one parallel
+	// compression pipeline instead of paying a fresh connection and a
+	// cold controller per request.
+	TransportPooled
 )
 
 // String names the transport as in the paper's figures.
 func (t Transport) String() string {
-	if t == TransportAdOC {
+	switch t {
+	case TransportAdOC:
 		return "NetSolve+AdOC"
+	case TransportPooled:
+		return "NetSolve+AdOC/RPC"
 	}
 	return "NetSolve"
 }

@@ -26,6 +26,7 @@ import (
 	"io"
 	"math/rand"
 	"net"
+	"sort"
 	"sync"
 	"time"
 )
@@ -53,8 +54,38 @@ type Profile struct {
 	// NoiseFloor == 0 or >= 1 disables it.
 	NoiseFloor    float64
 	NoiseInterval time.Duration
+	// Steps schedules deterministic bandwidth changes — a congestion
+	// event, a failover onto a slower path, a link upgrade — relative to
+	// the link's creation: from Step.At onward the effective bandwidth is
+	// Step.Factor × BandwidthBps (compounding with noise, which scales
+	// whatever the schedule currently says). Steps must be ordered by At;
+	// the last step whose offset has passed is in effect. An empty
+	// schedule means the profile is stationary.
+	Steps []Step
 	// Seed makes the jitter/noise streams reproducible.
 	Seed int64
+}
+
+// Step is one scheduled bandwidth change of a time-varying profile.
+type Step struct {
+	// At is the offset from link creation when the step takes effect.
+	At time.Duration
+	// Factor scales the profile's BandwidthBps from At onward (0.1 = the
+	// link drops to a tenth; 2 = it doubles).
+	Factor float64
+}
+
+// StepDown returns p with one scheduled bandwidth drop: at offset at,
+// the link slows to factor × its bandwidth — the canonical "the WAN got
+// congested mid-transfer" scenario the adaptation loop must answer by
+// compressing more. The schedule is kept sorted by offset, so StepDown
+// calls compose in any order (later-added-but-earlier-offset steps slot
+// in where they belong; an equal offset places the new step after, so
+// it wins).
+func StepDown(p Profile, at time.Duration, factor float64) Profile {
+	p.Steps = append(append([]Step(nil), p.Steps...), Step{At: at, Factor: factor})
+	sort.SliceStable(p.Steps, func(i, j int) bool { return p.Steps[i].At < p.Steps[j].At })
+	return p
 }
 
 func (p Profile) withDefaults() Profile {
@@ -110,7 +141,8 @@ func sleepUntil(t time.Time) {
 	}
 }
 
-// pacer serializes bytes at the profile bandwidth with optional noise.
+// pacer serializes bytes at the profile bandwidth with optional noise
+// and an optional step schedule.
 type pacer struct {
 	mu       sync.Mutex
 	rate     float64
@@ -120,6 +152,8 @@ type pacer struct {
 	floor    float64
 	interval time.Duration
 	rng      *rand.Rand
+	steps    []Step
+	birth    time.Time // step offsets are measured from link creation
 }
 
 func newPacer(p Profile) *pacer {
@@ -129,7 +163,25 @@ func newPacer(p Profile) *pacer {
 		floor:    p.NoiseFloor,
 		interval: p.NoiseInterval,
 		rng:      rand.New(rand.NewSource(p.Seed ^ 0x5eed)),
+		steps:    p.Steps,
+		birth:    time.Now(),
 	}
+}
+
+// stepFactor returns the scheduled bandwidth multiplier in effect at
+// now: the last step whose offset has passed, 1 before the first.
+func (pc *pacer) stepFactor(now time.Time) float64 {
+	f := 1.0
+	elapsed := now.Sub(pc.birth)
+	for _, s := range pc.steps {
+		if elapsed < s.At {
+			break
+		}
+		if s.Factor > 0 { // a non-positive factor would stop time, not the link
+			f = s.Factor
+		}
+	}
+	return f
 }
 
 // admit blocks until n bytes have been serialized and returns the time the
@@ -146,7 +198,11 @@ func (pc *pacer) admit(n int) time.Time {
 			pc.until = now.Add(pc.interval)
 		}
 	}
-	rate := pc.rate * pc.factor
+	// The step schedule is evaluated at the moment these bytes begin
+	// serializing (pc.next), not at admit time: with a queued backlog the
+	// two differ, and a step must govern the bytes that cross the wire
+	// after it, not the bytes merely submitted after it.
+	rate := pc.rate * pc.factor * pc.stepFactor(pc.next)
 	d := time.Duration(float64(n) / rate * float64(time.Second))
 	pc.next = pc.next.Add(d)
 	end := pc.next

@@ -1,0 +1,138 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+)
+
+// TestStepDownSlowsLink: a scheduled bandwidth drop takes effect at its
+// offset — the same byte count takes several times longer to cross the
+// link after the step than before it.
+func TestStepDownSlowsLink(t *testing.T) {
+	const (
+		stepAt = 150 * time.Millisecond
+		chunk  = 200 * 1024
+	)
+	prof := Profile{
+		Name:         "steptest",
+		BandwidthBps: 10e6, // 10 MB/s: 200 KB ~ 20 ms
+		Latency:      100 * time.Microsecond,
+		MTU:          9000,
+		SocketBuf:    1 << 20,
+	}
+	birth := time.Now()
+	a, b := Pair(StepDown(prof, stepAt, 0.1)) // to 1 MB/s: 200 KB ~ 200 ms
+	defer a.Close()
+	defer b.Close()
+
+	recv := func(n int) <-chan time.Duration {
+		done := make(chan time.Duration, 1)
+		start := time.Now()
+		go func() {
+			buf := make([]byte, 64*1024)
+			for got := 0; got < n; {
+				m, err := b.Read(buf)
+				got += m
+				if err != nil {
+					done <- -1
+					return
+				}
+			}
+			done <- time.Since(start)
+		}()
+		return done
+	}
+
+	payload := make([]byte, chunk)
+	// Before the step: full rate.
+	done := recv(chunk)
+	if _, err := a.Write(payload); err != nil {
+		t.Fatal(err)
+	}
+	fast := <-done
+	if fast < 0 {
+		t.Fatal("read failed before the step")
+	}
+
+	// Cross the step boundary, then measure again at the reduced rate.
+	time.Sleep(time.Until(birth.Add(stepAt + 50*time.Millisecond)))
+	done = recv(chunk)
+	if _, err := a.Write(payload); err != nil {
+		t.Fatal(err)
+	}
+	slow := <-done
+	if slow < 0 {
+		t.Fatal("read failed after the step")
+	}
+
+	// 10x nominal ratio; demand 3x to stay robust against scheduler
+	// noise on the fast side.
+	if slow < 3*fast {
+		t.Fatalf("post-step transfer took %v, pre-step %v: step not applied", slow, fast)
+	}
+}
+
+// TestStepScheduleOrdering: the last passed step wins, future steps are
+// inert, and non-positive factors are ignored.
+func TestStepScheduleOrdering(t *testing.T) {
+	pc := newPacer(Profile{
+		BandwidthBps: 1e6,
+		Steps: []Step{
+			{At: 10 * time.Millisecond, Factor: 0.5},
+			{At: 20 * time.Millisecond, Factor: 0}, // ignored: would stop time
+			{At: 30 * time.Millisecond, Factor: 2},
+			{At: time.Hour, Factor: 100},
+		},
+	}.withDefaults())
+
+	cases := []struct {
+		at   time.Duration
+		want float64
+	}{
+		{0, 1},
+		{15 * time.Millisecond, 0.5},
+		{25 * time.Millisecond, 0.5}, // zero factor skipped
+		{40 * time.Millisecond, 2},
+		{time.Minute, 2}, // the hour step has not passed
+	}
+	for _, c := range cases {
+		if got := pc.stepFactor(pc.birth.Add(c.at)); got != c.want {
+			t.Errorf("stepFactor at %v = %v, want %v", c.at, got, c.want)
+		}
+	}
+}
+
+// TestStepDownCopiesSchedule: StepDown must not share the original
+// profile's Steps backing array.
+func TestStepDownCopiesSchedule(t *testing.T) {
+	base := Profile{BandwidthBps: 1e6, Steps: make([]Step, 1, 4)}
+	base.Steps[0] = Step{At: time.Second, Factor: 0.5}
+	p1 := StepDown(base, 2*time.Second, 0.25)
+	p2 := StepDown(base, 2*time.Second, 0.75)
+	if p1.Steps[1].Factor == p2.Steps[1].Factor {
+		t.Fatal("StepDown aliased the schedules")
+	}
+	if len(base.Steps) != 1 {
+		t.Fatal("StepDown mutated the base profile")
+	}
+}
+
+// TestStepDownComposesOutOfOrder: adding steps with decreasing offsets
+// must still evaluate correctly — StepDown keeps the schedule sorted.
+func TestStepDownComposesOutOfOrder(t *testing.T) {
+	p := StepDown(StepDown(Profile{BandwidthBps: 1e6}, 2*time.Second, 0.5), time.Second, 0.1)
+	pc := newPacer(p.withDefaults())
+	cases := []struct {
+		at   time.Duration
+		want float64
+	}{
+		{500 * time.Millisecond, 1},
+		{1500 * time.Millisecond, 0.1}, // the later-added, earlier step
+		{2500 * time.Millisecond, 0.5}, // the earlier-added, later step
+	}
+	for _, c := range cases {
+		if got := pc.stepFactor(pc.birth.Add(c.at)); got != c.want {
+			t.Errorf("stepFactor at %v = %v, want %v", c.at, got, c.want)
+		}
+	}
+}
