@@ -45,6 +45,21 @@ const (
 	MaxLevel = codec.MaxLevel
 )
 
+// CodecMask is a codec capability set, one bit per codec identity — the
+// unit the adocnet handshake advertises and intersects. The zero value
+// means "everything registered".
+type CodecMask = codec.Mask
+
+// Codec capability bits and the legacy fixed set.
+const (
+	MaskRaw     = codec.MaskRaw
+	MaskLZF     = codec.MaskLZF
+	MaskDeflate = codec.MaskDeflate
+	// LegacyCodecMask is the fixed raw/LZF/DEFLATE ladder every peer spoke
+	// before codec sets were negotiated.
+	LegacyCodecMask = codec.LegacyMask
+)
+
 // Errors re-exported from the engine.
 var (
 	// ErrClosed is returned by operations on a closed connection.
@@ -88,6 +103,14 @@ type Options struct {
 	// 1 selects the paper's sequential two-goroutine pipeline. Every
 	// setting produces the same wire framing and delivers bytes in order.
 	Parallelism int
+	// Codecs restricts the codec set this endpoint runs (and, through
+	// adocnet, advertises). Zero means every registered codec. Raw copy
+	// is always included; the effective MaxLevel is clamped to what the
+	// set can serve.
+	Codecs CodecMask
+	// DisableEntropyBypass turns off the per-buffer incompressibility
+	// probe that ships high-entropy buffers raw without compressing them.
+	DisableEntropyBypass bool
 	// DisableProbe skips the bandwidth probe.
 	DisableProbe bool
 	// Trace receives engine events.
@@ -119,6 +142,7 @@ func (o Options) Effective() (Options, error) {
 	o.FastCutoffBps = c.FastCutoffBps
 	o.QueueCapacity = c.QueueCapacity
 	o.Parallelism = c.Parallelism
+	o.Codecs = c.Codecs
 	return o, nil
 }
 
@@ -147,6 +171,8 @@ func (o Options) toCore() core.Options {
 	if o.Parallelism > 0 {
 		c.Parallelism = o.Parallelism
 	}
+	c.Codecs = o.Codecs
+	c.DisableEntropyBypass = o.DisableEntropyBypass
 	c.DisableProbe = o.DisableProbe
 	c.Trace = o.Trace
 	return c

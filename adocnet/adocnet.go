@@ -41,6 +41,11 @@ var (
 	// ErrLevelMismatch reports disjoint compression level ranges (for
 	// example one side forcing compression the other side forbids).
 	ErrLevelMismatch = errors.New("adocnet: no common compression level range")
+	// ErrCodecMismatch reports that the peers share no codec set able to
+	// honor the negotiated level range — for example one side forcing
+	// DEFLATE levels while the other side's capability mask lacks the
+	// DEFLATE codec, or a peer whose mask omits even raw copy.
+	ErrCodecMismatch = errors.New("adocnet: no common codec set")
 )
 
 // DefaultHandshakeTimeout bounds the handshake round-trip when Options
@@ -86,8 +91,14 @@ type Negotiated struct {
 	Version byte
 	// PacketSize and BufferSize are the smaller of the two offers.
 	PacketSize, BufferSize int
-	// MinLevel and MaxLevel are the intersection of the offered ranges.
+	// MinLevel and MaxLevel are the intersection of the offered ranges,
+	// additionally clamped to levels the negotiated codec set can serve.
 	MinLevel, MaxLevel adoc.Level
+	// Codecs is the intersection of both endpoints' codec capability
+	// masks — the codecs either side may legitimately put on the wire.
+	// Legacy peers that predate the mask negotiate the fixed
+	// raw/LZF/DEFLATE set.
+	Codecs adoc.CodecMask
 	// Mux reports that both endpoints advertised the stream-multiplexing
 	// capability, so an adocmux.Session may be started on this
 	// connection. Peers that predate the capability never advertise it,
@@ -97,8 +108,8 @@ type Negotiated struct {
 }
 
 func (n Negotiated) String() string {
-	s := fmt.Sprintf("v%d packet=%d buffer=%d levels=[%d,%d]",
-		n.Version, n.PacketSize, n.BufferSize, n.MinLevel, n.MaxLevel)
+	s := fmt.Sprintf("v%d packet=%d buffer=%d levels=[%d,%d] codecs=%v",
+		n.Version, n.PacketSize, n.BufferSize, n.MinLevel, n.MaxLevel, n.Codecs)
 	if n.Mux {
 		s += " +mux"
 	}
@@ -137,6 +148,10 @@ func offer(o Options) (wire.Handshake, error) {
 		MinLevel:   eff.MinLevel,
 		MaxLevel:   eff.MaxLevel,
 		Flags:      flags,
+		// Effective() resolved the codec set the engine will actually run
+		// (the full registry unless Options.Codecs restricted it, raw
+		// always included), so the offer advertises exactly that.
+		CodecMask: eff.Codecs,
 	}, nil
 }
 
@@ -178,6 +193,34 @@ func negotiate(local, remote wire.Handshake) (Negotiated, error) {
 		return Negotiated{}, fmt.Errorf("%w: local [%d,%d], remote [%d,%d]",
 			ErrLevelMismatch, local.MinLevel, local.MaxLevel, remote.MinLevel, remote.MaxLevel)
 	}
+	// Codec sets intersect like every other capability. Raw copy is the
+	// one codec negotiation cannot lose: level-0 groups, the entropy
+	// bypass and the no-gain fallback all depend on it, and no real peer
+	// omits it (legacy frames decode to the full fixed set).
+	n.Codecs = local.CodecMask & remote.CodecMask
+	if n.Codecs&adoc.MaskRaw == 0 {
+		return Negotiated{}, fmt.Errorf("%w: local %v, remote %v (no raw copy)",
+			ErrCodecMismatch, local.CodecMask, remote.CodecMask)
+	}
+	// The agreed level range must be servable by the agreed codecs: the
+	// top clamps down to the highest level the intersection speaks, a
+	// forced minimum sitting on a mask hole resolves up to the lowest
+	// servable level (both sides compute the same, so the agreement stays
+	// symmetric), and a forced minimum beyond everything the intersection
+	// can serve fails loudly.
+	if top := n.Codecs.MaxUsableLevel(n.MaxLevel); top < n.MaxLevel {
+		if n.MinLevel > top {
+			return Negotiated{}, fmt.Errorf("%w: levels [%d,%d] need codecs beyond %v",
+				ErrCodecMismatch, n.MinLevel, n.MaxLevel, n.Codecs)
+		}
+		n.MaxLevel = top
+	}
+	minLevel, ok := n.Codecs.MinUsableLevel(n.MinLevel, n.MaxLevel)
+	if !ok {
+		return Negotiated{}, fmt.Errorf("%w: levels [%d,%d] need codecs beyond %v",
+			ErrCodecMismatch, n.MinLevel, n.MaxLevel, n.Codecs)
+	}
+	n.MinLevel = minLevel
 	return n, nil
 }
 
@@ -286,6 +329,7 @@ func Handshake(conn net.Conn, opts Options) (*Conn, error) {
 	eng.BufferSize = neg.BufferSize
 	eng.MinLevel = neg.MinLevel
 	eng.MaxLevel = neg.MaxLevel
+	eng.Codecs = neg.Codecs
 	ac, err := adoc.NewConn(conn, eng)
 	if err != nil {
 		return nil, err

@@ -70,7 +70,8 @@ func TestNegotiationIntersection(t *testing.T) {
 	server.MaxLevel = 8
 
 	cli, srv := pair(t, client, server)
-	want := Negotiated{Version: wire.Version, PacketSize: 4096, BufferSize: 64 * 1024, MinLevel: 2, MaxLevel: 8, Mux: true}
+	want := Negotiated{Version: wire.Version, PacketSize: 4096, BufferSize: 64 * 1024,
+		MinLevel: 2, MaxLevel: 8, Codecs: adoc.LegacyCodecMask, Mux: true}
 	if cli.Negotiated() != want {
 		t.Errorf("client negotiated %v, want %v", cli.Negotiated(), want)
 	}

@@ -1,0 +1,242 @@
+package adocrpc
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"adoc/adocmux"
+	"adoc/adocnet"
+	"adoc/internal/datagen"
+	"adoc/internal/netsim"
+)
+
+// TestSoakRandomizedWorkload is the randomized soak pass: a seeded
+// workload over a simulated link whose bandwidth steps down twice
+// mid-run, driving an adocrpc pool and raw adocmux streams concurrently
+// for a bounded wall-clock budget. Every echoed payload must come back
+// byte-identical (across text, binary, pre-compressed and mixed content —
+// the adaptive controller and the entropy bypass both get exercised by
+// the same run), and everything must drain cleanly: the pool closes, the
+// server shuts down, the mux session empties its stream table. The
+// package's TestMain leak checker then proves no goroutine survived.
+func TestSoakRandomizedWorkload(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak pass skipped in -short mode")
+	}
+	const (
+		seed   = int64(20260730)
+		budget = 3 * time.Second
+		// rpcWorkers concurrent callers share a pool of 2 sessions;
+		// muxStreams raw streams ride a separate session on the same
+		// simulated network.
+		rpcWorkers = 8
+		muxStreams = 4
+	)
+
+	// A LAN whose bandwidth collapses twice during the run — the
+	// controller must adapt mid-flight both times.
+	prof := netsim.StepDown(netsim.StepDown(netsim.Quiet(netsim.LAN100(seed)), budget/3, 0.1), 2*budget/3, 0.5)
+	nw := netsim.NewNetwork(prof)
+
+	// RPC side: echo server + pool.
+	ln, err := nw.Listen("soak-server")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(ServerConfig{MaxConcurrent: rpcWorkers})
+	srv.Register("echo", func(_ context.Context, args [][]byte) ([][]byte, error) {
+		return args, nil
+	})
+	serveDone := make(chan struct{})
+	go func() { defer close(serveDone); srv.Serve(ln) }()
+
+	pool, err := NewPool(PoolConfig{
+		Dial:        func(context.Context) (net.Conn, error) { return nw.Dial("soak-server") },
+		MaxSessions: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Mux side: a second negotiated connection on the same network with a
+	// stream-echo accept loop.
+	mln, err := nw.Listen("soak-mux")
+	if err != nil {
+		t.Fatal(err)
+	}
+	muxOpts := adocmux.TransportOptions()
+	type sessRes struct {
+		s   *adocmux.Session
+		err error
+	}
+	sessCh := make(chan sessRes, 1)
+	go func() {
+		raw, err := mln.Accept()
+		if err != nil {
+			sessCh <- sessRes{nil, err}
+			return
+		}
+		conn, err := adocnet.Handshake(raw, muxOpts)
+		if err != nil {
+			sessCh <- sessRes{nil, err}
+			return
+		}
+		s, err := adocmux.Server(conn, adocmux.Config{})
+		sessCh <- sessRes{s, err}
+	}()
+	rawCli, err := nw.Dial("soak-mux")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cliConn, err := adocnet.Handshake(rawCli, muxOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cliSess, err := adocmux.Client(cliConn, adocmux.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr := <-sessCh
+	if sr.err != nil {
+		t.Fatal(sr.err)
+	}
+	srvSess := sr.s
+
+	// Server-side stream echo loop.
+	echoDone := make(chan struct{})
+	go func() {
+		defer close(echoDone)
+		var wg sync.WaitGroup
+		for {
+			st, err := srvSess.AcceptStream()
+			if err != nil {
+				wg.Wait()
+				return
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer st.Close()
+				io.Copy(st, st)
+			}()
+		}
+	}()
+
+	// The seeded workload: each worker draws payload kind and size from
+	// its own rng and loops until the budget expires.
+	payloadFor := func(rng *rand.Rand) []byte {
+		kinds := []datagen.Kind{datagen.KindASCII, datagen.KindBinary,
+			datagen.KindIncompressible, datagen.KindPreCompressed, datagen.KindMixed}
+		kind := kinds[rng.Intn(len(kinds))]
+		size := 1024 + rng.Intn(96*1024)
+		return datagen.ByKind(kind, size, rng.Int63())
+	}
+	deadline := time.Now().Add(budget)
+	var rpcCalls, muxEchoes atomic.Int64
+	errCh := make(chan error, rpcWorkers+muxStreams)
+	var wg sync.WaitGroup
+
+	for w := 0; w < rpcWorkers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(w)))
+			for time.Now().Before(deadline) {
+				payload := payloadFor(rng)
+				ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+				res, err := pool.Call(ctx, "echo", [][]byte{payload})
+				cancel()
+				if err != nil {
+					errCh <- fmt.Errorf("rpc worker %d: %w", w, err)
+					return
+				}
+				if len(res) != 1 || !bytes.Equal(res[0], payload) {
+					errCh <- fmt.Errorf("rpc worker %d: echo not byte-identical (%d bytes)", w, len(payload))
+					return
+				}
+				rpcCalls.Add(1)
+			}
+		}()
+	}
+
+	for s := 0; s < muxStreams; s++ {
+		s := s
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + 1000 + int64(s)))
+			for time.Now().Before(deadline) {
+				payload := payloadFor(rng)
+				st, err := cliSess.OpenStream()
+				if err != nil {
+					errCh <- fmt.Errorf("mux stream %d: open: %w", s, err)
+					return
+				}
+				werr := make(chan error, 1)
+				go func() {
+					_, err := st.Write(payload)
+					if cerr := st.CloseWrite(); err == nil {
+						err = cerr
+					}
+					werr <- err
+				}()
+				got, rerr := io.ReadAll(st)
+				st.Close()
+				if err := <-werr; err != nil {
+					errCh <- fmt.Errorf("mux stream %d: write: %w", s, err)
+					return
+				}
+				if rerr != nil {
+					errCh <- fmt.Errorf("mux stream %d: read: %w", s, rerr)
+					return
+				}
+				if !bytes.Equal(got, payload) {
+					errCh <- fmt.Errorf("mux stream %d: echo not byte-identical (%d bytes)", s, len(payload))
+					return
+				}
+				muxEchoes.Add(1)
+			}
+		}()
+	}
+
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+	if rpcCalls.Load() == 0 || muxEchoes.Load() == 0 {
+		t.Fatalf("soak moved no traffic: %d rpc calls, %d mux echoes", rpcCalls.Load(), muxEchoes.Load())
+	}
+	t.Logf("soak: %d rpc calls, %d mux echoes across two bandwidth steps", rpcCalls.Load(), muxEchoes.Load())
+
+	// Clean drain, in dependency order. Every close must complete; the
+	// TestMain leak checker verifies nothing survives.
+	if err := pool.Close(); err != nil {
+		t.Errorf("pool close: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Errorf("server shutdown: %v", err)
+	}
+	<-serveDone
+	if n := cliSess.NumStreams(); n != 0 {
+		t.Errorf("client session still tracks %d streams after drain", n)
+	}
+	cliSess.Close()
+	<-echoDone
+	if n := srvSess.NumStreams(); n != 0 {
+		t.Errorf("server session still tracks %d streams after drain", n)
+	}
+	srvSess.Close()
+	mln.Close()
+}

@@ -146,7 +146,7 @@ func writeJSON(path string, cfg bench.Config, tables []*bench.Table) error {
 // text); experiments maps each id to its runner. The two are checked
 // against each other by the smoke test, so neither can drift.
 var experimentOrder = []string{"table1", "table2", "fig3", "fig4", "fig5", "fig6", "fig7",
-	"fig8", "fig9", "rpcload", "ablate-buffer", "ablate-divergence", "ablate-probe",
+	"fig8", "fig9", "rpcload", "mixed", "ablate-buffer", "ablate-divergence", "ablate-probe",
 	"ablate-adapt", "ablate-incompressible", "ablate-packet", "ablate-queue"}
 
 var experiments = map[string]func(cfg bench.Config, dgemmSizes []int) (*bench.Table, error){
@@ -165,7 +165,10 @@ var experiments = map[string]func(cfg bench.Config, dgemmSizes []int) (*bench.Ta
 	},
 	// rpcload always runs live: the scenario is the real adocrpc stack
 	// (pool, mux sessions, server dispatch) over the simulator.
-	"rpcload":               func(cfg bench.Config, _ []int) (*bench.Table, error) { return bench.RPCLoad(cfg) },
+	"rpcload": func(cfg bench.Config, _ []int) (*bench.Table, error) { return bench.RPCLoad(cfg) },
+	// mixed always runs live too: it measures this machine's codecs
+	// against the entropy bypass on content-aware workloads.
+	"mixed":                 func(cfg bench.Config, _ []int) (*bench.Table, error) { return bench.MixedContent(cfg) },
 	"ablate-buffer":         func(cfg bench.Config, _ []int) (*bench.Table, error) { return bench.AblateBufferSize(cfg) },
 	"ablate-divergence":     func(cfg bench.Config, _ []int) (*bench.Table, error) { return bench.AblateDivergence(cfg) },
 	"ablate-probe":          func(cfg bench.Config, _ []int) (*bench.Table, error) { return bench.AblateProbe(cfg) },

@@ -1,0 +1,178 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"adoc"
+	"adoc/adocmux"
+	"adoc/adocnet"
+	"adoc/internal/adapt"
+	"adoc/internal/datagen"
+)
+
+// TestParseStatsRoundtrip pins ParseStats against FormatStats on a
+// fully-populated snapshot — every field the proxy can print must come
+// back out.
+func TestParseStatsRoundtrip(t *testing.T) {
+	s := adoc.Stats{RawSent: 4000, WireSent: 1000}
+	s.Adapt = adapt.Snapshot{
+		Level: 4, Min: 1, Max: 9,
+		PinRemaining: 3,
+		BypassRun:    2,
+		ForbiddenFor: make([]time.Duration, int(adoc.MaxLevel)+1),
+		BandwidthBps: make([]float64, int(adoc.MaxLevel)+1),
+	}
+	s.Adapt.ForbiddenFor[1] = 100 * time.Millisecond
+	s.Adapt.ForbiddenFor[5] = 300 * time.Millisecond
+	s.Adapt.ForbiddenFor[8] = 50 * time.Millisecond
+	s.Adapt.BandwidthBps[4] = 12_500_000
+
+	got, err := ParseStats(FormatStats(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Raw != 4000 || got.Wire != 1000 || got.Ratio != 4.0 {
+		t.Errorf("byte counters: %+v", got)
+	}
+	if got.Level != 4 || got.Min != 1 || got.Max != 9 {
+		t.Errorf("level/bounds: %+v", got)
+	}
+	if got.Pinned != 3 || got.BypassRun != 2 {
+		t.Errorf("pin/bypass: %+v", got)
+	}
+	wantForb := []adoc.Level{1, 5, 8}
+	if len(got.Forbidden) != len(wantForb) {
+		t.Fatalf("forbidden = %v, want %v", got.Forbidden, wantForb)
+	}
+	for i, l := range wantForb {
+		if got.Forbidden[i] != l {
+			t.Fatalf("forbidden = %v, want %v", got.Forbidden, wantForb)
+		}
+	}
+	if got.LevelBwMBs != 12.5 {
+		t.Errorf("level bandwidth: %+v", got)
+	}
+
+	// Quiet line: optional fields absent, parse still succeeds.
+	quiet := adoc.Stats{}
+	quiet.Adapt = adapt.Snapshot{
+		ForbiddenFor: make([]time.Duration, int(adoc.MaxLevel)+1),
+		BandwidthBps: make([]float64, int(adoc.MaxLevel)+1),
+	}
+	q, err := ParseStats(FormatStats(quiet))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Pinned != 0 || q.BypassRun != 0 || len(q.Forbidden) != 0 {
+		t.Errorf("quiet line parsed as %+v", q)
+	}
+
+	if _, err := ParseStats("not a stats line"); err == nil {
+		t.Error("garbage line parsed without error")
+	}
+}
+
+// TestStatsOutputFromLiveTunnel stands up the real gateway chain —
+// plain-TCP client, ingress, one AdOC connection, egress, plain-TCP echo
+// backend — pushes traffic through it, and parses the ingress's -stats
+// line instead of merely smoke-running it: the printed adapt snapshot
+// must carry the negotiated bounds and a coherent level.
+func TestStatsOutputFromLiveTunnel(t *testing.T) {
+	// Backend echo server.
+	backend, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer backend.Close()
+	go func() {
+		for {
+			c, err := backend.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				io.Copy(c, c)
+				c.(*net.TCPConn).CloseWrite()
+			}()
+		}
+	}()
+
+	// Gateways with a compression floor (loopback outruns any codec) and
+	// bounds that must show up verbatim in the stats line.
+	opts := adocmux.TransportOptions()
+	opts.MinLevel = 1
+	opts.MaxLevel = 9
+
+	egressLn, err := adocnet.Listen("tcp", "127.0.0.1:0", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer egressLn.Close()
+	eg := adocmux.NewEgress(backend.Addr().String(), adocmux.Config{})
+	go eg.Serve(egressLn)
+	defer eg.Close()
+
+	ingressLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ingressLn.Close()
+	in := adocmux.NewIngress(egressLn.Addr().String(), opts, adocmux.Config{})
+	go in.Serve(ingressLn)
+	defer in.Close()
+
+	// One plain-TCP client pushes a compressible megabyte and reads the
+	// echo back.
+	payload := datagen.ASCII(1<<20, 1)
+	conn, err := net.Dial("tcp", ingressLn.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	werr := make(chan error, 1)
+	go func() {
+		_, err := conn.Write(payload)
+		if cerr := conn.(*net.TCPConn).CloseWrite(); err == nil {
+			err = cerr
+		}
+		werr <- err
+	}()
+	got, err := io.ReadAll(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-werr; err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("echo not byte-identical through the tunnel")
+	}
+
+	st, ok := in.Stats()
+	if !ok {
+		t.Fatal("ingress has no live session after traffic")
+	}
+	line := FormatStats(st)
+	parsed, err := ParseStats(line)
+	if err != nil {
+		t.Fatalf("live stats line unparseable: %v\nline: %s", err, line)
+	}
+	if parsed.Min != 1 || parsed.Max != 9 {
+		t.Errorf("parsed bounds [%d,%d], want negotiated [1,9]\nline: %s", parsed.Min, parsed.Max, line)
+	}
+	if parsed.Level < parsed.Min || parsed.Level > parsed.Max {
+		t.Errorf("parsed level %d outside bounds [%d,%d]\nline: %s", parsed.Level, parsed.Min, parsed.Max, line)
+	}
+	if parsed.Raw <= 0 || parsed.Wire <= 0 {
+		t.Errorf("parsed byte counters raw=%d wire=%d\nline: %s", parsed.Raw, parsed.Wire, line)
+	}
+	// Compression floor 1 on compressible text: the tunnel must have
+	// saved bytes, and the parsed ratio must agree with the counters.
+	if parsed.Wire >= parsed.Raw {
+		t.Errorf("tunnel did not compress: raw=%d wire=%d\nline: %s", parsed.Raw, parsed.Wire, line)
+	}
+}

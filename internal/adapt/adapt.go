@@ -34,6 +34,12 @@ const (
 	// DefaultEWMAAlpha weights new bandwidth samples in the per-level
 	// exponential moving average.
 	DefaultEWMAAlpha = 0.5
+	// DefaultBypassRunPin is how many consecutive entropy-bypassed buffers
+	// it takes before the controller stops asking for compression at all —
+	// the content-run analogue of the divergence guard's forbidden set.
+	// The pin holds only while the run lasts: the entropy probe still
+	// classifies every buffer, and the first compressible one releases it.
+	DefaultBypassRunPin = 2
 )
 
 // NextLevel is the pure compression-level update rule of paper Figure 2.
@@ -82,6 +88,15 @@ type Config struct {
 	MinGainRatio float64
 	// EWMAAlpha weights new per-level bandwidth samples.
 	EWMAAlpha float64
+	// Codecs restricts levels to those whose codec both endpoints can run
+	// (the handshake-negotiated capability set). Zero means every codec in
+	// the default registry. Levels whose codec is missing are skipped the
+	// way forbidden levels are: the controller steps down to the nearest
+	// allowed one.
+	Codecs codec.Mask
+	// BypassRunPin is the consecutive-bypass run length that pins the
+	// level to the minimum (0 = DefaultBypassRunPin).
+	BypassRunPin int
 	// DisableDivergenceGuard turns off the per-level bandwidth
 	// comparison (for the ablation experiment).
 	DisableDivergenceGuard bool
@@ -111,6 +126,12 @@ func (c Config) withDefaults() Config {
 	if c.EWMAAlpha == 0 {
 		c.EWMAAlpha = DefaultEWMAAlpha
 	}
+	if c.Codecs == 0 {
+		c.Codecs = codec.AllMask()
+	}
+	if c.BypassRunPin == 0 {
+		c.BypassRunPin = DefaultBypassRunPin
+	}
 	return c
 }
 
@@ -133,12 +154,14 @@ type Controller struct {
 	bw           [int(codec.MaxLevel) + 1]bwRecord
 	forbidden    [int(codec.MaxLevel) + 1]time.Time
 	pinRemaining int // packets left at min level (incompressible guard)
+	bypassRun    int // consecutive buffers the entropy probe shipped raw
 
 	// statistics
-	updates     int64
-	divergences int64
-	pins        int64
-	levelCount  [int(codec.MaxLevel) + 1]int64 // buffers compressed per level
+	updates         int64
+	divergences     int64
+	pins            int64
+	entropyBypasses int64
+	levelCount      [int(codec.MaxLevel) + 1]int64 // buffers compressed per level
 }
 
 // New returns a Controller starting at the minimum level (conservative: no
@@ -177,9 +200,26 @@ func (c *Controller) LevelForNextBuffer(queueLen int) codec.Level {
 	next := NextLevel(queueLen, delta, c.level, c.cfg.Min, c.cfg.Max)
 	now := c.cfg.Clock.Now()
 
+	// Codec filter: never pick a level whose codec the peer cannot run.
+	// Like the forbidden filter this steps down, so a mask with a hole
+	// (say deflate without LZF) routes level 1 requests to raw.
+	for next > c.cfg.Min && !c.cfg.Codecs.AllowsLevel(next) {
+		next--
+	}
+
 	// Forbidden-level filter: fall below any level still under penalty.
 	for next > c.cfg.Min && c.forbidden[next].After(now) {
 		next--
+	}
+
+	// Both filters step down, so they can land on a level the codec set
+	// cannot serve (Min itself on a mask hole, or a forbidden step onto
+	// one). Climb to the nearest servable level, forbidden or not — a
+	// level we cannot encode is worse than one that is merely slow. The
+	// engine resolves Min onto the mask at construction, so this is a
+	// no-op there; it protects direct Config users.
+	for next < c.cfg.Max && !c.cfg.Codecs.AllowsLevel(next) {
+		next++
 	}
 
 	// Divergence guard (paper §5 "Compression level divergence"): if some
@@ -204,8 +244,10 @@ func (c *Controller) LevelForNextBuffer(queueLen int) codec.Level {
 		}
 	}
 
-	// Incompressible pin overrides everything else.
-	if c.pinRemaining > 0 {
+	// Incompressible pin overrides everything else, as does an entropy
+	// bypass run: a level that keeps losing to the raw-copy fast path is
+	// not worth asking for until the content run ends.
+	if c.pinRemaining > 0 || c.bypassRun >= c.cfg.BypassRunPin {
 		next = c.cfg.Min
 	}
 
@@ -262,6 +304,29 @@ func (c *Controller) NotePacketRatio(level codec.Level, rawLen, compLen int) (ab
 	return true
 }
 
+// NoteEntropyBypass feeds the content-aware fast path back into the
+// control loop: the entropy probe shipped a buffer raw instead of
+// compressing it at the controller's level. Consecutive bypasses
+// accumulate into a run; once the run reaches BypassRunPin,
+// LevelForNextBuffer pins to the minimum — the per-content-run analogue
+// of the divergence guard's forbidden set, except it is released by the
+// content itself (the first compressible buffer, via
+// NoteCompressibleContent) rather than by a timer.
+func (c *Controller) NoteEntropyBypass() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.bypassRun++
+	c.entropyBypasses++
+}
+
+// NoteCompressibleContent ends the entropy-bypass run: the probe saw a
+// buffer worth compressing, so pinned levels become eligible again.
+func (c *Controller) NoteCompressibleContent() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.bypassRun = 0
+}
+
 // NotePacketsSent advances the incompressible pin countdown: n packets have
 // been produced since the last call.
 func (c *Controller) NotePacketsSent(n int) {
@@ -291,6 +356,9 @@ type Stats struct {
 	Updates     int64
 	Divergences int64
 	Pins        int64
+	// EntropyBypasses counts buffers the entropy probe shipped raw
+	// instead of compressing at the controller's level.
+	EntropyBypasses int64
 	// LevelCount[l] is how many buffers were compressed at level l.
 	LevelCount []int64
 }
@@ -302,11 +370,12 @@ func (c *Controller) Stats() Stats {
 	lc := make([]int64, len(c.levelCount))
 	copy(lc, c.levelCount[:])
 	return Stats{
-		Level:       c.level,
-		Updates:     c.updates,
-		Divergences: c.divergences,
-		Pins:        c.pins,
-		LevelCount:  lc,
+		Level:           c.level,
+		Updates:         c.updates,
+		Divergences:     c.divergences,
+		Pins:            c.pins,
+		EntropyBypasses: c.entropyBypasses,
+		LevelCount:      lc,
 	}
 }
 
@@ -325,6 +394,13 @@ type Snapshot struct {
 	// PinRemaining is how many more packets the incompressible guard
 	// holds the level at the minimum (0 = pin inactive).
 	PinRemaining int
+	// BypassRun is the current consecutive-entropy-bypass run length;
+	// at BypassRunPin and above the level is pinned to the minimum until
+	// compressible content returns.
+	BypassRun int
+	// Codecs is the active codec capability set (negotiated, or the full
+	// registry when nothing restricted it).
+	Codecs codec.Mask
 	// ForbiddenFor[l] is the remaining divergence penalty for level l
 	// (0 = not forbidden). Indexed by level, length MaxLevel+1.
 	ForbiddenFor []time.Duration
@@ -355,6 +431,8 @@ func (c *Controller) Snapshot() Snapshot {
 		Min:          c.cfg.Min,
 		Max:          c.cfg.Max,
 		PinRemaining: c.pinRemaining,
+		BypassRun:    c.bypassRun,
+		Codecs:       c.cfg.Codecs,
 		ForbiddenFor: make([]time.Duration, len(c.forbidden)),
 		BandwidthBps: make([]float64, len(c.bw)),
 	}

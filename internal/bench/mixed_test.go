@@ -1,0 +1,123 @@
+package bench
+
+import (
+	"runtime"
+	"testing"
+
+	"adoc"
+	"adoc/internal/datagen"
+)
+
+// TestMixedContentThroughputRuns smoke-tests the harness on every machine:
+// both bypass settings must run, report positive rates, and account their
+// wire bytes.
+func TestMixedContentThroughputRuns(t *testing.T) {
+	data := datagen.ByKind(datagen.KindPreCompressed, 2<<20, 1)
+	for _, disable := range []bool{false, true} {
+		run, err := MixedContentThroughput(2, data, 1, disable)
+		if err != nil {
+			t.Fatalf("disableBypass=%v: %v", disable, err)
+		}
+		if run.ThroughputBps <= 0 || run.RawBytes != int64(len(data)) {
+			t.Fatalf("disableBypass=%v: run = %+v", disable, run)
+		}
+		if disable && run.EntropyBypasses != 0 {
+			t.Fatalf("bypass disabled but %d bypasses recorded", run.EntropyBypasses)
+		}
+		if !disable && run.EntropyBypasses == 0 {
+			t.Fatalf("bypass enabled but never fired on pre-compressed data")
+		}
+	}
+}
+
+// TestEntropyBypassAcceptance is the content-aware acceptance check: on a
+// ≥4-core machine at Parallelism 4, the entropy bypass must push the
+// pre-compressed workload at least 1.3× as fast as PR-4 behavior
+// (bypass off), and the wire must never exceed the raw size by more than
+// the framing overhead. Skipped where the hardware cannot show the effect.
+func TestEntropyBypassAcceptance(t *testing.T) {
+	if runtime.NumCPU() < 4 {
+		t.Skipf("need >= 4 cores, have %d", runtime.NumCPU())
+	}
+	if testing.Short() {
+		t.Skip("measurement skipped in -short mode")
+	}
+	if raceEnabled {
+		t.Skip("race-detector instrumentation distorts the measurement; CI runs this without -race")
+	}
+	// The headline 1.3x floor is pinned on the pure pre-compressed
+	// workload (it measures ≈ 3.6x in practice). The interleaved workload
+	// is only one-third bypassable buffers, so its amortized floor is a
+	// no-regression bound rather than a speedup claim.
+	for _, tc := range []struct {
+		kind datagen.Kind
+		want float64
+	}{
+		{datagen.KindPreCompressed, 1.3},
+		{datagen.KindMixed, 1.05},
+	} {
+		tc := tc
+		t.Run(string(tc.kind), func(t *testing.T) {
+			data := datagen.ByKind(tc.kind, 8<<20, 1)
+			want := tc.want
+			var best float64
+			// Two attempts absorb scheduler noise on shared CI runners.
+			for attempt := 0; attempt < 2; attempt++ {
+				s, err := MixedContentSpeedup(4, data, 2)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if s > best {
+					best = s
+				}
+				if best >= want {
+					break
+				}
+			}
+			if best < want {
+				t.Fatalf("entropy bypass speedup %.2fx on %s, want >= %.2fx", best, tc.kind, want)
+			}
+			t.Logf("entropy bypass speedup on %s: %.2fx", tc.kind, best)
+		})
+	}
+}
+
+// TestBypassNeverInflatesWire: on the pure pre-compressed workload the
+// wire size must stay within the framing overhead of raw — the
+// gzip-style guarantee, now enforced before compression is even tried.
+func TestBypassNeverInflatesWire(t *testing.T) {
+	opts := adoc.DefaultOptions()
+	eff, err := opts.Effective()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := datagen.ByKind(datagen.KindPreCompressed, 4<<20, 3)
+	run, err := MixedContentThroughput(4, data, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allowed := MaxStreamFramingOverhead(len(data), eff.BufferSize, eff.PacketSize)
+	if run.WireBytes > run.RawBytes+allowed {
+		t.Fatalf("wire %d exceeds raw %d + framing bound %d", run.WireBytes, run.RawBytes, allowed)
+	}
+}
+
+// TestMixedContentExperiment smoke-runs the adocbench experiment end to
+// end and checks the machine-readable results are well-formed.
+func TestMixedContentExperiment(t *testing.T) {
+	tab, err := MixedContent(Config{Mode: ModeLive, MaxSize: 1 << 20, Reps: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2*len(datagen.MixedKinds()) {
+		t.Fatalf("rows = %d, want %d", len(tab.Rows), 2*len(datagen.MixedKinds()))
+	}
+	if len(tab.Results) != len(tab.Rows) {
+		t.Fatalf("results = %d, want %d", len(tab.Results), len(tab.Rows))
+	}
+	for _, r := range tab.Results {
+		if r.Bytes <= 0 || r.ThroughputBps <= 0 || r.WireBytes <= 0 {
+			t.Fatalf("malformed result %+v", r)
+		}
+	}
+}

@@ -13,8 +13,6 @@ import (
 	"fmt"
 	"io"
 	"sync"
-
-	"adoc/internal/lzf"
 )
 
 // Level identifies an AdOC compression level.
@@ -116,6 +114,9 @@ func (w *sliceWriter) Write(p []byte) (int, error) {
 // when capacity allows, so each compression worker can reuse one scratch
 // buffer across blocks instead of allocating per buffer. The returned block
 // may alias scratch or src; it is valid only until scratch's next use.
+// The codec is resolved through the default registry; a block that would
+// not shrink ships raw at level 0, so the wire never carries a block larger
+// than its raw form plus framing.
 func CompressAppend(scratch []byte, level Level, src []byte) ([]byte, Level, error) {
 	if !level.Valid() {
 		return nil, 0, ErrBadLevel
@@ -123,71 +124,93 @@ func CompressAppend(scratch []byte, level Level, src []byte) ([]byte, Level, err
 	if level == MinLevel || len(src) == 0 {
 		return src, MinLevel, nil
 	}
-	switch {
-	case level == LZF:
-		out, ok := lzf.EncodeTo(scratch, src)
-		if !ok {
-			return src, MinLevel, nil
-		}
-		return out, LZF, nil
-	default:
-		if cap(scratch) < len(src) {
-			// Match the compressed-fits-in-raw common case with one upfront
-			// allocation instead of append growth.
-			scratch = make([]byte, 0, len(src))
-		}
-		w := sliceWriter{buf: scratch[:0]}
-		fw := getFlateWriter(flateLevel(level), &w)
-		_, werr := fw.Write(src)
-		cerr := fw.Close()
-		putFlateWriter(flateLevel(level), fw)
-		if werr != nil {
-			return nil, 0, werr
-		}
-		if cerr != nil {
-			return nil, 0, cerr
-		}
-		if len(w.buf) >= len(src) {
-			return src, MinLevel, nil
-		}
-		return w.buf, level, nil
+	c, ok := Default().ForLevel(level)
+	if !ok {
+		return nil, 0, fmt.Errorf("%w: no codec for level %d", ErrBadLevel, level)
 	}
+	out, err := c.Compress(scratch, level, src)
+	if errors.Is(err, errNoGain) {
+		return src, MinLevel, nil
+	}
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(out) >= len(src) {
+		return src, MinLevel, nil
+	}
+	return out, level, nil
 }
 
 // Decompress expands a block produced by Compress. rawLen is the original
-// size recorded in the wire frame; the output is exactly rawLen bytes.
+// size recorded in the wire frame; the output is exactly rawLen bytes. Any
+// failure caused by the block's content (truncation, garbage, a size
+// mismatch) wraps ErrCorrupt; ErrBadLevel is reserved for levels no
+// registered codec serves.
 func Decompress(level Level, block []byte, rawLen int) ([]byte, error) {
 	if !level.Valid() {
 		return nil, ErrBadLevel
 	}
-	switch level {
-	case MinLevel:
-		if len(block) != rawLen {
+	if rawLen < 0 {
+		return nil, fmt.Errorf("%w: negative raw length %d", ErrCorrupt, rawLen)
+	}
+	c, ok := Default().ForLevel(level)
+	if !ok {
+		return nil, fmt.Errorf("%w: no codec for level %d", ErrBadLevel, level)
+	}
+	return c.Decompress(block, rawLen)
+}
+
+// deflateCodec serves levels 2..10 with pooled flate writers and readers.
+type deflateCodec struct{}
+
+func (deflateCodec) ID() ID       { return IDDeflate }
+func (deflateCodec) Name() string { return "deflate" }
+
+func (deflateCodec) Compress(scratch []byte, level Level, src []byte) ([]byte, error) {
+	if cap(scratch) < len(src) {
+		// Match the compressed-fits-in-raw common case with one upfront
+		// allocation instead of append growth.
+		scratch = make([]byte, 0, len(src))
+	}
+	w := sliceWriter{buf: scratch[:0]}
+	fw := getFlateWriter(flateLevel(level), &w)
+	_, werr := fw.Write(src)
+	cerr := fw.Close()
+	putFlateWriter(flateLevel(level), fw)
+	if werr != nil {
+		return nil, werr
+	}
+	if cerr != nil {
+		return nil, cerr
+	}
+	return w.buf, nil
+}
+
+func (deflateCodec) Decompress(block []byte, rawLen int) ([]byte, error) {
+	fr := flateReaderPool.Get().(io.ReadCloser)
+	defer flateReaderPool.Put(fr)
+	if err := fr.(flate.Resetter).Reset(bytes.NewReader(block), nil); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	out := make([]byte, rawLen)
+	if _, err := io.ReadFull(fr, out); err != nil {
+		return nil, fmt.Errorf("codec: %w: %v", ErrCorrupt, err)
+	}
+	// The block must end exactly here: no trailing data beyond rawLen, and
+	// a proper final-block marker (a truncated stream that happened to
+	// carry rawLen bytes reports ErrUnexpectedEOF instead of io.EOF).
+	var tail [1]byte
+	for {
+		n, terr := fr.Read(tail[:])
+		if n != 0 {
 			return nil, ErrCorrupt
 		}
-		return block, nil
-	case LZF:
-		out, err := lzf.Decode(block, rawLen)
-		if err != nil {
-			return nil, fmt.Errorf("codec: %w", err)
+		if terr == io.EOF {
+			return out, nil
 		}
-		return out, nil
-	default:
-		fr := flateReaderPool.Get().(io.ReadCloser)
-		defer flateReaderPool.Put(fr)
-		if err := fr.(flate.Resetter).Reset(bytes.NewReader(block), nil); err != nil {
-			return nil, err
+		if terr != nil {
+			return nil, fmt.Errorf("%w: %v", ErrCorrupt, terr)
 		}
-		out := make([]byte, rawLen)
-		if _, err := io.ReadFull(fr, out); err != nil {
-			return nil, fmt.Errorf("codec: %w: %v", ErrCorrupt, err)
-		}
-		// The block must not contain trailing data beyond rawLen.
-		var tail [1]byte
-		if n, _ := fr.Read(tail[:]); n != 0 {
-			return nil, ErrCorrupt
-		}
-		return out, nil
 	}
 }
 

@@ -115,6 +115,7 @@ func (s *Stats) Accumulate(o Stats) {
 	s.Controller.Updates += o.Controller.Updates
 	s.Controller.Divergences += o.Controller.Divergences
 	s.Controller.Pins += o.Controller.Pins
+	s.Controller.EntropyBypasses += o.Controller.EntropyBypasses
 	if len(o.Controller.LevelCount) > 0 || len(s.Controller.LevelCount) > 0 {
 		lc := make([]int64, max(len(o.Controller.LevelCount), len(s.Controller.LevelCount)))
 		copy(lc, s.Controller.LevelCount)
@@ -134,6 +135,7 @@ func New(rw io.ReadWriter, opts Options) (*Engine, error) {
 	ctrl := adapt.New(adapt.Config{
 		Min:                        opts.MinLevel,
 		Max:                        opts.MaxLevel,
+		Codecs:                     opts.Codecs,
 		Clock:                      opts.Clock,
 		ForbidFor:                  opts.ForbidFor,
 		DisableDivergenceGuard:     opts.DisableDivergenceGuard,

@@ -108,6 +108,15 @@ type Options struct {
 	// two-thread pipeline; 0 selects DefaultParallelism(). Wire framing and
 	// ordering are identical at every setting.
 	Parallelism int
+	// Codecs restricts the levels the controller may pick to those whose
+	// codec is in the set — the handshake-negotiated capability mask. Zero
+	// means every codec in the default registry. The effective MaxLevel is
+	// clamped to the highest level the set can serve.
+	Codecs codec.Mask
+	// DisableEntropyBypass turns off the per-buffer incompressibility
+	// probe, restoring the always-compress-then-notice behavior (ablation,
+	// and the baseline the bypass is benchmarked against).
+	DisableEntropyBypass bool
 	// DisableProbe skips the bandwidth probe (ablation).
 	DisableProbe bool
 	// DisableDivergenceGuard and DisableIncompressibleGuard pass through
@@ -176,6 +185,27 @@ func (o Options) Sanitized() (Options, error) {
 	if !o.MinLevel.Valid() || !o.MaxLevel.Valid() || o.MinLevel > o.MaxLevel {
 		return o, codec.ErrBadLevel
 	}
+	if o.Codecs == 0 {
+		o.Codecs = codec.AllMask()
+	}
+	// Raw copy is not optional: level 0 is the fallback for no-gain blocks
+	// and the entropy bypass, and every decoder speaks it.
+	o.Codecs = o.Codecs.With(codec.IDRaw)
+	// The level bounds must be servable by the codec set: the top clamps
+	// down to the highest level the set speaks, and a forced minimum
+	// sitting on a mask hole (say level 1 with LZF missing) resolves up
+	// to the lowest servable level — forcing "at least LZF" against a
+	// raw+deflate set means DEFLATE, never an LZF block the mask excludes.
+	// A range with no servable level at all is as invalid as Min > Max.
+	o.MaxLevel = o.Codecs.MaxUsableLevel(o.MaxLevel)
+	if o.MinLevel > o.MaxLevel {
+		return o, codec.ErrBadLevel
+	}
+	minLevel, ok := o.Codecs.MinUsableLevel(o.MinLevel, o.MaxLevel)
+	if !ok {
+		return o, codec.ErrBadLevel
+	}
+	o.MinLevel = minLevel
 	if o.BufferSize < o.PacketSize {
 		o.BufferSize = o.PacketSize
 	}

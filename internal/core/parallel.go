@@ -34,11 +34,15 @@ type compJob struct {
 	res   chan compResult
 }
 
-// compResult is one compressed buffer: its wire-framed segments in order.
+// compResult is one compressed buffer: its wire-framed segments in order,
+// plus the entropy probe's verdict, applied to the controller by the
+// reassembly stage so feedback arrives in buffer order rather than worker
+// completion order.
 type compResult struct {
-	segs []segment
-	raw  int // raw bytes the segments carry, for rawSent accounting
-	err  error
+	segs  []segment
+	raw   int // raw bytes the segments carry, for rawSent accounting
+	class contentClass
+	err   error
 }
 
 // segList collects the segments of one buffer on a worker's stack, counting
@@ -95,14 +99,15 @@ func (e *Engine) sendAdaptiveParallel(src io.Reader, remaining int64) (delivered
 			defer wg.Done()
 			var scratch []byte
 			for j := range jobs {
-				if scratch == nil && j.level == codec.LZF {
+				level, class := e.classifyBuffer(j.level, j.data)
+				if scratch == nil && level == codec.LZF {
 					scratch = make([]byte, e.opts.BufferSize)
 				}
 				dst := &segList{backlog: backlog}
-				err := e.compressBufferAt(dst, j.level, j.data, scratch)
+				err := e.compressBufferAt(dst, level, j.data, scratch)
 				raw := len(j.data)
 				e.putChunkBuf(j.buf)
-				j.res <- compResult{segs: dst.segs, raw: raw, err: err}
+				j.res <- compResult{segs: dst.segs, raw: raw, class: class, err: err}
 			}
 		}()
 	}
@@ -122,6 +127,9 @@ func (e *Engine) sendAdaptiveParallel(src io.Reader, remaining int64) (delivered
 			if r.err != nil {
 				firstErr = r.err
 			} else {
+				// Probe feedback in buffer order: the run counter must see
+				// the stream's sequence, not the workers' finish order.
+				e.noteContent(r.class)
 				for _, s := range r.segs {
 					if err := q.Push(s); err != nil {
 						firstErr = err

@@ -352,6 +352,8 @@ func (e *Engine) sendAdaptive(src io.Reader, remaining int64) (delivered, wireBy
 		n, rerr := io.ReadFull(src, buf[:want])
 		if n > 0 {
 			level := e.ctrl.LevelForNextBuffer(q.Len())
+			level, class := e.classifyBuffer(level, buf[:n])
+			e.noteContent(class)
 			if scratch == nil && level == codec.LZF {
 				scratch = make([]byte, e.opts.BufferSize)
 			}
@@ -433,9 +435,66 @@ type segDst interface {
 	Push(segment) error
 }
 
+// contentClass is the entropy probe's verdict on one adaptation buffer,
+// reported back to the controller separately from the compression work so
+// the parallel path can apply feedback in buffer order, not worker
+// completion order.
+type contentClass int8
+
+const (
+	// classUnknown: the probe did not run (bypass disabled).
+	classUnknown contentClass = iota
+	// classCompressible: worth compressing; ends any bypass run.
+	classCompressible
+	// classBypassed: incompressible and the controller wanted a codec —
+	// the buffer ships raw instead.
+	classBypassed
+	// classIncompressible: incompressible but already at level 0 (the
+	// bypass pin, or the controller's own choice); nothing to bypass,
+	// and the content run persists.
+	classIncompressible
+)
+
+// classifyBuffer runs the entropy probe on one adaptation buffer and
+// returns the level it should actually be framed at plus its content
+// class. The probe runs at every level — including 0 — because releasing
+// a bypass run requires seeing compressible content while pinned at the
+// minimum; skipping the probe there would make the pin permanent.
+func (e *Engine) classifyBuffer(level codec.Level, chunk []byte) (codec.Level, contentClass) {
+	// With compression negotiated off entirely the verdict could never
+	// change anything — skip the probe, not just the bypass.
+	if e.opts.DisableEntropyBypass || e.opts.MaxLevel == codec.MinLevel {
+		return level, classUnknown
+	}
+	if codec.Incompressible(chunk) {
+		if level != codec.MinLevel {
+			return codec.MinLevel, classBypassed
+		}
+		return level, classIncompressible
+	}
+	return level, classCompressible
+}
+
+// noteContent feeds one buffer's probe verdict to the controller. Callers
+// must invoke it in buffer (stream) order — the sequential path inline,
+// the parallel path from its in-order reassembly stage — so the
+// consecutive-bypass run the controller tracks matches what actually went
+// on the wire.
+func (e *Engine) noteContent(class contentClass) {
+	switch class {
+	case classBypassed:
+		e.ctrl.NoteEntropyBypass()
+	case classCompressible:
+		e.ctrl.NoteCompressibleContent()
+	}
+	// classIncompressible: the run persists without counting a bypass —
+	// nothing was compressed and nothing was skipped.
+}
+
 // compressBufferAt handles one adaptation unit (≤ BufferSize bytes) at a
-// level the controller already chose: compresses and pushes wire-framed
-// packets into dst. It implements the incompressible-data guard by aborting
+// level the caller already resolved (controller choice, possibly lowered
+// to 0 by the entropy probe): compresses and pushes wire-framed packets
+// into dst. It implements the incompressible-data guard by aborting
 // DEFLATE buffers whose running ratio is poor and sending the remainder
 // raw. scratch, when non-nil, is a caller-owned buffer reused for LZF
 // blocks (the segments copy out of it before returning).

@@ -158,14 +158,60 @@ func Incompressible(n int, seed int64) []byte {
 	return b
 }
 
+// PreCompressed returns n bytes of real DEFLATE output — the
+// "already-compressed file" workload (archives, images, encrypted blobs)
+// that a format-blind compressor burns CPU on and can even inflate.
+// Unlike Incompressible it is genuine compressor output: high entropy
+// with DEFLATE's block structure, the exact shape middleware relays when
+// applications ship .gz/.zip payloads.
+func PreCompressed(n int, seed int64) []byte {
+	var out bytes.Buffer
+	out.Grow(n + 4096)
+	fw, err := flate.NewWriter(&out, 6)
+	if err != nil {
+		panic(err)
+	}
+	// ASCII at ratio ≈ 5 means each source chunk yields ≈ 1/5 of its size;
+	// feed until enough output has accumulated.
+	for i := int64(0); out.Len() < n; i++ {
+		fw.Write(ASCII(256*1024, seed+i*7919))
+		fw.Flush()
+	}
+	fw.Close()
+	return out.Bytes()[:n]
+}
+
+// Interleaved returns n bytes of mixed content: runs of runLen bytes
+// cycling through ASCII text, binary, and pre-compressed data — the
+// workload of a gateway multiplexing unrelated application streams. With
+// runLen a few hundred KB the runs span adaptation buffers, so a
+// content-aware sender must switch between compressing and raw-copying
+// mid-message.
+func Interleaved(n int, seed int64, runLen int) []byte {
+	if runLen <= 0 {
+		runLen = 256 * 1024
+	}
+	gens := []func(int, int64) []byte{ASCII, Binary, PreCompressed}
+	out := make([]byte, 0, n+runLen)
+	for i := 0; len(out) < n; i++ {
+		out = append(out, gens[i%len(gens)](runLen, seed+int64(i)*104729)...)
+	}
+	return out[:n]
+}
+
 // Kind names a workload data type in experiment tables.
 type Kind string
 
-// The three data types of Figures 3-7.
+// The three data types of Figures 3-7, plus the content-aware workloads.
 const (
 	KindASCII          Kind = "ascii"
 	KindBinary         Kind = "binary"
 	KindIncompressible Kind = "incompressible"
+	// KindPreCompressed is genuine DEFLATE output (archives in transit).
+	KindPreCompressed Kind = "precompressed"
+	// KindMixed interleaves text/binary/pre-compressed runs that span
+	// adaptation buffers.
+	KindMixed Kind = "mixed"
 )
 
 // ByKind dispatches to the matching generator.
@@ -177,6 +223,10 @@ func ByKind(k Kind, n int, seed int64) []byte {
 		return Binary(n, seed)
 	case KindIncompressible:
 		return Incompressible(n, seed)
+	case KindPreCompressed:
+		return PreCompressed(n, seed)
+	case KindMixed:
+		return Interleaved(n, seed, 0)
 	default:
 		panic(fmt.Sprintf("datagen: unknown kind %q", k))
 	}
@@ -184,6 +234,10 @@ func ByKind(k Kind, n int, seed int64) []byte {
 
 // Kinds lists the figure data types in presentation order.
 func Kinds() []Kind { return []Kind{KindASCII, KindBinary, KindIncompressible} }
+
+// MixedKinds lists the content-aware workload types added alongside the
+// figure data.
+func MixedKinds() []Kind { return []Kind{KindPreCompressed, KindMixed} }
 
 // DenseMatrix returns an n×n matrix of values with 13 significant digits
 // and exponents between 1e-20 and 1e+20 — the paper's "dense matrix"

@@ -182,3 +182,51 @@ func BenchmarkASCIIGeneration(b *testing.B) {
 		ASCII(1<<20, int64(i))
 	}
 }
+
+func TestPreCompressedIsIncompressible(t *testing.T) {
+	data := PreCompressed(512*1024, 9)
+	if len(data) != 512*1024 {
+		t.Fatalf("len = %d, want %d", len(data), 512*1024)
+	}
+	if r := probeRatio(data); r > 1.05 {
+		t.Errorf("pre-compressed data still compresses %.2fx", r)
+	}
+	if !bytes.Equal(data, PreCompressed(512*1024, 9)) {
+		t.Error("PreCompressed is not deterministic for a fixed seed")
+	}
+	if bytes.Equal(data[:4096], PreCompressed(512*1024, 10)[:4096]) {
+		t.Error("different seeds produced identical output")
+	}
+}
+
+func TestInterleavedRunsMixContent(t *testing.T) {
+	const run = 128 * 1024
+	data := Interleaved(6*run, 4, run)
+	if len(data) != 6*run {
+		t.Fatalf("len = %d, want %d", len(data), 6*run)
+	}
+	// The run cycle is ascii, binary, pre-compressed: the text runs must
+	// compress hard, the pre-compressed runs must not.
+	if r := probeRatio(data[:run]); r < 3 {
+		t.Errorf("ascii run compresses only %.2fx", r)
+	}
+	if r := probeRatio(data[2*run : 3*run]); r > 1.05 {
+		t.Errorf("pre-compressed run still compresses %.2fx", r)
+	}
+	// The whole thing sits in between: mixed content, partial gains.
+	if r := probeRatio(data); r < 1.3 || r > 4 {
+		t.Errorf("interleaved overall ratio %.2f outside the mixed band", r)
+	}
+	if !bytes.Equal(data, Interleaved(6*run, 4, run)) {
+		t.Error("Interleaved is not deterministic for a fixed seed")
+	}
+}
+
+func TestByKindMixedKinds(t *testing.T) {
+	for _, k := range MixedKinds() {
+		b := ByKind(k, 64*1024, 2)
+		if len(b) != 64*1024 {
+			t.Errorf("%s: len = %d", k, len(b))
+		}
+	}
+}

@@ -1,0 +1,124 @@
+// Package testutil holds shared test harness pieces. Its centerpiece is a
+// goroutine-leak checker: transport suites (adocnet, adocmux, adocrpc)
+// spin up sessions, pools, servers and pipelines whose teardown paths are
+// exactly where regressions hide — a leaked demux loop or worker keeps
+// passing byte-identity tests while pinning memory forever. The checker
+// snapshots runtime.Stack after the suite runs and fails the package if
+// goroutines born in the code under test survive.
+package testutil
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// ignoredStackFragments marks goroutines that are not leaks: the testing
+// harness itself, runtime service goroutines, and the run-forever helpers
+// the standard library starts lazily.
+var ignoredStackFragments = []string{
+	"testing.Main(",
+	"testing.(*M).",
+	"testing.(*T).Run(",
+	"testing.runTests(",
+	"testing.runFuzzing(",
+	"testing.tRunner(", // a test body itself (the caller's frame)
+	"runtime.goexit",   // trailer-only stanza (goroutine already exiting)
+	"runtime.MemProfile",
+	"runtime/pprof.",
+	"runtime/trace.",
+	"os/signal.signal_recv",
+	"os/signal.loop",
+	"created by runtime.gc",
+	"runtime.ensureSigM",
+	"interestingGoroutines", // the checker's own frame
+}
+
+// interestingGoroutines returns the stack stanzas of goroutines that the
+// filter does not recognize as harness or runtime infrastructure.
+func interestingGoroutines() []string {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, 2*len(buf))
+	}
+	var out []string
+stanza:
+	for _, g := range strings.Split(string(buf), "\n\n") {
+		g = strings.TrimSpace(g)
+		if g == "" {
+			continue
+		}
+		body := g
+		if i := strings.Index(g, "\n"); i >= 0 {
+			body = g[i+1:] // drop the "goroutine N [state]:" header
+		}
+		if strings.TrimSpace(body) == "" {
+			continue
+		}
+		for _, frag := range ignoredStackFragments {
+			if strings.Contains(g, frag) {
+				continue stanza
+			}
+		}
+		out = append(out, g)
+	}
+	return out
+}
+
+// leakSettleTimeout bounds how long CheckGoroutines waits for goroutines
+// to drain after the suite: teardown is asynchronous (TCP close
+// propagation, demux loops noticing EOF), so the checker retries before
+// declaring a leak.
+const leakSettleTimeout = 5 * time.Second
+
+// CheckGoroutines reports goroutines still alive after the suite settled.
+// It returns "" when clean, or a report of the leaked stacks.
+func CheckGoroutines() string {
+	deadline := time.Now().Add(leakSettleTimeout)
+	var leaked []string
+	for {
+		leaked = interestingGoroutines()
+		if len(leaked) == 0 {
+			return ""
+		}
+		if time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d goroutine(s) leaked past suite teardown:\n\n", len(leaked))
+	for _, g := range leaked {
+		b.WriteString(g)
+		b.WriteString("\n\n")
+	}
+	return b.String()
+}
+
+// RunMain wraps testing.M.Run with the leak check — the one-line TestMain
+// body for suites that must not leak goroutines:
+//
+//	func TestMain(m *testing.M) { os.Exit(testutil.RunMain(m)) }
+//
+// A failing suite reports its own failures; the leak check only runs (and
+// can only fail the package) when the tests themselves passed, so a leak
+// report is never noise on top of a broken build.
+func RunMain(m *testing.M) int {
+	code := m.Run()
+	if code != 0 {
+		return code
+	}
+	if report := CheckGoroutines(); report != "" {
+		fmt.Fprintf(os.Stderr, "goroutine leak check failed:\n%s", report)
+		return 1
+	}
+	return code
+}

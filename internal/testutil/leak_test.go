@@ -1,0 +1,44 @@
+package testutil
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestCheckGoroutinesCatchesLeak proves the checker actually sees a
+// deliberately leaked goroutine — and that the report carries its stack.
+func TestCheckGoroutinesCatchesLeak(t *testing.T) {
+	stop := make(chan struct{})
+	go leakyWorker(stop)
+	// Give the goroutine time to park so the stack is attributable.
+	time.Sleep(10 * time.Millisecond)
+
+	leaked := interestingGoroutines()
+	found := false
+	for _, g := range leaked {
+		if strings.Contains(g, "leakyWorker") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("checker missed the planted leak; saw %d goroutines", len(leaked))
+	}
+	close(stop)
+
+	// And once the leak is released, the suite settles clean (this also
+	// exercises the retry loop CheckGoroutines runs at package teardown).
+	if report := CheckGoroutines(); report != "" {
+		t.Fatalf("settled suite still reports leaks:\n%s", report)
+	}
+}
+
+func leakyWorker(stop chan struct{}) { <-stop }
+
+// TestIgnoresHarnessGoroutines: a quiet suite must report nothing, even
+// though the testing harness itself runs several goroutines.
+func TestIgnoresHarnessGoroutines(t *testing.T) {
+	if report := CheckGoroutines(); report != "" {
+		t.Fatalf("idle check not clean:\n%s", report)
+	}
+}

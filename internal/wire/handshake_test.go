@@ -62,13 +62,15 @@ func TestHandshakeFlagsRoundtrip(t *testing.T) {
 
 // TestHandshakeLegacyPayload checks backward compatibility with peers
 // that predate the flags word: their 12-byte payload still decodes, with
-// Flags reading as zero (no optional capabilities).
+// Flags reading as zero (no optional capabilities) and the codec mask
+// reading as the legacy fixed set (raw, LZF, DEFLATE).
 func TestHandshakeLegacyPayload(t *testing.T) {
 	h := Handshake{MinVersion: 1, MaxVersion: 2, PacketSize: 4096,
-		BufferSize: 100 * 1024, MinLevel: 1, MaxLevel: 9, Flags: HandshakeFlagMux}
+		BufferSize: 100 * 1024, MinLevel: 1, MaxLevel: 9,
+		Flags: HandshakeFlagMux, CodecMask: codec.AllMask()}
 	buf := AppendHandshake(nil, h)
 	// Rebuild the frame the way an old peer would: 12-byte payload, no
-	// flags word.
+	// flags word, no codec mask.
 	legacy := append([]byte(nil), buf[:MsgHeaderLen]...)
 	legacy = binary.BigEndian.AppendUint16(legacy, 12)
 	legacy = append(legacy, buf[MsgHeaderLen+2:MsgHeaderLen+2+12]...)
@@ -78,8 +80,46 @@ func TestHandshakeLegacyPayload(t *testing.T) {
 	}
 	want := h
 	want.Flags = 0
+	want.CodecMask = codec.LegacyMask
 	if got != want {
 		t.Fatalf("legacy decode mismatch: got %+v, want %+v", got, want)
+	}
+}
+
+// TestHandshakeFlagsEraPayload checks the intermediate generation: peers
+// that send the flags word but predate the codec mask (14-byte payload).
+// Flags decode as sent; the mask defaults to the legacy set.
+func TestHandshakeFlagsEraPayload(t *testing.T) {
+	h := Handshake{MinVersion: 1, MaxVersion: 1, PacketSize: 8192,
+		BufferSize: 200 * 1024, MaxLevel: 10,
+		Flags: HandshakeFlagMux, CodecMask: codec.AllMask()}
+	buf := AppendHandshake(nil, h)
+	flagsEra := append([]byte(nil), buf[:MsgHeaderLen]...)
+	flagsEra = binary.BigEndian.AppendUint16(flagsEra, 14)
+	flagsEra = append(flagsEra, buf[MsgHeaderLen+2:MsgHeaderLen+2+14]...)
+	got, err := NewReader(bytes.NewReader(flagsEra)).ReadHandshake()
+	if err != nil {
+		t.Fatalf("flags-era handshake rejected: %v", err)
+	}
+	want := h
+	want.CodecMask = codec.LegacyMask
+	if got != want {
+		t.Fatalf("flags-era decode mismatch: got %+v, want %+v", got, want)
+	}
+}
+
+// TestHandshakeCodecMaskRoundtrip checks a restricted codec set travels
+// exactly, including sets narrower than the legacy default.
+func TestHandshakeCodecMaskRoundtrip(t *testing.T) {
+	h := Handshake{MinVersion: 1, MaxVersion: 1, PacketSize: 8192,
+		BufferSize: 200 * 1024, MaxLevel: 10,
+		CodecMask: codec.MaskRaw | codec.MaskLZF}
+	got, err := NewReader(bytes.NewReader(AppendHandshake(nil, h))).ReadHandshake()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != h {
+		t.Fatalf("roundtrip mismatch: got %+v, want %+v", got, h)
 	}
 }
 

@@ -291,14 +291,18 @@ func (d *Reader) ReadFrame() (Frame, error) {
 //
 //	handshake = magic(2) version(1) kind(1)=3 payloadLen(2) payload
 //	payload   = minVer(1) maxVer(1) packetSize(4) bufferSize(4)
-//	            minLevel(1) maxLevel(1) [flags(2)] [future fields]
+//	            minLevel(1) maxLevel(1) [flags(2)] [codecMask(2)]
+//	            [future fields]
 //
 // The payload length is self-describing: a decoder reads exactly
 // payloadLen bytes and ignores fields beyond the ones it knows, so future
 // versions can append fields without breaking older peers. The flags word
 // was appended exactly that way: peers that predate it send 12-byte
-// payloads, which decode with Flags == 0 (no optional capabilities). A
-// pre-handshake (v1) peer that receives this frame fails loudly —
+// payloads, which decode with Flags == 0 (no optional capabilities). The
+// codec capability mask followed the same route: a payload too short to
+// carry it decodes as codec.LegacyMask — the fixed raw/LZF/DEFLATE ladder
+// every pre-mask peer speaks — so masks are strictly backward compatible.
+// A pre-handshake (v1) peer that receives this frame fails loudly —
 // ReadMsgHeader rejects kind 3 with ErrBadKind — instead of silently
 // misparsing the stream.
 type Handshake struct {
@@ -316,6 +320,12 @@ type Handshake struct {
 	// capability is in effect only when both sides advertise it. Absent on
 	// legacy peers, which is equivalent to "none".
 	Flags uint16
+	// CodecMask advertises the codecs the speaker can run, one bit per
+	// codec.ID. The connection uses the intersection of both masks.
+	// Absent on legacy peers, which decodes as codec.LegacyMask (the
+	// fixed codec ladder every pre-mask build speaks) — never as "none",
+	// which would break negotiation with every old peer.
+	CodecMask codec.Mask
 }
 
 // Handshake capability flags.
@@ -340,9 +350,12 @@ const (
 	// version has written since the frame was introduced; decoders reject
 	// anything shorter.
 	handshakeBasePayloadLen = 1 + 1 + 4 + 4 + 1 + 1
+	// handshakeFlagsPayloadLen is the payload length of peers that carry
+	// the flags word but predate the codec mask.
+	handshakeFlagsPayloadLen = handshakeBasePayloadLen + 2
 	// handshakePayloadLen is the payload this version writes: the base
-	// fields plus the capability flags word.
-	handshakePayloadLen = handshakeBasePayloadLen + 2
+	// fields plus the capability flags word plus the codec mask.
+	handshakePayloadLen = handshakeFlagsPayloadLen + 2
 	// MaxHandshakeLen bounds the announced payload length so a corrupt or
 	// hostile peer cannot force a large allocation.
 	MaxHandshakeLen = 4096
@@ -365,7 +378,8 @@ func AppendHandshake(dst []byte, h Handshake) []byte {
 	dst = binary.BigEndian.AppendUint32(dst, h.PacketSize)
 	dst = binary.BigEndian.AppendUint32(dst, h.BufferSize)
 	dst = append(dst, byte(h.MinLevel), byte(h.MaxLevel))
-	return binary.BigEndian.AppendUint16(dst, h.Flags)
+	dst = binary.BigEndian.AppendUint16(dst, h.Flags)
+	return binary.BigEndian.AppendUint16(dst, uint16(h.CodecMask))
 }
 
 // ReadHandshake reads and validates one handshake frame. It must be the
@@ -403,8 +417,14 @@ func (d *Reader) ReadHandshake() (Handshake, error) {
 	h.BufferSize = binary.BigEndian.Uint32(payload[6:10])
 	h.MinLevel = codec.Level(payload[10])
 	h.MaxLevel = codec.Level(payload[11])
-	if n >= handshakeBasePayloadLen+2 {
+	if n >= handshakeFlagsPayloadLen {
 		h.Flags = binary.BigEndian.Uint16(payload[12:14])
+	}
+	// The codec mask defaults to the legacy fixed set, not to zero: a
+	// peer too old to send a mask can still run raw, LZF and DEFLATE.
+	h.CodecMask = codec.LegacyMask
+	if n >= handshakeFlagsPayloadLen+2 {
+		h.CodecMask = codec.Mask(binary.BigEndian.Uint16(payload[14:16]))
 	}
 	// Bytes beyond the known fields belong to a future version; ignored
 	// by design.
