@@ -77,6 +77,18 @@ type Stats = core.Stats
 // results, per-group sends).
 type Trace = core.Trace
 
+// WorkerPool executes compression/decompression jobs for any number of
+// connections. One pool sized to GOMAXPROCS serves the whole process;
+// each connection's Parallelism option is its in-flight window on the
+// pool, not a private worker count.
+type WorkerPool = core.WorkerPool
+
+// NewWorkerPool returns a dedicated pool of size workers (size <= 0
+// selects GOMAXPROCS). Most callers want the process-wide default —
+// leave Options.SharedPool nil — and build a dedicated pool only to
+// isolate one tenant's compression load from another's.
+func NewWorkerPool(size int) *WorkerPool { return core.NewWorkerPool(size) }
+
 // Options tunes a connection. The zero value of any field selects the
 // paper's default (8 KB packets, 200 KB buffers, 512 KB small-message
 // threshold, 256 KB probe, 500 Mbit/s fast cutoff).
@@ -98,11 +110,16 @@ type Options struct {
 	FastCutoffBps float64
 	// QueueCapacity bounds the emission FIFO in packets (default 256).
 	QueueCapacity int
-	// Parallelism is the number of compression/decompression workers the
-	// pipeline shards buffers across (default min(GOMAXPROCS, 4)).
-	// 1 selects the paper's sequential two-goroutine pipeline. Every
-	// setting produces the same wire framing and delivers bytes in order.
+	// Parallelism is this connection's in-flight window on the shared
+	// worker pool: how many adaptation buffers it may have submitted for
+	// compression (or receive groups for decompression) at once (default
+	// min(GOMAXPROCS, 4)). 1 selects the paper's sequential two-goroutine
+	// pipeline. Every setting produces the same wire framing and delivers
+	// bytes in order.
 	Parallelism int
+	// SharedPool is the worker pool this connection submits jobs to; nil
+	// selects the process-wide default pool sized to GOMAXPROCS.
+	SharedPool *WorkerPool
 	// Codecs restricts the codec set this endpoint runs (and, through
 	// adocnet, advertises). Zero means every registered codec. Raw copy
 	// is always included; the effective MaxLevel is clamped to what the
@@ -171,6 +188,7 @@ func (o Options) toCore() core.Options {
 	if o.Parallelism > 0 {
 		c.Parallelism = o.Parallelism
 	}
+	c.SharedPool = o.SharedPool
 	c.Codecs = o.Codecs
 	c.DisableEntropyBypass = o.DisableEntropyBypass
 	c.DisableProbe = o.DisableProbe

@@ -10,8 +10,8 @@
 //	adocbench fig8 -dgemm 128,256,512
 //
 // Experiments: table1 table2 fig3 fig4 fig5 fig6 fig7 fig8 fig9
-// rpcload ablate-buffer ablate-divergence ablate-probe ablate-adapt
-// ablate-incompressible ablate-packet ablate-queue, or "all".
+// rpcload mixed manyconns ablate-buffer ablate-divergence ablate-probe
+// ablate-adapt ablate-incompressible ablate-packet ablate-queue, or "all".
 //
 // The -json flag additionally writes every experiment — rows plus the
 // machine-readable Result records some experiments attach (rpcload:
@@ -146,8 +146,8 @@ func writeJSON(path string, cfg bench.Config, tables []*bench.Table) error {
 // text); experiments maps each id to its runner. The two are checked
 // against each other by the smoke test, so neither can drift.
 var experimentOrder = []string{"table1", "table2", "fig3", "fig4", "fig5", "fig6", "fig7",
-	"fig8", "fig9", "rpcload", "mixed", "ablate-buffer", "ablate-divergence", "ablate-probe",
-	"ablate-adapt", "ablate-incompressible", "ablate-packet", "ablate-queue"}
+	"fig8", "fig9", "rpcload", "mixed", "manyconns", "ablate-buffer", "ablate-divergence",
+	"ablate-probe", "ablate-adapt", "ablate-incompressible", "ablate-packet", "ablate-queue"}
 
 var experiments = map[string]func(cfg bench.Config, dgemmSizes []int) (*bench.Table, error){
 	"table1": func(cfg bench.Config, _ []int) (*bench.Table, error) { return bench.Table1(cfg) },
@@ -168,7 +168,10 @@ var experiments = map[string]func(cfg bench.Config, dgemmSizes []int) (*bench.Ta
 	"rpcload": func(cfg bench.Config, _ []int) (*bench.Table, error) { return bench.RPCLoad(cfg) },
 	// mixed always runs live too: it measures this machine's codecs
 	// against the entropy bypass on content-aware workloads.
-	"mixed":                 func(cfg bench.Config, _ []int) (*bench.Table, error) { return bench.MixedContent(cfg) },
+	"mixed": func(cfg bench.Config, _ []int) (*bench.Table, error) { return bench.MixedContent(cfg) },
+	// manyconns always runs live: it measures this process's real
+	// per-connection goroutine and allocation costs at serving scale.
+	"manyconns":             func(cfg bench.Config, _ []int) (*bench.Table, error) { return bench.ManyConns(cfg) },
 	"ablate-buffer":         func(cfg bench.Config, _ []int) (*bench.Table, error) { return bench.AblateBufferSize(cfg) },
 	"ablate-divergence":     func(cfg bench.Config, _ []int) (*bench.Table, error) { return bench.AblateDivergence(cfg) },
 	"ablate-probe":          func(cfg bench.Config, _ []int) (*bench.Table, error) { return bench.AblateProbe(cfg) },

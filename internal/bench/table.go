@@ -44,6 +44,17 @@ type Result struct {
 	// WireBytes is what actually crossed the link (compressed + framing),
 	// when the scenario can observe it.
 	WireBytes int64 `json:"wire_bytes,omitempty"`
+	// Conns is the concurrent connection count of scaling scenarios.
+	Conns int `json:"conns,omitempty"`
+	// GoroutinesPerConnIdle and GoroutinesPerConnActive are the
+	// steady-state goroutine costs of one connection (beyond the
+	// process baseline) while parked between messages and while stalled
+	// mid-message with the full pipeline stood up.
+	GoroutinesPerConnIdle   float64 `json:"goroutines_per_conn_idle,omitempty"`
+	GoroutinesPerConnActive float64 `json:"goroutines_per_conn_active,omitempty"`
+	// AllocsPerOp is the whole-process heap allocations per message
+	// exchange (send + receive) once the buffer pools are warm.
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
 }
 
 // AddRow appends a formatted row.

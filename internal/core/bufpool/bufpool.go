@@ -1,0 +1,121 @@
+// Package bufpool recycles byte buffers across connections through a
+// tiered pool: one bucket per power-of-two capacity, so a 200 KB
+// adaptation buffer released by one engine is reused by the next instead
+// of allocated fresh. This is the capnp exp/bufferpool pattern, sized for
+// AdOC's working set — packet frames (KBs), adaptation and scratch
+// buffers (hundreds of KBs).
+//
+// Buffers are zeroed when they are returned, never when they are handed
+// out, so Get is cheap on the hot path and a pooled buffer can never leak
+// one connection's payload bytes into another connection's view.
+package bufpool
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// Pool sizing defaults.
+const (
+	// DefaultMinAlloc is the smallest capacity the pool hands out;
+	// requests below it still come from the smallest bucket so tiny
+	// buffers churn one tier instead of many.
+	DefaultMinAlloc = 1 << 10
+	// DefaultMaxSize is the largest capacity the pool retains. Requests
+	// above it are plain allocations and their buffers are dropped on
+	// Put — a one-off giant buffer must not stay pinned forever.
+	DefaultMaxSize = 1 << 22
+)
+
+// Pool is a tiered byte-buffer pool. The zero value is ready to use with
+// the default tier bounds; Pool must not be copied after first use.
+type Pool struct {
+	// MinAlloc and MaxSize bound the pooled capacities (both rounded up
+	// to powers of two); zero selects the defaults.
+	MinAlloc, MaxSize int
+
+	once    sync.Once
+	min     int         // effective MinAlloc
+	max     int         // effective MaxSize
+	buckets []sync.Pool // buckets[i] holds buffers of cap min<<i
+}
+
+func (p *Pool) init() {
+	p.once.Do(func() {
+		p.min = ceilPow2(p.MinAlloc)
+		if p.min <= 0 {
+			p.min = DefaultMinAlloc
+		}
+		p.max = ceilPow2(p.MaxSize)
+		if p.max <= 0 {
+			p.max = DefaultMaxSize
+		}
+		if p.max < p.min {
+			p.max = p.min
+		}
+		tiers := bits.TrailingZeros(uint(p.max)) - bits.TrailingZeros(uint(p.min)) + 1
+		p.buckets = make([]sync.Pool, tiers)
+	})
+}
+
+// ceilPow2 rounds n up to the next power of two (0 stays 0).
+func ceilPow2(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return 1 << bits.Len(uint(n-1))
+}
+
+// bucketFor returns the tier index serving a request of n bytes, or -1
+// when n is beyond the pooled range.
+func (p *Pool) bucketFor(n int) int {
+	c := ceilPow2(n)
+	if c < p.min {
+		c = p.min
+	}
+	if c > p.max {
+		return -1
+	}
+	return bits.TrailingZeros(uint(c)) - bits.TrailingZeros(uint(p.min))
+}
+
+// Get returns a buffer with len(b) == n whose contents are zero. The
+// buffer comes from the tier whose capacity is the next power of two at
+// or above n; requests beyond MaxSize are plain allocations.
+func (p *Pool) Get(n int) []byte {
+	p.init()
+	i := p.bucketFor(n)
+	if i < 0 {
+		return make([]byte, n)
+	}
+	if v := p.buckets[i].Get(); v != nil {
+		return v.([]byte)[:n]
+	}
+	return make([]byte, n, p.min<<i)
+}
+
+// Put returns b to its tier for reuse, zeroing its full capacity first so
+// no payload bytes survive into the next Get. Buffers whose capacity is
+// not one of the pool's tier sizes (not handed out by Get, or beyond
+// MaxSize) are dropped for the GC.
+func (p *Pool) Put(b []byte) {
+	p.init()
+	c := cap(b)
+	if c < p.min || c > p.max || c&(c-1) != 0 {
+		return
+	}
+	b = b[:c]
+	clear(b)
+	i := bits.TrailingZeros(uint(c)) - bits.TrailingZeros(uint(p.min))
+	p.buckets[i].Put(b) //nolint:staticcheck // slice headers are small
+}
+
+// Default is the process-wide pool every engine shares unless it brings
+// its own.
+var Default Pool
+
+// Get returns a zeroed buffer of length n from the process-wide pool.
+func Get(n int) []byte { return Default.Get(n) }
+
+// Put recycles b into the process-wide pool.
+func Put(b []byte) { Default.Put(b) }

@@ -47,9 +47,9 @@ type Engine struct {
 	curMu    sync.Mutex
 	cur      *streamState // in-progress stream message, if any
 
-	// bufPool recycles BufferSize read buffers for the parallel sender,
-	// where each in-flight buffer needs its own backing array.
-	bufPool sync.Pool
+	// pool executes this engine's compression/decompression jobs; shared
+	// process-wide unless Options.SharedPool named another.
+	pool *WorkerPool
 
 	stats engineStats
 }
@@ -143,11 +143,16 @@ func New(rw io.ReadWriter, opts Options) (*Engine, error) {
 		OnLevelChange:              opts.Trace.OnLevelChange,
 		OnDivergence:               opts.Trace.OnDivergence,
 	})
+	pool := opts.SharedPool
+	if pool == nil {
+		pool = DefaultWorkerPool()
+	}
 	return &Engine{
 		rw:   rw,
 		opts: opts,
 		ctrl: ctrl,
 		dec:  wire.NewReader(rw),
+		pool: pool,
 	}, nil
 }
 

@@ -45,10 +45,10 @@ const (
 	// compressor between flushes — the granularity at which compressed
 	// packets become available and the incompressible guard can abort.
 	DefaultFlushInterval = 32 * 1024
-	// MaxDefaultParallelism caps the default compression worker count.
-	// Beyond ~4 workers the emission socket, not the compressor, is the
-	// bottleneck on typical links; callers that know better can raise
-	// Parallelism explicitly.
+	// MaxDefaultParallelism caps the default per-engine in-flight window.
+	// Beyond ~4 concurrent buffers the emission socket, not the
+	// compressor, is the bottleneck on typical links; callers that know
+	// better can raise Parallelism explicitly.
 	MaxDefaultParallelism = 4
 )
 
@@ -103,11 +103,20 @@ type Options struct {
 	QueueCapacity int
 	// FlushInterval is the raw-byte granularity of streaming compression.
 	FlushInterval int
-	// Parallelism is the number of compression (and decompression) workers
-	// the pipeline shards buffers across. 1 selects the paper's sequential
-	// two-thread pipeline; 0 selects DefaultParallelism(). Wire framing and
-	// ordering are identical at every setting.
+	// Parallelism is this engine's in-flight window: how many adaptation
+	// buffers (or receive groups) it may have submitted to the shared
+	// worker pool at once. 1 selects the paper's sequential two-thread
+	// pipeline with no pool involvement; 0 selects DefaultParallelism().
+	// Wire framing and ordering are identical at every setting. Actual CPU
+	// concurrency is bounded by the worker pool's size, shared across all
+	// engines.
 	Parallelism int
+	// SharedPool is the worker pool this engine submits its parallel
+	// compression/decompression jobs to; nil selects the process-wide
+	// DefaultWorkerPool. Engines on any number of connections may share
+	// one pool — jobs never block on other jobs, so a fixed worker count
+	// cannot deadlock.
+	SharedPool *WorkerPool
 	// Codecs restricts the levels the controller may pick to those whose
 	// codec is in the set — the handshake-negotiated capability mask. Zero
 	// means every codec in the default registry. The effective MaxLevel is

@@ -1,12 +1,17 @@
 // Parallel compression pipeline (Parallelism > 1): the sequential
-// compression goroutine of the paper becomes a sharded worker pool. The
-// writer splits the message into adaptation buffers exactly as before and
-// chooses a level for each buffer at enqueue time; N workers compress
-// buffers concurrently; an in-order reassembly stage feeds the unchanged
-// emission goroutine, so the wire stream is byte-identical in ordering and
-// framing to the sequential path for the same sequence of level choices.
-// The receive side mirrors this with parallel block decompression behind
-// the same in-order delivery guarantee.
+// compression goroutine of the paper becomes buffer jobs submitted to the
+// process-wide WorkerPool. The writer splits the message into adaptation
+// buffers exactly as before and chooses a level for each buffer at enqueue
+// time; pool workers compress buffers concurrently; an in-order reassembly
+// stage feeds the unchanged emission goroutine, so the wire stream is
+// byte-identical in ordering and framing to the sequential path for the
+// same sequence of level choices. The receive side mirrors this with
+// parallel block decompression behind the same in-order delivery
+// guarantee.
+//
+// Parallelism bounds the engine's in-flight buffer window — how many
+// adaptation buffers it may have submitted at once — not a private worker
+// count: CPU concurrency across all engines is the shared pool's size.
 
 package core
 
@@ -14,25 +19,14 @@ import (
 	"fmt"
 	"hash/adler32"
 	"io"
-	"sync"
 	"sync/atomic"
 
 	"adoc/internal/adapt"
 	"adoc/internal/codec"
+	"adoc/internal/core/bufpool"
 	"adoc/internal/fifo"
 	"adoc/internal/wire"
 )
-
-// compJob is one adaptation buffer handed to a compression worker. level is
-// fixed at enqueue time — the controller's choice for this buffer — so a
-// level change always lands on a buffer boundary, exactly as in the
-// sequential pipeline.
-type compJob struct {
-	buf   []byte // pooled backing array, released after compression
-	data  []byte // buf[:n], the raw adaptation buffer
-	level codec.Level
-	res   chan compResult
-}
 
 // compResult is one compressed buffer: its wire-framed segments in order,
 // plus the entropy probe's verdict, applied to the controller by the
@@ -59,24 +53,41 @@ func (l *segList) Push(s segment) error {
 	return nil
 }
 
-// getChunkBuf returns a BufferSize-capacity read buffer from the engine
-// pool (each in-flight parallel buffer needs its own backing array).
+// getChunkBuf returns a BufferSize-capacity read buffer from the shared
+// tiered pool (each in-flight parallel buffer needs its own backing
+// array, recycled across every engine in the process).
 func (e *Engine) getChunkBuf() []byte {
-	if v := e.bufPool.Get(); v != nil {
-		return v.([]byte)
-	}
-	return make([]byte, e.opts.BufferSize)
+	return bufpool.Get(e.opts.BufferSize)
 }
 
 func (e *Engine) putChunkBuf(b []byte) {
-	e.bufPool.Put(b[:cap(b)]) //nolint:staticcheck // slice headers are small
+	bufpool.Put(b)
 }
 
-// sendAdaptiveParallel is sendAdaptive with the compression stage sharded
-// across Parallelism workers. The caller goroutine reads and assigns
-// levels, workers compress, the reassembly goroutine restores buffer order
-// into the emission FIFO, and the emitter is exactly the sequential one.
-// remaining < 0 means until EOF.
+// compressJob runs on a pool worker: classify one adaptation buffer,
+// compress it at its enqueue-time level, release its backing buffers, and
+// deliver the result to the engine's reassembly stage.
+func (e *Engine) compressJob(buf, data []byte, level codec.Level, backlog *adapt.Backlog, res chan<- compResult) {
+	level, class := e.classifyBuffer(level, data)
+	var scratch []byte
+	if level == codec.LZF {
+		scratch = bufpool.Get(e.opts.BufferSize)
+	}
+	dst := &segList{backlog: backlog}
+	err := e.compressBufferAt(dst, level, data, scratch)
+	raw := len(data)
+	if scratch != nil {
+		bufpool.Put(scratch) // segments copied out of it already
+	}
+	e.putChunkBuf(buf)
+	res <- compResult{segs: dst.segs, raw: raw, class: class, err: err}
+}
+
+// sendAdaptiveParallel is sendAdaptive with the compression stage executed
+// by the shared worker pool. The caller goroutine reads and assigns
+// levels, pool workers compress, the reassembly goroutine restores buffer
+// order into the emission FIFO, and the emitter is exactly the sequential
+// one. remaining < 0 means until EOF.
 func (e *Engine) sendAdaptiveParallel(src io.Reader, remaining int64) (delivered, wireBytes int64, err error) {
 	if remaining == 0 {
 		return 0, 0, nil
@@ -85,36 +96,16 @@ func (e *Engine) sendAdaptiveParallel(src io.Reader, remaining int64) (delivered
 	res := make(chan emitResult, 1)
 	go e.runEmitter(q, res)
 
-	workers := e.opts.Parallelism
 	backlog := &adapt.Backlog{}
-	jobs := make(chan compJob)
 	// order carries one result channel per buffer in enqueue order; its
-	// capacity is the reassembly window and bounds in-flight memory.
-	order := make(chan chan compResult, 2*workers)
-
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for i := 0; i < workers; i++ {
-		go func() {
-			defer wg.Done()
-			var scratch []byte
-			for j := range jobs {
-				level, class := e.classifyBuffer(j.level, j.data)
-				if scratch == nil && level == codec.LZF {
-					scratch = make([]byte, e.opts.BufferSize)
-				}
-				dst := &segList{backlog: backlog}
-				err := e.compressBufferAt(dst, level, j.data, scratch)
-				raw := len(j.data)
-				e.putChunkBuf(j.buf)
-				j.res <- compResult{segs: dst.segs, raw: raw, class: class, err: err}
-			}
-		}()
-	}
+	// capacity is the engine's in-flight window (Parallelism) and bounds
+	// both reassembly memory and how many jobs this engine can have queued
+	// on the shared pool at once.
+	order := make(chan chan compResult, e.opts.Parallelism)
 
 	// Reassembly: pop result channels in enqueue order and feed the
 	// emission FIFO. On the first failure it aborts the FIFO and keeps
-	// draining so neither the reader nor the workers can block.
+	// draining so neither the reader nor the pool workers can block.
 	var failed atomic.Bool
 	reasmDone := make(chan error, 1)
 	go func() {
@@ -165,7 +156,8 @@ func (e *Engine) sendAdaptiveParallel(src io.Reader, remaining int64) (delivered
 			level := e.ctrl.LevelForNextBuffer(q.Len() + backlog.Len())
 			rc := make(chan compResult, 1)
 			order <- rc
-			jobs <- compJob{buf: buf, data: buf[:n], level: level, res: rc}
+			data := buf[:n]
+			e.pool.Submit(func() { e.compressJob(buf, data, level, backlog, rc) })
 			if remaining > 0 {
 				remaining -= int64(n)
 			}
@@ -183,8 +175,10 @@ func (e *Engine) sendAdaptiveParallel(src io.Reader, remaining int64) (delivered
 			break
 		}
 	}
-	close(jobs)
-	wg.Wait()
+	// Every dispatched buffer already has its result channel queued in
+	// order, so closing it here lets the reassembly stage drain exactly
+	// the jobs that were submitted (blocking on each until its pool worker
+	// delivers).
 	close(order)
 	pipeErr := <-reasmDone
 
@@ -214,12 +208,6 @@ type decGroup struct {
 	end    bool
 }
 
-// decJob is one complete compressed group handed to a decompression worker.
-type decJob struct {
-	completedGroup
-	res chan decResult
-}
-
 type decResult struct {
 	data   []byte
 	rawLen int
@@ -229,7 +217,7 @@ type decResult struct {
 
 // decodeGroup expands and verifies one assembled group — the same
 // per-group work on both receive paths (the sequential consumer calls it
-// inline, the parallel workers concurrently).
+// inline, the pool workers concurrently).
 func decodeGroup(g completedGroup) decResult {
 	raw, err := codec.Decompress(g.level, g.block, g.rawLen)
 	if err != nil {
@@ -243,25 +231,13 @@ func decodeGroup(g completedGroup) decResult {
 
 // runDecodePipeline is the receive-side mirror of the parallel sender: an
 // assembler goroutine pops frames from the reception FIFO and rebuilds
-// groups, Parallelism workers decompress groups concurrently, and a
-// collector delivers decoded groups to st.decoded strictly in wire order.
-// Groups decoded before a failure are delivered first, matching the
-// sequential path's drain-then-error contract.
+// groups, the shared worker pool decompresses groups concurrently (at most
+// Parallelism of this engine's groups in flight), and a collector delivers
+// decoded groups to st.decoded strictly in wire order. Groups decoded
+// before a failure are delivered first, matching the sequential path's
+// drain-then-error contract.
 func (e *Engine) runDecodePipeline(st *streamState) {
-	workers := e.opts.Parallelism
-	jobs := make(chan decJob)
-	order := make(chan chan decResult, 2*workers)
-
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for i := 0; i < workers; i++ {
-		go func() {
-			defer wg.Done()
-			for j := range jobs {
-				j.res <- decodeGroup(j.completedGroup)
-			}
-		}()
-	}
+	order := make(chan chan decResult, e.opts.Parallelism)
 
 	go func() {
 		failed := false
@@ -289,48 +265,50 @@ func (e *Engine) runDecodePipeline(st *streamState) {
 		}
 	}()
 
-	// fail threads a terminal condition through the order channel so it is
-	// delivered only after every group dispatched before it.
-	fail := func(err error) {
+	// deliver threads a result (or terminal condition) through the order
+	// channel so it surfaces only after every group dispatched before it.
+	deliver := func(r decResult) {
 		rc := make(chan decResult, 1)
-		rc <- decResult{err: err}
+		rc <- r
 		order <- rc
 	}
 	// asm is the same frame state machine the sequential consumer runs;
-	// reuse stays false because workers hold each group's block while the
-	// next group assembles.
+	// reuse stays false because pool workers hold each group's block while
+	// the next group assembles (and a raw group's decoded bytes alias it).
 	var asm groupAssembler
 	for {
 		fr, err := st.frames.Pop()
 		if err == io.EOF {
 			// The queue drained after MsgEnd was already consumed; a
 			// well-formed stream never gets here.
-			fail(io.ErrUnexpectedEOF)
+			deliver(decResult{err: io.ErrUnexpectedEOF})
 			break
 		}
 		if err != nil {
-			fail(err)
+			deliver(decResult{err: err})
 			break
 		}
 		g, end, ferr := asm.feed(fr)
+		if fr.payload != nil {
+			// feed copied the payload into the group block; the frame's
+			// pooled buffer is free again.
+			bufpool.Put(fr.payload)
+		}
 		if ferr != nil {
-			fail(ferr)
+			deliver(decResult{err: ferr})
 			break
 		}
 		if end {
-			rc := make(chan decResult, 1)
-			rc <- decResult{end: true}
-			order <- rc
+			deliver(decResult{end: true})
 			break
 		}
 		if g != nil {
+			grp := *g
 			rc := make(chan decResult, 1)
 			order <- rc
-			jobs <- decJob{completedGroup: *g, res: rc}
+			e.pool.Submit(func() { rc <- decodeGroup(grp) })
 		}
 	}
-	close(jobs)
-	wg.Wait()
 	close(order)
 }
 

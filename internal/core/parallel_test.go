@@ -338,6 +338,11 @@ func TestReceiveMessageErrorReleasesPipeline(t *testing.T) {
 	}
 	msg = wire.AppendMsgEnd(msg)
 
+	// The shared pool's workers are process-lifetime, not part of this
+	// test's leak accounting: start them before taking the baseline.
+	warmed := make(chan struct{})
+	DefaultWorkerPool().Submit(func() { close(warmed) })
+	<-warmed
 	before := runtime.NumGoroutine()
 	e, err := New(&rawConn{Reader: bytes.NewReader(msg)}, o)
 	if err != nil {

@@ -6,6 +6,7 @@ import (
 	"io"
 
 	"adoc/internal/codec"
+	"adoc/internal/core/bufpool"
 	"adoc/internal/fifo"
 	"adoc/internal/wire"
 )
@@ -148,7 +149,10 @@ func (e *Engine) receiveLoop(st *streamState) {
 		// counts — so receive stats track the protocol by construction.
 		switch f.Mark {
 		case wire.MarkPacket:
-			fr.payload = append([]byte(nil), f.Payload...)
+			// The copy out of the wire reader's scratch comes from the
+			// shared pool; the consumer recycles it after group assembly.
+			fr.payload = bufpool.Get(len(f.Payload))
+			copy(fr.payload, f.Payload)
 			e.stats.wireReceived.Add(int64(wire.FramePacketOverhead + len(f.Payload)))
 		case wire.MarkGroupBegin:
 			e.stats.wireReceived.Add(wire.FrameGroupBeginLen)
@@ -200,6 +204,11 @@ func (e *Engine) advanceStream(st *streamState, block bool) (data []byte, err er
 			}
 		}
 		g, end, ferr := st.asm.feed(fr)
+		if fr.payload != nil {
+			// feed copied the payload into the assembler's block; the
+			// frame's pooled buffer is free again.
+			bufpool.Put(fr.payload)
+		}
 		switch {
 		case ferr != nil:
 			return nil, ferr

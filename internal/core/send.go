@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"adoc/internal/codec"
+	"adoc/internal/core/bufpool"
 	"adoc/internal/fifo"
 	"adoc/internal/wire"
 )
@@ -124,7 +125,8 @@ func (e *Engine) SendMessageLevels(r io.Reader, size int64, min, max codec.Level
 // wireN still counts what actually hit the wire on every return path, so
 // a partial write shows up in Stats.
 func (e *Engine) writeSmall(p []byte) (accepted, wireN int64, err error) {
-	msg := wire.AppendSmall(make([]byte, 0, len(p)+wire.SmallOverhead), p)
+	msg := wire.AppendSmall(bufpool.Get(len(p) + wire.SmallOverhead)[:0], p)
+	defer bufpool.Put(msg)
 	n, err := e.rw.Write(msg)
 	if err != nil {
 		e.stats.wireSent.Add(int64(n))
@@ -187,7 +189,8 @@ func (e *Engine) writeStream(src io.Reader, size int64, min, max codec.Level) (d
 	bypass := false
 	if min == codec.MinLevel && !e.opts.DisableProbe &&
 		(size >= int64(e.opts.SmallThreshold) || size < 0) {
-		probeBuf := make([]byte, e.opts.ProbeSize)
+		probeBuf := bufpool.Get(e.opts.ProbeSize)
+		defer bufpool.Put(probeBuf)
 		n, rerr := io.ReadFull(src, probeBuf)
 		if rerr != nil && rerr != io.EOF && rerr != io.ErrUnexpectedEOF {
 			return delivered, wireBytes, fmt.Errorf("adoc: reading source: %w", rerr)
@@ -289,7 +292,8 @@ func (e *Engine) writeRawGroupDirect(chunk []byte) (int64, error) {
 // caller thread — the Gbit fast path where "we send the remaining data
 // uncompressed". remaining < 0 means until EOF.
 func (e *Engine) sendRawBypass(src io.Reader, remaining int64) (delivered, wireBytes int64, err error) {
-	buf := make([]byte, e.opts.BufferSize)
+	buf := bufpool.Get(e.opts.BufferSize)
+	defer bufpool.Put(buf)
 	for remaining != 0 {
 		want := int64(len(buf))
 		if remaining > 0 && remaining < want {
@@ -341,8 +345,14 @@ func (e *Engine) sendAdaptive(src io.Reader, remaining int64) (delivered, wireBy
 	res := make(chan emitResult, 1)
 	go e.runEmitter(q, res)
 
-	buf := make([]byte, e.opts.BufferSize)
+	buf := bufpool.Get(e.opts.BufferSize)
+	defer bufpool.Put(buf)
 	var scratch []byte
+	defer func() {
+		if scratch != nil {
+			bufpool.Put(scratch)
+		}
+	}()
 	var sendErr error
 	for remaining != 0 {
 		want := int64(len(buf))
@@ -355,7 +365,7 @@ func (e *Engine) sendAdaptive(src io.Reader, remaining int64) (delivered, wireBy
 			level, class := e.classifyBuffer(level, buf[:n])
 			e.noteContent(class)
 			if scratch == nil && level == codec.LZF {
-				scratch = make([]byte, e.opts.BufferSize)
+				scratch = bufpool.Get(e.opts.BufferSize)
 			}
 			if err := e.compressBufferAt(q, level, buf[:n], scratch); err != nil {
 				sendErr = err
@@ -425,6 +435,8 @@ func (e *Engine) runEmitter(q *fifo.Queue[segment], res chan<- emitResult) {
 				e.opts.Trace.OnGroupSent(seg.level, seg.groupRaw, seg.groupWire, q.Len())
 			}
 		}
+		// The frame's bytes are on the socket; recycle its buffer.
+		bufpool.Put(seg.data)
 	}
 }
 
@@ -590,7 +602,7 @@ type packetizer struct {
 
 func newPacketizer(e *Engine, dst segDst, level codec.Level) *packetizer {
 	return &packetizer{e: e, dst: dst, level: level, first: true,
-		pending: make([]byte, 0, e.opts.PacketSize)}
+		pending: bufpool.Get(e.opts.PacketSize)[:0]}
 }
 
 func (p *packetizer) Write(b []byte) (int, error) {
@@ -620,7 +632,9 @@ func (p *packetizer) flushPacket(end bool, rawLen int, sum uint32) error {
 	if len(p.pending) == 0 && !end {
 		return nil
 	}
-	frame := make([]byte, 0, len(p.pending)+16)
+	// The frame buffer travels through the FIFO to the emission thread,
+	// which recycles it after the socket write.
+	frame := bufpool.Get(len(p.pending) + maxFrameOverhead)[:0]
 	if p.first {
 		frame = wire.AppendGroupBegin(frame, p.level)
 	}
@@ -654,7 +668,14 @@ func (p *packetizer) flushPacket(end bool, rawLen int, sum uint32) error {
 }
 
 // finish closes the group, emitting any partial packet plus the groupEnd
-// frame.
+// frame, and releases the staging buffer.
 func (p *packetizer) finish(rawLen int, sum uint32) error {
-	return p.flushPacket(true, rawLen, sum)
+	err := p.flushPacket(true, rawLen, sum)
+	bufpool.Put(p.pending)
+	p.pending = nil
+	return err
 }
+
+// maxFrameOverhead bounds the non-payload bytes a single segment can carry:
+// a group-begin prefix plus packet framing plus a glued group-end tail.
+const maxFrameOverhead = wire.FrameGroupBeginLen + wire.FramePacketOverhead + wire.FrameGroupEndLen

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+)
+
+// WorkerPool is a process-wide pool of compression/decompression workers
+// that every engine submits buffer jobs to, instead of each engine
+// spawning its own Parallelism goroutines per message. One pool sized to
+// GOMAXPROCS serves any number of connections: CPU work is bounded by the
+// cores that exist, while each engine's in-flight window (its Parallelism
+// option) bounds how many jobs it may have queued at once.
+//
+// Jobs never block on other jobs — each compresses or decompresses one
+// buffer and delivers its result into a per-engine buffered channel — so
+// a fixed worker count cannot deadlock no matter how many engines share
+// the pool.
+//
+// The pool starts lazily on first Submit and its workers live for the
+// process lifetime (they are shared infrastructure, like the GC's
+// background workers, not per-connection state).
+type WorkerPool struct {
+	size int
+	once sync.Once
+	jobs chan func()
+}
+
+// NewWorkerPool returns a pool of size workers; size <= 0 selects
+// GOMAXPROCS. The workers are not started until the first Submit.
+func NewWorkerPool(size int) *WorkerPool {
+	if size <= 0 {
+		size = runtime.GOMAXPROCS(0)
+	}
+	return &WorkerPool{size: size}
+}
+
+// Size returns the worker count.
+func (p *WorkerPool) Size() int { return p.size }
+
+// start launches the workers exactly once. The job queue holds one
+// pending job per worker beyond the ones being executed; when every
+// engine's in-flight window is spoken for, Submit blocks, which is the
+// backpressure that keeps a thousand eager senders from buffering a
+// thousand compression jobs.
+func (p *WorkerPool) start() {
+	p.once.Do(func() {
+		p.jobs = make(chan func(), p.size)
+		for i := 0; i < p.size; i++ {
+			go p.worker()
+		}
+	})
+}
+
+// worker executes jobs until the process exits.
+func (p *WorkerPool) worker() {
+	for f := range p.jobs {
+		f()
+	}
+}
+
+// Submit queues f for execution on a pool worker, blocking while the
+// queue is full. f must not block on the completion of another pool job.
+func (p *WorkerPool) Submit(f func()) {
+	p.start()
+	p.jobs <- f
+}
+
+// defaultPool is the process-wide pool engines share when their Options
+// name no other.
+var defaultPool = NewWorkerPool(0)
+
+// DefaultWorkerPool returns the process-wide shared pool.
+func DefaultWorkerPool() *WorkerPool { return defaultPool }

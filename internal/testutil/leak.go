@@ -35,6 +35,10 @@ var ignoredStackFragments = []string{
 	"created by runtime.gc",
 	"runtime.ensureSigM",
 	"interestingGoroutines", // the checker's own frame
+	// The shared compression worker pool is process-lifetime
+	// infrastructure, started lazily on first use and deliberately never
+	// torn down — not a per-connection leak.
+	"core.(*WorkerPool)",
 }
 
 // interestingGoroutines returns the stack stanzas of goroutines that the
