@@ -28,12 +28,15 @@ package adoc
 import (
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"reflect"
 	"sync"
 
+	"adoc/internal/adapt"
 	"adoc/internal/codec"
 	"adoc/internal/core"
+	"adoc/internal/obs"
 )
 
 // Level is an AdOC compression level: 0 none, 1 LZF, 2..10 DEFLATE 1..9.
@@ -76,6 +79,51 @@ type Stats = core.Stats
 // Trace carries optional observability callbacks (level changes, probe
 // results, per-group sends).
 type Trace = core.Trace
+
+// MetricsRegistry holds typed atomic metric families (counters, gauges,
+// histograms) and renders them in the Prometheus text exposition format.
+// Every layer of a connection stack — engine, controller, worker pool,
+// buffer pool, and the transport packages above — publishes through the
+// registry its Options.Metrics names; nil selects DefaultMetrics().
+type MetricsRegistry = obs.Registry
+
+// MetricLabel is one name="value" pair on a metric series.
+type MetricLabel = obs.Label
+
+// NewMetricsRegistry returns an empty registry, for stacks that want
+// metrics isolated from the process-wide default.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// DefaultMetrics returns the process-wide registry used when no Options
+// named another.
+func DefaultMetrics() *MetricsRegistry { return obs.Default() }
+
+// MetricsHandler returns an http.Handler serving reg in the Prometheus
+// text exposition format (version 0.0.4); nil serves DefaultMetrics().
+// Mount it on /metrics and point a Prometheus scrape job at it.
+func MetricsHandler(reg *MetricsRegistry) http.Handler {
+	if reg == nil {
+		reg = obs.Default()
+	}
+	return obs.Handler(reg)
+}
+
+// AdaptTransition is one controller level change with its cause, delivered
+// through Trace.OnTransition.
+type AdaptTransition = adapt.Transition
+
+// AdaptCause identifies the control-loop stage behind a transition.
+type AdaptCause = adapt.Cause
+
+// Transition causes, re-exported from the controller.
+const (
+	AdaptCauseQueue      = adapt.CauseQueue
+	AdaptCauseCodec      = adapt.CauseCodec
+	AdaptCausePenalty    = adapt.CausePenalty
+	AdaptCauseDivergence = adapt.CauseDivergence
+	AdaptCausePin        = adapt.CausePin
+	AdaptCauseBypass     = adapt.CauseBypass
+)
 
 // WorkerPool executes compression/decompression jobs for any number of
 // connections. One pool sized to GOMAXPROCS serves the whole process;
@@ -132,6 +180,10 @@ type Options struct {
 	DisableProbe bool
 	// Trace receives engine events.
 	Trace Trace
+	// Metrics is the registry this connection's stack publishes to; nil
+	// selects the process-wide DefaultMetrics(). It binds per stack the
+	// way SharedPool does.
+	Metrics *MetricsRegistry
 }
 
 // DefaultOptions returns the paper's configuration with full adaptive
@@ -193,6 +245,7 @@ func (o Options) toCore() core.Options {
 	c.DisableEntropyBypass = o.DisableEntropyBypass
 	c.DisableProbe = o.DisableProbe
 	c.Trace = o.Trace
+	c.Metrics = o.Metrics
 	return c
 }
 

@@ -55,6 +55,7 @@ package adocmux
 import (
 	"errors"
 
+	"adoc"
 	"adoc/adocnet"
 	"adoc/internal/wire"
 )
@@ -111,6 +112,11 @@ type Config struct {
 	// MaxBatch caps the bytes of queued frames before data writers block
 	// (default DefaultMaxBatch).
 	MaxBatch int
+	// Metrics is the registry this session's stream accounting publishes
+	// to; nil selects the process-wide adoc.DefaultMetrics(). Note the
+	// underlying connection's engine metrics bind separately, through the
+	// adocnet.Options the connection was dialed with.
+	Metrics *adoc.MetricsRegistry
 }
 
 func (c Config) withDefaults() Config {

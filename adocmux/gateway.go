@@ -2,14 +2,17 @@ package adocmux
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"net"
+	"strconv"
 	"sync"
 	"time"
 
 	"adoc"
 	"adoc/adocnet"
+	"adoc/internal/obs"
 )
 
 // This file implements adocproxy's two halves as a library, so the
@@ -20,10 +23,49 @@ import (
 // operational: unmodified applications speak plain TCP to the Ingress
 // gateway near them; it tunnels every accepted connection as one mux
 // stream over a single long-lived AdOC connection to the Egress gateway,
-// which dials the real backend and pipes bytes. Only the
+// which dials a real backend and pipes bytes. Only the
 // gateway-to-gateway hop is compressed — adaptively, for the aggregate
 // of all tunneled flows, with one shared controller and one shared
 // pipeline.
+
+// Registry metric families the gateways publish.
+const (
+	// MetricTunneledConns counts client connections the ingress accepted
+	// for tunneling (whether or not the tunnel dial then succeeded).
+	MetricTunneledConns = "adoc_gateway_tunneled_conns_total"
+	// MetricActiveTunneled is the client connections currently tunneled.
+	MetricActiveTunneled = "adoc_gateway_active_tunneled_conns"
+	// MetricTunnelDials counts dials of the egress-gateway session.
+	MetricTunnelDials = "adoc_gateway_tunnel_dials_total"
+	// MetricTunnelDialFailures counts egress-gateway dials that failed.
+	MetricTunnelDialFailures = "adoc_gateway_tunnel_dial_failures_total"
+
+	// MetricBackendHealthy is 1 while the labeled backend passes health
+	// checks (and hasn't failed a stream dial since), else 0.
+	MetricBackendHealthy = "adoc_gateway_backend_healthy"
+	// MetricBackendStreams is the tunneled streams currently piped to the
+	// labeled backend.
+	MetricBackendStreams = "adoc_gateway_backend_active_streams"
+	// MetricBackendDials counts backend dial attempts per backend.
+	MetricBackendDials = "adoc_gateway_backend_dials_total"
+	// MetricBackendDialFailures counts failed backend dials per backend.
+	MetricBackendDialFailures = "adoc_gateway_backend_dial_failures_total"
+
+	// MetricAdaptLevel is the tunnel connection's current compression
+	// level (-1 before the first tunnel dial).
+	MetricAdaptLevel = "adoc_adapt_level"
+	// MetricAdaptPinRemaining is the incompressible-guard pin countdown.
+	MetricAdaptPinRemaining = "adoc_adapt_pin_remaining"
+	// MetricAdaptBypassRun is the current consecutive entropy-bypass run.
+	MetricAdaptBypassRun = "adoc_adapt_bypass_run"
+	// MetricAdaptLevelBandwidth is the visible-bandwidth EWMA per level,
+	// in raw bytes per second, labeled level="0".."10".
+	MetricAdaptLevelBandwidth = "adoc_adapt_level_bandwidth_bytes_per_second"
+)
+
+// ErrNoHealthyBackend is returned (and recorded against the refused
+// stream) when every configured backend failed to dial.
+var ErrNoHealthyBackend = errors.New("adocmux: no healthy backend")
 
 // halfCloser is the shutdown(SHUT_WR) surface shared by *net.TCPConn and
 // *Stream.
@@ -54,6 +96,26 @@ func proxyPipe(a, b io.ReadWriteCloser) {
 	b.Close()
 }
 
+// ingressMetrics holds the ingress's children of the registry families.
+type ingressMetrics struct {
+	tunneled  *obs.Counter
+	active    *obs.Gauge
+	dials     *obs.Counter
+	dialFails *obs.Counter
+}
+
+func newIngressMetrics(reg *obs.Registry) ingressMetrics {
+	if reg == nil {
+		reg = obs.Default()
+	}
+	return ingressMetrics{
+		tunneled:  reg.Counter(MetricTunneledConns, "Client connections accepted for tunneling.").Child(),
+		active:    reg.Gauge(MetricActiveTunneled, "Client connections currently tunneled.").Child(),
+		dials:     reg.Counter(MetricTunnelDials, "Dials of the egress-gateway session.").Child(),
+		dialFails: reg.Counter(MetricTunnelDialFailures, "Failed dials of the egress-gateway session.").Child(),
+	}
+}
+
 // Ingress is the application-facing gateway: it accepts plain TCP
 // connections and tunnels each as one mux stream over a single
 // long-lived AdOC connection to the peer (Egress) gateway. The session
@@ -64,18 +126,27 @@ type Ingress struct {
 	peerAddr string
 	opts     adocnet.Options
 	cfg      Config
+	metrics  ingressMetrics
 
-	mu     sync.Mutex
-	sess   *Session
-	ln     net.Listener
-	closed bool
+	mu       sync.Mutex
+	idle     *sync.Cond // signaled when active drains to zero
+	sess     *Session
+	ln       net.Listener
+	active   int
+	draining bool
+	closed   bool
 }
 
 // NewIngress returns an ingress gateway that tunnels to the egress
 // gateway at peerAddr, negotiating the AdOC connection with opts (use
-// TransportOptions as the base) and running the session with cfg.
+// TransportOptions as the base) and running the session with cfg. The
+// gateway's own counters register in cfg.Metrics (the default registry
+// when nil), alongside the session's.
 func NewIngress(peerAddr string, opts adocnet.Options, cfg Config) *Ingress {
-	return &Ingress{peerAddr: peerAddr, opts: opts, cfg: cfg}
+	in := &Ingress{peerAddr: peerAddr, opts: opts, cfg: cfg,
+		metrics: newIngressMetrics(cfg.Metrics)}
+	in.idle = sync.NewCond(&in.mu)
+	return in
 }
 
 // dialTimeout bounds one attempt to reach the egress gateway, so an
@@ -103,12 +174,15 @@ func (in *Ingress) session() (*Session, error) {
 
 	ctx, cancel := context.WithTimeout(context.Background(), dialTimeout)
 	defer cancel()
+	in.metrics.dials.Inc()
 	conn, err := adocnet.DialContext(ctx, "tcp", in.peerAddr, in.opts)
 	if err != nil {
+		in.metrics.dialFails.Inc()
 		return nil, fmt.Errorf("adocmux: dialing egress %s: %w", in.peerAddr, err)
 	}
 	sess, err := Client(conn, in.cfg)
 	if err != nil {
+		in.metrics.dialFails.Inc()
 		conn.Close()
 		return nil, err
 	}
@@ -133,7 +207,7 @@ func (in *Ingress) session() (*Session, error) {
 // serving.
 func (in *Ingress) Serve(ln net.Listener) error {
 	in.mu.Lock()
-	if in.closed {
+	if in.closed || in.draining {
 		in.mu.Unlock()
 		ln.Close()
 		return ErrSessionClosed
@@ -145,20 +219,51 @@ func (in *Ingress) Serve(ln net.Listener) error {
 		if err != nil {
 			return err
 		}
-		go func() {
-			sess, err := in.session()
-			if err != nil {
-				client.Close()
-				return
-			}
-			st, err := sess.OpenStream()
-			if err != nil {
-				client.Close()
-				return
-			}
-			proxyPipe(client, st)
-		}()
+		go in.tunnel(client)
 	}
+}
+
+// tunnel pipes one accepted client through the mux session.
+func (in *Ingress) tunnel(client net.Conn) {
+	in.mu.Lock()
+	if in.closed || in.draining {
+		in.mu.Unlock()
+		client.Close()
+		return
+	}
+	in.active++
+	in.mu.Unlock()
+	in.metrics.tunneled.Inc()
+	in.metrics.active.Inc()
+	defer func() {
+		in.metrics.active.Dec()
+		in.mu.Lock()
+		in.active--
+		if in.active == 0 {
+			in.idle.Broadcast()
+		}
+		in.mu.Unlock()
+	}()
+
+	sess, err := in.session()
+	if err != nil {
+		client.Close()
+		return
+	}
+	st, err := sess.OpenStream()
+	if err != nil {
+		client.Close()
+		return
+	}
+	proxyPipe(client, st)
+}
+
+// ActiveConns returns the number of client connections currently
+// tunneled.
+func (in *Ingress) ActiveConns() int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.active
 }
 
 // Stats snapshots the current tunnel connection's engine counters
@@ -173,6 +278,79 @@ func (in *Ingress) Stats() (s adoc.Stats, ok bool) {
 	return in.sess.Stats(), true
 }
 
+// RegisterMetrics publishes the tunnel's adaptive decision state as
+// callback gauges in reg (the default registry when nil): the current
+// level (-1 before the first dial), the incompressible-pin countdown,
+// the entropy-bypass run, and the per-level visible-bandwidth EWMAs.
+// Re-registering (or registering a newer Ingress) replaces the
+// callbacks.
+func (in *Ingress) RegisterMetrics(reg *obs.Registry) {
+	if reg == nil {
+		reg = obs.Default()
+	}
+	reg.GaugeFunc(MetricAdaptLevel, "Current compression level of the tunnel connection (-1 before the first dial).",
+		func() float64 {
+			s, ok := in.Stats()
+			if !ok {
+				return -1
+			}
+			return float64(s.Adapt.Level)
+		})
+	reg.GaugeFunc(MetricAdaptPinRemaining, "Packets the incompressible guard still pins to the minimum level.",
+		func() float64 {
+			s, _ := in.Stats()
+			return float64(s.Adapt.PinRemaining)
+		})
+	reg.GaugeFunc(MetricAdaptBypassRun, "Current consecutive entropy-bypass run length.",
+		func() float64 {
+			s, _ := in.Stats()
+			return float64(s.Adapt.BypassRun)
+		})
+	for l := 0; l <= int(adoc.MaxLevel); l++ {
+		reg.GaugeFunc(MetricAdaptLevelBandwidth, "Visible-bandwidth EWMA per compression level, raw bytes per second.",
+			func() float64 {
+				s, ok := in.Stats()
+				if !ok || l >= len(s.Adapt.BandwidthBps) {
+					return 0
+				}
+				return s.Adapt.BandwidthBps[l]
+			}, obs.Label{Name: "level", Value: strconv.Itoa(l)})
+	}
+}
+
+// Drain shuts the ingress down gracefully: the listener closes, new
+// clients are refused, and Drain waits for every tunneled connection to
+// finish before closing the session. If ctx expires first the session is
+// force-closed (failing the stragglers) and ctx's error is returned.
+func (in *Ingress) Drain(ctx context.Context) error {
+	in.mu.Lock()
+	in.draining = true
+	ln := in.ln
+	in.ln = nil
+	in.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		in.mu.Lock()
+		for in.active > 0 && !in.closed {
+			in.idle.Wait()
+		}
+		in.mu.Unlock()
+	}()
+	select {
+	case <-done:
+		in.Close()
+		return nil
+	case <-ctx.Done():
+		in.Close() // fails remaining pipes, which unblocks the watcher
+		return ctx.Err()
+	}
+}
+
 // Close stops the ingress: the listener and the tunnel session close;
 // in-flight tunneled connections fail.
 func (in *Ingress) Close() error {
@@ -180,6 +358,7 @@ func (in *Ingress) Close() error {
 	in.closed = true
 	ln, sess := in.ln, in.sess
 	in.ln, in.sess = nil, nil
+	in.idle.Broadcast()
 	in.mu.Unlock()
 	if ln != nil {
 		ln.Close()
@@ -190,37 +369,274 @@ func (in *Ingress) Close() error {
 	return nil
 }
 
-// Egress is the backend-facing gateway: it accepts AdOC connections from
-// ingress gateways, runs a mux session on each, and dials the real
-// backend once per accepted stream, piping bytes both ways.
-type Egress struct {
-	backendAddr string
-	cfg         Config
+// egBackend is one backend of an Egress, with its labeled metric series.
+// healthy and active are guarded by the egress mutex; the metric series
+// are safe to touch outside it.
+type egBackend struct {
+	addr    string
+	healthy bool
+	active  int
 
-	mu     sync.Mutex
-	conns  map[*Session]struct{}
-	closed bool
+	healthyG  *obs.Gauge
+	streams   *obs.Gauge
+	dials     *obs.Counter
+	dialFails *obs.Counter
+}
+
+// BackendStatus is one backend's externally visible state.
+type BackendStatus struct {
+	Addr string
+	// Healthy is false after a failed health check or stream dial, until
+	// a health check succeeds again.
+	Healthy bool
+	// ActiveStreams is the tunneled streams currently piped to this
+	// backend.
+	ActiveStreams int
+}
+
+// backendDialTimeout bounds one backend connect attempt, so a blackholed
+// backend costs the stream seconds, not the OS connect timeout, before
+// the next backend is tried.
+const backendDialTimeout = 5 * time.Second
+
+// Egress is the backend-facing gateway: it accepts AdOC connections from
+// ingress gateways, runs a mux session on each, and dials a backend once
+// per accepted stream, piping bytes both ways. With several backends
+// configured it picks the least-loaded healthy one per stream, reroutes
+// around dial failures, and (with StartHealthChecks) probes them in the
+// background.
+type Egress struct {
+	cfg Config
+	reg *obs.Registry
+
+	mu       sync.Mutex
+	idle     *sync.Cond // signaled when streams drains to zero
+	backends []*egBackend
+	conns    map[*Session]struct{}
+	streams  int // total piped streams, across backends
+	hcStop   chan struct{}
+	draining bool
+	closed   bool
 }
 
 // NewEgress returns an egress gateway that connects tunneled streams to
-// the plain TCP backend at backendAddr.
+// the plain TCP backend at backendAddr; use SetBackends for more than
+// one. Per-backend metric series register in cfg.Metrics (the default
+// registry when nil).
 func NewEgress(backendAddr string, cfg Config) *Egress {
-	return &Egress{backendAddr: backendAddr, cfg: cfg, conns: map[*Session]struct{}{}}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.Default()
+	}
+	eg := &Egress{cfg: cfg, reg: reg, conns: map[*Session]struct{}{}}
+	eg.idle = sync.NewCond(&eg.mu)
+	eg.SetBackends([]string{backendAddr})
+	return eg
 }
 
-// SetBackend re-points the gateway at a new backend address. Streams
-// accepted from now on dial the new backend; established pipes are
-// untouched.
-func (eg *Egress) SetBackend(addr string) {
+// newBackend creates a backend record and its labeled metric series.
+// Backends start healthy: traffic, not configuration, decides otherwise.
+func (eg *Egress) newBackend(addr string) *egBackend {
+	lbl := obs.Label{Name: "backend", Value: addr}
+	b := &egBackend{
+		addr:      addr,
+		healthy:   true,
+		healthyG:  eg.reg.Gauge(MetricBackendHealthy, "1 while the backend passes health checks, else 0.", lbl),
+		streams:   eg.reg.Gauge(MetricBackendStreams, "Tunneled streams currently piped to the backend.", lbl),
+		dials:     eg.reg.Counter(MetricBackendDials, "Backend dial attempts.", lbl),
+		dialFails: eg.reg.Counter(MetricBackendDialFailures, "Failed backend dials.", lbl),
+	}
+	b.healthyG.Set(1)
+	return b
+}
+
+// SetBackends replaces the backend list. Backends already present (by
+// address) keep their health state, live-stream count, and metric
+// history; removed backends have their labeled metric series
+// unregistered. Established pipes are untouched — only the pick for
+// future streams changes. Duplicate and empty addresses are dropped.
+func (eg *Egress) SetBackends(addrs []string) {
 	eg.mu.Lock()
-	eg.backendAddr = addr
+	old := make(map[string]*egBackend, len(eg.backends))
+	for _, b := range eg.backends {
+		old[b.addr] = b
+	}
+	next := make([]*egBackend, 0, len(addrs))
+	seen := make(map[string]bool, len(addrs))
+	for _, a := range addrs {
+		if a == "" || seen[a] {
+			continue
+		}
+		seen[a] = true
+		if b, ok := old[a]; ok {
+			next = append(next, b)
+			delete(old, a)
+			continue
+		}
+		next = append(next, eg.newBackend(a))
+	}
+	eg.backends = next
+	eg.mu.Unlock()
+	for addr := range old {
+		lbl := obs.Label{Name: "backend", Value: addr}
+		eg.reg.Unregister(MetricBackendHealthy, lbl)
+		eg.reg.Unregister(MetricBackendStreams, lbl)
+		eg.reg.Unregister(MetricBackendDials, lbl)
+		eg.reg.Unregister(MetricBackendDialFailures, lbl)
+	}
+}
+
+// SetBackend re-points the gateway at a single backend address,
+// equivalent to SetBackends of one.
+func (eg *Egress) SetBackend(addr string) {
+	eg.SetBackends([]string{addr})
+}
+
+// Backends returns a snapshot of every backend's status, in
+// configuration order.
+func (eg *Egress) Backends() []BackendStatus {
+	eg.mu.Lock()
+	defer eg.mu.Unlock()
+	out := make([]BackendStatus, len(eg.backends))
+	for i, b := range eg.backends {
+		out[i] = BackendStatus{Addr: b.addr, Healthy: b.healthy, ActiveStreams: b.active}
+	}
+	return out
+}
+
+// pick chooses the least-loaded healthy backend not yet tried, failing
+// open to unhealthy ones (they may have recovered, and the dial loop
+// finds out) once every healthy backend has been tried. nil when
+// everything has been tried.
+func (eg *Egress) pick(tried map[string]bool) *egBackend {
+	eg.mu.Lock()
+	defer eg.mu.Unlock()
+	var best *egBackend
+	better := func(b *egBackend) bool {
+		if tried[b.addr] {
+			return false
+		}
+		if best == nil {
+			return true
+		}
+		if b.healthy != best.healthy {
+			return b.healthy
+		}
+		return b.active < best.active
+	}
+	for _, b := range eg.backends {
+		if better(b) {
+			best = b
+		}
+	}
+	return best
+}
+
+// dialBackend connects one stream to a backend: least-loaded healthy
+// first, marking dial failures unhealthy and moving on, until a dial
+// succeeds or every backend has been tried (ErrNoHealthyBackend). On
+// success the stream is already counted against the backend; the caller
+// must pair it with releaseBackend.
+func (eg *Egress) dialBackend() (net.Conn, *egBackend, error) {
+	tried := map[string]bool{}
+	for {
+		b := eg.pick(tried)
+		if b == nil {
+			return nil, nil, ErrNoHealthyBackend
+		}
+		tried[b.addr] = true
+		b.dials.Inc()
+		conn, err := net.DialTimeout("tcp", b.addr, backendDialTimeout)
+		if err != nil {
+			b.dialFails.Inc()
+			eg.mu.Lock()
+			b.healthy = false
+			eg.mu.Unlock()
+			b.healthyG.Set(0)
+			continue
+		}
+		eg.mu.Lock()
+		b.active++
+		eg.streams++
+		eg.mu.Unlock()
+		b.streams.Inc()
+		return conn, b, nil
+	}
+}
+
+// releaseBackend undoes dialBackend's accounting once the pipe finishes.
+func (eg *Egress) releaseBackend(b *egBackend) {
+	b.streams.Dec()
+	eg.mu.Lock()
+	b.active--
+	eg.streams--
+	if eg.streams == 0 {
+		eg.idle.Broadcast()
+	}
 	eg.mu.Unlock()
 }
 
-func (eg *Egress) backend() string {
+// StartHealthChecks begins probing every backend with a TCP connect each
+// interval (bounded by timeout): success marks it healthy, failure
+// unhealthy. The loop stops when the egress closes; calling again while
+// a loop runs is a no-op.
+func (eg *Egress) StartHealthChecks(interval, timeout time.Duration) {
 	eg.mu.Lock()
-	defer eg.mu.Unlock()
-	return eg.backendAddr
+	if eg.hcStop != nil || eg.closed {
+		eg.mu.Unlock()
+		return
+	}
+	stop := make(chan struct{})
+	eg.hcStop = stop
+	eg.mu.Unlock()
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				eg.checkBackends(timeout)
+			}
+		}
+	}()
+}
+
+// checkBackends probes each backend once and records the verdict.
+func (eg *Egress) checkBackends(timeout time.Duration) {
+	eg.mu.Lock()
+	backends := append([]*egBackend(nil), eg.backends...)
+	eg.mu.Unlock()
+	for _, b := range backends {
+		conn, err := net.DialTimeout("tcp", b.addr, timeout)
+		if conn != nil {
+			conn.Close()
+		}
+		healthy := err == nil
+		eg.mu.Lock()
+		// The backend may have been swapped out (SetBackends) since the
+		// snapshot; a verdict for a removed backend must not touch its
+		// unregistered series.
+		present := false
+		for _, cur := range eg.backends {
+			if cur == b {
+				present = true
+				break
+			}
+		}
+		if present {
+			b.healthy = healthy
+		}
+		eg.mu.Unlock()
+		if present {
+			if healthy {
+				b.healthyG.Set(1)
+			} else {
+				b.healthyG.Set(0)
+			}
+		}
+	}
 }
 
 // Serve accepts ingress connections on ln until the listener closes.
@@ -267,14 +683,22 @@ func (eg *Egress) ServeConn(conn *adocnet.Conn) error {
 		if err != nil {
 			return err
 		}
+		eg.mu.Lock()
+		refuse := eg.draining || eg.closed
+		eg.mu.Unlock()
+		if refuse {
+			st.Close()
+			continue
+		}
 		go func() {
-			backend, err := net.Dial("tcp", eg.backend())
+			backend, b, err := eg.dialBackend()
 			if err != nil {
-				// Backend down: refuse just this stream; the tunnel and
-				// its other streams are fine.
+				// No backend reachable: refuse just this stream; the
+				// tunnel and its other streams are fine.
 				st.Close()
 				return
 			}
+			defer eg.releaseBackend(b)
 			// proxyPipe detects CloseWrite on the dynamic type, so the
 			// TCP half-close works through the net.Conn interface.
 			proxyPipe(backend, st)
@@ -282,16 +706,65 @@ func (eg *Egress) ServeConn(conn *adocnet.Conn) error {
 	}
 }
 
-// Close stops the egress: every live session closes, failing its
-// streams. The caller owns the listener passed to Serve.
+// ActiveStreams returns the number of streams currently piped to
+// backends.
+func (eg *Egress) ActiveStreams() int {
+	eg.mu.Lock()
+	defer eg.mu.Unlock()
+	return eg.streams
+}
+
+// Drain shuts the egress down gracefully: streams accepted from now on
+// are refused, and Drain waits for every established pipe to finish
+// before closing the sessions. If ctx expires first the sessions are
+// force-closed (failing the stragglers) and ctx's error is returned.
+// The caller owns the listener passed to Serve and should close it
+// first.
+func (eg *Egress) Drain(ctx context.Context) error {
+	eg.mu.Lock()
+	eg.draining = true
+	eg.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		eg.mu.Lock()
+		for eg.streams > 0 && !eg.closed {
+			eg.idle.Wait()
+		}
+		eg.mu.Unlock()
+	}()
+	select {
+	case <-done:
+		eg.Close()
+		return nil
+	case <-ctx.Done():
+		eg.Close() // fails remaining pipes, which unblocks the watcher
+		return ctx.Err()
+	}
+}
+
+// Close stops the egress: the health-check loop stops and every live
+// session closes, failing its streams. The caller owns the listener
+// passed to Serve.
 func (eg *Egress) Close() error {
 	eg.mu.Lock()
+	if eg.closed {
+		eg.mu.Unlock()
+		return nil
+	}
 	eg.closed = true
+	stop := eg.hcStop
+	eg.hcStop = nil
 	sessions := make([]*Session, 0, len(eg.conns))
 	for s := range eg.conns {
 		sessions = append(sessions, s)
 	}
+	eg.idle.Broadcast()
 	eg.mu.Unlock()
+	if stop != nil {
+		close(stop)
+	}
 	for _, s := range sessions {
 		s.Close()
 	}

@@ -1,0 +1,303 @@
+package adocmux
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"adoc/adocnet"
+	"adoc/internal/obs"
+)
+
+// taggedEcho is an echo backend that prefixes every connection with its
+// tag byte, so tests can tell which backend served a stream, and that
+// can be killed mid-stream (listener and live connections both).
+type taggedEcho struct {
+	tag byte
+	ln  net.Listener
+
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+}
+
+func newTaggedEcho(t *testing.T, tag byte) *taggedEcho {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := &taggedEcho{tag: tag, ln: ln, conns: map[net.Conn]struct{}{}}
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			e.mu.Lock()
+			e.conns[c] = struct{}{}
+			e.mu.Unlock()
+			go func() {
+				c.Write([]byte{e.tag})
+				io.Copy(c, c)
+				if tc, ok := c.(*net.TCPConn); ok {
+					tc.CloseWrite()
+				} else {
+					c.Close()
+				}
+			}()
+		}
+	}()
+	t.Cleanup(e.kill)
+	return e
+}
+
+func (e *taggedEcho) addr() string { return e.ln.Addr().String() }
+
+// kill closes the listener and every live connection — the backend
+// process dying, as the gateway sees it.
+func (e *taggedEcho) kill() {
+	e.ln.Close()
+	e.mu.Lock()
+	for c := range e.conns {
+		c.Close()
+	}
+	e.conns = map[net.Conn]struct{}{}
+	e.mu.Unlock()
+}
+
+// multiChain stands up ingress -> egress over the given backends and
+// returns the ingress address and both gateways.
+func multiChain(t *testing.T, reg *obs.Registry, addrs ...string) (string, *Ingress, *Egress) {
+	t.Helper()
+	opts := TransportOptions()
+	egLn, err := adocnet.Listen("tcp", "127.0.0.1:0", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eg := NewEgress(addrs[0], Config{Metrics: reg})
+	eg.SetBackends(addrs)
+	go eg.Serve(egLn)
+	t.Cleanup(func() { egLn.Close(); eg.Close() })
+
+	inLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := NewIngress(egLn.Addr().String(), opts, Config{Metrics: reg})
+	go in.Serve(inLn)
+	t.Cleanup(func() { in.Close() })
+	return inLn.Addr().String(), in, eg
+}
+
+// dialTagged connects a client through the ingress and returns the
+// connection plus the tag byte of the backend that answered.
+func dialTagged(t *testing.T, addr string) (net.Conn, byte) {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tag := make([]byte, 1)
+	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	if _, err := io.ReadFull(conn, tag); err != nil {
+		conn.Close()
+		t.Fatalf("reading backend tag: %v", err)
+	}
+	conn.SetReadDeadline(time.Time{})
+	return conn, tag[0]
+}
+
+// TestEgressLeastLoadedPick: with two healthy backends, held-open
+// streams spread across them instead of piling onto the first.
+func TestEgressLeastLoadedPick(t *testing.T) {
+	a, b := newTaggedEcho(t, 'A'), newTaggedEcho(t, 'B')
+	addr, _, eg := multiChain(t, obs.NewRegistry(), a.addr(), b.addr())
+
+	c1, tag1 := dialTagged(t, addr)
+	defer c1.Close()
+	c2, tag2 := dialTagged(t, addr)
+	defer c2.Close()
+	if tag1 == tag2 {
+		t.Errorf("both streams landed on backend %c; want least-loaded spread", tag1)
+	}
+	for _, bs := range eg.Backends() {
+		if bs.ActiveStreams != 1 {
+			t.Errorf("backend %s ActiveStreams = %d, want 1", bs.Addr, bs.ActiveStreams)
+		}
+		if !bs.Healthy {
+			t.Errorf("backend %s unexpectedly unhealthy", bs.Addr)
+		}
+	}
+}
+
+// TestEgressReroutesAroundDeadBackend is the ISSUE scenario: one of two
+// backends dies mid-stream. The stream piped to it fails promptly (error,
+// not a hang), new streams reroute to the survivor, and the dead backend
+// is marked unhealthy after its first failed dial.
+func TestEgressReroutesAroundDeadBackend(t *testing.T) {
+	a, b := newTaggedEcho(t, 'A'), newTaggedEcho(t, 'B')
+	addr, _, eg := multiChain(t, obs.NewRegistry(), a.addr(), b.addr())
+
+	// Pin one stream to each backend so the kill below is mid-stream.
+	c1, tag1 := dialTagged(t, addr)
+	defer c1.Close()
+	c2, tag2 := dialTagged(t, addr)
+	defer c2.Close()
+	if tag1 == tag2 {
+		t.Fatalf("both streams on backend %c; cannot stage a mid-stream kill", tag1)
+	}
+	victim, victimConn := a, c1
+	if tag1 == 'B' {
+		victimConn = c2
+	}
+	victim.kill()
+
+	// The in-flight stream on the dead backend fails — EOF or reset,
+	// never a deadline timeout.
+	victimConn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	if _, err := victimConn.Read(make([]byte, 1)); err == nil {
+		t.Fatal("read from killed backend returned data")
+	} else if ne, ok := err.(net.Error); ok && ne.Timeout() {
+		t.Fatal("stream to killed backend hung instead of failing")
+	}
+
+	// New streams reroute to the survivor, repeatedly.
+	for i := 0; i < 3; i++ {
+		c, tag := dialTagged(t, addr)
+		if tag != 'B' {
+			t.Fatalf("stream %d landed on dead backend %c", i, tag)
+		}
+		msg := []byte("rerouted")
+		go func() {
+			c.Write(msg)
+			c.(*net.TCPConn).CloseWrite()
+		}()
+		got, err := io.ReadAll(c)
+		c.Close()
+		if err != nil || !bytes.Equal(got, msg) {
+			t.Fatalf("rerouted echo = %q, %v; want %q", got, err, msg)
+		}
+	}
+
+	// The failed dial flagged the dead backend.
+	for _, bs := range eg.Backends() {
+		if bs.Addr == victim.addr() && bs.Healthy {
+			t.Errorf("dead backend %s still marked healthy after a failed dial", bs.Addr)
+		}
+	}
+}
+
+// TestSetBackendsKeepsEstablishedStreams: a SIGHUP-style reload swaps the
+// backend list without touching established pipes, and the removed
+// backend's labeled metric series disappear from the registry.
+func TestSetBackendsKeepsEstablishedStreams(t *testing.T) {
+	reg := obs.NewRegistry()
+	a, b := newTaggedEcho(t, 'A'), newTaggedEcho(t, 'B')
+	addr, _, eg := multiChain(t, reg, a.addr())
+
+	c1, tag1 := dialTagged(t, addr)
+	defer c1.Close()
+	if tag1 != 'A' {
+		t.Fatalf("first stream on backend %c, want A", tag1)
+	}
+	ping := func(c net.Conn, msg string) {
+		t.Helper()
+		if _, err := c.Write([]byte(msg)); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		buf := make([]byte, len(msg))
+		c.SetReadDeadline(time.Now().Add(10 * time.Second))
+		if _, err := io.ReadFull(c, buf); err != nil {
+			t.Fatalf("echo read: %v", err)
+		}
+		if string(buf) != msg {
+			t.Fatalf("echo = %q, want %q", buf, msg)
+		}
+	}
+	ping(c1, "before reload")
+
+	eg.SetBackends([]string{b.addr()})
+
+	// The established pipe to the removed backend keeps flowing.
+	ping(c1, "after reload, same pipe")
+
+	// New streams land on the new backend.
+	c2, tag2 := dialTagged(t, addr)
+	defer c2.Close()
+	if tag2 != 'B' {
+		t.Fatalf("post-reload stream on backend %c, want B", tag2)
+	}
+
+	// The removed backend's labeled series are gone from the exposition.
+	var buf bytes.Buffer
+	if err := reg.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), a.addr()) {
+		t.Errorf("removed backend %s still present in /metrics output", a.addr())
+	}
+	if !strings.Contains(buf.String(), b.addr()) {
+		t.Errorf("current backend %s missing from /metrics output", b.addr())
+	}
+}
+
+// TestEgressHealthChecksRecover: health checks flag a killed backend
+// unhealthy, streams fail typed-and-fast while nothing is reachable, and
+// a recovered backend is restored without operator action.
+func TestEgressHealthChecksRecover(t *testing.T) {
+	a := newTaggedEcho(t, 'A')
+	addr, _, eg := multiChain(t, obs.NewRegistry(), a.addr())
+	eg.StartHealthChecks(20*time.Millisecond, time.Second)
+
+	waitHealthy := func(want bool) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for time.Now().Before(deadline) {
+			if bs := eg.Backends(); len(bs) == 1 && bs[0].Healthy == want {
+				return
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		t.Fatalf("backend never became healthy=%v", want)
+	}
+	waitHealthy(true)
+
+	bindAddr := a.addr()
+	a.kill()
+	waitHealthy(false)
+
+	// With no backend reachable, a stream is refused promptly (the
+	// ingress closes the client), not left hanging.
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetReadDeadline(time.Now().Add(15 * time.Second))
+	if _, err := c.Read(make([]byte, 1)); err == nil {
+		t.Fatal("stream with no healthy backend returned data")
+	} else if ne, ok := err.(net.Error); ok && ne.Timeout() {
+		t.Fatal("stream with no healthy backend hung")
+	}
+	c.Close()
+
+	// Bring a backend up on the same address; the checker restores it.
+	ln, err := net.Listen("tcp", bindAddr)
+	if err != nil {
+		t.Skipf("could not rebind %s: %v", bindAddr, err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			conn.Close()
+		}
+	}()
+	waitHealthy(true)
+}

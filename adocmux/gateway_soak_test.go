@@ -1,0 +1,182 @@
+package adocmux
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"adoc/adocnet"
+	"adoc/internal/obs"
+)
+
+// TestGatewaySoak churns plain-TCP clients through an ingress/egress
+// pair over a two-backend egress while one backend is killed mid-run:
+// tunneling must keep succeeding (rerouted to the survivor), every
+// sampled counter must be monotonic, the active gauges must return to
+// zero after the drain, and the package leak checker (TestMain) must
+// find no surviving goroutine. Runs ~3s by default; set ADOC_SOAK for
+// the long pass.
+func TestGatewaySoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak pass skipped in -short mode")
+	}
+	budget := 3 * time.Second
+	if os.Getenv("ADOC_SOAK") != "" {
+		budget = 30 * time.Second
+	}
+	const workers = 6
+
+	reg := obs.NewRegistry()
+	a, b := newTaggedEcho(t, 'A'), newTaggedEcho(t, 'B')
+
+	opts := TransportOptions()
+	opts.Metrics = reg // engine counters land in the same registry
+	egLn, err := adocnet.Listen("tcp", "127.0.0.1:0", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eg := NewEgress(a.addr(), Config{Metrics: reg})
+	eg.SetBackends([]string{a.addr(), b.addr()})
+	eg.StartHealthChecks(50*time.Millisecond, time.Second)
+	go eg.Serve(egLn)
+
+	inLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := NewIngress(egLn.Addr().String(), opts, Config{Metrics: reg})
+	go in.Serve(inLn)
+	addr := inLn.Addr().String()
+
+	// Counter monotonicity watcher: sample every counter family the run
+	// touches and fail if any sample ever decreases.
+	counters := func() map[string]int64 {
+		return map[string]int64{
+			"tunneled":    reg.Counter(MetricTunneledConns, "").Value(),
+			"dials":       reg.Counter(MetricTunnelDials, "").Value(),
+			"backendA":    reg.Counter(MetricBackendDials, "", obs.Label{Name: "backend", Value: a.addr()}).Value(),
+			"backendB":    reg.Counter(MetricBackendDials, "", obs.Label{Name: "backend", Value: b.addr()}).Value(),
+			"streamsOpen": reg.Counter(MetricStreamsOpened, "").Value(),
+			"batches":     reg.Counter(MetricBatchesSent, "").Value(),
+		}
+	}
+	watchStop := make(chan struct{})
+	var watchErr atomic.Value
+	go func() {
+		last := counters()
+		tick := time.NewTicker(25 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-watchStop:
+				return
+			case <-tick.C:
+				cur := counters()
+				for k, v := range cur {
+					if v < last[k] {
+						watchErr.Store(fmt.Sprintf("counter %s went backwards: %d -> %d", k, last[k], v))
+						return
+					}
+				}
+				last = cur
+			}
+		}
+	}()
+
+	deadline := time.Now().Add(budget)
+	killAt := time.Now().Add(budget / 3)
+	var killed atomic.Bool
+	var okBefore, okAfter, failed atomic.Int64
+
+	roundtrip := func(i int) error {
+		conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+		if err != nil {
+			return err
+		}
+		defer conn.Close()
+		conn.SetDeadline(time.Now().Add(10 * time.Second))
+		want := compressible(16<<10, int64(i))
+		go func() {
+			conn.Write(want)
+			conn.(*net.TCPConn).CloseWrite()
+		}()
+		got, err := io.ReadAll(conn)
+		if err != nil {
+			return err
+		}
+		if len(got) < 1 || !bytes.Equal(got[1:], want) {
+			return fmt.Errorf("payload mismatch (%d bytes back)", len(got))
+		}
+		return nil
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; time.Now().Before(deadline); i++ {
+				if w == 0 && !killed.Load() && time.Now().After(killAt) {
+					killed.Store(true)
+					a.kill()
+				}
+				if err := roundtrip(w*1_000_000 + i); err != nil {
+					// Streams caught on the dying backend may fail; the
+					// churn must keep succeeding around them.
+					failed.Add(1)
+					continue
+				}
+				if killed.Load() {
+					okAfter.Add(1)
+				} else {
+					okBefore.Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(watchStop)
+
+	if msg, _ := watchErr.Load().(string); msg != "" {
+		t.Error(msg)
+	}
+	if okBefore.Load() == 0 || okAfter.Load() == 0 {
+		t.Errorf("soak moved too little traffic: %d ok before kill, %d after, %d failed",
+			okBefore.Load(), okAfter.Load(), failed.Load())
+	}
+	t.Logf("soak: %d ok before kill, %d ok after (rerouted), %d failed during churn",
+		okBefore.Load(), okAfter.Load(), failed.Load())
+
+	// Drain both gateways; active gauges must land on zero.
+	inLn.Close()
+	if err := in.Close(); err != nil {
+		t.Errorf("ingress close: %v", err)
+	}
+	egLn.Close()
+	if err := eg.Close(); err != nil {
+		t.Errorf("egress close: %v", err)
+	}
+	waitZero := func(name string, read func() int64) {
+		t.Helper()
+		for end := time.Now().Add(5 * time.Second); ; {
+			if read() == 0 {
+				return
+			}
+			if time.Now().After(end) {
+				t.Errorf("%s did not return to 0 (= %d)", name, read())
+				return
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	waitZero("active tunneled conns", reg.Gauge(MetricActiveTunneled, "").Value)
+	waitZero("backend B active streams",
+		reg.Gauge(MetricBackendStreams, "", obs.Label{Name: "backend", Value: b.addr()}).Value)
+	waitZero("active mux streams", reg.Gauge(MetricActiveStreams, "").Value)
+}

@@ -16,9 +16,10 @@ import (
 // sides may then open and accept streams concurrently. All methods are
 // safe for concurrent use.
 type Session struct {
-	conn   *adocnet.Conn
-	cfg    Config
-	client bool
+	conn    *adocnet.Conn
+	cfg     Config
+	client  bool
+	metrics sessionMetrics
 
 	// Stream table and accept queue.
 	mu       sync.Mutex
@@ -59,10 +60,12 @@ func newSession(conn *adocnet.Conn, cfg Config, client bool) (*Session, error) {
 	if !conn.Negotiated().Mux {
 		return nil, ErrMuxNotNegotiated
 	}
+	cfg = cfg.withDefaults()
 	s := &Session{
 		conn:    conn,
-		cfg:     cfg.withDefaults(),
+		cfg:     cfg,
 		client:  client,
+		metrics: newSessionMetrics(cfg.Metrics),
 		streams: map[uint32]*Stream{},
 		done:    make(chan struct{}),
 	}
@@ -132,6 +135,8 @@ func (s *Session) OpenStream() (*Stream, error) {
 	st := newStream(s, id)
 	s.streams[id] = st
 	s.mu.Unlock()
+	s.metrics.opened.Inc()
+	s.metrics.active.Inc()
 
 	if err := s.enqueueCtl(wire.AppendMuxOpen(nil, id)); err != nil {
 		s.forget(id)
@@ -172,8 +177,15 @@ func (s *Session) AcceptStream() (*Stream, error) {
 func (s *Session) grantSurplusWindow(st *Stream) {
 	if surplus := s.cfg.Window - InitialWindow; surplus > 0 {
 		st.addRecvBudget(int64(surplus))
-		s.enqueueCtl(wire.AppendMuxWindow(nil, st.id, uint32(surplus)))
+		s.enqueueWindow(st.id, uint32(surplus))
 	}
+}
+
+// enqueueWindow queues one credit grant frame, counting it — the single
+// choke point for every grant (steady-state, surplus, refund).
+func (s *Session) enqueueWindow(id uint32, delta uint32) {
+	s.metrics.windowGrants.Inc()
+	s.enqueueCtl(wire.AppendMuxWindow(nil, id, delta))
 }
 
 // closeFlushTimeout bounds how long Close waits for queued frames to
@@ -219,7 +231,13 @@ func (s *Session) fail(err error) {
 	for _, st := range s.streams {
 		streams = append(streams, st)
 	}
+	// Clear the table so each stream's gauge decrement happens exactly
+	// once, here — a later maybeForget finds the entry already gone and
+	// leaves the gauge alone. Registration checks s.err first, so nothing
+	// repopulates the table.
+	clear(s.streams)
 	s.mu.Unlock()
+	s.metrics.active.Add(-int64(len(streams)))
 
 	s.conn.Close() // unblocks the demux loop's ReadChunk and the send loop's write
 	s.sendMu.Lock()
@@ -234,11 +252,17 @@ func (s *Session) fail(err error) {
 	close(s.done)
 }
 
-// forget drops a stream from the table.
+// forget drops a stream from the table. The gauge moves only when the
+// entry was actually present, so a retire racing session failure (which
+// empties the table) cannot decrement twice.
 func (s *Session) forget(id uint32) {
 	s.mu.Lock()
+	_, present := s.streams[id]
 	delete(s.streams, id)
 	s.mu.Unlock()
+	if present {
+		s.metrics.active.Dec()
+	}
 }
 
 func (s *Session) lookup(id uint32) *Stream {
@@ -318,6 +342,10 @@ func (s *Session) sendLoop() {
 		s.sendMu.Unlock()
 
 		_, err := s.conn.WriteMessage(batch)
+		if err == nil {
+			s.metrics.batches.Inc()
+			s.metrics.batchBytes.Add(int64(len(batch)))
+		}
 
 		s.sendMu.Lock()
 		s.spare = batch[:0]
@@ -385,13 +413,16 @@ func (s *Session) handleFrame(f wire.MuxFrame) error {
 		st := newStream(s, f.StreamID)
 		s.streams[f.StreamID] = st
 		s.mu.Unlock()
+		s.metrics.active.Inc()
 		select {
 		case s.accept <- st:
+			s.metrics.accepted.Inc()
 			s.grantSurplusWindow(st)
 		default:
 			// Accept backlog full: refuse by closing our write half
 			// immediately; the peer reads EOF. Data it has in flight hits
 			// the dead-stream path below.
+			s.metrics.acceptOverflows.Inc()
 			s.forget(f.StreamID)
 			s.enqueueCtl(wire.AppendMuxClose(nil, f.StreamID))
 		}
@@ -414,7 +445,7 @@ func (s *Session) handleFrame(f wire.MuxFrame) error {
 			// so the peer's writer (which spent window for these bytes)
 			// cannot wedge against a stream nobody will ever read.
 			if len(f.Payload) > 0 {
-				s.enqueueCtl(wire.AppendMuxWindow(nil, f.StreamID, uint32(len(f.Payload))))
+				s.enqueueWindow(f.StreamID, uint32(len(f.Payload)))
 			}
 		}
 

@@ -192,7 +192,7 @@ func (st *Stream) Read(p []byte) (int, error) {
 	if grant > 0 {
 		// Return the credit outside the stream lock; enqueueCtl never
 		// blocks, so the read path cannot wedge behind the send path.
-		st.sess.enqueueCtl(wire.AppendMuxWindow(nil, st.id, uint32(grant)))
+		st.sess.enqueueWindow(st.id, uint32(grant))
 	}
 	return n, nil
 }
@@ -296,7 +296,7 @@ func (st *Stream) Close() error {
 	st.cond.Broadcast()
 	st.mu.Unlock()
 	if refund > 0 && !eof {
-		st.sess.enqueueCtl(wire.AppendMuxWindow(nil, st.id, uint32(refund)))
+		st.sess.enqueueWindow(st.id, uint32(refund))
 	}
 	st.maybeForget()
 	return err

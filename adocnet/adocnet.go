@@ -30,8 +30,39 @@ import (
 	"time"
 
 	"adoc"
+	"adoc/internal/obs"
 	"adoc/internal/wire"
 )
+
+// MetricHandshakes is the registry family counting handshake attempts by
+// outcome: "ok", "version_mismatch", "level_mismatch", "codec_mismatch",
+// "bad_frame" (peer is not speaking AdOC, or sent a malformed offer), or
+// "io_error" (the exchange itself failed — timeout, reset, config).
+const MetricHandshakes = "adoc_handshake_total"
+
+// countHandshake classifies err into an outcome label and bumps the
+// handshake counter on the endpoint's registry.
+func countHandshake(reg *obs.Registry, err error) {
+	if reg == nil {
+		reg = obs.Default()
+	}
+	outcome := "ok"
+	switch {
+	case err == nil:
+	case errors.Is(err, ErrVersionMismatch):
+		outcome = "version_mismatch"
+	case errors.Is(err, ErrLevelMismatch):
+		outcome = "level_mismatch"
+	case errors.Is(err, ErrCodecMismatch):
+		outcome = "codec_mismatch"
+	case errors.Is(err, wire.ErrNotHandshake), errors.Is(err, wire.ErrBadMagic):
+		outcome = "bad_frame"
+	default:
+		outcome = "io_error"
+	}
+	reg.Counter(MetricHandshakes, "Handshake attempts by outcome.",
+		obs.Label{Name: "outcome", Value: outcome}).Inc()
+}
 
 // Negotiation errors. Handshake failures wrap one of these (or a wire
 // decoding error such as wire.ErrNotHandshake / wire.ErrBadMagic).
@@ -291,7 +322,10 @@ func (c *Conn) RemoteAddr() net.Addr { return c.raw.RemoteAddr() }
 // Unless opts.HandshakeTimeout is negative, the handshake sets the
 // connection deadline and clears it when done — replacing any deadline
 // the caller had in place (see Options.HandshakeTimeout).
-func Handshake(conn net.Conn, opts Options) (*Conn, error) {
+func Handshake(conn net.Conn, opts Options) (c *Conn, err error) {
+	// Every attempt lands in the outcome counter, successes included, so
+	// an operator can alert on the failure ratio rather than a raw count.
+	defer func() { countHandshake(opts.Metrics, err) }()
 	local, err := offer(opts)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,87 @@
+package adocnet
+
+import (
+	"errors"
+	"net"
+	"testing"
+
+	"adoc/internal/obs"
+	"adoc/internal/wire"
+)
+
+// outcomeCount reads the registry-root value of one handshake outcome.
+func outcomeCount(reg *obs.Registry, outcome string) int64 {
+	return reg.Counter(MetricHandshakes, "", obs.Label{Name: "outcome", Value: outcome}).Value()
+}
+
+// TestHandshakeMetricsOutcomes drives the handshake through a success and
+// two distinct failures against one registry and checks each attempt is
+// classified under its own outcome label — the series operators alert on.
+func TestHandshakeMetricsOutcomes(t *testing.T) {
+	reg := obs.NewRegistry()
+
+	ok := Defaults()
+	ok.Metrics = reg
+	pair(t, ok, ok) // both sides count: 2 ok attempts
+
+	if got := outcomeCount(reg, "ok"); got != 2 {
+		t.Errorf("ok = %d, want 2 (both endpoints of one successful handshake)", got)
+	}
+
+	// Level mismatch: disjoint level ranges fail both endpoints.
+	forced := Defaults()
+	forced.Metrics = reg
+	forced.MinLevel = 5
+	forbidden := Defaults()
+	forbidden.Metrics = reg
+	forbidden.MinLevel = 0
+	forbidden.MaxLevel = 2
+	ln, err := Listen("tcp", "127.0.0.1:0", forbidden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	acceptErr := make(chan error, 1)
+	go func() {
+		_, err := ln.Accept()
+		acceptErr <- err
+	}()
+	if _, err := Dial("tcp", ln.Addr().String(), forced); !errors.Is(err, ErrLevelMismatch) {
+		t.Fatalf("dial err = %v, want ErrLevelMismatch", err)
+	}
+	if err := <-acceptErr; !errors.Is(err, ErrLevelMismatch) {
+		t.Fatalf("accept err = %v, want ErrLevelMismatch", err)
+	}
+	if got := outcomeCount(reg, "level_mismatch"); got != 2 {
+		t.Errorf("level_mismatch = %d, want 2", got)
+	}
+
+	// A peer that never speaks the handshake at all: the adocnet side
+	// classifies the garbage frame as bad_frame.
+	rawLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rawLn.Close()
+	go func() {
+		conn, err := rawLn.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		conn.Write([]byte("HTTP/1.1 400 Bad Request\r\n\r\n"))
+	}()
+	if _, err := Dial("tcp", rawLn.Addr().String(), ok); !errors.Is(err, wire.ErrBadMagic) {
+		t.Fatalf("dial err = %v, want wire.ErrBadMagic", err)
+	}
+	if got := outcomeCount(reg, "bad_frame"); got != 1 {
+		t.Errorf("bad_frame = %d, want 1", got)
+	}
+
+	// Nothing bled into the remaining outcome labels.
+	for _, outcome := range []string{"version_mismatch", "codec_mismatch"} {
+		if got := outcomeCount(reg, outcome); got != 0 {
+			t.Errorf("%s = %d, want 0", outcome, got)
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package adocrpc
+
+import (
+	"context"
+	"errors"
+
+	"adoc/internal/obs"
+)
+
+// Registry metric families the RPC layer publishes.
+const (
+	// MetricPoolSessions is the live (or dialing) session slots across
+	// client pools.
+	MetricPoolSessions = "adoc_rpc_pool_sessions"
+	// MetricCalls counts client calls by outcome: "ok", "remote_error"
+	// (the server answered with a typed failure), "canceled" (the caller's
+	// context ended the call), or "transport" (dial, handshake, or stream
+	// failure).
+	MetricCalls = "adoc_rpc_calls_total"
+	// MetricCallSeconds is the client call latency histogram, in seconds,
+	// spanning the whole call: acquire, request, dispatch, response.
+	MetricCallSeconds = "adoc_rpc_call_seconds"
+	// MetricServerRequests counts served requests by outcome: "ok",
+	// "bad_request", "unknown_method", "app_error".
+	MetricServerRequests = "adoc_rpc_server_requests_total"
+	// MetricServerInflight is the requests currently executing.
+	MetricServerInflight = "adoc_rpc_server_inflight"
+)
+
+// poolMetrics holds one pool's children of the registry families.
+type poolMetrics struct {
+	sessions    *obs.Gauge
+	callSeconds *obs.Histogram
+	callOK      *obs.Counter
+	callRemote  *obs.Counter
+	callCancel  *obs.Counter
+	callErr     *obs.Counter
+}
+
+func newPoolMetrics(reg *obs.Registry) poolMetrics {
+	if reg == nil {
+		reg = obs.Default()
+	}
+	calls := func(outcome string) *obs.Counter {
+		return reg.Counter(MetricCalls, "Client calls by outcome.",
+			obs.Label{Name: "outcome", Value: outcome}).Child()
+	}
+	return poolMetrics{
+		sessions:    reg.Gauge(MetricPoolSessions, "Live or dialing pool session slots.").Child(),
+		callSeconds: reg.Histogram(MetricCallSeconds, "Client call latency in seconds.", nil).Child(),
+		callOK:      calls("ok"),
+		callRemote:  calls("remote_error"),
+		callCancel:  calls("canceled"),
+		callErr:     calls("transport"),
+	}
+}
+
+// observeCall records one finished call.
+func (m *poolMetrics) observeCall(err error, seconds float64) {
+	m.callSeconds.Observe(seconds)
+	switch {
+	case err == nil:
+		m.callOK.Inc()
+	case func() bool { var re *RemoteError; return errors.As(err, &re) }():
+		m.callRemote.Inc()
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		m.callCancel.Inc()
+	default:
+		m.callErr.Inc()
+	}
+}
+
+// serverMetrics holds one server's children of the registry families.
+type serverMetrics struct {
+	inflight   *obs.Gauge
+	reqOK      *obs.Counter
+	reqBad     *obs.Counter
+	reqUnknown *obs.Counter
+	reqApp     *obs.Counter
+}
+
+func newServerMetrics(reg *obs.Registry) serverMetrics {
+	if reg == nil {
+		reg = obs.Default()
+	}
+	reqs := func(outcome string) *obs.Counter {
+		return reg.Counter(MetricServerRequests, "Served requests by outcome.",
+			obs.Label{Name: "outcome", Value: outcome}).Child()
+	}
+	return serverMetrics{
+		inflight:   reg.Gauge(MetricServerInflight, "Requests currently executing.").Child(),
+		reqOK:      reqs("ok"),
+		reqBad:     reqs("bad_request"),
+		reqUnknown: reqs("unknown_method"),
+		reqApp:     reqs("app_error"),
+	}
+}

@@ -66,7 +66,8 @@ func (c PoolConfig) withDefaults() PoolConfig {
 // Close drains in-flight calls before closing anything. All methods are
 // safe for concurrent use.
 type Pool struct {
-	cfg PoolConfig
+	cfg     PoolConfig
+	metrics poolMetrics
 
 	mu       sync.Mutex
 	drained  *sync.Cond // signaled when inflight drops to 0 while closing
@@ -94,7 +95,8 @@ func NewPool(cfg PoolConfig) (*Pool, error) {
 	if cfg.Dial == nil {
 		return nil, fmt.Errorf("adocrpc: PoolConfig.Dial is required")
 	}
-	p := &Pool{cfg: cfg.withDefaults()}
+	cfg = cfg.withDefaults()
+	p := &Pool{cfg: cfg, metrics: newPoolMetrics(cfg.Options.Metrics)}
 	p.drained = sync.NewCond(&p.mu)
 	return p, nil
 }
@@ -118,7 +120,13 @@ func DialPool(network, addr string, cfg PoolConfig) (*Pool, error) {
 // failures surface as the underlying session error. Calls are never
 // retried automatically — a call that died with its session may or may
 // not have executed, and only the caller knows if it is idempotent.
-func (p *Pool) Call(ctx context.Context, method string, args [][]byte) ([][]byte, error) {
+func (p *Pool) Call(ctx context.Context, method string, args [][]byte) (results [][]byte, err error) {
+	start := time.Now()
+	defer func() { p.metrics.observeCall(err, time.Since(start).Seconds()) }()
+	return p.call(ctx, method, args)
+}
+
+func (p *Pool) call(ctx context.Context, method string, args [][]byte) ([][]byte, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -211,14 +219,19 @@ func (p *Pool) acquire(ctx context.Context) (*poolSession, error) {
 	// dying session fail on their own streams; dropping the entry here
 	// only stops new calls from landing on it.
 	live := p.sessions[:0]
+	pruned := 0
 	for _, ps := range p.sessions {
 		if ps.dead() {
 			p.foldSlot(ps)
+			pruned++
 			continue
 		}
 		live = append(live, ps)
 	}
 	p.sessions = live
+	if pruned > 0 {
+		p.metrics.sessions.Add(-int64(pruned))
+	}
 
 	var pick *poolSession
 	for _, ps := range p.sessions {
@@ -229,6 +242,7 @@ func (p *Pool) acquire(ctx context.Context) (*poolSession, error) {
 	if pick == nil || (pick.inflight > 0 && len(p.sessions) < p.cfg.MaxSessions) {
 		ps := &poolSession{ready: make(chan struct{})}
 		p.sessions = append(p.sessions, ps)
+		p.metrics.sessions.Inc()
 		go p.dial(ps)
 		pick = ps
 	}
@@ -331,6 +345,7 @@ func (p *Pool) Close() error {
 	sessions := append([]*poolSession(nil), p.sessions...)
 	p.sessions = nil
 	p.mu.Unlock()
+	p.metrics.sessions.Add(-int64(len(sessions)))
 
 	for _, ps := range sessions {
 		select {

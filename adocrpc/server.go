@@ -69,6 +69,7 @@ func (c ServerConfig) withDefaults() ServerConfig {
 // stream to a registered Handler under a bounded worker semaphore.
 type Server struct {
 	cfg      ServerConfig
+	metrics  serverMetrics
 	sem      chan struct{} // worker slots
 	baseCtx  context.Context
 	forceOff context.CancelFunc // cancels handler contexts on force-close
@@ -88,8 +89,10 @@ type Server struct {
 // NewServer returns a server with no handlers registered; it serves
 // nothing until Serve.
 func NewServer(cfg ServerConfig) *Server {
+	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:       cfg.withDefaults(),
+		cfg:       cfg,
+		metrics:   newServerMetrics(cfg.Options.Metrics),
 		handlers:  map[string]Handler{},
 		listeners: map[net.Listener]struct{}{},
 		sessions:  map[*adocmux.Session]struct{}{},
@@ -217,6 +220,8 @@ func (s *Server) serveConn(raw net.Conn) {
 // error, and close the stream.
 func (s *Server) serveStream(st *adocmux.Stream) {
 	defer st.Close()
+	s.metrics.inflight.Inc()
+	defer s.metrics.inflight.Dec()
 	if s.cfg.RequestTimeout > 0 {
 		// The worker slot is held from here: bound how long a silent or
 		// trickling client may occupy it before the handler even runs.
@@ -227,19 +232,23 @@ func (s *Server) serveStream(st *adocmux.Stream) {
 	if err != nil {
 		// Includes clients that vanished mid-request (stream reset): the
 		// response write below then fails harmlessly on the dead stream.
+		s.metrics.reqBad.Inc()
 		writeResponse(st, CodeBadRequest, err.Error(), nil)
 		return
 	}
 	h := s.lookup(method)
 	if h == nil {
+		s.metrics.reqUnknown.Inc()
 		writeResponse(st, CodeUnknownMethod, method, nil)
 		return
 	}
 	results, err := h(s.baseCtx, args)
 	if err != nil {
+		s.metrics.reqApp.Inc()
 		writeResponse(st, CodeApp, err.Error(), nil)
 		return
 	}
+	s.metrics.reqOK.Inc()
 	writeResponse(st, CodeOK, "", results)
 }
 

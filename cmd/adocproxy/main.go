@@ -17,17 +17,25 @@
 // ingress print a periodic line explaining the tunnel's current
 // compression level (the adapt controller snapshot: level, forbidden
 // set, pin countdown, per-level bandwidth).
+//
+// Operations: -http starts the ops listener (/metrics, /healthz,
+// /debug/adapt), SIGTERM drains gracefully for up to -drain-timeout,
+// and on the egress SIGHUP reloads -backends-file without disturbing
+// established streams. See the README's Operations section.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net"
 	"os"
+	"os/signal"
 	"regexp"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"adoc"
@@ -41,10 +49,15 @@ func main() {
 		listen      = flag.String("listen", "", "address to listen on")
 		peer        = flag.String("peer", "", "ingress: egress gateway address to tunnel to")
 		backend     = flag.String("backend", "", "egress: backend address to dial per stream")
+		backends    = flag.String("backends", "", "egress: comma-separated backend list (least-loaded healthy pick)")
+		backendFile = flag.String("backends-file", "", "egress: file of backend addresses, one per line; SIGHUP reloads it")
 		minLevel    = flag.Int("minlevel", 0, "minimum compression level offered [0,10]")
 		maxLevel    = flag.Int("maxlevel", 10, "maximum compression level offered [0,10]")
 		parallelism = flag.Int("parallelism", 0, "compression workers (0 = auto)")
 		statsEvery  = flag.Duration("stats", 0, "ingress: print tunnel stats at this interval (0 = off)")
+		httpAddr    = flag.String("http", "", "ops HTTP listener: /metrics, /healthz, /debug/adapt (empty = off)")
+		healthIvl   = flag.Duration("health-interval", 2*time.Second, "egress: backend health-check interval (0 = off)")
+		drainWait   = flag.Duration("drain-timeout", 30*time.Second, "graceful-drain bound on SIGTERM/SIGINT")
 	)
 	flag.Parse()
 
@@ -52,6 +65,16 @@ func main() {
 	opts.MinLevel = adoc.Level(*minLevel)
 	opts.MaxLevel = adoc.Level(*maxLevel)
 	opts.Parallelism = *parallelism
+
+	ops := newOpsServer(nil) // the process-wide default registry
+	opts.Trace.OnTransition = ops.recordTransition
+	if *httpAddr != "" {
+		addr, err := ops.listen(*httpAddr)
+		if err != nil {
+			log.Fatalf("adocproxy: ops listener: %v", err)
+		}
+		log.Printf("adocproxy ops: http://%v/metrics", addr)
+	}
 
 	switch *mode {
 	case "ingress":
@@ -63,24 +86,111 @@ func main() {
 			log.Fatalf("adocproxy: %v", err)
 		}
 		in := adocmux.NewIngress(*peer, opts, adocmux.Config{})
+		in.RegisterMetrics(nil) // adapt level/bandwidth gauges
 		if *statsEvery > 0 {
 			go reportStats(in, *statsEvery)
 		}
 		log.Printf("adocproxy ingress: %v -> %s", ln.Addr(), *peer)
-		log.Fatalf("adocproxy: %v", in.Serve(ln))
+		go func() {
+			err := in.Serve(ln)
+			if !ops.draining.Load() {
+				log.Fatalf("adocproxy: %v", err)
+			}
+		}()
+		runSignals(ops, *drainWait, in.Drain, nil)
 	case "egress":
-		if *listen == "" || *backend == "" {
-			fatalUsage("egress mode needs -listen and -backend")
+		list := backendList(*backend, *backends, *backendFile)
+		if *listen == "" || len(list) == 0 {
+			fatalUsage("egress mode needs -listen and -backend, -backends, or -backends-file")
 		}
 		ln, err := adocnet.Listen("tcp", *listen, opts)
 		if err != nil {
 			log.Fatalf("adocproxy: %v", err)
 		}
-		eg := adocmux.NewEgress(*backend, adocmux.Config{})
-		log.Printf("adocproxy egress: %v -> %s", ln.Addr(), *backend)
-		log.Fatalf("adocproxy: %v", eg.Serve(ln))
+		eg := adocmux.NewEgress(list[0], adocmux.Config{})
+		eg.SetBackends(list)
+		if *healthIvl > 0 {
+			eg.StartHealthChecks(*healthIvl, *healthIvl)
+		}
+		log.Printf("adocproxy egress: %v -> %v", ln.Addr(), list)
+		go func() {
+			err := eg.Serve(ln)
+			if !ops.draining.Load() {
+				log.Fatalf("adocproxy: %v", err)
+			}
+		}()
+		drain := func(ctx context.Context) error {
+			ln.Close()
+			return eg.Drain(ctx)
+		}
+		reload := func() {
+			if *backendFile == "" {
+				log.Print("adocproxy: SIGHUP ignored: no -backends-file to reload")
+				return
+			}
+			list, err := readBackendsFile(*backendFile)
+			if err != nil {
+				log.Printf("adocproxy: reload: %v (keeping current backends)", err)
+				return
+			}
+			eg.SetBackends(list)
+			log.Printf("adocproxy: backends reloaded: %v", list)
+		}
+		runSignals(ops, *drainWait, drain, reload)
 	default:
 		fatalUsage("missing or unknown -mode (want ingress or egress)")
+	}
+}
+
+// backendList resolves the egress backend set: -backends-file wins,
+// then -backends, then the single -backend.
+func backendList(backend, backends, file string) []string {
+	if file != "" {
+		list, err := readBackendsFile(file)
+		if err != nil {
+			log.Fatalf("adocproxy: %v", err)
+		}
+		return list
+	}
+	if backends != "" {
+		var out []string
+		for _, a := range strings.Split(backends, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				out = append(out, a)
+			}
+		}
+		return out
+	}
+	if backend != "" {
+		return []string{backend}
+	}
+	return nil
+}
+
+// runSignals blocks serving signals: SIGHUP runs reload (when non-nil),
+// SIGTERM/SIGINT flip /healthz to draining, run drain bounded by
+// timeout, and exit — 0 on a clean drain, 1 when the bound expired.
+func runSignals(ops *opsServer, timeout time.Duration, drain func(context.Context) error, reload func()) {
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT, syscall.SIGHUP)
+	for sig := range sigc {
+		if sig == syscall.SIGHUP {
+			if reload != nil {
+				reload()
+			}
+			continue
+		}
+		ops.draining.Store(true)
+		log.Printf("adocproxy: %v: draining (up to %v)", sig, timeout)
+		ctx, cancel := context.WithTimeout(context.Background(), timeout)
+		err := drain(ctx)
+		cancel()
+		if err != nil {
+			log.Printf("adocproxy: drain: %v", err)
+			os.Exit(1)
+		}
+		log.Print("adocproxy: drained cleanly")
+		os.Exit(0)
 	}
 }
 

@@ -1,0 +1,105 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"sync/atomic"
+
+	"adoc"
+	"adoc/internal/obs"
+)
+
+// opsServer is a gateway's operational HTTP surface:
+//
+//	/metrics     Prometheus text exposition of the metrics registry
+//	/healthz     200 "ok" while serving, 503 "draining" once shutdown began
+//	/debug/adapt JSON ring of recent adaptive level transitions, with cause
+type opsServer struct {
+	reg      *obs.Registry
+	trace    *obs.AdaptTrace
+	draining atomic.Bool
+}
+
+func newOpsServer(reg *obs.Registry) *opsServer {
+	if reg == nil {
+		reg = obs.Default()
+	}
+	return &opsServer{reg: reg, trace: obs.NewAdaptTrace(0)}
+}
+
+// recordTransition adapts the engine's transition callback to the trace
+// ring; install it as Options.Trace.OnTransition.
+func (o *opsServer) recordTransition(tr adoc.AdaptTransition) {
+	o.trace.Record(obs.AdaptEvent{
+		At:    tr.At,
+		From:  int(tr.From),
+		To:    int(tr.To),
+		Cause: string(tr.Cause),
+	})
+}
+
+func (o *opsServer) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", obs.Handler(o.reg))
+	mux.HandleFunc("/healthz", o.healthz)
+	mux.HandleFunc("/debug/adapt", o.debugAdapt)
+	return mux
+}
+
+func (o *opsServer) healthz(w http.ResponseWriter, _ *http.Request) {
+	if o.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+func (o *opsServer) debugAdapt(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(struct {
+		Total  int64            `json:"total"`
+		Events []obs.AdaptEvent `json:"events"`
+	}{o.trace.Total(), o.trace.Events()})
+}
+
+// listen starts serving the ops endpoints on addr and returns the bound
+// address (so ":0" works in tests).
+func (o *opsServer) listen(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	go http.Serve(ln, o.handler())
+	return ln.Addr(), nil
+}
+
+// readBackendsFile parses a backends file: one address per line, blank
+// lines and #-comments ignored.
+func readBackendsFile(path string) ([]string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []string
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		out = append(out, line)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("adocproxy: no backends in %s", path)
+	}
+	return out, nil
+}

@@ -1,0 +1,119 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"adoc"
+	"adoc/internal/obs"
+)
+
+// TestOpsEndpoints drives the three ops routes against a fresh registry:
+// /metrics speaks Prometheus text, /healthz flips to 503 on drain, and
+// /debug/adapt replays recorded transitions as JSON.
+func TestOpsEndpoints(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("adoc_test_total", "A test counter.").Add(7)
+	ops := newOpsServer(reg)
+	srv := httptest.NewServer(ops.handler())
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var b strings.Builder
+		buf := make([]byte, 4096)
+		for {
+			n, err := resp.Body.Read(buf)
+			b.Write(buf[:n])
+			if err != nil {
+				break
+			}
+		}
+		return resp.StatusCode, b.String()
+	}
+
+	if code, body := get("/metrics"); code != 200 ||
+		!strings.Contains(body, "# TYPE adoc_test_total counter") ||
+		!strings.Contains(body, "adoc_test_total 7") {
+		t.Errorf("/metrics = %d %q", code, body)
+	}
+	if code, body := get("/healthz"); code != 200 || strings.TrimSpace(body) != "ok" {
+		t.Errorf("/healthz = %d %q, want 200 ok", code, body)
+	}
+
+	// Record two transitions through the engine-callback adapter.
+	at := time.Date(2026, 8, 7, 12, 0, 0, 0, time.UTC)
+	ops.recordTransition(adoc.AdaptTransition{At: at, From: 0, To: 2, Cause: adoc.AdaptCauseQueue})
+	ops.recordTransition(adoc.AdaptTransition{At: at.Add(time.Second), From: 2, To: 0, Cause: adoc.AdaptCauseDivergence})
+	_, body := get("/debug/adapt")
+	var got struct {
+		Total  int64            `json:"total"`
+		Events []obs.AdaptEvent `json:"events"`
+	}
+	if err := json.Unmarshal([]byte(body), &got); err != nil {
+		t.Fatalf("/debug/adapt: %v in %q", err, body)
+	}
+	if got.Total != 2 || len(got.Events) != 2 {
+		t.Fatalf("/debug/adapt total=%d events=%d, want 2/2", got.Total, len(got.Events))
+	}
+	if got.Events[1].From != 2 || got.Events[1].To != 0 || got.Events[1].Cause != "divergence" {
+		t.Errorf("second event = %+v, want 2->0 divergence", got.Events[1])
+	}
+
+	ops.draining.Store(true)
+	if code, body := get("/healthz"); code != http.StatusServiceUnavailable ||
+		strings.TrimSpace(body) != "draining" {
+		t.Errorf("draining /healthz = %d %q, want 503 draining", code, body)
+	}
+}
+
+func TestReadBackendsFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "backends")
+	content := "# primary pool\n10.0.0.1:9000\n\n  10.0.0.2:9000  \n# spare\n10.0.0.3:9000\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readBackendsFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"10.0.0.1:9000", "10.0.0.2:9000", "10.0.0.3:9000"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("readBackendsFile = %v, want %v", got, want)
+	}
+
+	empty := filepath.Join(t.TempDir(), "empty")
+	if err := os.WriteFile(empty, []byte("# nothing\n\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readBackendsFile(empty); err == nil {
+		t.Error("empty backends file did not error")
+	}
+	if _, err := readBackendsFile(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Error("missing backends file did not error")
+	}
+}
+
+func TestBackendListPrecedence(t *testing.T) {
+	if got := backendList("a:1", "", ""); !reflect.DeepEqual(got, []string{"a:1"}) {
+		t.Errorf("single -backend = %v", got)
+	}
+	if got := backendList("a:1", "b:1, c:1 ,", ""); !reflect.DeepEqual(got, []string{"b:1", "c:1"}) {
+		t.Errorf("-backends should win over -backend: %v", got)
+	}
+	if got := backendList("", "", ""); got != nil {
+		t.Errorf("no flags = %v, want nil", got)
+	}
+}

@@ -12,18 +12,27 @@
 // the aggregate traffic: bytes on the wire vs. payload, and the adapt
 // controller's explanation of the compression level. Exits non-zero on
 // any mismatch, so CI can run it as a loopback smoke test.
+//
+// With -metrics ADDR the process also serves the registry on
+// http://ADDR/metrics (Prometheus text), and -hold keeps it alive that
+// long after the transfer so an external scraper can read the counters
+// the traffic produced.
 package main
 
 import (
 	"bytes"
+	"flag"
 	"fmt"
 	"io"
 	"log"
 	"math/rand"
 	"net"
+	"net/http"
 	"strings"
 	"sync"
+	"time"
 
+	"adoc"
 	"adoc/adocmux"
 	"adoc/adocnet"
 )
@@ -35,6 +44,18 @@ const (
 
 func main() {
 	log.SetFlags(0)
+	metricsAddr := flag.String("metrics", "", "serve /metrics on this address (empty = off)")
+	hold := flag.Duration("hold", 0, "keep the process (and /metrics) up this long after the transfer")
+	flag.Parse()
+
+	if *metricsAddr != "" {
+		mln, err := net.Listen("tcp", *metricsAddr)
+		check(err)
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", adoc.MetricsHandler(nil))
+		go http.Serve(mln, mux)
+		log.Printf("metrics: http://%v/metrics", mln.Addr())
+	}
 
 	// Backend: a plain TCP echo server, oblivious to AdOC.
 	backend, err := net.Listen("tcp", "127.0.0.1:0")
@@ -66,6 +87,7 @@ func main() {
 	inLn, err := net.Listen("tcp", "127.0.0.1:0")
 	check(err)
 	ingress := adocmux.NewIngress(egLn.Addr().String(), opts, adocmux.Config{})
+	ingress.RegisterMetrics(nil) // adapt level/bandwidth gauges on /metrics
 	go ingress.Serve(inLn)
 
 	log.Printf("echo backend %v <- egress %v <- ingress %v", backend.Addr(), egLn.Addr(), inLn.Addr())
@@ -104,6 +126,10 @@ func main() {
 		log.Fatalf("FAIL: wire bytes %d >= payload bytes %d (no compression)", s.WireSent, s.RawSent)
 	}
 	log.Print("OK")
+	if *hold > 0 {
+		log.Printf("holding %v for scrapers", *hold)
+		time.Sleep(*hold)
+	}
 }
 
 // runClient pushes a distinct compressible payload through the proxy

@@ -7,11 +7,13 @@
 package adapt
 
 import (
+	"strconv"
 	"sync"
 	"time"
 
 	"adoc/internal/clock"
 	"adoc/internal/codec"
+	"adoc/internal/obs"
 )
 
 // Default thresholds, straight from the paper.
@@ -73,6 +75,37 @@ func NextLevel(n, delta int, l, min, max codec.Level) codec.Level {
 	return l.Clamp(min, max)
 }
 
+// Cause identifies which control-loop stage produced a level transition —
+// the vocabulary of the gateway's /debug/adapt trace.
+type Cause string
+
+// Transition causes, one per stage of LevelForNextBuffer in evaluation
+// order. The cause reported is the last stage that moved the level.
+const (
+	// CauseQueue is the Figure 2 queue-occupancy rule.
+	CauseQueue Cause = "queue"
+	// CauseCodec is the capability-mask filter (peer cannot run the codec).
+	CauseCodec Cause = "codec"
+	// CausePenalty is the forbidden-level filter (divergence penalty still
+	// running from an earlier demotion).
+	CausePenalty Cause = "penalty"
+	// CauseDivergence is a fresh divergence-guard demotion: a smaller
+	// level's bandwidth EWMA beat the candidate's.
+	CauseDivergence Cause = "divergence"
+	// CausePin is the incompressible-guard pin to the minimum level.
+	CausePin Cause = "pin"
+	// CauseBypass is the entropy-bypass run pin to the minimum level.
+	CauseBypass Cause = "bypass"
+)
+
+// Transition is one level change: when, the move, and which control-loop
+// stage decided it.
+type Transition struct {
+	At       time.Time
+	From, To codec.Level
+	Cause    Cause
+}
+
 // Config parameterizes a Controller. Zero fields other than the level
 // bounds take the paper defaults. The bounds are taken literally, mirroring
 // adoc_write_levels: Min == Max == 0 disables compression entirely, and
@@ -108,6 +141,13 @@ type Config struct {
 	// OnDivergence, if set, is invoked when the divergence guard demotes
 	// a level.
 	OnDivergence func(from, to codec.Level)
+	// OnTransition, if set, is invoked for every level change with the
+	// stage that caused it — the feed for adaptive-trace ring buffers.
+	// Fired after OnDivergence/OnLevelChange, without the controller lock.
+	OnTransition func(Transition)
+	// Metrics names the registry this controller's counters publish to;
+	// nil keeps them detached (per-controller only, rendered nowhere).
+	Metrics *obs.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -156,13 +196,25 @@ type Controller struct {
 	pinRemaining int // packets left at min level (incompressible guard)
 	bypassRun    int // consecutive buffers the entropy probe shipped raw
 
-	// statistics
-	updates         int64
-	divergences     int64
-	pins            int64
-	entropyBypasses int64
-	levelCount      [int(codec.MaxLevel) + 1]int64 // buffers compressed per level
+	// Statistics are obs counters so a metrics-bound controller feeds the
+	// registry's process totals with the same increments that serve its
+	// own Stats() — parent-chaining instead of fold-on-close bookkeeping.
+	// With no registry they are detached counters, observable only here.
+	updates         *obs.Counter
+	divergences     *obs.Counter
+	pins            *obs.Counter
+	entropyBypasses *obs.Counter
+	levelCount      [int(codec.MaxLevel) + 1]*obs.Counter // buffers compressed per level
 }
+
+// Registry metric families the controller publishes.
+const (
+	MetricUpdates         = "adoc_adapt_updates_total"
+	MetricDivergences     = "adoc_adapt_divergences_total"
+	MetricPins            = "adoc_adapt_pins_total"
+	MetricEntropyBypasses = "adoc_adapt_entropy_bypasses_total"
+	MetricLevelBuffers    = "adoc_adapt_level_buffers_total"
+)
 
 // New returns a Controller starting at the minimum level (conservative: no
 // compression until the queue says there is time for it).
@@ -171,7 +223,26 @@ func New(cfg Config) *Controller {
 	if !cfg.Min.Valid() || !cfg.Max.Valid() || cfg.Min > cfg.Max {
 		panic("adapt: invalid level bounds")
 	}
-	return &Controller{cfg: cfg, level: cfg.Min}
+	c := &Controller{cfg: cfg, level: cfg.Min}
+	if reg := cfg.Metrics; reg != nil {
+		c.updates = reg.Counter(MetricUpdates, "Control-loop updates (one per adaptation buffer).").Child()
+		c.divergences = reg.Counter(MetricDivergences, "Divergence-guard demotions.").Child()
+		c.pins = reg.Counter(MetricPins, "Incompressible-guard pins to the minimum level.").Child()
+		c.entropyBypasses = reg.Counter(MetricEntropyBypasses, "Buffers the entropy probe shipped raw.").Child()
+		for l := range c.levelCount {
+			c.levelCount[l] = reg.Counter(MetricLevelBuffers,
+				"Buffers compressed per level.", obs.Label{Name: "level", Value: strconv.Itoa(l)}).Child()
+		}
+	} else {
+		c.updates = obs.NewCounter()
+		c.divergences = obs.NewCounter()
+		c.pins = obs.NewCounter()
+		c.entropyBypasses = obs.NewCounter()
+		for l := range c.levelCount {
+			c.levelCount[l] = obs.NewCounter()
+		}
+	}
+	return c
 }
 
 // Level returns the current level without updating it.
@@ -195,21 +266,33 @@ func (c *Controller) LevelForNextBuffer(queueLen int) codec.Level {
 	}
 	c.lastQueueLen = queueLen
 	c.hasLast = true
-	c.updates++
+	c.updates.Inc()
 
+	// cause tracks the last stage that moved the level; it only matters
+	// when the final level differs from old, where it answers "which rule
+	// put the level where it is".
+	cause := CauseQueue
 	next := NextLevel(queueLen, delta, c.level, c.cfg.Min, c.cfg.Max)
 	now := c.cfg.Clock.Now()
 
 	// Codec filter: never pick a level whose codec the peer cannot run.
 	// Like the forbidden filter this steps down, so a mask with a hole
 	// (say deflate without LZF) routes level 1 requests to raw.
+	pre := next
 	for next > c.cfg.Min && !c.cfg.Codecs.AllowsLevel(next) {
 		next--
 	}
+	if next != pre {
+		cause = CauseCodec
+	}
 
 	// Forbidden-level filter: fall below any level still under penalty.
+	pre = next
 	for next > c.cfg.Min && c.forbidden[next].After(now) {
 		next--
+	}
+	if next != pre {
+		cause = CausePenalty
 	}
 
 	// Both filters step down, so they can land on a level the codec set
@@ -218,8 +301,12 @@ func (c *Controller) LevelForNextBuffer(queueLen int) codec.Level {
 	// level we cannot encode is worse than one that is merely slow. The
 	// engine resolves Min onto the mask at construction, so this is a
 	// no-op there; it protects direct Config users.
+	pre = next
 	for next < c.cfg.Max && !c.cfg.Codecs.AllowsLevel(next) {
 		next++
+	}
+	if next != pre {
+		cause = CauseCodec
 	}
 
 	// Divergence guard (paper §5 "Compression level divergence"): if some
@@ -239,7 +326,8 @@ func (c *Controller) LevelForNextBuffer(queueLen int) codec.Level {
 			c.forbidden[next] = now.Add(c.cfg.ForbidFor)
 			demotedFrom, demotedTo = next, best
 			demoted = true
-			c.divergences++
+			cause = CauseDivergence
+			c.divergences.Inc()
 			next = best
 		}
 	}
@@ -248,18 +336,30 @@ func (c *Controller) LevelForNextBuffer(queueLen int) codec.Level {
 	// bypass run: a level that keeps losing to the raw-copy fast path is
 	// not worth asking for until the content run ends.
 	if c.pinRemaining > 0 || c.bypassRun >= c.cfg.BypassRunPin {
+		if next != c.cfg.Min {
+			if c.pinRemaining > 0 {
+				cause = CausePin
+			} else {
+				cause = CauseBypass
+			}
+		}
 		next = c.cfg.Min
 	}
 
 	c.level = next
-	c.levelCount[next]++
+	c.levelCount[next].Inc()
 	c.mu.Unlock()
 
 	if demoted && c.cfg.OnDivergence != nil {
 		c.cfg.OnDivergence(demotedFrom, demotedTo)
 	}
-	if next != old && c.cfg.OnLevelChange != nil {
-		c.cfg.OnLevelChange(old, next)
+	if next != old {
+		if c.cfg.OnLevelChange != nil {
+			c.cfg.OnLevelChange(old, next)
+		}
+		if c.cfg.OnTransition != nil {
+			c.cfg.OnTransition(Transition{At: now, From: old, To: next, Cause: cause})
+		}
 	}
 	return next
 }
@@ -300,7 +400,7 @@ func (c *Controller) NotePacketRatio(level codec.Level, rawLen, compLen int) (ab
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.pinRemaining = c.cfg.PinPackets
-	c.pins++
+	c.pins.Inc()
 	return true
 }
 
@@ -316,7 +416,7 @@ func (c *Controller) NoteEntropyBypass() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.bypassRun++
-	c.entropyBypasses++
+	c.entropyBypasses.Inc()
 }
 
 // NoteCompressibleContent ends the entropy-bypass run: the probe saw a
@@ -368,13 +468,15 @@ func (c *Controller) Stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	lc := make([]int64, len(c.levelCount))
-	copy(lc, c.levelCount[:])
+	for l, ctr := range c.levelCount {
+		lc[l] = ctr.Value()
+	}
 	return Stats{
 		Level:           c.level,
-		Updates:         c.updates,
-		Divergences:     c.divergences,
-		Pins:            c.pins,
-		EntropyBypasses: c.entropyBypasses,
+		Updates:         c.updates.Value(),
+		Divergences:     c.divergences.Value(),
+		Pins:            c.pins.Value(),
+		EntropyBypasses: c.entropyBypasses.Value(),
 		LevelCount:      lc,
 	}
 }

@@ -13,6 +13,9 @@ package bufpool
 import (
 	"math/bits"
 	"sync"
+	"sync/atomic"
+
+	"adoc/internal/obs"
 )
 
 // Pool sizing defaults.
@@ -38,6 +41,49 @@ type Pool struct {
 	min     int         // effective MinAlloc
 	max     int         // effective MaxSize
 	buckets []sync.Pool // buckets[i] holds buffers of cap min<<i
+
+	// Health counters: gets/puts are traffic, allocs are Gets a bucket
+	// could not serve (fresh make), drops are Puts outside the tier range.
+	// allocs close to gets means the pool is not recycling.
+	gets, puts, allocs, drops atomic.Int64
+}
+
+// Stats is a snapshot of pool activity.
+type Stats struct {
+	// Gets and Puts count buffer checkouts and returns.
+	Gets, Puts int64
+	// Allocs counts Gets served by a fresh allocation (bucket miss or
+	// request beyond MaxSize).
+	Allocs int64
+	// Drops counts Puts the pool declined to retain.
+	Drops int64
+}
+
+// Stats returns the pool's health counters.
+func (p *Pool) Stats() Stats {
+	return Stats{
+		Gets:   p.gets.Load(),
+		Puts:   p.puts.Load(),
+		Allocs: p.allocs.Load(),
+		Drops:  p.drops.Load(),
+	}
+}
+
+// Registry metric families the buffer pool publishes.
+const (
+	MetricGets   = "adoc_bufpool_gets_total"
+	MetricPuts   = "adoc_bufpool_puts_total"
+	MetricAllocs = "adoc_bufpool_allocs_total"
+	MetricDrops  = "adoc_bufpool_drops_total"
+)
+
+// RegisterMetrics publishes the pool's counters on reg as callback-backed
+// series. Idempotent; re-registering re-points the callbacks.
+func (p *Pool) RegisterMetrics(reg *obs.Registry) {
+	reg.CounterFunc(MetricGets, "Buffer checkouts.", func() float64 { return float64(p.gets.Load()) })
+	reg.CounterFunc(MetricPuts, "Buffer returns.", func() float64 { return float64(p.puts.Load()) })
+	reg.CounterFunc(MetricAllocs, "Checkouts served by a fresh allocation.", func() float64 { return float64(p.allocs.Load()) })
+	reg.CounterFunc(MetricDrops, "Returns the pool declined to retain.", func() float64 { return float64(p.drops.Load()) })
 }
 
 func (p *Pool) init() {
@@ -84,13 +130,16 @@ func (p *Pool) bucketFor(n int) int {
 // or above n; requests beyond MaxSize are plain allocations.
 func (p *Pool) Get(n int) []byte {
 	p.init()
+	p.gets.Add(1)
 	i := p.bucketFor(n)
 	if i < 0 {
+		p.allocs.Add(1)
 		return make([]byte, n)
 	}
 	if v := p.buckets[i].Get(); v != nil {
 		return v.([]byte)[:n]
 	}
+	p.allocs.Add(1)
 	return make([]byte, n, p.min<<i)
 }
 
@@ -100,8 +149,10 @@ func (p *Pool) Get(n int) []byte {
 // MaxSize) are dropped for the GC.
 func (p *Pool) Put(b []byte) {
 	p.init()
+	p.puts.Add(1)
 	c := cap(b)
 	if c < p.min || c > p.max || c&(c-1) != 0 {
+		p.drops.Add(1)
 		return
 	}
 	b = b[:c]

@@ -9,6 +9,8 @@ import (
 
 	"adoc/internal/adapt"
 	"adoc/internal/codec"
+	"adoc/internal/core/bufpool"
+	"adoc/internal/obs"
 	"adoc/internal/wire"
 )
 
@@ -54,18 +56,49 @@ type Engine struct {
 	stats engineStats
 }
 
-// engineStats aggregates counters; all fields are atomics so Stats can be
-// read without stopping traffic.
+// engineStats aggregates counters. The additive fields are obs counters —
+// children of the bound registry's family roots, so each increment serves
+// this engine's Stats() and the registry's process totals with the same
+// atomic adds (no allocations, no locks, no fold-on-close). queueHigh is a
+// plain atomic because it tracks a maximum, which has no meaningful
+// process-wide sum.
 type engineStats struct {
-	msgsSent      atomic.Int64
-	msgsReceived  atomic.Int64
-	rawSent       atomic.Int64
-	wireSent      atomic.Int64
-	rawReceived   atomic.Int64
-	wireReceived  atomic.Int64
-	smallSent     atomic.Int64
-	probeBypasses atomic.Int64
+	msgsSent      *obs.Counter
+	msgsReceived  *obs.Counter
+	rawSent       *obs.Counter
+	wireSent      *obs.Counter
+	rawReceived   *obs.Counter
+	wireReceived  *obs.Counter
+	smallSent     *obs.Counter
+	probeBypasses *obs.Counter
 	queueHigh     atomic.Int64
+}
+
+// Registry metric families the engine publishes.
+const (
+	MetricMsgsSent      = "adoc_engine_messages_sent_total"
+	MetricMsgsReceived  = "adoc_engine_messages_received_total"
+	MetricRawSent       = "adoc_engine_raw_bytes_sent_total"
+	MetricWireSent      = "adoc_engine_wire_bytes_sent_total"
+	MetricRawReceived   = "adoc_engine_raw_bytes_received_total"
+	MetricWireReceived  = "adoc_engine_wire_bytes_received_total"
+	MetricSmallSent     = "adoc_engine_small_messages_total"
+	MetricProbeBypasses = "adoc_engine_probe_bypasses_total"
+)
+
+// bindEngineStats creates this engine's counter children under reg's
+// family roots.
+func bindEngineStats(reg *obs.Registry) engineStats {
+	return engineStats{
+		msgsSent:      reg.Counter(MetricMsgsSent, "Messages accepted for sending.").Child(),
+		msgsReceived:  reg.Counter(MetricMsgsReceived, "Messages fully received.").Child(),
+		rawSent:       reg.Counter(MetricRawSent, "User payload bytes accepted by Write/SendMessage.").Child(),
+		wireSent:      reg.Counter(MetricWireSent, "Bytes written to the socket (compressed plus framing).").Child(),
+		rawReceived:   reg.Counter(MetricRawReceived, "User payload bytes delivered to Read.").Child(),
+		wireReceived:  reg.Counter(MetricWireReceived, "Bytes consumed from the socket.").Child(),
+		smallSent:     reg.Counter(MetricSmallSent, "Messages that took the no-pipeline small fast path.").Child(),
+		probeBypasses: reg.Counter(MetricProbeBypasses, "Messages sent raw because the link probe exceeded the fast cutoff.").Child(),
+	}
 }
 
 // Stats is a snapshot of engine activity.
@@ -132,6 +165,10 @@ func New(rw io.ReadWriter, opts Options) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
+	reg := opts.Metrics
+	if reg == nil {
+		reg = obs.Default()
+	}
 	ctrl := adapt.New(adapt.Config{
 		Min:                        opts.MinLevel,
 		Max:                        opts.MaxLevel,
@@ -142,17 +179,22 @@ func New(rw io.ReadWriter, opts Options) (*Engine, error) {
 		DisableIncompressibleGuard: opts.DisableIncompressibleGuard,
 		OnLevelChange:              opts.Trace.OnLevelChange,
 		OnDivergence:               opts.Trace.OnDivergence,
+		OnTransition:               opts.Trace.OnTransition,
+		Metrics:                    reg,
 	})
 	pool := opts.SharedPool
 	if pool == nil {
 		pool = DefaultWorkerPool()
 	}
+	pool.RegisterMetrics(reg)
+	bufpool.Default.RegisterMetrics(reg)
 	return &Engine{
-		rw:   rw,
-		opts: opts,
-		ctrl: ctrl,
-		dec:  wire.NewReader(rw),
-		pool: pool,
+		rw:    rw,
+		opts:  opts,
+		ctrl:  ctrl,
+		dec:   wire.NewReader(rw),
+		pool:  pool,
+		stats: bindEngineStats(reg),
 	}, nil
 }
 
@@ -174,14 +216,14 @@ func (e *Engine) Stats() Stats {
 // per poll.
 func (e *Engine) CounterStats() Stats {
 	return Stats{
-		MsgsSent:       e.stats.msgsSent.Load(),
-		MsgsReceived:   e.stats.msgsReceived.Load(),
-		RawSent:        e.stats.rawSent.Load(),
-		WireSent:       e.stats.wireSent.Load(),
-		RawReceived:    e.stats.rawReceived.Load(),
-		WireReceived:   e.stats.wireReceived.Load(),
-		SmallSent:      e.stats.smallSent.Load(),
-		ProbeBypasses:  e.stats.probeBypasses.Load(),
+		MsgsSent:       e.stats.msgsSent.Value(),
+		MsgsReceived:   e.stats.msgsReceived.Value(),
+		RawSent:        e.stats.rawSent.Value(),
+		WireSent:       e.stats.wireSent.Value(),
+		RawReceived:    e.stats.rawReceived.Value(),
+		WireReceived:   e.stats.wireReceived.Value(),
+		SmallSent:      e.stats.smallSent.Value(),
+		ProbeBypasses:  e.stats.probeBypasses.Value(),
 		QueueHighWater: e.stats.queueHigh.Load(),
 		Controller:     e.ctrl.Stats(),
 	}
@@ -232,5 +274,5 @@ func (e *Engine) Controller() *adapt.Controller { return e.ctrl }
 // direction — the aggregate analogue of the value adoc_write reports via
 // slen.
 func (e *Engine) CompressionRatio() float64 {
-	return codec.Ratio(int(e.stats.rawSent.Load()), int(e.stats.wireSent.Load()))
+	return codec.Ratio(int(e.stats.rawSent.Value()), int(e.stats.wireSent.Value()))
 }

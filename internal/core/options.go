@@ -14,8 +14,10 @@ import (
 	"runtime"
 	"time"
 
+	"adoc/internal/adapt"
 	"adoc/internal/clock"
 	"adoc/internal/codec"
+	"adoc/internal/obs"
 )
 
 // Paper constants (§3.2, §5).
@@ -79,6 +81,10 @@ type Trace struct {
 	// compression level, raw payload size, bytes on the wire, and the
 	// FIFO occupancy at that moment.
 	OnGroupSent func(level codec.Level, rawLen, wireLen, queueLen int)
+	// OnTransition fires for every controller level change with the
+	// control-loop stage that caused it — the feed for adaptive-trace
+	// rings like adocproxy's /debug/adapt.
+	OnTransition func(adapt.Transition)
 }
 
 // Options configures an Engine. Use DefaultOptions as the base; the zero
@@ -138,6 +144,10 @@ type Options struct {
 	Clock clock.Clock
 	// Trace receives engine events.
 	Trace Trace
+	// Metrics is the registry this engine (and its controller, worker
+	// pool, and buffer pool) publishes to; nil selects the process-wide
+	// obs.Default(). It binds per stack exactly the way SharedPool does.
+	Metrics *obs.Registry
 }
 
 // DefaultOptions returns the paper's configuration.

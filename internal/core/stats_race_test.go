@@ -1,0 +1,84 @@
+package core
+
+import (
+	"bytes"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"adoc/internal/obs"
+)
+
+// TestStatsDuringTransfer hammers every Stats read path while a parallel
+// transfer is in flight — the -race regression for the torn-read audit.
+// Counters must be monotonic across polls and land on the exact totals
+// once the transfer settles.
+func TestStatsDuringTransfer(t *testing.T) {
+	reg := obs.NewRegistry()
+	opts := smallPipelineOptions()
+	opts.Parallelism = 4
+	opts.Metrics = reg
+	e1, e2 := pipePair(t, opts)
+
+	const msgs = 8
+	payload := compressibleData(64 * 1024)
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var lastRaw, lastWire, lastUpdates int64
+			for !stop.Load() {
+				for _, e := range []*Engine{e1, e2} {
+					s := e.Stats()
+					_ = e.CounterStats()
+					_ = e.CompressionRatio()
+					_ = e.Controller().Snapshot()
+					if e != e1 {
+						continue
+					}
+					if s.RawSent < lastRaw || s.WireSent < lastWire || s.Controller.Updates < lastUpdates {
+						t.Errorf("counters went backwards: raw %d->%d wire %d->%d updates %d->%d",
+							lastRaw, s.RawSent, lastWire, s.WireSent, lastUpdates, s.Controller.Updates)
+						return
+					}
+					lastRaw, lastWire, lastUpdates = s.RawSent, s.WireSent, s.Controller.Updates
+				}
+				// Registry rendering reads the same atomics concurrently.
+				var sink bytes.Buffer
+				if err := reg.WriteProm(&sink); err != nil {
+					t.Errorf("WriteProm: %v", err)
+					return
+				}
+			}
+		}()
+	}
+
+	for i := 0; i < msgs; i++ {
+		got := sendRecv(t, e1, e2, payload)
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("message %d corrupted", i)
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+
+	s := e1.Stats()
+	if want := int64(msgs); s.MsgsSent != want {
+		t.Fatalf("MsgsSent = %d, want %d", s.MsgsSent, want)
+	}
+	if want := int64(msgs * len(payload)); s.RawSent != want {
+		t.Fatalf("RawSent = %d, want %d", s.RawSent, want)
+	}
+	// The registry's family roots hold the sum over both engines.
+	rawRoot := reg.Counter(MetricRawSent, "")
+	if got := rawRoot.Value(); got != s.RawSent {
+		t.Fatalf("registry raw-sent root = %d, engine counter = %d", got, s.RawSent)
+	}
+	recvRoot := reg.Counter(MetricRawReceived, "")
+	if got := recvRoot.Value(); got != int64(msgs*len(payload)) {
+		t.Fatalf("registry raw-received root = %d, want %d", got, msgs*len(payload))
+	}
+}

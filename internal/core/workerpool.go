@@ -3,6 +3,9 @@ package core
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
+
+	"adoc/internal/obs"
 )
 
 // WorkerPool is a process-wide pool of compression/decompression workers
@@ -21,9 +24,10 @@ import (
 // process lifetime (they are shared infrastructure, like the GC's
 // background workers, not per-connection state).
 type WorkerPool struct {
-	size int
-	once sync.Once
-	jobs chan func()
+	size      int
+	once      sync.Once
+	jobs      chan func()
+	submitted atomic.Int64
 }
 
 // NewWorkerPool returns a pool of size workers; size <= 0 selects
@@ -32,7 +36,9 @@ func NewWorkerPool(size int) *WorkerPool {
 	if size <= 0 {
 		size = runtime.GOMAXPROCS(0)
 	}
-	return &WorkerPool{size: size}
+	// The queue is allocated here, not in start, so metric callbacks can
+	// read its depth without racing the lazy worker launch.
+	return &WorkerPool{size: size, jobs: make(chan func(), size)}
 }
 
 // Size returns the worker count.
@@ -45,7 +51,6 @@ func (p *WorkerPool) Size() int { return p.size }
 // thousand compression jobs.
 func (p *WorkerPool) start() {
 	p.once.Do(func() {
-		p.jobs = make(chan func(), p.size)
 		for i := 0; i < p.size; i++ {
 			go p.worker()
 		}
@@ -63,7 +68,36 @@ func (p *WorkerPool) worker() {
 // queue is full. f must not block on the completion of another pool job.
 func (p *WorkerPool) Submit(f func()) {
 	p.start()
+	p.submitted.Add(1)
 	p.jobs <- f
+}
+
+// Submitted returns how many jobs have been submitted over the pool's
+// lifetime.
+func (p *WorkerPool) Submitted() int64 { return p.submitted.Load() }
+
+// QueueDepth returns how many submitted jobs are waiting for a worker
+// (not counting jobs currently executing).
+func (p *WorkerPool) QueueDepth() int { return len(p.jobs) }
+
+// Registry metric families the worker pool publishes.
+const (
+	MetricPoolWorkers    = "adoc_workerpool_workers"
+	MetricPoolQueueDepth = "adoc_workerpool_queue_depth"
+	MetricPoolJobs       = "adoc_workerpool_jobs_total"
+)
+
+// RegisterMetrics publishes the pool's health on reg as callback-backed
+// series. Idempotent: re-registering re-points the callbacks, so the last
+// pool bound to a registry is the one rendered — in practice each registry
+// serves one pool, the way each stack shares one SharedPool.
+func (p *WorkerPool) RegisterMetrics(reg *obs.Registry) {
+	reg.GaugeFunc(MetricPoolWorkers, "Compression worker count.",
+		func() float64 { return float64(p.Size()) })
+	reg.GaugeFunc(MetricPoolQueueDepth, "Jobs waiting for a worker.",
+		func() float64 { return float64(p.QueueDepth()) })
+	reg.CounterFunc(MetricPoolJobs, "Jobs submitted over the pool lifetime.",
+		func() float64 { return float64(p.Submitted()) })
 }
 
 // defaultPool is the process-wide pool engines share when their Options

@@ -1,0 +1,305 @@
+package obs
+
+import (
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterChildFeedsRoot(t *testing.T) {
+	r := NewRegistry()
+	root := r.Counter("adoc_test_total", "help")
+	a := root.Child()
+	b := root.Child()
+	a.Add(3)
+	b.Inc()
+	if got := a.Value(); got != 3 {
+		t.Fatalf("child a = %d, want 3", got)
+	}
+	if got := b.Value(); got != 1 {
+		t.Fatalf("child b = %d, want 1", got)
+	}
+	if got := root.Value(); got != 4 {
+		t.Fatalf("root = %d, want 4", got)
+	}
+	// Grandchildren chain all the way up.
+	aa := a.Child()
+	aa.Add(2)
+	if root.Value() != 6 || a.Value() != 5 || aa.Value() != 2 {
+		t.Fatalf("grandchild chain: root=%d a=%d aa=%d", root.Value(), a.Value(), aa.Value())
+	}
+}
+
+func TestRegistrationIdempotent(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("adoc_same_total", "help")
+	c2 := r.Counter("adoc_same_total", "other help ignored")
+	if c1 != c2 {
+		t.Fatal("same name returned distinct counters")
+	}
+	l1 := r.Counter("adoc_labeled_total", "h", Label{"outcome", "ok"})
+	l2 := r.Counter("adoc_labeled_total", "h", Label{"outcome", "err"})
+	l3 := r.Counter("adoc_labeled_total", "h", Label{"outcome", "ok"})
+	if l1 == l2 {
+		t.Fatal("distinct label values shared a series")
+	}
+	if l1 != l3 {
+		t.Fatal("same label value returned a distinct series")
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("adoc_kind_total", "h")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	r.Gauge("adoc_kind_total", "h")
+}
+
+func TestInvalidNamePanics(t *testing.T) {
+	r := NewRegistry()
+	for _, bad := range []string{"", "0leading", "has space", "dash-ed"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("name %q did not panic", bad)
+				}
+			}()
+			r.Counter(bad, "h")
+		}()
+	}
+}
+
+func TestGaugeChildren(t *testing.T) {
+	r := NewRegistry()
+	root := r.Gauge("adoc_active", "h")
+	a := root.Child()
+	b := root.Child()
+	a.Inc()
+	a.Inc()
+	b.Inc()
+	a.Dec()
+	if root.Value() != 2 {
+		t.Fatalf("root gauge = %d, want 2", root.Value())
+	}
+	root.Set(10)
+	if root.Value() != 10 {
+		t.Fatalf("Set: root = %d, want 10", root.Value())
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram([]float64{1, 0.1, 0.1, 0.01}) // unsorted + dup on purpose
+	if got := h.Bounds(); len(got) != 3 || got[0] != 0.01 || got[2] != 1 {
+		t.Fatalf("bounds = %v, want [0.01 0.1 1]", got)
+	}
+	child := h.Child()
+	child.Observe(0.005) // bucket le=0.01
+	child.Observe(0.05)  // bucket le=0.1
+	child.Observe(0.1)   // le bounds are inclusive -> le=0.1
+	child.Observe(5)     // +Inf
+	if h.Count() != 4 || child.Count() != 4 {
+		t.Fatalf("counts: root=%d child=%d, want 4", h.Count(), child.Count())
+	}
+	wantSum := 0.005 + 0.05 + 0.1 + 5
+	if diff := h.Sum() - wantSum; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("sum = %v, want %v", h.Sum(), wantSum)
+	}
+	counts := h.BucketCounts()
+	want := []int64{1, 2, 0, 1}
+	for i := range want {
+		if counts[i] != want[i] {
+			t.Fatalf("bucket counts = %v, want %v", counts, want)
+		}
+	}
+}
+
+func TestConcurrentMetrics(t *testing.T) {
+	r := NewRegistry()
+	root := r.Counter("adoc_conc_total", "h")
+	g := r.Gauge("adoc_conc_gauge", "h")
+	h := r.Histogram("adoc_conc_seconds", "h", nil)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := root.Child()
+			gc := g.Child()
+			hc := h.Child()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				gc.Inc()
+				gc.Dec()
+				hc.Observe(0.001)
+			}
+		}()
+	}
+	wg.Wait()
+	if root.Value() != 8000 {
+		t.Fatalf("counter = %d, want 8000", root.Value())
+	}
+	if g.Value() != 0 {
+		t.Fatalf("gauge = %d, want 0", g.Value())
+	}
+	if h.Count() != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", h.Count())
+	}
+}
+
+func TestWritePromFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("adoc_b_total", "bytes moved").Add(42)
+	r.Counter("adoc_a_total", "with labels", Label{"outcome", "ok"}).Add(7)
+	r.Counter("adoc_a_total", "with labels", Label{"outcome", `quo"te`}).Add(1)
+	r.Gauge("adoc_g", "a gauge").Set(-3)
+	r.GaugeFunc("adoc_fn", "callback gauge", func() float64 { return 2.5 })
+	r.CounterFunc("adoc_cfn_total", "callback counter", func() float64 { return 9 })
+	h := r.Histogram("adoc_lat_seconds", "latency", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(2)
+
+	var b strings.Builder
+	if err := r.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+
+	for _, want := range []string{
+		"# HELP adoc_b_total bytes moved\n# TYPE adoc_b_total counter\nadoc_b_total 42\n",
+		`adoc_a_total{outcome="ok"} 7`,
+		`adoc_a_total{outcome="quo\"te"} 1`,
+		"# TYPE adoc_g gauge\nadoc_g -3\n",
+		"adoc_fn 2.5\n",
+		"# TYPE adoc_cfn_total counter\nadoc_cfn_total 9\n",
+		`adoc_lat_seconds_bucket{le="0.1"} 1`,
+		`adoc_lat_seconds_bucket{le="1"} 2`,
+		`adoc_lat_seconds_bucket{le="+Inf"} 3`,
+		"adoc_lat_seconds_sum 2.55\n",
+		"adoc_lat_seconds_count 3\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q\n---\n%s", want, out)
+		}
+	}
+	// Families must be sorted by name.
+	if strings.Index(out, "adoc_a_total") > strings.Index(out, "adoc_b_total") {
+		t.Error("families not sorted by name")
+	}
+}
+
+func TestUnregister(t *testing.T) {
+	r := NewRegistry()
+	r.GaugeFunc("adoc_tmp", "h", func() float64 { return 1 }, Label{"id", "a"})
+	r.GaugeFunc("adoc_tmp", "h", func() float64 { return 2 }, Label{"id", "b"})
+	r.Unregister("adoc_tmp", Label{"id", "a"})
+	r.Unregister("adoc_tmp", Label{"id", "nonexistent"}) // no-op
+	r.Unregister("adoc_never", Label{"id", "x"})         // no-op
+	var b strings.Builder
+	if err := r.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if strings.Contains(out, `id="a"`) {
+		t.Errorf("unregistered series still rendered:\n%s", out)
+	}
+	if !strings.Contains(out, `id="b"`) {
+		t.Errorf("sibling series vanished:\n%s", out)
+	}
+	r.Unregister("adoc_tmp", Label{"id", "b"})
+	b.Reset()
+	r.WriteProm(&b)
+	if strings.Contains(b.String(), "adoc_tmp") {
+		t.Errorf("empty family still rendered:\n%s", b.String())
+	}
+}
+
+func TestGaugeFuncReplaces(t *testing.T) {
+	r := NewRegistry()
+	r.GaugeFunc("adoc_repl", "h", func() float64 { return 1 })
+	r.GaugeFunc("adoc_repl", "h", func() float64 { return 2 })
+	var b strings.Builder
+	r.WriteProm(&b)
+	if !strings.Contains(b.String(), "adoc_repl 2\n") {
+		t.Fatalf("replacement callback not used:\n%s", b.String())
+	}
+}
+
+func TestLabelOrderCanonical(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("adoc_multi_total", "h", Label{"b", "2"}, Label{"a", "1"})
+	c2 := r.Counter("adoc_multi_total", "h", Label{"a", "1"}, Label{"b", "2"})
+	if c1 != c2 {
+		t.Fatal("label order created distinct series")
+	}
+	var b strings.Builder
+	r.WriteProm(&b)
+	if !strings.Contains(b.String(), `adoc_multi_total{a="1",b="2"}`) {
+		t.Fatalf("labels not rendered in sorted order:\n%s", b.String())
+	}
+}
+
+func TestHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("adoc_http_total", "h").Inc()
+	srv := httptest.NewServer(Handler(r))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Fatalf("content type = %q", ct)
+	}
+	buf := make([]byte, 4096)
+	n, _ := resp.Body.Read(buf)
+	if !strings.Contains(string(buf[:n]), "adoc_http_total 1") {
+		t.Fatalf("body missing counter: %s", buf[:n])
+	}
+}
+
+func TestAdaptTraceRing(t *testing.T) {
+	tr := NewAdaptTrace(3)
+	base := time.Unix(1000, 0)
+	for i := 0; i < 5; i++ {
+		tr.Record(AdaptEvent{At: base.Add(time.Duration(i) * time.Second), From: i, To: i + 1, Cause: "queue"})
+	}
+	evs := tr.Events()
+	if len(evs) != 3 {
+		t.Fatalf("got %d events, want 3", len(evs))
+	}
+	if evs[0].From != 2 || evs[2].From != 4 {
+		t.Fatalf("wrong window: %+v", evs)
+	}
+	if tr.Total() != 5 {
+		t.Fatalf("total = %d, want 5", tr.Total())
+	}
+
+	// Under capacity: oldest-first with no eviction.
+	tr2 := NewAdaptTrace(0)
+	tr2.Record(AdaptEvent{From: 1, To: 2})
+	if got := tr2.Events(); len(got) != 1 || got[0].To != 2 {
+		t.Fatalf("partial ring: %+v", got)
+	}
+}
+
+func TestDetachedConstructors(t *testing.T) {
+	c := NewCounter()
+	c.Inc()
+	if c.Value() != 1 {
+		t.Fatal("detached counter broken")
+	}
+	g := NewGauge()
+	g.Add(5)
+	g.Dec()
+	if g.Value() != 4 {
+		t.Fatal("detached gauge broken")
+	}
+}

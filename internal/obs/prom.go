@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WriteProm renders every registered family in the Prometheus text
+// exposition format (version 0.0.4): families sorted by name, each with
+// its # HELP and # TYPE header, series in registration order.
+func (r *Registry) WriteProm(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	type familySnap struct {
+		f      *family
+		series []*series
+	}
+	snaps := make([]familySnap, 0, len(names))
+	for _, name := range names {
+		f := r.families[name]
+		snap := familySnap{f: f}
+		for _, key := range f.order {
+			snap.series = append(snap.series, f.series[key])
+		}
+		snaps = append(snaps, snap)
+	}
+	r.mu.Unlock()
+
+	bw := bufio.NewWriter(w)
+	for _, snap := range snaps {
+		f := snap.f
+		if f.help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.kind.promType())
+		for _, s := range snap.series {
+			writeSeries(bw, f, s)
+		}
+	}
+	return bw.Flush()
+}
+
+func writeSeries(w io.Writer, f *family, s *series) {
+	switch f.kind {
+	case kindCounter:
+		fmt.Fprintf(w, "%s%s %d\n", f.name, labelString(s.labels, nil), s.counter.Value())
+	case kindGauge:
+		fmt.Fprintf(w, "%s%s %d\n", f.name, labelString(s.labels, nil), s.gauge.Value())
+	case kindCounterFunc, kindGaugeFunc:
+		fmt.Fprintf(w, "%s%s %s\n", f.name, labelString(s.labels, nil), formatFloat(s.fn()))
+	case kindHistogram:
+		h := s.hist
+		bounds := h.bounds
+		var cum int64
+		for i, b := range bounds {
+			cum += h.counts[i].Load()
+			fmt.Fprintf(w, "%s_bucket%s %d\n", f.name,
+				labelString(s.labels, &Label{Name: "le", Value: formatFloat(b)}), cum)
+		}
+		cum += h.counts[len(bounds)].Load()
+		fmt.Fprintf(w, "%s_bucket%s %d\n", f.name,
+			labelString(s.labels, &Label{Name: "le", Value: "+Inf"}), cum)
+		fmt.Fprintf(w, "%s_sum%s %s\n", f.name, labelString(s.labels, nil), formatFloat(h.Sum()))
+		fmt.Fprintf(w, "%s_count%s %d\n", f.name, labelString(s.labels, nil), cum)
+	}
+}
+
+// labelString renders {a="x",b="y"}; extra (the histogram le label) is
+// appended last. Empty label sets render as the empty string.
+func labelString(labels []Label, extra *Label) string {
+	if len(labels) == 0 && extra == nil {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteString(`"`)
+	}
+	if extra != nil {
+		if len(labels) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extra.Name)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(extra.Value))
+		b.WriteString(`"`)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// formatFloat renders a float the way Prometheus expects: shortest
+// representation that round-trips.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Handler returns an http.Handler serving r in the text exposition
+// format — mount it at /metrics.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WriteProm(w)
+	})
+}

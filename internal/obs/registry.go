@@ -1,0 +1,221 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Registry holds metric families keyed by name. Registration is
+// idempotent: asking for an existing series returns the existing
+// instance, so any layer can demand its families at construction time
+// without coordinating who registers first. Kind or bucket mismatches on
+// the same name panic — two packages fighting over one name is a
+// programming error, not a runtime condition.
+//
+// Registries bind per stack the way worker pools do: most code uses
+// Default(); a tenant that wants isolated metrics builds its own with
+// NewRegistry and threads it through Options.Metrics.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+	kindCounterFunc
+	kindGaugeFunc
+)
+
+func (k metricKind) promType() string {
+	switch k {
+	case kindCounter, kindCounterFunc:
+		return "counter"
+	case kindHistogram:
+		return "histogram"
+	default:
+		return "gauge"
+	}
+}
+
+type family struct {
+	name, help string
+	kind       metricKind
+	buckets    []float64
+	series     map[string]*series
+	order      []string // series keys in registration order
+}
+
+type series struct {
+	labels  []Label
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+	fn      func() float64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: map[string]*family{}}
+}
+
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry every stack publishes to
+// unless its Options named another.
+func Default() *Registry { return defaultRegistry }
+
+// labelKey renders a label set into a canonical map key.
+func labelKey(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for _, l := range labels {
+		b.WriteString(l.Name)
+		b.WriteByte('=')
+		b.WriteString(l.Value)
+		b.WriteByte(',')
+	}
+	return b.String()
+}
+
+func validName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// sortLabels returns labels ordered by name, so the same set registered
+// in a different order names the same series.
+func sortLabels(labels []Label) []Label {
+	out := append([]Label(nil), labels...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// seriesFor returns (creating if needed) the series for name+labels,
+// enforcing kind consistency. Called with r.mu held.
+func (r *Registry) seriesFor(name, help string, kind metricKind, buckets []float64, labels []Label) *series {
+	if !validName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	for _, l := range labels {
+		if !validName(l.Name) {
+			panic(fmt.Sprintf("obs: invalid label name %q on %q", l.Name, name))
+		}
+	}
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, kind: kind, buckets: buckets, series: map[string]*series{}}
+		r.families[name] = f
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("obs: metric %q re-registered as %s (was %s)", name, kind.promType(), f.kind.promType()))
+	}
+	labels = sortLabels(labels)
+	key := labelKey(labels)
+	s, ok := f.series[key]
+	if !ok {
+		s = &series{labels: labels}
+		switch kind {
+		case kindCounter:
+			s.counter = NewCounter()
+		case kindGauge:
+			s.gauge = NewGauge()
+		case kindHistogram:
+			s.hist = NewHistogram(buckets)
+		}
+		f.series[key] = s
+		f.order = append(f.order, key)
+	}
+	return s
+}
+
+// Counter returns the family-root counter for name+labels, registering
+// it on first use. Owners wanting a per-instance view call Child() on
+// the result.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.seriesFor(name, help, kindCounter, nil, labels).counter
+}
+
+// Gauge returns the family-root gauge for name+labels.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.seriesFor(name, help, kindGauge, nil, labels).gauge
+}
+
+// Histogram returns the family-root histogram for name+labels; buckets
+// apply on first registration only (nil selects DefLatencyBuckets).
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...Label) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.seriesFor(name, help, kindHistogram, buckets, labels).hist
+}
+
+// CounterFunc registers (or replaces) a callback-backed counter series —
+// for owners that already keep their own monotonic count (a buffer
+// pool's hit counter) and only need it rendered. The callback must be
+// safe for concurrent use and monotonically non-decreasing.
+func (r *Registry) CounterFunc(name, help string, fn func() float64, labels ...Label) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.seriesFor(name, help, kindCounterFunc, nil, labels).fn = fn
+}
+
+// GaugeFunc registers (or replaces) a callback-backed gauge series — the
+// vehicle for instantaneous state that lives in exactly one place (the
+// adapt controller's current level, a pool's queue depth). Re-registering
+// the same series replaces the callback, so a reconnecting owner can
+// re-point it.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.seriesFor(name, help, kindGaugeFunc, nil, labels).fn = fn
+}
+
+// Unregister removes one series (and its family once empty). Removing a
+// series that does not exist is a no-op. Counters obtained earlier keep
+// working — they just stop being rendered.
+func (r *Registry) Unregister(name string, labels ...Label) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		return
+	}
+	key := labelKey(sortLabels(labels))
+	if _, ok := f.series[key]; !ok {
+		return
+	}
+	delete(f.series, key)
+	for i, k := range f.order {
+		if k == key {
+			f.order = append(f.order[:i], f.order[i+1:]...)
+			break
+		}
+	}
+	if len(f.series) == 0 {
+		delete(r.families, name)
+	}
+}

@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// AdaptEvent is one controller level transition: when it happened, the
+// move, and the controller's reason for it ("queue" for the Figure 2
+// rule, "divergence" for an EWMA win by a smaller level, "penalty" for
+// the forbidden-level filter, "pin"/"bypass" for the incompressible and
+// entropy-run pins, "codec" for the capability-mask filter).
+type AdaptEvent struct {
+	At    time.Time `json:"at"`
+	From  int       `json:"from"`
+	To    int       `json:"to"`
+	Cause string    `json:"cause"`
+}
+
+// AdaptTrace is a fixed-size ring of recent level transitions — the
+// "why did the tunnel change level" debugging surface a gateway exports
+// at /debug/adapt. Safe for concurrent use; Record never blocks beyond
+// the mutex and never allocates once the ring is full.
+type AdaptTrace struct {
+	mu    sync.Mutex
+	buf   []AdaptEvent
+	next  int
+	n     int
+	total int64
+}
+
+// DefaultAdaptTraceSize is the ring capacity NewAdaptTrace(0) selects —
+// enough history to see a few adaptation episodes, small enough to dump
+// in one HTTP response.
+const DefaultAdaptTraceSize = 256
+
+// NewAdaptTrace returns a ring holding the last capacity events
+// (0 selects DefaultAdaptTraceSize).
+func NewAdaptTrace(capacity int) *AdaptTrace {
+	if capacity <= 0 {
+		capacity = DefaultAdaptTraceSize
+	}
+	return &AdaptTrace{buf: make([]AdaptEvent, capacity)}
+}
+
+// Record appends one event, evicting the oldest when full.
+func (t *AdaptTrace) Record(ev AdaptEvent) {
+	t.mu.Lock()
+	t.buf[t.next] = ev
+	t.next = (t.next + 1) % len(t.buf)
+	if t.n < len(t.buf) {
+		t.n++
+	}
+	t.total++
+	t.mu.Unlock()
+}
+
+// Events returns the retained events, oldest first.
+func (t *AdaptTrace) Events() []AdaptEvent {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]AdaptEvent, 0, t.n)
+	start := t.next - t.n
+	if start < 0 {
+		start += len(t.buf)
+	}
+	for i := 0; i < t.n; i++ {
+		out = append(out, t.buf[(start+i)%len(t.buf)])
+	}
+	return out
+}
+
+// Total returns how many events have ever been recorded (including
+// evicted ones).
+func (t *AdaptTrace) Total() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
