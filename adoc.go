@@ -28,6 +28,7 @@ package adoc
 import (
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"os"
 	"reflect"
@@ -108,6 +109,45 @@ func MetricsHandler(reg *MetricsRegistry) http.Handler {
 	return obs.Handler(reg)
 }
 
+// FlowTracer is a sampled, ring-buffered recorder of pipeline stage spans:
+// each traced message is decomposed into enqueue, queue, compress, wire,
+// receive, decompress, and deliver stages, observed into the
+// adoc_stage_seconds histogram and retained in a fixed ring for /debug/trace
+// style dumps. Share one tracer across both sides of a hop (or one per
+// process) and pass it via Options.FlowTracer.
+type FlowTracer = obs.FlowTracer
+
+// FlowTracerConfig sizes a FlowTracer.
+type FlowTracerConfig = obs.FlowTracerConfig
+
+// TraceContext identifies one traced message: an 8-byte ID plus the
+// sampled bit that travels across the compressed hop when both peers
+// negotiated the trace capability.
+type TraceContext = obs.TraceContext
+
+// TraceSpan is one recorded stage timing.
+type TraceSpan = obs.Span
+
+// NewFlowTracer builds a tracer that samples one message in every
+// cfg.SampleEvery (0 disables sampling entirely — the zero-cost mode).
+// Histograms register on cfg.Metrics (nil selects DefaultMetrics()) at
+// construction, so adoc_stage_seconds renders even before the first
+// sampled message.
+func NewFlowTracer(cfg FlowTracerConfig) *FlowTracer { return obs.NewFlowTracer(cfg) }
+
+// Pipeline stage names, re-exported for span consumers and the layers
+// (adocmux, adocrpc) that record their own spans.
+const (
+	StageEnqueue    = obs.StageEnqueue
+	StageQueue      = obs.StageQueue
+	StageCompress   = obs.StageCompress
+	StageWire       = obs.StageWire
+	StageReceive    = obs.StageReceive
+	StageDecompress = obs.StageDecompress
+	StageDeliver    = obs.StageDeliver
+	StageCall       = obs.StageCall
+)
+
 // AdaptTransition is one controller level change with its cause, delivered
 // through Trace.OnTransition.
 type AdaptTransition = adapt.Transition
@@ -184,6 +224,15 @@ type Options struct {
 	// selects the process-wide DefaultMetrics(). It binds per stack the
 	// way SharedPool does.
 	Metrics *MetricsRegistry
+	// FlowTracer records sampled per-stage pipeline spans (enqueue, queue,
+	// compress, wire, receive, decompress, deliver) and feeds the
+	// adoc_stage_seconds histograms. Nil, or a tracer with sampling
+	// disabled, costs one nil check per stage and allocates nothing.
+	FlowTracer *FlowTracer
+	// Logger receives structured events at the stack's decision points
+	// (handshake outcomes, adapt transitions, backend health, drain). Nil
+	// means silent.
+	Logger *slog.Logger
 }
 
 // DefaultOptions returns the paper's configuration with full adaptive
@@ -246,6 +295,8 @@ func (o Options) toCore() core.Options {
 	c.DisableProbe = o.DisableProbe
 	c.Trace = o.Trace
 	c.Metrics = o.Metrics
+	c.FlowTracer = o.FlowTracer
+	c.Logger = o.Logger
 	return c
 }
 

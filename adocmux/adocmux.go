@@ -54,6 +54,7 @@ package adocmux
 
 import (
 	"errors"
+	"log/slog"
 
 	"adoc"
 	"adoc/adocnet"
@@ -117,6 +118,11 @@ type Config struct {
 	// underlying connection's engine metrics bind separately, through the
 	// adocnet.Options the connection was dialed with.
 	Metrics *adoc.MetricsRegistry
+	// Logger receives structured events at the gateway decision points
+	// (backend health transitions, drain progress). Nil means silent.
+	// The underlying connection's own events (handshake, adapt
+	// transitions) log through the adocnet.Options logger instead.
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"net"
 	"strconv"
@@ -39,6 +40,11 @@ const (
 	MetricTunnelDials = "adoc_gateway_tunnel_dials_total"
 	// MetricTunnelDialFailures counts egress-gateway dials that failed.
 	MetricTunnelDialFailures = "adoc_gateway_tunnel_dial_failures_total"
+	// MetricTunnelBytes counts raw (pre-compression) bytes piped through
+	// the gateway, labeled direction="in" (from the plain-TCP side into
+	// the tunnel) and direction="out" (from the tunnel back to the
+	// plain-TCP side).
+	MetricTunnelBytes = "adoc_gateway_tunnel_bytes_total"
 
 	// MetricBackendHealthy is 1 while the labeled backend passes health
 	// checks (and hasn't failed a stream dial since), else 0.
@@ -73,15 +79,31 @@ type halfCloser interface {
 	CloseWrite() error
 }
 
-// proxyPipe copies bytes both ways between a and b, propagating EOF as a
-// half-close in each direction, and closes both once both directions
-// finish. This preserves request/response protocols that rely on FIN
-// (e.g. "write request, shutdown, read reply to EOF").
-func proxyPipe(a, b io.ReadWriteCloser) {
+// countingWriter bumps a counter with every byte written through it.
+type countingWriter struct {
+	w io.Writer
+	c *obs.Counter
+}
+
+func (cw countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	if n > 0 {
+		cw.c.Add(int64(n))
+	}
+	return n, err
+}
+
+// proxyPipe copies bytes both ways between the plain-TCP side and the
+// tunnel side, propagating EOF as a half-close in each direction, and
+// closes both once both directions finish. This preserves
+// request/response protocols that rely on FIN (e.g. "write request,
+// shutdown, read reply to EOF"). Raw bytes are counted per direction:
+// in covers plain→tunnel, out covers tunnel→plain.
+func proxyPipe(plain, tunnel io.ReadWriteCloser, in, out *obs.Counter) {
 	var wg sync.WaitGroup
-	half := func(dst, src io.ReadWriteCloser) {
+	half := func(dst, src io.ReadWriteCloser, c *obs.Counter) {
 		defer wg.Done()
-		io.Copy(dst, src)
+		io.Copy(countingWriter{w: dst, c: c}, src)
 		if hc, ok := dst.(halfCloser); ok {
 			hc.CloseWrite()
 		} else {
@@ -89,11 +111,11 @@ func proxyPipe(a, b io.ReadWriteCloser) {
 		}
 	}
 	wg.Add(2)
-	go half(a, b)
-	half(b, a)
+	go half(plain, tunnel, out)
+	half(tunnel, plain, in)
 	wg.Wait()
-	a.Close()
-	b.Close()
+	plain.Close()
+	tunnel.Close()
 }
 
 // ingressMetrics holds the ingress's children of the registry families.
@@ -102,6 +124,8 @@ type ingressMetrics struct {
 	active    *obs.Gauge
 	dials     *obs.Counter
 	dialFails *obs.Counter
+	bytesIn   *obs.Counter
+	bytesOut  *obs.Counter
 }
 
 func newIngressMetrics(reg *obs.Registry) ingressMetrics {
@@ -113,7 +137,15 @@ func newIngressMetrics(reg *obs.Registry) ingressMetrics {
 		active:    reg.Gauge(MetricActiveTunneled, "Client connections currently tunneled.").Child(),
 		dials:     reg.Counter(MetricTunnelDials, "Dials of the egress-gateway session.").Child(),
 		dialFails: reg.Counter(MetricTunnelDialFailures, "Failed dials of the egress-gateway session.").Child(),
+		bytesIn:   tunnelBytesCounter(reg, "in"),
+		bytesOut:  tunnelBytesCounter(reg, "out"),
 	}
+}
+
+func tunnelBytesCounter(reg *obs.Registry, direction string) *obs.Counter {
+	return reg.Counter(MetricTunnelBytes,
+		"Raw bytes piped through the gateway, by direction relative to the tunnel.",
+		obs.Label{Name: "direction", Value: direction}).Child()
 }
 
 // Ingress is the application-facing gateway: it accepts plain TCP
@@ -250,12 +282,19 @@ func (in *Ingress) tunnel(client net.Conn) {
 		client.Close()
 		return
 	}
-	st, err := sess.OpenStream()
+	// The client's address travels as stream origin metadata: the egress
+	// keys consistent-hash balancing on it, and trace timelines can name
+	// the flow.
+	origin := ""
+	if ra := client.RemoteAddr(); ra != nil {
+		origin = ra.String()
+	}
+	st, err := sess.OpenStreamOrigin(origin)
 	if err != nil {
 		client.Close()
 		return
 	}
-	proxyPipe(client, st)
+	proxyPipe(client, st, in.metrics.bytesIn, in.metrics.bytesOut)
 }
 
 // ActiveConns returns the number of client connections currently
@@ -264,6 +303,13 @@ func (in *Ingress) ActiveConns() int {
 	in.mu.Lock()
 	defer in.mu.Unlock()
 	return in.active
+}
+
+// TunnelBytes returns the raw bytes piped through this gateway so far:
+// in from the plain-TCP side into the tunnel, out from the tunnel back
+// to the plain-TCP side.
+func (in *Ingress) TunnelBytes() (inBytes, outBytes int64) {
+	return in.metrics.bytesIn.Value(), in.metrics.bytesOut.Value()
 }
 
 // Stats snapshots the current tunnel connection's engine counters
@@ -327,9 +373,13 @@ func (in *Ingress) Drain(ctx context.Context) error {
 	in.draining = true
 	ln := in.ln
 	in.ln = nil
+	active := in.active
 	in.mu.Unlock()
 	if ln != nil {
 		ln.Close()
+	}
+	if l := in.cfg.Logger; l != nil {
+		l.Info("adoc ingress draining", "active_conns", active)
 	}
 
 	done := make(chan struct{})
@@ -344,9 +394,15 @@ func (in *Ingress) Drain(ctx context.Context) error {
 	select {
 	case <-done:
 		in.Close()
+		if l := in.cfg.Logger; l != nil {
+			l.Info("adoc ingress drained")
+		}
 		return nil
 	case <-ctx.Done():
 		in.Close() // fails remaining pipes, which unblocks the watcher
+		if l := in.cfg.Logger; l != nil {
+			l.Warn("adoc ingress drain timed out", "err", ctx.Err())
+		}
 		return ctx.Err()
 	}
 }
@@ -406,17 +462,46 @@ const backendDialTimeout = 5 * time.Second
 // around dial failures, and (with StartHealthChecks) probes them in the
 // background.
 type Egress struct {
-	cfg Config
-	reg *obs.Registry
+	cfg      Config
+	reg      *obs.Registry
+	bytesIn  *obs.Counter
+	bytesOut *obs.Counter
 
 	mu       sync.Mutex
 	idle     *sync.Cond // signaled when streams drains to zero
 	backends []*egBackend
 	conns    map[*Session]struct{}
-	streams  int // total piped streams, across backends
+	streams  int    // total piped streams, across backends
+	balance  string // backend selection mode (BalanceLeastLoaded/BalanceHash)
 	hcStop   chan struct{}
 	draining bool
 	closed   bool
+}
+
+// Balance modes for Egress backend selection.
+const (
+	// BalanceLeastLoaded picks the healthy backend with the fewest active
+	// streams — the default.
+	BalanceLeastLoaded = "least-loaded"
+	// BalanceHash picks by rendezvous (highest-random-weight) hash of the
+	// stream's origin metadata, so streams from the same client address
+	// consistently land on the same backend while it stays healthy, and
+	// backend set changes only remap the streams that hashed to the
+	// removed backend. Streams without origin metadata fall back to
+	// least-loaded.
+	BalanceHash = "hash"
+)
+
+// SetBalance selects the backend balancing mode (BalanceLeastLoaded or
+// BalanceHash); unknown modes select the default. Takes effect for
+// future streams.
+func (eg *Egress) SetBalance(mode string) {
+	eg.mu.Lock()
+	defer eg.mu.Unlock()
+	if mode != BalanceHash {
+		mode = BalanceLeastLoaded
+	}
+	eg.balance = mode
 }
 
 // NewEgress returns an egress gateway that connects tunneled streams to
@@ -428,7 +513,11 @@ func NewEgress(backendAddr string, cfg Config) *Egress {
 	if reg == nil {
 		reg = obs.Default()
 	}
-	eg := &Egress{cfg: cfg, reg: reg, conns: map[*Session]struct{}{}}
+	eg := &Egress{cfg: cfg, reg: reg, conns: map[*Session]struct{}{},
+		balance:  BalanceLeastLoaded,
+		bytesIn:  tunnelBytesCounter(reg, "in"),
+		bytesOut: tunnelBytesCounter(reg, "out"),
+	}
 	eg.idle = sync.NewCond(&eg.mu)
 	eg.SetBackends([]string{backendAddr})
 	return eg
@@ -504,14 +593,29 @@ func (eg *Egress) Backends() []BackendStatus {
 	return out
 }
 
-// pick chooses the least-loaded healthy backend not yet tried, failing
-// open to unhealthy ones (they may have recovered, and the dial loop
-// finds out) once every healthy backend has been tried. nil when
-// everything has been tried.
-func (eg *Egress) pick(tried map[string]bool) *egBackend {
+// rendezvousScore is the highest-random-weight hash of one (key,
+// backend) pair: each stream key ranks every backend, and the top-ranked
+// untried healthy one wins. FNV-1a is plenty — the scores only need to
+// be stable and well-spread, not adversary-proof.
+func rendezvousScore(key, addr string) uint64 {
+	h := fnv.New64a()
+	io.WriteString(h, key)
+	h.Write([]byte{0})
+	io.WriteString(h, addr)
+	return h.Sum64()
+}
+
+// pick chooses the best healthy backend not yet tried — least-loaded by
+// default, highest rendezvous score for key in hash mode — failing open
+// to unhealthy ones (they may have recovered, and the dial loop finds
+// out) once every healthy backend has been tried. nil when everything
+// has been tried.
+func (eg *Egress) pick(tried map[string]bool, key string) *egBackend {
 	eg.mu.Lock()
 	defer eg.mu.Unlock()
+	hashed := eg.balance == BalanceHash && key != ""
 	var best *egBackend
+	var bestScore uint64
 	better := func(b *egBackend) bool {
 		if tried[b.addr] {
 			return false
@@ -522,25 +626,32 @@ func (eg *Egress) pick(tried map[string]bool) *egBackend {
 		if b.healthy != best.healthy {
 			return b.healthy
 		}
+		if hashed {
+			return rendezvousScore(key, b.addr) > bestScore
+		}
 		return b.active < best.active
 	}
 	for _, b := range eg.backends {
 		if better(b) {
 			best = b
+			if hashed {
+				bestScore = rendezvousScore(key, best.addr)
+			}
 		}
 	}
 	return best
 }
 
-// dialBackend connects one stream to a backend: least-loaded healthy
-// first, marking dial failures unhealthy and moving on, until a dial
-// succeeds or every backend has been tried (ErrNoHealthyBackend). On
-// success the stream is already counted against the backend; the caller
-// must pair it with releaseBackend.
-func (eg *Egress) dialBackend() (net.Conn, *egBackend, error) {
+// dialBackend connects one stream to a backend: the balance mode's
+// choice first (keyed on the stream's origin metadata in hash mode),
+// marking dial failures unhealthy and moving on, until a dial succeeds
+// or every backend has been tried (ErrNoHealthyBackend). On success the
+// stream is already counted against the backend; the caller must pair it
+// with releaseBackend.
+func (eg *Egress) dialBackend(key string) (net.Conn, *egBackend, error) {
 	tried := map[string]bool{}
 	for {
-		b := eg.pick(tried)
+		b := eg.pick(tried, key)
 		if b == nil {
 			return nil, nil, ErrNoHealthyBackend
 		}
@@ -550,9 +661,13 @@ func (eg *Egress) dialBackend() (net.Conn, *egBackend, error) {
 		if err != nil {
 			b.dialFails.Inc()
 			eg.mu.Lock()
+			wasHealthy := b.healthy
 			b.healthy = false
 			eg.mu.Unlock()
 			b.healthyG.Set(0)
+			if l := eg.cfg.Logger; l != nil && wasHealthy {
+				l.Warn("adoc backend unhealthy", "backend", b.addr, "cause", "dial", "err", err)
+			}
 			continue
 		}
 		eg.mu.Lock()
@@ -625,6 +740,7 @@ func (eg *Egress) checkBackends(timeout time.Duration) {
 				break
 			}
 		}
+		changed := present && b.healthy != healthy
 		if present {
 			b.healthy = healthy
 		}
@@ -634,6 +750,13 @@ func (eg *Egress) checkBackends(timeout time.Duration) {
 				b.healthyG.Set(1)
 			} else {
 				b.healthyG.Set(0)
+			}
+			if l := eg.cfg.Logger; l != nil && changed {
+				if healthy {
+					l.Info("adoc backend healthy", "backend", b.addr, "cause", "health-check")
+				} else {
+					l.Warn("adoc backend unhealthy", "backend", b.addr, "cause", "health-check", "err", err)
+				}
 			}
 		}
 	}
@@ -691,7 +814,7 @@ func (eg *Egress) ServeConn(conn *adocnet.Conn) error {
 			continue
 		}
 		go func() {
-			backend, b, err := eg.dialBackend()
+			backend, b, err := eg.dialBackend(st.Origin())
 			if err != nil {
 				// No backend reachable: refuse just this stream; the
 				// tunnel and its other streams are fine.
@@ -701,9 +824,16 @@ func (eg *Egress) ServeConn(conn *adocnet.Conn) error {
 			defer eg.releaseBackend(b)
 			// proxyPipe detects CloseWrite on the dynamic type, so the
 			// TCP half-close works through the net.Conn interface.
-			proxyPipe(backend, st)
+			proxyPipe(backend, st, eg.bytesIn, eg.bytesOut)
 		}()
 	}
+}
+
+// TunnelBytes returns the raw bytes piped through this gateway so far:
+// in from the plain-TCP (backend) side into the tunnel, out from the
+// tunnel toward the backends.
+func (eg *Egress) TunnelBytes() (inBytes, outBytes int64) {
+	return eg.bytesIn.Value(), eg.bytesOut.Value()
 }
 
 // ActiveStreams returns the number of streams currently piped to
@@ -723,7 +853,11 @@ func (eg *Egress) ActiveStreams() int {
 func (eg *Egress) Drain(ctx context.Context) error {
 	eg.mu.Lock()
 	eg.draining = true
+	streams := eg.streams
 	eg.mu.Unlock()
+	if l := eg.cfg.Logger; l != nil {
+		l.Info("adoc egress draining", "active_streams", streams)
+	}
 
 	done := make(chan struct{})
 	go func() {
@@ -737,9 +871,15 @@ func (eg *Egress) Drain(ctx context.Context) error {
 	select {
 	case <-done:
 		eg.Close()
+		if l := eg.cfg.Logger; l != nil {
+			l.Info("adoc egress drained")
+		}
 		return nil
 	case <-ctx.Done():
 		eg.Close() // fails remaining pipes, which unblocks the watcher
+		if l := eg.cfg.Logger; l != nil {
+			l.Warn("adoc egress drain timed out", "err", ctx.Err())
+		}
 		return ctx.Err()
 	}
 }

@@ -40,6 +40,25 @@ type Session struct {
 	sending   bool   // a swapped-out batch is on the connection right now
 	flushGone bool   // Close's flush wait timed out; stop waiting
 	sendErr   error
+	batchTC   adoc.TraceContext // trace context of the batch being built
+}
+
+// sampleBatchLocked runs under sendMu at the instant a new batch opens
+// (first frame into an empty buffer): it makes the 1-in-N sampling
+// decision and, when both peers negotiated the trace capability, puts
+// the MuxTrace frame carrying the context at the head of the batch so
+// the receiver adopts the trace before any data frame of the message.
+// With a flagless peer the batch is still traced locally — the send-side
+// spans record — but not a byte of the wire changes.
+func (s *Session) sampleBatchLocked() {
+	tr := s.conn.FlowTracer()
+	if !tr.Enabled() {
+		return
+	}
+	s.batchTC = tr.SampleNext()
+	if s.batchTC.Sampled && s.conn.Negotiated().Trace {
+		s.sendBuf = wire.AppendMuxTrace(s.sendBuf, s.batchTC.ID, true)
+	}
 }
 
 // Client starts the session protocol on the dialing side of conn; it
@@ -113,7 +132,14 @@ func (s *Session) NumStreams() int {
 // OpenStream opens a new stream to the peer. It does not wait for the
 // peer: the open frame is queued and the stream is immediately usable
 // (writes consume the initial credit window).
-func (s *Session) OpenStream() (*Stream, error) {
+func (s *Session) OpenStream() (*Stream, error) { return s.OpenStreamOrigin("") }
+
+// OpenStreamOrigin is OpenStream carrying origin metadata — typically the
+// originating client's address — in the open frame. The peer reads it
+// back from Stream.Origin; gateways use it as the stable key for
+// consistent-hash backend balancing. Origins longer than
+// wire.MaxMuxOriginLen bytes are truncated.
+func (s *Session) OpenStreamOrigin(origin string) (*Stream, error) {
 	s.mu.Lock()
 	if s.err != nil {
 		err := s.err
@@ -133,12 +159,19 @@ func (s *Session) OpenStream() (*Stream, error) {
 		s.nextID += 2
 	}
 	st := newStream(s, id)
+	st.origin = origin
 	s.streams[id] = st
 	s.mu.Unlock()
 	s.metrics.opened.Inc()
 	s.metrics.active.Inc()
 
-	if err := s.enqueueCtl(wire.AppendMuxOpen(nil, id)); err != nil {
+	var open []byte
+	if origin != "" {
+		open = wire.AppendMuxOpenOrigin(nil, id, origin)
+	} else {
+		open = wire.AppendMuxOpen(nil, id)
+	}
+	if err := s.enqueueCtl(open); err != nil {
 		s.forget(id)
 		return nil, err
 	}
@@ -283,6 +316,9 @@ func (s *Session) enqueueCtl(frame []byte) error {
 	if s.sendErr != nil {
 		return s.sendErr
 	}
+	if len(s.sendBuf) == 0 {
+		s.sampleBatchLocked()
+	}
 	s.sendBuf = append(s.sendBuf, frame...)
 	s.sendCond.Signal()
 	return nil
@@ -305,6 +341,9 @@ func (s *Session) enqueueData(id uint32, p []byte, st *Stream) error {
 	}
 	if s.sendErr != nil {
 		return s.sendErr
+	}
+	if len(s.sendBuf) == 0 {
+		s.sampleBatchLocked()
 	}
 	s.sendBuf = wire.AppendMuxData(s.sendBuf, id, p)
 	s.sendCond.Signal()
@@ -335,13 +374,15 @@ func (s *Session) sendLoop() {
 			return
 		}
 		batch := s.sendBuf
+		tc := s.batchTC
+		s.batchTC = adoc.TraceContext{}
 		s.sendBuf = s.spare[:0]
 		s.spare = nil
 		s.sending = true
 		s.sendCond.Broadcast() // writers waiting on MaxBatch
 		s.sendMu.Unlock()
 
-		_, err := s.conn.WriteMessage(batch)
+		_, err := s.conn.WriteMessageTC(batch, tc)
 		if err == nil {
 			s.metrics.batches.Inc()
 			s.metrics.batchBytes.Add(int64(len(batch)))
@@ -395,6 +436,13 @@ func (s *Session) remoteID(id uint32) bool {
 
 func (s *Session) handleFrame(f wire.MuxFrame) error {
 	switch f.Kind {
+	case wire.MuxTrace:
+		// The sender's trace context, placed at the head of a sampled
+		// batch: adopt it on the connection so receive-side spans measured
+		// before this frame decoded (receive, decompress) flush under the
+		// sender's trace ID.
+		s.conn.AdoptRecvTrace(adoc.TraceContext{ID: f.TraceID, Sampled: f.TraceSampled})
+
 	case wire.MuxOpen:
 		if !s.remoteID(f.StreamID) {
 			return fmt.Errorf("adocmux: peer opened stream %d in our ID space", f.StreamID)
@@ -411,6 +459,7 @@ func (s *Session) handleFrame(f wire.MuxFrame) error {
 			return fmt.Errorf("adocmux: peer reopened live stream %d", f.StreamID)
 		}
 		st := newStream(s, f.StreamID)
+		st.origin = string(f.Payload)
 		s.streams[f.StreamID] = st
 		s.mu.Unlock()
 		s.metrics.active.Inc()
@@ -433,6 +482,15 @@ func (s *Session) handleFrame(f wire.MuxFrame) error {
 		if st != nil {
 			var violation bool
 			accepted, violation = st.deliverData(f.Payload)
+			if accepted {
+				if tc, ok := s.conn.RecvTraceContext(); ok && tc.Sampled {
+					// Per-stream delivery attribution: the batch-level
+					// deliver span covers the whole message; this one pins
+					// the bytes to the stream they reached.
+					tr := s.conn.FlowTracer()
+					tr.Record(tc, f.StreamID, adoc.StageDeliver, tr.Now(), 0, len(f.Payload), 0)
+				}
+			}
 			if violation {
 				// The peer sent beyond the credit we granted. Honoring it
 				// would let a buggy or hostile peer grow our buffers

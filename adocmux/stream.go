@@ -16,8 +16,9 @@ import (
 // shares the session's adaptive controller and compression pipeline —
 // there is no per-stream compression state.
 type Stream struct {
-	id   uint32
-	sess *Session
+	id     uint32
+	sess   *Session
+	origin string // open-frame metadata: the originating client address
 
 	wmu sync.Mutex // serializes writers (order across credit + enqueue)
 
@@ -153,6 +154,10 @@ func (st *Stream) ID() uint32 { return st.id }
 
 // Session returns the stream's session.
 func (st *Stream) Session() *Session { return st.sess }
+
+// Origin returns the origin metadata the opener attached to the stream
+// (OpenStreamOrigin), or "" when none was sent. Immutable after open.
+func (st *Stream) Origin() string { return st.origin }
 
 // Read fills p with the next bytes of the stream, blocking until at
 // least one byte is available, the peer half-closes (io.EOF after the

@@ -107,6 +107,13 @@ type Options struct {
 	// from a peer built before stream multiplexing existed. Mux sessions
 	// require both sides to advertise; see Negotiated.Mux.
 	DisableMux bool
+
+	// DisableTrace stops this endpoint from advertising the mux
+	// session-metadata capability (flow-trace contexts, stream origin
+	// addresses), making it look like a peer built before flow tracing
+	// existed. Local span recording still works with it disabled — only
+	// cross-hop propagation needs both sides; see Negotiated.Trace.
+	DisableTrace bool
 }
 
 // Defaults returns the paper configuration with the full adaptive level
@@ -136,6 +143,12 @@ type Negotiated struct {
 	// and the connection degrades to plain message traffic — old peers
 	// keep working.
 	Mux bool
+	// Trace reports that both endpoints advertised the mux
+	// session-metadata capability: flow-trace contexts (MuxTrace) and
+	// stream origin addresses may cross this connection. With it off,
+	// tracing stays local to each endpoint and no new bytes hit the
+	// wire.
+	Trace bool
 }
 
 func (n Negotiated) String() string {
@@ -143,6 +156,9 @@ func (n Negotiated) String() string {
 		n.Version, n.PacketSize, n.BufferSize, n.MinLevel, n.MaxLevel, n.Codecs)
 	if n.Mux {
 		s += " +mux"
+	}
+	if n.Trace {
+		s += " +trace"
 	}
 	return s
 }
@@ -170,6 +186,9 @@ func offer(o Options) (wire.Handshake, error) {
 	var flags uint16
 	if !o.DisableMux {
 		flags |= wire.HandshakeFlagMux
+	}
+	if !o.DisableTrace {
+		flags |= wire.HandshakeFlagTrace
 	}
 	return wire.Handshake{
 		MinVersion: wire.Version,
@@ -212,7 +231,8 @@ func negotiate(local, remote wire.Handshake) (Negotiated, error) {
 		MaxLevel:   min(local.MaxLevel, remote.MaxLevel),
 		// Capabilities are in effect only when both sides advertise them;
 		// a legacy peer's absent flags word reads as "none".
-		Mux: local.Flags&remote.Flags&wire.HandshakeFlagMux != 0,
+		Mux:   local.Flags&remote.Flags&wire.HandshakeFlagMux != 0,
+		Trace: local.Flags&remote.Flags&wire.HandshakeFlagTrace != 0,
 	}
 	if n.PacketSize <= 0 || n.BufferSize <= 0 {
 		return Negotiated{}, fmt.Errorf("adocnet: peer offered zero-sized packets or buffers")
@@ -325,7 +345,18 @@ func (c *Conn) RemoteAddr() net.Addr { return c.raw.RemoteAddr() }
 func Handshake(conn net.Conn, opts Options) (c *Conn, err error) {
 	// Every attempt lands in the outcome counter, successes included, so
 	// an operator can alert on the failure ratio rather than a raw count.
-	defer func() { countHandshake(opts.Metrics, err) }()
+	defer func() {
+		countHandshake(opts.Metrics, err)
+		if l := opts.Logger; l != nil {
+			if err != nil {
+				l.Warn("adoc handshake failed",
+					"remote", conn.RemoteAddr().String(), "err", err)
+			} else {
+				l.Info("adoc handshake",
+					"remote", conn.RemoteAddr().String(), "negotiated", c.neg.String())
+			}
+		}
+	}()
 	local, err := offer(opts)
 	if err != nil {
 		return nil, err

@@ -220,6 +220,7 @@ func TestLegacyFlaglessPeerTransfer(t *testing.T) {
 	// exactly like a build that predates both fields.
 	legacyOpts := Defaults()
 	legacyOpts.DisableMux = true
+	legacyOpts.DisableTrace = true
 	legacyOpts.Codecs = adoc.LegacyCodecMask
 
 	type res struct {

@@ -148,6 +148,18 @@ func (p *Pool) call(ctx context.Context, method string, args [][]byte) ([][]byte
 		st.SetDeadline(dl)
 	}
 
+	// Call-level span: the whole round trip, keyed by the call's stream ID
+	// so /debug/trace can line it up with the per-stream delivery spans.
+	// Calls aren't sampled — the stage histogram wants every round trip —
+	// so the span carries no trace ID (0 marks "untraced" in the ring).
+	if tr := ps.sess.Conn().FlowTracer(); tr.Enabled() {
+		t0 := tr.Now()
+		id := st.ID()
+		defer func() {
+			tr.Record(adoc.TraceContext{Sampled: true}, id, adoc.StageCall, t0, tr.Now().Sub(t0), 0, 0)
+		}()
+	}
+
 	// Cancellation watcher: closing the stream is what unblocks its
 	// pending reads and writes, releases its window credit on both ends,
 	// and retires it from both stream tables — cancel cleans up after

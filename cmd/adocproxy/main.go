@@ -19,9 +19,14 @@
 // set, pin countdown, per-level bandwidth).
 //
 // Operations: -http starts the ops listener (/metrics, /healthz,
-// /debug/adapt), SIGTERM drains gracefully for up to -drain-timeout,
-// and on the egress SIGHUP reloads -backends-file without disturbing
-// established streams. See the README's Operations section.
+// /debug/adapt, /debug/trace, /debug/pprof), SIGTERM drains gracefully
+// for up to -drain-timeout, and on the egress SIGHUP reloads
+// -backends-file without disturbing established streams. -trace-sample N
+// traces 1 in N tunnel batches through the pipeline stages (spans at
+// /debug/trace, adoc_stage_seconds histograms at /metrics), and
+// -log-level turns on structured logging of handshakes, adapt
+// transitions, backend health flips, and drain progress. See the
+// README's Operations section.
 package main
 
 import (
@@ -29,6 +34,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net"
 	"os"
 	"os/signal"
@@ -55,18 +61,30 @@ func main() {
 		maxLevel    = flag.Int("maxlevel", 10, "maximum compression level offered [0,10]")
 		parallelism = flag.Int("parallelism", 0, "compression workers (0 = auto)")
 		statsEvery  = flag.Duration("stats", 0, "ingress: print tunnel stats at this interval (0 = off)")
-		httpAddr    = flag.String("http", "", "ops HTTP listener: /metrics, /healthz, /debug/adapt (empty = off)")
+		httpAddr    = flag.String("http", "", "ops HTTP listener: /metrics, /healthz, /debug/adapt, /debug/trace, /debug/pprof (empty = off)")
 		healthIvl   = flag.Duration("health-interval", 2*time.Second, "egress: backend health-check interval (0 = off)")
 		drainWait   = flag.Duration("drain-timeout", 30*time.Second, "graceful-drain bound on SIGTERM/SIGINT")
+		balance     = flag.String("balance", adocmux.BalanceLeastLoaded, "egress: backend pick mode: least-loaded, or hash (consistent by client address)")
+		traceSample = flag.Int("trace-sample", 0, "trace 1 in N tunnel batches through the pipeline stages (0 = off)")
+		logLevel    = flag.String("log-level", "", "structured logging to stderr at this level: debug, info, warn, error (empty = off)")
 	)
 	flag.Parse()
 
+	logger := buildLogger(*logLevel)
 	opts := adocmux.TransportOptions()
 	opts.MinLevel = adoc.Level(*minLevel)
 	opts.MaxLevel = adoc.Level(*maxLevel)
 	opts.Parallelism = *parallelism
+	opts.Logger = logger
+	var tracer *adoc.FlowTracer
+	if *traceSample > 0 {
+		tracer = adoc.NewFlowTracer(adoc.FlowTracerConfig{SampleEvery: *traceSample})
+		opts.FlowTracer = tracer
+	}
+	cfg := adocmux.Config{Logger: logger}
 
 	ops := newOpsServer(nil) // the process-wide default registry
+	ops.flow = tracer
 	opts.Trace.OnTransition = ops.recordTransition
 	if *httpAddr != "" {
 		addr, err := ops.listen(*httpAddr)
@@ -85,7 +103,7 @@ func main() {
 		if err != nil {
 			log.Fatalf("adocproxy: %v", err)
 		}
-		in := adocmux.NewIngress(*peer, opts, adocmux.Config{})
+		in := adocmux.NewIngress(*peer, opts, cfg)
 		in.RegisterMetrics(nil) // adapt level/bandwidth gauges
 		if *statsEvery > 0 {
 			go reportStats(in, *statsEvery)
@@ -107,8 +125,9 @@ func main() {
 		if err != nil {
 			log.Fatalf("adocproxy: %v", err)
 		}
-		eg := adocmux.NewEgress(list[0], adocmux.Config{})
+		eg := adocmux.NewEgress(list[0], cfg)
 		eg.SetBackends(list)
+		eg.SetBalance(*balance)
 		if *healthIvl > 0 {
 			eg.StartHealthChecks(*healthIvl, *healthIvl)
 		}
@@ -194,6 +213,19 @@ func runSignals(ops *opsServer, timeout time.Duration, drain func(context.Contex
 	}
 }
 
+// buildLogger turns the -log-level flag into a text slog.Logger on
+// stderr; empty means logging stays off (nil logger everywhere).
+func buildLogger(level string) *slog.Logger {
+	if level == "" {
+		return nil
+	}
+	var lv slog.Level
+	if err := lv.UnmarshalText([]byte(level)); err != nil {
+		log.Fatalf("adocproxy: -log-level: %v", err)
+	}
+	return slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lv}))
+}
+
 func fatalUsage(msg string) {
 	fmt.Fprintf(os.Stderr, "adocproxy: %s\n", msg)
 	flag.Usage()
@@ -209,12 +241,21 @@ func reportStats(in *adocmux.Ingress, every time.Duration) {
 		if !ok {
 			continue
 		}
-		log.Print(FormatStats(s))
+		pin, pout := in.TunnelBytes()
+		log.Print(FormatStats(s, TunnelTraffic{In: pin, Out: pout}))
 	}
 }
 
-// FormatStats renders one human-readable stats line.
-func FormatStats(s adoc.Stats) string {
+// TunnelTraffic is the gateway-level piped-byte view FormatStats can
+// append to the engine snapshot: raw bytes from the plain-TCP side into
+// the tunnel (In) and back out of it (Out).
+type TunnelTraffic struct {
+	In, Out int64
+}
+
+// FormatStats renders one human-readable stats line. An optional
+// TunnelTraffic appends the gateway's piped-byte counters.
+func FormatStats(s adoc.Stats, tunnel ...TunnelTraffic) string {
 	var b strings.Builder
 	ratio := 1.0
 	if s.WireSent > 0 {
@@ -234,6 +275,9 @@ func FormatStats(s adoc.Stats) string {
 	if bw := s.Adapt.BandwidthBps[s.Adapt.Level]; bw > 0 {
 		fmt.Fprintf(&b, " level-bw=%.1fMB/s", bw/1e6)
 	}
+	if len(tunnel) > 0 {
+		fmt.Fprintf(&b, " piped(in)=%dB piped(out)=%dB", tunnel[0].In, tunnel[0].Out)
+	}
 	return b.String()
 }
 
@@ -248,6 +292,7 @@ type StatsLine struct {
 	BypassRun  int
 	Forbidden  []adoc.Level
 	LevelBwMBs float64
+	Tunnel     TunnelTraffic
 }
 
 var statsLineRE = regexp.MustCompile(
@@ -255,7 +300,8 @@ var statsLineRE = regexp.MustCompile(
 		`(?: pinned\(incompressible\)=(\d+)pkts)?` +
 		`(?: bypass\(entropy\)=(\d+)bufs)?` +
 		`(?: forbidden\(diverged\)=\[([^\]]*)\])?` +
-		`(?: level-bw=([\d.]+)MB/s)?`)
+		`(?: level-bw=([\d.]+)MB/s)?` +
+		`(?: piped\(in\)=(\d+)B piped\(out\)=(\d+)B)?`)
 
 // ParseStats decodes a FormatStats line. It is the test- and
 // tooling-facing inverse of FormatStats: the two are pinned against each
@@ -288,6 +334,10 @@ func ParseStats(line string) (StatsLine, error) {
 	}
 	if m[10] != "" {
 		s.LevelBwMBs, _ = strconv.ParseFloat(m[10], 64)
+	}
+	if m[11] != "" {
+		s.Tunnel.In, _ = strconv.ParseInt(m[11], 10, 64)
+		s.Tunnel.Out, _ = strconv.ParseInt(m[12], 10, 64)
 	}
 	return s, nil
 }

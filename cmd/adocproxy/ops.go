@@ -6,7 +6,9 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
+	"strconv"
 	"strings"
 	"sync/atomic"
 
@@ -16,12 +18,15 @@ import (
 
 // opsServer is a gateway's operational HTTP surface:
 //
-//	/metrics     Prometheus text exposition of the metrics registry
-//	/healthz     200 "ok" while serving, 503 "draining" once shutdown began
-//	/debug/adapt JSON ring of recent adaptive level transitions, with cause
+//	/metrics      Prometheus text exposition of the metrics registry
+//	/healthz      200 "ok" while serving, 503 "draining" once shutdown began
+//	/debug/adapt  JSON ring of recent adaptive level transitions, with cause
+//	/debug/trace  JSON ring of sampled pipeline spans (?trace=ID&stream=N)
+//	/debug/pprof  the stdlib profiling endpoints
 type opsServer struct {
 	reg      *obs.Registry
 	trace    *obs.AdaptTrace
+	flow     *adoc.FlowTracer
 	draining atomic.Bool
 }
 
@@ -48,6 +53,12 @@ func (o *opsServer) handler() http.Handler {
 	mux.Handle("/metrics", obs.Handler(o.reg))
 	mux.HandleFunc("/healthz", o.healthz)
 	mux.HandleFunc("/debug/adapt", o.debugAdapt)
+	mux.HandleFunc("/debug/trace", o.debugTrace)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
 }
 
@@ -65,6 +76,25 @@ func (o *opsServer) debugAdapt(w http.ResponseWriter, _ *http.Request) {
 		Total  int64            `json:"total"`
 		Events []obs.AdaptEvent `json:"events"`
 	}{o.trace.Total(), o.trace.Events()})
+}
+
+// debugTrace dumps the flow tracer's retained spans, oldest-first.
+// ?trace=ID (decimal or 0x-hex) filters to one flow, ?stream=N to one
+// mux stream; with tracing off it reports sampling=0 and no spans.
+func (o *opsServer) debugTrace(w http.ResponseWriter, r *http.Request) {
+	var traceID, streamID uint64
+	if v := r.URL.Query().Get("trace"); v != "" {
+		traceID, _ = strconv.ParseUint(v, 0, 64)
+	}
+	if v := r.URL.Query().Get("stream"); v != "" {
+		streamID, _ = strconv.ParseUint(v, 10, 32)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(struct {
+		SampleEvery int              `json:"sampling"`
+		Total       int64            `json:"total"`
+		Spans       []adoc.TraceSpan `json:"spans"`
+	}{o.flow.SampleEvery(), o.flow.Total(), o.flow.Spans(traceID, uint32(streamID))})
 }
 
 // listen starts serving the ops endpoints on addr and returns the bound

@@ -31,7 +31,7 @@ func TestParseStatsRoundtrip(t *testing.T) {
 	s.Adapt.ForbiddenFor[8] = 50 * time.Millisecond
 	s.Adapt.BandwidthBps[4] = 12_500_000
 
-	got, err := ParseStats(FormatStats(s))
+	got, err := ParseStats(FormatStats(s, TunnelTraffic{In: 5000, Out: 6000}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,6 +56,9 @@ func TestParseStatsRoundtrip(t *testing.T) {
 	if got.LevelBwMBs != 12.5 {
 		t.Errorf("level bandwidth: %+v", got)
 	}
+	if got.Tunnel.In != 5000 || got.Tunnel.Out != 6000 {
+		t.Errorf("tunnel bytes: %+v", got.Tunnel)
+	}
 
 	// Quiet line: optional fields absent, parse still succeeds.
 	quiet := adoc.Stats{}
@@ -69,6 +72,9 @@ func TestParseStatsRoundtrip(t *testing.T) {
 	}
 	if q.Pinned != 0 || q.BypassRun != 0 || len(q.Forbidden) != 0 {
 		t.Errorf("quiet line parsed as %+v", q)
+	}
+	if q.Tunnel != (TunnelTraffic{}) {
+		t.Errorf("quiet line grew tunnel bytes: %+v", q.Tunnel)
 	}
 
 	if _, err := ParseStats("not a stats line"); err == nil {
@@ -156,7 +162,8 @@ func TestStatsOutputFromLiveTunnel(t *testing.T) {
 	if !ok {
 		t.Fatal("ingress has no live session after traffic")
 	}
-	line := FormatStats(st)
+	pin, pout := in.TunnelBytes()
+	line := FormatStats(st, TunnelTraffic{In: pin, Out: pout})
 	parsed, err := ParseStats(line)
 	if err != nil {
 		t.Fatalf("live stats line unparseable: %v\nline: %s", err, line)
@@ -174,5 +181,11 @@ func TestStatsOutputFromLiveTunnel(t *testing.T) {
 	// saved bytes, and the parsed ratio must agree with the counters.
 	if parsed.Wire >= parsed.Raw {
 		t.Errorf("tunnel did not compress: raw=%d wire=%d\nline: %s", parsed.Raw, parsed.Wire, line)
+	}
+	// The 1 MB pushed in and the 1 MB echoed back both crossed the
+	// ingress pipes; the printed gateway counters must carry them.
+	if parsed.Tunnel.In < int64(len(payload)) || parsed.Tunnel.Out < int64(len(payload)) {
+		t.Errorf("tunnel bytes in=%d out=%d, want >= %d each\nline: %s",
+			parsed.Tunnel.In, parsed.Tunnel.Out, len(payload), line)
 	}
 }

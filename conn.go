@@ -72,6 +72,30 @@ func (c *Conn) WriteMessageLevels(p []byte, min, max Level) (sent int64, err err
 	return c.eng.WriteMessageLevels(p, min, max)
 }
 
+// WriteMessageTC is WriteMessage carrying an explicit trace context: when
+// tc.Sampled is set (and Options.FlowTracer is configured) the message's
+// pipeline stages are recorded against tc's trace ID. A zero tc is exactly
+// WriteMessage.
+func (c *Conn) WriteMessageTC(p []byte, tc TraceContext) (sent int64, err error) {
+	return c.eng.WriteMessageTC(p, tc)
+}
+
+// AdoptRecvTrace attributes the receive-side stages of the message
+// currently being delivered to tc. Demultiplexers call this when they find
+// a trace marker inside the decoded payload: spans recorded before
+// adoption (receive, decompress) are buffered and flushed under tc's ID.
+func (c *Conn) AdoptRecvTrace(tc TraceContext) { c.eng.AdoptRecvTrace(tc) }
+
+// RecvTraceContext returns the trace context adopted (via AdoptRecvTrace)
+// for the receive message currently being delivered, and whether one has
+// been adopted — the query demultiplexers make to attribute per-stream
+// delivery spans.
+func (c *Conn) RecvTraceContext() (TraceContext, bool) { return c.eng.RecvTraceContext() }
+
+// FlowTracer returns the tracer this connection records spans to (nil if
+// none was configured).
+func (c *Conn) FlowTracer() *FlowTracer { return c.eng.FlowTracer() }
+
 // SendStream transmits size bytes from r as one message (size < 0 means
 // until EOF). It returns the raw and wire byte counts.
 func (c *Conn) SendStream(r io.Reader, size int64) (raw, sent int64, err error) {

@@ -14,13 +14,15 @@
 // any mismatch, so CI can run it as a loopback smoke test.
 //
 // With -metrics ADDR the process also serves the registry on
-// http://ADDR/metrics (Prometheus text), and -hold keeps it alive that
-// long after the transfer so an external scraper can read the counters
-// the traffic produced.
+// http://ADDR/metrics (Prometheus text) plus /debug/trace (sampled
+// pipeline spans as JSON) and the stdlib /debug/pprof endpoints, and
+// -hold keeps it alive that long after the transfer so an external
+// scraper can read what the traffic produced.
 package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -28,6 +30,7 @@ import (
 	"math/rand"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"strings"
 	"sync"
 	"time"
@@ -48,11 +51,24 @@ func main() {
 	hold := flag.Duration("hold", 0, "keep the process (and /metrics) up this long after the transfer")
 	flag.Parse()
 
+	// Trace every 4th tunnel batch so the smoke run reliably produces
+	// spans and adoc_stage_seconds observations for scrapers.
+	tracer := adoc.NewFlowTracer(adoc.FlowTracerConfig{SampleEvery: 4})
+
 	if *metricsAddr != "" {
 		mln, err := net.Listen("tcp", *metricsAddr)
 		check(err)
 		mux := http.NewServeMux()
 		mux.Handle("/metrics", adoc.MetricsHandler(nil))
+		mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(w).Encode(struct {
+				Total int64            `json:"total"`
+				Spans []adoc.TraceSpan `json:"spans"`
+			}{tracer.Total(), tracer.Spans(0, 0)})
+		})
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 		go http.Serve(mln, mux)
 		log.Printf("metrics: http://%v/metrics", mln.Addr())
 	}
@@ -78,6 +94,7 @@ func main() {
 	// (correctly) settle at level 0 and demo nothing.
 	opts := adocmux.TransportOptions()
 	opts.MinLevel = 1
+	opts.FlowTracer = tracer
 
 	egLn, err := adocnet.Listen("tcp", "127.0.0.1:0", opts)
 	check(err)

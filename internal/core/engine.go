@@ -6,6 +6,7 @@ import (
 	"io"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"adoc/internal/adapt"
 	"adoc/internal/codec"
@@ -53,8 +54,110 @@ type Engine struct {
 	// process-wide unless Options.SharedPool named another.
 	pool *WorkerPool
 
+	// sendTC is the flow-trace context of the in-progress write; written
+	// at the top of every write while wmu is held, so the send pipeline
+	// (which outlives no single write — writeMessage joins its emitter
+	// before returning) reads a stable value.
+	sendTC obs.TraceContext
+
+	// rt buffers receive-side spans until the consumer layer (the mux
+	// demux loop) extracts the sender's trace context from the decoded
+	// payload and adopts it — the trace ID rides inside the compressed
+	// bytes, so receive and decompress spans are measured before the
+	// engine can know which trace they belong to.
+	rt recvTraceState
+
 	stats engineStats
 }
+
+// recvTraceState is the adoption buffer for receive-side spans of the
+// in-progress message. Guarded by its own mutex: the reception and
+// decode goroutines record concurrently with the consumer adopting.
+type recvTraceState struct {
+	mu      sync.Mutex
+	tc      obs.TraceContext
+	adopted bool
+	pending []obs.Span
+}
+
+// maxPendingRecvSpans bounds the spans buffered while a message's trace
+// context is still unknown; one batch rarely exceeds a handful of
+// groups, so overflow just drops the tail.
+const maxPendingRecvSpans = 64
+
+// resetRecvTrace starts a new receive message: unadopted spans belong to
+// a message that turned out not to carry a trace context and are
+// dropped.
+func (e *Engine) resetRecvTrace() {
+	if !e.opts.FlowTracer.Enabled() {
+		return
+	}
+	e.rt.mu.Lock()
+	e.rt.adopted = false
+	e.rt.tc = obs.TraceContext{}
+	e.rt.pending = e.rt.pending[:0]
+	e.rt.mu.Unlock()
+}
+
+// recordRecvSpan records one receive-side stage span: directly once a
+// trace context has been adopted, else buffered pending adoption.
+func (e *Engine) recordRecvSpan(stage string, start time.Time, dur time.Duration, bytes, level int) {
+	tr := e.opts.FlowTracer
+	if !tr.Enabled() {
+		return
+	}
+	e.rt.mu.Lock()
+	if e.rt.adopted {
+		tc := e.rt.tc
+		e.rt.mu.Unlock()
+		tr.Record(tc, 0, stage, start, dur, bytes, level)
+		return
+	}
+	if len(e.rt.pending) < maxPendingRecvSpans {
+		e.rt.pending = append(e.rt.pending, obs.Span{
+			Stage: stage, Start: start, Dur: dur, Bytes: bytes, Level: level,
+		})
+	}
+	e.rt.mu.Unlock()
+}
+
+// AdoptRecvTrace attaches the sender's trace context to the in-progress
+// receive message, flushing spans measured before the context was known.
+// The consumer layer calls it when it finds the context in the decoded
+// payload (a mux MuxTrace frame); it is a no-op without a tracer or for
+// unsampled contexts.
+func (e *Engine) AdoptRecvTrace(tc obs.TraceContext) {
+	tr := e.opts.FlowTracer
+	if !tr.Enabled() || !tc.Sampled {
+		return
+	}
+	e.rt.mu.Lock()
+	e.rt.adopted = true
+	e.rt.tc = tc
+	for _, s := range e.rt.pending {
+		tr.Record(tc, s.StreamID, s.Stage, s.Start, s.Dur, s.Bytes, s.Level)
+	}
+	e.rt.pending = e.rt.pending[:0]
+	e.rt.mu.Unlock()
+}
+
+// RecvTraceContext returns the trace context adopted for the receive
+// message currently being delivered, and whether one has been adopted.
+// Demultiplexers use it to attribute per-stream delivery spans after
+// finding the context at the head of the decoded payload.
+func (e *Engine) RecvTraceContext() (obs.TraceContext, bool) {
+	if !e.opts.FlowTracer.Enabled() {
+		return obs.TraceContext{}, false
+	}
+	e.rt.mu.Lock()
+	tc, ok := e.rt.tc, e.rt.adopted
+	e.rt.mu.Unlock()
+	return tc, ok
+}
+
+// FlowTracer returns the tracer this engine records spans into (nil when
+// tracing is not configured).
+func (e *Engine) FlowTracer() *obs.FlowTracer { return e.opts.FlowTracer }
 
 // engineStats aggregates counters. The additive fields are obs counters —
 // children of the bound registry's family roots, so each increment serves
@@ -169,6 +272,19 @@ func New(rw io.ReadWriter, opts Options) (*Engine, error) {
 	if reg == nil {
 		reg = obs.Default()
 	}
+	// A configured logger observes every controller transition at Debug;
+	// it chains in front of (not instead of) the caller's own hook.
+	onTransition := opts.Trace.OnTransition
+	if logger := opts.Logger; logger != nil {
+		inner := onTransition
+		onTransition = func(tr adapt.Transition) {
+			logger.Debug("adoc adapt transition",
+				"from", int(tr.From), "to", int(tr.To), "cause", tr.Cause)
+			if inner != nil {
+				inner(tr)
+			}
+		}
+	}
 	ctrl := adapt.New(adapt.Config{
 		Min:                        opts.MinLevel,
 		Max:                        opts.MaxLevel,
@@ -179,7 +295,7 @@ func New(rw io.ReadWriter, opts Options) (*Engine, error) {
 		DisableIncompressibleGuard: opts.DisableIncompressibleGuard,
 		OnLevelChange:              opts.Trace.OnLevelChange,
 		OnDivergence:               opts.Trace.OnDivergence,
-		OnTransition:               opts.Trace.OnTransition,
+		OnTransition:               onTransition,
 		Metrics:                    reg,
 	})
 	pool := opts.SharedPool

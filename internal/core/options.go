@@ -11,6 +11,7 @@
 package core
 
 import (
+	"log/slog"
 	"runtime"
 	"time"
 
@@ -148,6 +149,16 @@ type Options struct {
 	// pool, and buffer pool) publishes to; nil selects the process-wide
 	// obs.Default(). It binds per stack exactly the way SharedPool does.
 	Metrics *obs.Registry
+	// FlowTracer records sampled pipeline stage spans (enqueue, queue,
+	// compress, wire, receive, decompress, deliver) for messages written
+	// with a sampled trace context. Nil (or a tracer with sampling
+	// disabled) costs one nil check per stage and allocates nothing.
+	FlowTracer *obs.FlowTracer
+	// Logger receives structured events at the engine's decision points
+	// (adapt level transitions). Nil means silent. Layers above thread
+	// the same logger to their own decision points (handshake outcomes,
+	// backend health, drain).
+	Logger *slog.Logger
 }
 
 // DefaultOptions returns the paper's configuration.

@@ -20,11 +20,13 @@ import (
 	"hash/adler32"
 	"io"
 	"sync/atomic"
+	"time"
 
 	"adoc/internal/adapt"
 	"adoc/internal/codec"
 	"adoc/internal/core/bufpool"
 	"adoc/internal/fifo"
+	"adoc/internal/obs"
 	"adoc/internal/wire"
 )
 
@@ -66,8 +68,16 @@ func (e *Engine) putChunkBuf(b []byte) {
 
 // compressJob runs on a pool worker: classify one adaptation buffer,
 // compress it at its enqueue-time level, release its backing buffers, and
-// deliver the result to the engine's reassembly stage.
-func (e *Engine) compressJob(buf, data []byte, level codec.Level, backlog *adapt.Backlog, res chan<- compResult) {
+// deliver the result to the engine's reassembly stage. For sampled
+// messages the worker records the buffer's queue wait (submitAt to job
+// start) and its compress span.
+func (e *Engine) compressJob(buf, data []byte, level codec.Level, backlog *adapt.Backlog, res chan<- compResult, tc obs.TraceContext, submitAt time.Time) {
+	tr := e.opts.FlowTracer
+	var start time.Time
+	if tc.Sampled {
+		start = tr.Now()
+		tr.Record(tc, 0, obs.StageQueue, submitAt, start.Sub(submitAt), len(data), int(level))
+	}
 	level, class := e.classifyBuffer(level, data)
 	var scratch []byte
 	if level == codec.LZF {
@@ -76,6 +86,9 @@ func (e *Engine) compressJob(buf, data []byte, level codec.Level, backlog *adapt
 	dst := &segList{backlog: backlog}
 	err := e.compressBufferAt(dst, level, data, scratch)
 	raw := len(data)
+	if tc.Sampled {
+		tr.Record(tc, 0, obs.StageCompress, start, tr.Now().Sub(start), raw, int(level))
+	}
 	if scratch != nil {
 		bufpool.Put(scratch) // segments copied out of it already
 	}
@@ -92,9 +105,11 @@ func (e *Engine) sendAdaptiveParallel(src io.Reader, remaining int64) (delivered
 	if remaining == 0 {
 		return 0, 0, nil
 	}
+	tc := e.sendTC
+	tr := e.opts.FlowTracer
 	q := fifo.New[segment](e.opts.QueueCapacity)
 	res := make(chan emitResult, 1)
-	go e.runEmitter(q, res)
+	go e.runEmitter(q, res, tc)
 
 	backlog := &adapt.Backlog{}
 	// order carries one result channel per buffer in enqueue order; its
@@ -155,9 +170,21 @@ func (e *Engine) sendAdaptiveParallel(src io.Reader, remaining int64) (delivered
 			// occupancy, and travels with the buffer.
 			level := e.ctrl.LevelForNextBuffer(q.Len() + backlog.Len())
 			rc := make(chan compResult, 1)
+			// The wait for an in-flight slot is the writer's enqueue
+			// stage; the queue stage (submit to job start) is measured by
+			// the worker against submitAt.
+			var eq time.Time
+			if tc.Sampled {
+				eq = tr.Now()
+			}
 			order <- rc
+			var submitAt time.Time
+			if tc.Sampled {
+				submitAt = tr.Now()
+				tr.Record(tc, 0, obs.StageEnqueue, eq, submitAt.Sub(eq), n, int(level))
+			}
 			data := buf[:n]
-			e.pool.Submit(func() { e.compressJob(buf, data, level, backlog, rc) })
+			e.pool.Submit(func() { e.compressJob(buf, data, level, backlog, rc, tc, submitAt) })
 			if remaining > 0 {
 				remaining -= int64(n)
 			}
@@ -201,11 +228,15 @@ func (e *Engine) sendAdaptiveParallel(src io.Reader, remaining int64) (delivered
 }
 
 // decGroup is one decoded group — or the message-end marker — delivered in
-// wire order to the consumer.
+// wire order to the consumer. doneAt, when set, is the instant the group's
+// decompression finished; the gap until the consumer takes it is the
+// in-order delivery wait.
 type decGroup struct {
 	data   []byte
 	rawLen int
 	end    bool
+	doneAt time.Time
+	level  int
 }
 
 type decResult struct {
@@ -213,6 +244,8 @@ type decResult struct {
 	rawLen int
 	end    bool
 	err    error
+	doneAt time.Time
+	level  int
 }
 
 // decodeGroup expands and verifies one assembled group — the same
@@ -227,6 +260,21 @@ func decodeGroup(g completedGroup) decResult {
 		return decResult{err: wire.ErrChecksum}
 	}
 	return decResult{data: raw, rawLen: g.rawLen}
+}
+
+// decodeGroupTraced is decodeGroup with a decompress span recorded against
+// the stream's adopted (or pending) receive trace, plus the completion
+// stamp the delivery stage measures its wait from.
+func (e *Engine) decodeGroupTraced(g completedGroup) decResult {
+	t0 := e.opts.FlowTracer.Now()
+	r := decodeGroup(g)
+	done := e.opts.FlowTracer.Now()
+	if r.err == nil {
+		e.recordRecvSpan(obs.StageDecompress, t0, done.Sub(t0), r.rawLen, int(g.level))
+		r.doneAt = done
+		r.level = int(g.level)
+	}
+	return r
 }
 
 // runDecodePipeline is the receive-side mirror of the parallel sender: an
@@ -255,7 +303,7 @@ func (e *Engine) runDecodePipeline(st *streamState) {
 					failed = true
 				}
 			default:
-				if st.decoded.Push(decGroup{data: r.data, rawLen: r.rawLen}) != nil {
+				if st.decoded.Push(decGroup{data: r.data, rawLen: r.rawLen, doneAt: r.doneAt, level: r.level}) != nil {
 					failed = true
 				}
 			}
@@ -306,7 +354,11 @@ func (e *Engine) runDecodePipeline(st *streamState) {
 			grp := *g
 			rc := make(chan decResult, 1)
 			order <- rc
-			e.pool.Submit(func() { rc <- decodeGroup(grp) })
+			if e.opts.FlowTracer.Enabled() {
+				e.pool.Submit(func() { rc <- e.decodeGroupTraced(grp) })
+			} else {
+				e.pool.Submit(func() { rc <- decodeGroup(grp) })
+			}
 		}
 	}
 	close(order)
@@ -339,6 +391,11 @@ func (e *Engine) advanceDecoded(st *streamState, block bool) (data []byte, err e
 			return nil, errMsgEnd
 		}
 		e.stats.rawReceived.Add(int64(g.rawLen))
+		if !g.doneAt.IsZero() && e.opts.FlowTracer.Enabled() {
+			// Deliver wait: decompression done to the consumer taking the
+			// group in wire order.
+			e.recordRecvSpan(obs.StageDeliver, g.doneAt, e.opts.FlowTracer.Now().Sub(g.doneAt), g.rawLen, g.level)
+		}
 		if len(g.data) == 0 {
 			continue // an empty group adds nothing to the byte stream
 		}

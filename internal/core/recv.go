@@ -4,10 +4,12 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"time"
 
 	"adoc/internal/codec"
 	"adoc/internal/core/bufpool"
 	"adoc/internal/fifo"
+	"adoc/internal/obs"
 	"adoc/internal/wire"
 )
 
@@ -121,6 +123,7 @@ func (st *streamState) abort(err error) {
 // startStream launches the reception thread — and, for Parallelism > 1,
 // the parallel decode pipeline — for a stream message.
 func (e *Engine) startStream() *streamState {
+	e.resetRecvTrace()
 	st := &streamState{frames: fifo.New[recvFrame](e.opts.QueueCapacity)}
 	st.asm.reuse = true // the consumer decodes each group before the next
 	if e.opts.Parallelism > 1 {
@@ -136,6 +139,11 @@ func (e *Engine) startStream() *streamState {
 // this read loop with decompression in the consumer is the receiver half
 // of the paper's compression/communication overlap.
 func (e *Engine) receiveLoop(st *streamState) {
+	tr := e.opts.FlowTracer
+	traced := tr.Enabled()
+	var groupStart time.Time
+	var groupWire int
+	var groupLevel codec.Level
 	for {
 		f, err := e.dec.ReadFrame()
 		if err != nil {
@@ -154,10 +162,25 @@ func (e *Engine) receiveLoop(st *streamState) {
 			fr.payload = bufpool.Get(len(f.Payload))
 			copy(fr.payload, f.Payload)
 			e.stats.wireReceived.Add(int64(wire.FramePacketOverhead + len(f.Payload)))
+			if traced {
+				groupWire += wire.FramePacketOverhead + len(f.Payload)
+			}
 		case wire.MarkGroupBegin:
 			e.stats.wireReceived.Add(wire.FrameGroupBeginLen)
+			if traced {
+				groupStart = tr.Now()
+				groupWire = int(wire.FrameGroupBeginLen)
+				groupLevel = f.Level
+			}
 		case wire.MarkGroupEnd:
 			e.stats.wireReceived.Add(wire.FrameGroupEndLen)
+			if traced && !groupStart.IsZero() {
+				// One receive span per group: first frame off the socket to
+				// the group's last frame, with the wire bytes it carried.
+				groupWire += int(wire.FrameGroupEndLen)
+				e.recordRecvSpan(obs.StageReceive, groupStart, tr.Now().Sub(groupStart), groupWire, int(groupLevel))
+				groupStart = time.Time{}
+			}
 		case wire.MarkMsgEnd:
 			e.stats.wireReceived.Add(wire.FrameMsgEndLen)
 		}
@@ -215,11 +238,21 @@ func (e *Engine) advanceStream(st *streamState, block bool) (data []byte, err er
 		case end:
 			return nil, errMsgEnd
 		case g != nil:
-			r := decodeGroup(*g)
+			var r decResult
+			if e.opts.FlowTracer.Enabled() {
+				r = e.decodeGroupTraced(*g)
+			} else {
+				r = decodeGroup(*g)
+			}
 			if r.err != nil {
 				return nil, r.err
 			}
 			e.stats.rawReceived.Add(int64(r.rawLen))
+			if !r.doneAt.IsZero() {
+				// Sequential consumer takes the group the moment it decodes
+				// it: the delivery wait is zero by construction.
+				e.recordRecvSpan(obs.StageDeliver, r.doneAt, 0, r.rawLen, r.level)
+			}
 			if len(r.data) == 0 {
 				continue // an empty group adds nothing to the byte stream
 			}
@@ -384,12 +417,25 @@ func (e *Engine) ReadChunk() ([]byte, error) {
 				e.smallBuf = make([]byte, h.RawLen)
 				dst = e.smallBuf
 			}
+			tr := e.opts.FlowTracer
+			var t0 time.Time
+			if tr.Enabled() {
+				// Small messages carry their own (possible) trace context in
+				// the payload — a fresh message means a fresh pending set.
+				e.resetRecvTrace()
+				t0 = tr.Now()
+			}
 			out, err := e.dec.ReadSmallPayload(h, dst[:cap(dst)])
 			if err != nil {
 				return nil, e.normalizeErr(err)
 			}
 			e.stats.msgsReceived.Add(1)
 			e.stats.rawReceived.Add(int64(len(out)))
+			if tr.Enabled() {
+				now := tr.Now()
+				e.recordRecvSpan(obs.StageReceive, t0, now.Sub(t0), int(wire.SmallOverhead)+len(out), 0)
+				e.recordRecvSpan(obs.StageDeliver, now, 0, len(out), 0)
+			}
 			return out, nil
 		case wire.KindStream:
 			e.stats.wireReceived.Add(wire.StreamHeaderLen)

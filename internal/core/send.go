@@ -10,6 +10,7 @@ import (
 	"adoc/internal/codec"
 	"adoc/internal/core/bufpool"
 	"adoc/internal/fifo"
+	"adoc/internal/obs"
 	"adoc/internal/wire"
 )
 
@@ -35,7 +36,19 @@ func (e *Engine) WriteMessage(p []byte) (wireN int64, err error) {
 // WriteMessageLevels is WriteMessage with per-call level bounds
 // (adoc_write_levels): min > 0 forces compression, max == 0 disables it.
 func (e *Engine) WriteMessageLevels(p []byte, min, max codec.Level) (int64, error) {
-	_, wireN, err := e.writeMessage(p, min, max)
+	_, wireN, err := e.writeMessage(p, min, max, obs.TraceContext{})
+	return wireN, err
+}
+
+// WriteMessageTC is WriteMessage carrying a flow-trace context: when tc
+// is sampled (and the engine has a FlowTracer), every pipeline stage
+// this message passes through records a span against tc — the entry
+// point the mux session uses for sampled batches.
+func (e *Engine) WriteMessageTC(p []byte, tc obs.TraceContext) (int64, error) {
+	if e.opts.FlowTracer == nil {
+		tc = obs.TraceContext{}
+	}
+	_, wireN, err := e.writeMessage(p, e.opts.MinLevel, e.opts.MaxLevel, tc)
 	return wireN, err
 }
 
@@ -45,10 +58,10 @@ func (e *Engine) WriteMessageLevels(p []byte, min, max codec.Level) (int64, erro
 // of every group that fully reached the socket before the error. Conn's
 // io.Writer adapter relies on this to honor the partial-write contract.
 func (e *Engine) WriteMessageFull(p []byte) (accepted int, wireN int64, err error) {
-	return e.writeMessage(p, e.opts.MinLevel, e.opts.MaxLevel)
+	return e.writeMessage(p, e.opts.MinLevel, e.opts.MaxLevel, obs.TraceContext{})
 }
 
-func (e *Engine) writeMessage(p []byte, min, max codec.Level) (accepted int, wireN int64, err error) {
+func (e *Engine) writeMessage(p []byte, min, max codec.Level, tc obs.TraceContext) (accepted int, wireN int64, err error) {
 	if !min.Valid() || !max.Valid() || min > max {
 		return 0, 0, codec.ErrBadLevel
 	}
@@ -57,6 +70,7 @@ func (e *Engine) writeMessage(p []byte, min, max codec.Level) (accepted int, wir
 	if e.closed.Load() {
 		return 0, 0, ErrClosed
 	}
+	e.sendTC = tc
 	if min == codec.MinLevel && len(p) < e.opts.SmallThreshold {
 		acc, n, err := e.writeSmall(p)
 		return int(acc), n, err
@@ -86,6 +100,7 @@ func (e *Engine) SendMessageLevels(r io.Reader, size int64, min, max codec.Level
 	if e.closed.Load() {
 		return 0, 0, ErrClosed
 	}
+	e.sendTC = obs.TraceContext{}
 	if size >= 0 && size < int64(e.opts.SmallThreshold) && min == codec.MinLevel {
 		buf := make([]byte, size)
 		if _, err := io.ReadFull(r, buf); err != nil {
@@ -127,7 +142,16 @@ func (e *Engine) SendMessageLevels(r io.Reader, size int64, min, max codec.Level
 func (e *Engine) writeSmall(p []byte) (accepted, wireN int64, err error) {
 	msg := wire.AppendSmall(bufpool.Get(len(p) + wire.SmallOverhead)[:0], p)
 	defer bufpool.Put(msg)
+	tc := e.sendTC
+	var t0 time.Time
+	if tc.Sampled {
+		t0 = e.opts.FlowTracer.Now()
+	}
 	n, err := e.rw.Write(msg)
+	if tc.Sampled {
+		tr := e.opts.FlowTracer
+		tr.Record(tc, 0, obs.StageWire, t0, tr.Now().Sub(t0), len(msg), 0)
+	}
 	if err != nil {
 		e.stats.wireSent.Add(int64(n))
 		return 0, int64(n), err
@@ -341,9 +365,11 @@ func (e *Engine) sendAdaptive(src io.Reader, remaining int64) (delivered, wireBy
 	if remaining == 0 {
 		return 0, 0, nil
 	}
+	tc := e.sendTC
+	tr := e.opts.FlowTracer
 	q := fifo.New[segment](e.opts.QueueCapacity)
 	res := make(chan emitResult, 1)
-	go e.runEmitter(q, res)
+	go e.runEmitter(q, res, tc)
 
 	buf := bufpool.Get(e.opts.BufferSize)
 	defer bufpool.Put(buf)
@@ -367,9 +393,19 @@ func (e *Engine) sendAdaptive(src io.Reader, remaining int64) (delivered, wireBy
 			if scratch == nil && level == codec.LZF {
 				scratch = bufpool.Get(e.opts.BufferSize)
 			}
+			// Sequential path: the caller is the compression thread, so
+			// there is no enqueue or queue wait to measure — the compress
+			// span starts right here.
+			var ct time.Time
+			if tc.Sampled {
+				ct = tr.Now()
+			}
 			if err := e.compressBufferAt(q, level, buf[:n], scratch); err != nil {
 				sendErr = err
 				break
+			}
+			if tc.Sampled {
+				tr.Record(tc, 0, obs.StageCompress, ct, tr.Now().Sub(ct), n, int(level))
 			}
 			e.stats.rawSent.Add(int64(n))
 			if remaining > 0 {
@@ -404,7 +440,10 @@ func (e *Engine) sendAdaptive(src io.Reader, remaining int64) (delivered, wireBy
 
 // runEmitter is the emission thread: it drains the FIFO onto the socket
 // and measures per-group delivery time, feeding the divergence guard.
-func (e *Engine) runEmitter(q *fifo.Queue[segment], res chan<- emitResult) {
+// The message's flow-trace context arrives as a parameter (captured
+// under wmu at spawn), so a sampled message's wire spans need no shared
+// state with the writer.
+func (e *Engine) runEmitter(q *fifo.Queue[segment], res chan<- emitResult, tc obs.TraceContext) {
 	var wireBytes, rawDelivered int64
 	var groupStart time.Time
 	for {
@@ -431,6 +470,9 @@ func (e *Engine) runEmitter(q *fifo.Queue[segment], res chan<- emitResult) {
 			rawDelivered += int64(seg.groupRaw)
 			dur := e.opts.Clock.Now().Sub(groupStart)
 			e.ctrl.RecordDelivery(seg.level, seg.groupRaw, dur)
+			if tc.Sampled {
+				e.opts.FlowTracer.Record(tc, 0, obs.StageWire, groupStart, dur, seg.groupWire, int(seg.level))
+			}
 			if e.opts.Trace.OnGroupSent != nil {
 				e.opts.Trace.OnGroupSent(seg.level, seg.groupRaw, seg.groupWire, q.Len())
 			}

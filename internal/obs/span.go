@@ -1,0 +1,269 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"adoc/internal/clock"
+)
+
+// Flow tracing decomposes a traced message's trip through the pipeline
+// into stages — writer enqueue wait, worker-pool queue wait, compress,
+// wire transmit, receive, decompress, in-order delivery — and stitches
+// them into per-stream timelines. Tracing is sampled (1 in N send
+// batches) and ring-buffered, so the cost with sampling disabled is one
+// nil check on the hot path and zero allocations; the cost per sampled
+// batch is a handful of clock reads and mutex-guarded copies into a
+// preallocated ring.
+
+// MetricStageSeconds is the histogram family fed one observation per
+// recorded span, labeled by stage.
+const MetricStageSeconds = "adoc_stage_seconds"
+
+// Pipeline stage names. A traced message produces enqueue/queue/
+// compress/wire spans on the sending side and receive/decompress/
+// deliver spans on the receiving side; StageCall wraps a whole RPC
+// call at the adocrpc layer.
+const (
+	StageEnqueue    = "enqueue"    // writer wait for an in-order emission slot
+	StageQueue      = "queue"      // buffer wait in the worker-pool queue
+	StageCompress   = "compress"   // codec encode of one adaptation buffer
+	StageWire       = "wire"       // group emission onto the transport
+	StageReceive    = "receive"    // group arrival off the transport
+	StageDecompress = "decompress" // codec decode of one group
+	StageDeliver    = "deliver"    // in-order hand-off to the consumer
+	StageCall       = "call"       // whole adocrpc call round trip
+)
+
+// Stages lists every stage name, in pipeline order.
+var Stages = []string{
+	StageEnqueue, StageQueue, StageCompress, StageWire,
+	StageReceive, StageDecompress, StageDeliver, StageCall,
+}
+
+// DefStageBuckets are histogram bounds for pipeline stage durations, in
+// seconds. Stages run from microseconds (a queue hand-off) to seconds
+// (a WAN group transmit), so the range sits well below
+// DefLatencyBuckets.
+var DefStageBuckets = []float64{
+	1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
+	1e-3, 2.5e-3, 5e-3, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5,
+}
+
+// TraceContext identifies one sampled flow. The 8-byte ID plus the
+// sampled bit is exactly what crosses the compressed hop in mux batch
+// metadata; the zero value means "not sampled" and is what every
+// recording call checks first.
+type TraceContext struct {
+	ID      uint64
+	Sampled bool
+}
+
+// Span is one timed pipeline stage of a traced flow. StreamID is the
+// mux stream (or RPC call stream) the span belongs to, 0 for
+// batch-level stages that span a whole engine message.
+type Span struct {
+	TraceID  uint64        `json:"trace_id"`
+	StreamID uint32        `json:"stream_id,omitempty"`
+	Stage    string        `json:"stage"`
+	Start    time.Time     `json:"start"`
+	Dur      time.Duration `json:"dur_ns"`
+	Bytes    int           `json:"bytes,omitempty"`
+	Level    int           `json:"level,omitempty"`
+}
+
+// DefaultFlowTraceSize is the span ring capacity FlowTracerConfig
+// selects when Capacity is 0.
+const DefaultFlowTraceSize = 4096
+
+// FlowTracerConfig configures a FlowTracer.
+type FlowTracerConfig struct {
+	// Capacity is the span ring size; 0 selects DefaultFlowTraceSize.
+	Capacity int
+	// SampleEvery traces 1 in N send batches; <= 0 disables sampling
+	// entirely (Enabled reports false, SampleNext never samples).
+	SampleEvery int
+	// Metrics receives the adoc_stage_seconds{stage} histograms; nil
+	// selects Default().
+	Metrics *Registry
+	// Clock stamps span start times; nil selects clock.System.
+	Clock clock.Clock
+}
+
+// FlowTracer records sampled pipeline spans into a fixed ring and feeds
+// every span's duration into per-stage histograms. All methods are safe
+// on a nil receiver (they no-op), so callers thread a possibly-nil
+// tracer without guards, and safe for concurrent use.
+type FlowTracer struct {
+	every uint64
+	clk   clock.Clock
+	hist  map[string]*Histogram
+
+	batches atomic.Uint64 // send batches offered to SampleNext
+	seq     atomic.Uint64 // trace-ID sequence
+	seed    uint64
+
+	mu    sync.Mutex
+	buf   []Span
+	next  int
+	n     int
+	total int64
+}
+
+// NewFlowTracer builds a tracer, registering the stage histograms
+// immediately so the families render (at zero) before the first sampled
+// span.
+func NewFlowTracer(cfg FlowTracerConfig) *FlowTracer {
+	capacity := cfg.Capacity
+	if capacity <= 0 {
+		capacity = DefaultFlowTraceSize
+	}
+	every := cfg.SampleEvery
+	if every < 0 {
+		every = 0
+	}
+	clk := cfg.Clock
+	if clk == nil {
+		clk = clock.System
+	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = Default()
+	}
+	hist := make(map[string]*Histogram, len(Stages))
+	for _, st := range Stages {
+		hist[st] = reg.Histogram(MetricStageSeconds,
+			"Pipeline stage durations of traced messages, by stage.",
+			DefStageBuckets, Label{Name: "stage", Value: st})
+	}
+	return &FlowTracer{
+		every: uint64(every),
+		clk:   clk,
+		hist:  hist,
+		seed:  uint64(clk.Now().UnixNano()),
+		buf:   make([]Span, capacity),
+	}
+}
+
+// Enabled reports whether the tracer samples at all. A nil tracer and a
+// SampleEvery <= 0 tracer are both disabled — the one check hot paths
+// make before touching the clock.
+func (t *FlowTracer) Enabled() bool { return t != nil && t.every > 0 }
+
+// SampleEvery returns the configured 1-in-N cadence (0 = disabled).
+func (t *FlowTracer) SampleEvery() int {
+	if t == nil {
+		return 0
+	}
+	return int(t.every)
+}
+
+// Now reads the tracer's clock; zero time on a nil tracer.
+func (t *FlowTracer) Now() time.Time {
+	if t == nil {
+		return time.Time{}
+	}
+	return t.clk.Now()
+}
+
+// SampleNext makes the per-batch sampling decision: every call counts
+// one send batch, and the first of every SampleEvery batches gets a
+// fresh sampled TraceContext. The first batch ever offered is sampled,
+// so short deterministic tests trace without warm-up.
+func (t *FlowTracer) SampleNext() TraceContext {
+	if !t.Enabled() {
+		return TraceContext{}
+	}
+	c := t.batches.Add(1)
+	if (c-1)%t.every != 0 {
+		return TraceContext{}
+	}
+	return TraceContext{ID: t.newID(), Sampled: true}
+}
+
+// newID derives a unique-per-process 8-byte trace ID from the seed and
+// a sequence counter (never 0 — 0 marks "no trace" on the wire).
+func (t *FlowTracer) newID() uint64 {
+	for {
+		if id := mix64(t.seed ^ t.seq.Add(1)); id != 0 {
+			return id
+		}
+	}
+}
+
+// mix64 is the SplitMix64 finalizer — a cheap bijective scramble.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Record stores one span of a sampled flow and feeds its duration into
+// the stage histogram. Unsampled contexts and nil tracers return
+// immediately; nothing allocates either way.
+func (t *FlowTracer) Record(tc TraceContext, streamID uint32, stage string, start time.Time, dur time.Duration, bytes, level int) {
+	if t == nil || !tc.Sampled {
+		return
+	}
+	if h := t.hist[stage]; h != nil {
+		h.Observe(dur.Seconds())
+	}
+	t.mu.Lock()
+	t.buf[t.next] = Span{
+		TraceID:  tc.ID,
+		StreamID: streamID,
+		Stage:    stage,
+		Start:    start,
+		Dur:      dur,
+		Bytes:    bytes,
+		Level:    level,
+	}
+	t.next = (t.next + 1) % len(t.buf)
+	if t.n < len(t.buf) {
+		t.n++
+	}
+	t.total++
+	t.mu.Unlock()
+}
+
+// Spans returns retained spans oldest-first, filtered by trace ID and/or
+// stream ID (0 = no filter on that axis). Nil tracers return nil.
+func (t *FlowTracer) Spans(traceID uint64, streamID uint32) []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Span, 0, t.n)
+	start := t.next - t.n
+	if start < 0 {
+		start += len(t.buf)
+	}
+	for i := 0; i < t.n; i++ {
+		s := t.buf[(start+i)%len(t.buf)]
+		if traceID != 0 && s.TraceID != traceID {
+			continue
+		}
+		if streamID != 0 && s.StreamID != streamID {
+			continue
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// Total returns how many spans have ever been recorded (including ones
+// the ring has since evicted).
+func (t *FlowTracer) Total() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}

@@ -1,0 +1,246 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"adoc/internal/clock"
+)
+
+func newTestTracer(every, capacity int) (*FlowTracer, *clock.Manual, *Registry) {
+	clk := clock.NewManual(time.Unix(1000, 0))
+	reg := NewRegistry()
+	return NewFlowTracer(FlowTracerConfig{
+		Capacity:    capacity,
+		SampleEvery: every,
+		Metrics:     reg,
+		Clock:       clk,
+	}), clk, reg
+}
+
+// TestFlowTracerNilSafe: every method must no-op on a nil tracer — hot
+// paths thread a possibly-nil *FlowTracer without guards.
+func TestFlowTracerNilSafe(t *testing.T) {
+	var tr *FlowTracer
+	if tr.Enabled() {
+		t.Error("nil tracer reports enabled")
+	}
+	if tr.SampleEvery() != 0 {
+		t.Error("nil tracer reports a cadence")
+	}
+	if !tr.Now().IsZero() {
+		t.Error("nil tracer has a clock")
+	}
+	if tc := tr.SampleNext(); tc.Sampled || tc.ID != 0 {
+		t.Errorf("nil tracer sampled: %+v", tc)
+	}
+	tr.Record(TraceContext{ID: 1, Sampled: true}, 1, StageWire, time.Now(), time.Millisecond, 10, 0)
+	if tr.Spans(0, 0) != nil {
+		t.Error("nil tracer retained spans")
+	}
+	if tr.Total() != 0 {
+		t.Error("nil tracer counted spans")
+	}
+}
+
+// TestFlowTracerDisabled: SampleEvery <= 0 builds a tracer that never
+// samples, so instrumented paths stay quiet.
+func TestFlowTracerDisabled(t *testing.T) {
+	tr, _, _ := newTestTracer(0, 8)
+	if tr.Enabled() {
+		t.Fatal("SampleEvery 0 tracer reports enabled")
+	}
+	for i := 0; i < 10; i++ {
+		if tc := tr.SampleNext(); tc.Sampled {
+			t.Fatal("disabled tracer sampled a batch")
+		}
+	}
+	if tr.Total() != 0 {
+		t.Errorf("disabled tracer recorded %d spans", tr.Total())
+	}
+}
+
+// TestSampleCadence: the first batch ever offered is sampled (so short
+// deterministic tests trace without warm-up), then exactly 1 in N.
+func TestSampleCadence(t *testing.T) {
+	const every = 4
+	tr, _, _ := newTestTracer(every, 8)
+	if tr.SampleEvery() != every {
+		t.Fatalf("SampleEvery() = %d, want %d", tr.SampleEvery(), every)
+	}
+	seen := map[uint64]bool{}
+	for i := 0; i < 3*every; i++ {
+		tc := tr.SampleNext()
+		if want := i%every == 0; tc.Sampled != want {
+			t.Fatalf("batch %d sampled = %v, want %v", i, tc.Sampled, want)
+		}
+		if tc.Sampled {
+			if tc.ID == 0 {
+				t.Fatalf("batch %d sampled with zero trace ID", i)
+			}
+			if seen[tc.ID] {
+				t.Fatalf("trace ID %#x issued twice", tc.ID)
+			}
+			seen[tc.ID] = true
+		} else if tc.ID != 0 {
+			t.Fatalf("unsampled batch %d carries trace ID %#x", i, tc.ID)
+		}
+	}
+}
+
+// TestRecordFiltersAndHistograms: spans land in the ring, filter by
+// trace and stream axes, and feed the adoc_stage_seconds{stage} family.
+func TestRecordFiltersAndHistograms(t *testing.T) {
+	tr, clk, reg := newTestTracer(1, 64)
+	t0 := clk.Now()
+	tr.Record(TraceContext{ID: 7, Sampled: true}, 1, StageCompress, t0, time.Millisecond, 100, 3)
+	tr.Record(TraceContext{ID: 7, Sampled: true}, 2, StageWire, t0, 2*time.Millisecond, 50, 3)
+	tr.Record(TraceContext{ID: 9, Sampled: true}, 1, StageDeliver, t0, time.Microsecond, 10, 0)
+	tr.Record(TraceContext{ID: 9}, 1, StageReceive, t0, time.Second, 10, 0) // not sampled: dropped
+
+	if got := tr.Total(); got != 3 {
+		t.Fatalf("Total() = %d, want 3", got)
+	}
+	if all := tr.Spans(0, 0); len(all) != 3 {
+		t.Fatalf("Spans(0,0) = %d spans, want 3", len(all))
+	}
+	byTrace := tr.Spans(7, 0)
+	if len(byTrace) != 2 || byTrace[0].Stage != StageCompress || byTrace[1].Stage != StageWire {
+		t.Fatalf("Spans(7,0) = %+v", byTrace)
+	}
+	if byTrace[0].Bytes != 100 || byTrace[0].Level != 3 || byTrace[0].Dur != time.Millisecond {
+		t.Fatalf("span fields lost: %+v", byTrace[0])
+	}
+	byStream := tr.Spans(0, 1)
+	if len(byStream) != 2 {
+		t.Fatalf("Spans(0,1) = %+v", byStream)
+	}
+	if both := tr.Spans(9, 1); len(both) != 1 || both[0].Stage != StageDeliver {
+		t.Fatalf("Spans(9,1) = %+v", both)
+	}
+
+	var b strings.Builder
+	if err := reg.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, `adoc_stage_seconds_count{stage="compress"} 1`) {
+		t.Errorf("compress histogram missing from exposition:\n%s", out)
+	}
+	if !strings.Contains(out, `adoc_stage_seconds_count{stage="receive"} 0`) {
+		t.Errorf("unsampled span leaked into the receive histogram:\n%s", out)
+	}
+}
+
+// TestSpanRingWraparound: the ring keeps the newest capacity spans,
+// oldest-first, while Total keeps counting.
+func TestSpanRingWraparound(t *testing.T) {
+	const capacity = 4
+	tr, clk, _ := newTestTracer(1, capacity)
+	for i := 0; i < 10; i++ {
+		tr.Record(TraceContext{ID: uint64(i + 1), Sampled: true}, 0, StageQueue,
+			clk.Now(), time.Duration(i), i, 0)
+	}
+	if got := tr.Total(); got != 10 {
+		t.Fatalf("Total() = %d, want 10", got)
+	}
+	spans := tr.Spans(0, 0)
+	if len(spans) != capacity {
+		t.Fatalf("ring retained %d spans, want %d", len(spans), capacity)
+	}
+	for i, s := range spans {
+		if want := uint64(10 - capacity + i + 1); s.TraceID != want {
+			t.Fatalf("span %d trace ID %d, want %d (oldest-first eviction)", i, s.TraceID, want)
+		}
+	}
+}
+
+// TestFlowTracerZeroAllocDisabled pins the "zero-alloc when disabled"
+// claim: neither the unsampled Record fast path nor an unsampled
+// SampleNext may allocate.
+func TestFlowTracerZeroAllocDisabled(t *testing.T) {
+	tr, clk, _ := newTestTracer(1<<30, 8) // batch 1 sampled, then ~never again
+	tr.SampleNext()
+	t0 := clk.Now()
+	if n := testing.AllocsPerRun(100, func() {
+		tr.SampleNext()
+	}); n != 0 {
+		t.Errorf("unsampled SampleNext allocates %.1f/op", n)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		tr.Record(TraceContext{}, 1, StageWire, t0, time.Millisecond, 10, 0)
+	}); n != 0 {
+		t.Errorf("unsampled Record allocates %.1f/op", n)
+	}
+	var nilTr *FlowTracer
+	if n := testing.AllocsPerRun(100, func() {
+		nilTr.Record(TraceContext{ID: 1, Sampled: true}, 1, StageWire, t0, time.Millisecond, 10, 0)
+	}); n != 0 {
+		t.Errorf("nil Record allocates %.1f/op", n)
+	}
+}
+
+// TestFlowTracerConcurrent hammers the span ring from recorders,
+// samplers, and readers at once; run with -race this is the data-race
+// gate on the tracer.
+func TestFlowTracerConcurrent(t *testing.T) {
+	tr, _, _ := newTestTracer(2, 128)
+	const (
+		workers = 8
+		perG    = 500
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				tc := tr.SampleNext()
+				tr.Record(tc, uint32(w+1), Stages[i%len(Stages)], tr.Now(), time.Duration(i), i, 0)
+			}
+		}(w)
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perG/10; i++ {
+				tr.Spans(0, uint32(w+1))
+				tr.Total()
+			}
+		}(w)
+	}
+	wg.Wait()
+	// Half the batches are sampled; every sampled one recorded a span.
+	if got := tr.Total(); got != workers*perG/2 {
+		t.Fatalf("Total() = %d, want %d", got, workers*perG/2)
+	}
+}
+
+// TestAdaptTraceClockStamping: a zero-At event is stamped from the
+// injected clock, and an explicit At passes through untouched — the
+// deterministic-timestamps contract DES/netsim tests rely on.
+func TestAdaptTraceClockStamping(t *testing.T) {
+	start := time.Unix(5000, 0)
+	clk := clock.NewManual(start)
+	tr := NewAdaptTraceClock(4, clk)
+	tr.Record(AdaptEvent{From: 0, To: 3, Cause: "queue"})
+	clk.Advance(time.Second)
+	tr.Record(AdaptEvent{From: 3, To: 1, Cause: "divergence"})
+	explicit := time.Unix(42, 0)
+	tr.Record(AdaptEvent{At: explicit, From: 1, To: 0, Cause: "pin"})
+
+	ev := tr.Events()
+	if len(ev) != 3 {
+		t.Fatalf("%d events, want 3", len(ev))
+	}
+	if !ev[0].At.Equal(start) {
+		t.Errorf("event 0 stamped %v, want clock start %v", ev[0].At, start)
+	}
+	if !ev[1].At.Equal(start.Add(time.Second)) {
+		t.Errorf("event 1 stamped %v, want %v", ev[1].At, start.Add(time.Second))
+	}
+	if !ev[2].At.Equal(explicit) {
+		t.Errorf("event 2 restamped %v, want explicit %v", ev[2].At, explicit)
+	}
+}

@@ -3,6 +3,8 @@ package obs
 import (
 	"sync"
 	"time"
+
+	"adoc/internal/clock"
 )
 
 // AdaptEvent is one controller level transition: when it happened, the
@@ -23,6 +25,7 @@ type AdaptEvent struct {
 // the mutex and never allocates once the ring is full.
 type AdaptTrace struct {
 	mu    sync.Mutex
+	clk   clock.Clock
 	buf   []AdaptEvent
 	next  int
 	n     int
@@ -35,16 +38,32 @@ type AdaptTrace struct {
 const DefaultAdaptTraceSize = 256
 
 // NewAdaptTrace returns a ring holding the last capacity events
-// (0 selects DefaultAdaptTraceSize).
+// (0 selects DefaultAdaptTraceSize), stamping zero-At events from the
+// wall clock.
 func NewAdaptTrace(capacity int) *AdaptTrace {
+	return NewAdaptTraceClock(capacity, clock.System)
+}
+
+// NewAdaptTraceClock is NewAdaptTrace with an injectable clock, so
+// DES/netsim tests get deterministic transition timestamps (nil selects
+// clock.System).
+func NewAdaptTraceClock(capacity int, clk clock.Clock) *AdaptTrace {
 	if capacity <= 0 {
 		capacity = DefaultAdaptTraceSize
 	}
-	return &AdaptTrace{buf: make([]AdaptEvent, capacity)}
+	if clk == nil {
+		clk = clock.System
+	}
+	return &AdaptTrace{clk: clk, buf: make([]AdaptEvent, capacity)}
 }
 
-// Record appends one event, evicting the oldest when full.
+// Record appends one event, evicting the oldest when full. Events whose
+// At is zero are stamped from the trace's clock, so callers never reach
+// for time.Now directly.
 func (t *AdaptTrace) Record(ev AdaptEvent) {
+	if ev.At.IsZero() {
+		ev.At = t.clk.Now()
+	}
 	t.mu.Lock()
 	t.buf[t.next] = ev
 	t.next = (t.next + 1) % len(t.buf)

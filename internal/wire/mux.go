@@ -6,10 +6,11 @@
 //
 //	muxFrame = kind(1) streamID(4) length(4) payload(length)
 //
-//	MuxOpen   open stream streamID        payload empty (future fields ok)
+//	MuxOpen   open stream streamID        payload = [originAddr] (future fields ok)
 //	MuxData   data for streamID           payload is the data
 //	MuxClose  write-half close (FIN)      payload empty (future fields ok)
 //	MuxWindow flow-control credit grant   payload = delta(4) [future fields]
+//	MuxTrace  flow-trace context (id 0)   payload = traceID(8) flags(1) [future]
 //
 // All integers are big-endian. Stream ID 0 is reserved (never a valid
 // stream), leaving room for session-scoped control frames later. The
@@ -33,6 +34,11 @@ const (
 	MuxData   MuxKind = 2
 	MuxClose  MuxKind = 3
 	MuxWindow MuxKind = 4
+	// MuxTrace is a session-scoped (stream ID 0) flow-trace context:
+	// the 8-byte trace ID plus a flags byte for the batch it opens.
+	// Only sent when both peers negotiated HandshakeFlagTrace; legacy
+	// decoders skip it via the unknown-kind path.
+	MuxTrace MuxKind = 5
 )
 
 func (k MuxKind) String() string {
@@ -45,6 +51,8 @@ func (k MuxKind) String() string {
 		return "close"
 	case MuxWindow:
 		return "window"
+	case MuxTrace:
+		return "trace"
 	}
 	return fmt.Sprintf("mux(%d)", uint8(k))
 }
@@ -60,6 +68,16 @@ const (
 	// muxWindowPayloadLen is the payload this version writes for a
 	// MuxWindow frame.
 	muxWindowPayloadLen = 4
+	// muxTracePayloadLen is the payload this version writes for a
+	// MuxTrace frame: trace ID + flags byte.
+	muxTracePayloadLen = 8 + 1
+	// muxTraceFlagSampled marks the batch as sampled in the MuxTrace
+	// flags byte.
+	muxTraceFlagSampled = 1 << 0
+	// MaxMuxOriginLen bounds the origin-address payload of a MuxOpen
+	// frame; longer payloads are truncated by the encoder, never
+	// rejected by the decoder (they are future-fields by contract).
+	MaxMuxOriginLen = 255
 )
 
 // ErrMuxStreamZero reports a mux frame carrying the reserved stream ID 0.
@@ -71,10 +89,16 @@ type MuxFrame struct {
 	StreamID uint32
 	// Delta is the credit grant of a MuxWindow frame.
 	Delta uint32
-	// Payload is the data of a MuxData frame. It aliases either the fed
-	// slice or an internal reassembly buffer and is valid only during the
-	// emit callback; receivers that keep it must copy.
+	// Payload is the data of a MuxData frame, or the origin-address
+	// metadata of a MuxOpen frame (empty from legacy senders). It
+	// aliases either the fed slice or an internal reassembly buffer and
+	// is valid only during the emit callback; receivers that keep it
+	// must copy.
 	Payload []byte
+	// TraceID and TraceSampled are the flow-trace context of a MuxTrace
+	// frame.
+	TraceID      uint64
+	TraceSampled bool
 }
 
 func appendMuxHeader(dst []byte, kind MuxKind, id uint32, length int) []byte {
@@ -86,6 +110,31 @@ func appendMuxHeader(dst []byte, kind MuxKind, id uint32, length int) []byte {
 // AppendMuxOpen appends a stream-open frame.
 func AppendMuxOpen(dst []byte, id uint32) []byte {
 	return appendMuxHeader(dst, MuxOpen, id, 0)
+}
+
+// AppendMuxOpenOrigin appends a stream-open frame carrying the
+// originating client address as metadata (for backend-affine balancing
+// on the far gateway). Only valid when both peers negotiated
+// HandshakeFlagTrace; legacy decoders ignore MuxOpen payloads by
+// design, so the frame still opens the stream either way. Addresses
+// longer than MaxMuxOriginLen are truncated.
+func AppendMuxOpenOrigin(dst []byte, id uint32, origin string) []byte {
+	if len(origin) > MaxMuxOriginLen {
+		origin = origin[:MaxMuxOriginLen]
+	}
+	dst = appendMuxHeader(dst, MuxOpen, id, len(origin))
+	return append(dst, origin...)
+}
+
+// AppendMuxTrace appends a session-scoped flow-trace context frame.
+func AppendMuxTrace(dst []byte, traceID uint64, sampled bool) []byte {
+	dst = appendMuxHeader(dst, MuxTrace, 0, muxTracePayloadLen)
+	dst = binary.BigEndian.AppendUint64(dst, traceID)
+	var flags byte
+	if sampled {
+		flags |= muxTraceFlagSampled
+	}
+	return append(dst, flags)
 }
 
 // AppendMuxData appends a data frame carrying p.
@@ -179,10 +228,27 @@ func (d *MuxDecoder) finish(payload []byte, emit func(MuxFrame) error) error {
 	d.hdrLen = 0
 	d.buf = d.buf[:0]
 	switch f.Kind {
-	case MuxOpen, MuxClose:
+	case MuxOpen:
+		// Payload is the optional origin-address metadata; anything a
+		// sender of this version did not write is future-fields and
+		// still ignored.
+		f.Payload = payload
+	case MuxClose:
 		// Payload reserved for future fields; ignored by design.
 	case MuxData:
 		f.Payload = payload
+	case MuxTrace:
+		if len(payload) < muxTracePayloadLen {
+			return fmt.Errorf("%w: trace frame payload %d bytes", ErrBadFrame, len(payload))
+		}
+		f.TraceID = binary.BigEndian.Uint64(payload[:8])
+		f.TraceSampled = payload[8]&muxTraceFlagSampled != 0
+		// Bytes beyond the flags belong to a future version; ignored.
+		// MuxTrace is session-scoped: stream ID 0 is its only valid ID.
+		if f.StreamID != 0 {
+			return fmt.Errorf("%w: trace frame on stream %d", ErrBadFrame, f.StreamID)
+		}
+		return emit(f)
 	case MuxWindow:
 		if len(payload) < muxWindowPayloadLen {
 			return fmt.Errorf("%w: window frame payload %d bytes", ErrBadFrame, len(payload))

@@ -1,0 +1,97 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestMuxTraceRoundtrip: the trace-context frame decodes to its ID and
+// sampled bit at every chunking, interleaved with ordinary frames.
+func TestMuxTraceRoundtrip(t *testing.T) {
+	var buf []byte
+	buf = AppendMuxTrace(buf, 0xdeadbeefcafe0123, true)
+	buf = AppendMuxData(buf, 3, []byte("payload"))
+	buf = AppendMuxTrace(buf, 42, false)
+	for _, step := range []int{0, 1, 4, 9, 13} {
+		got, err := collect(t, buf, step)
+		if err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		if len(got) != 3 {
+			t.Fatalf("step %d: decoded %d frames, want 3", step, len(got))
+		}
+		if got[0].Kind != MuxTrace || got[0].StreamID != 0 ||
+			got[0].TraceID != 0xdeadbeefcafe0123 || !got[0].TraceSampled {
+			t.Fatalf("step %d: first frame %+v", step, got[0])
+		}
+		if got[1].Kind != MuxData || !bytes.Equal(got[1].Payload, []byte("payload")) {
+			t.Fatalf("step %d: second frame %+v", step, got[1])
+		}
+		if got[2].TraceID != 42 || got[2].TraceSampled {
+			t.Fatalf("step %d: third frame %+v", step, got[2])
+		}
+	}
+}
+
+// TestMuxTraceForwardCompatible: extra payload bytes beyond the flags
+// are future-fields and ignored; a short payload or a nonzero stream ID
+// is a protocol error.
+func TestMuxTraceForwardCompatible(t *testing.T) {
+	long := appendMuxHeader(nil, MuxTrace, 0, muxTracePayloadLen+4)
+	long = append(long, 0, 0, 0, 0, 0, 0, 0, 9) // trace ID 9
+	long = append(long, muxTraceFlagSampled)
+	long = append(long, 1, 2, 3, 4) // future fields
+	got, err := collect(t, long, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].TraceID != 9 || !got[0].TraceSampled {
+		t.Fatalf("decoded %+v", got)
+	}
+
+	short := appendMuxHeader(nil, MuxTrace, 0, 3)
+	short = append(short, 1, 2, 3)
+	if _, err := collect(t, short, 0); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("short trace payload: err = %v, want ErrBadFrame", err)
+	}
+
+	onStream := appendMuxHeader(nil, MuxTrace, 5, muxTracePayloadLen)
+	onStream = append(onStream, make([]byte, muxTracePayloadLen)...)
+	if _, err := collect(t, onStream, 0); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("trace frame on stream 5: err = %v, want ErrBadFrame", err)
+	}
+}
+
+// TestMuxOpenOriginRoundtrip: the origin metadata rides the open frame's
+// payload, over-long origins truncate, and a plain AppendMuxOpen still
+// decodes with no payload (what legacy senders emit).
+func TestMuxOpenOriginRoundtrip(t *testing.T) {
+	buf := AppendMuxOpenOrigin(nil, 9, "203.0.113.7:55112")
+	got, err := collect(t, buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Kind != MuxOpen || got[0].StreamID != 9 ||
+		string(got[0].Payload) != "203.0.113.7:55112" {
+		t.Fatalf("decoded %+v", got)
+	}
+
+	long := strings.Repeat("a", MaxMuxOriginLen+40)
+	got, err = collect(t, AppendMuxOpenOrigin(nil, 2, long), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got[0].Payload) != MaxMuxOriginLen {
+		t.Fatalf("origin not truncated: %d bytes", len(got[0].Payload))
+	}
+
+	got, err = collect(t, AppendMuxOpen(nil, 4), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got[0].Payload) != 0 {
+		t.Fatalf("legacy open grew a payload: %+v", got[0])
+	}
+}

@@ -333,6 +333,12 @@ const (
 	// HandshakeFlagMux announces that the speaker can run the adocmux
 	// stream-multiplexing session protocol on this connection.
 	HandshakeFlagMux uint16 = 1 << 0
+	// HandshakeFlagTrace announces that the speaker understands mux
+	// session metadata: MuxTrace frames carrying a flow-trace context
+	// and origin-address payloads on MuxOpen. Senders emit neither
+	// unless both sides advertise the flag, so flagless legacy peers
+	// see byte-identical traffic.
+	HandshakeFlagTrace uint16 = 1 << 1
 )
 
 const (
