@@ -109,6 +109,78 @@ func MetricsHandler(reg *MetricsRegistry) http.Handler {
 	return obs.Handler(reg)
 }
 
+// ConnHandle is a live connection's entry in its registry's inspection
+// table. Layers above the engine enrich it (kind tag, addresses,
+// negotiated config, stream count); /debug/conns snapshots it. All
+// methods are safe on a nil handle.
+type ConnHandle = obs.ConnHandle
+
+// ConnState is one connection's introspection snapshot as served by
+// /debug/conns.
+type ConnState = obs.ConnState
+
+// ConnConfig is the negotiated per-connection configuration inside a
+// ConnState.
+type ConnConfig = obs.ConnConfig
+
+// ObsEvent is one typed structured event on a registry's event bus
+// (handshake, adapt transition, entropy-bypass pin, backend health
+// flip, stream lifecycle, drain progress).
+type ObsEvent = obs.Event
+
+// EventBus fans structured events out to bounded subscribers; obtain a
+// registry's bus with Events().
+type EventBus = obs.EventBus
+
+// EventSub is one bounded subscription on an EventBus.
+type EventSub = obs.EventSub
+
+// Event types published on a registry's bus, re-exported for
+// subscribers and the layers that publish them.
+const (
+	EventHandshake = obs.EventHandshake
+	EventAdapt     = obs.EventAdapt
+	EventBypass    = obs.EventBypass
+	EventBackend   = obs.EventBackend
+	EventStream    = obs.EventStream
+	EventDrain     = obs.EventDrain
+)
+
+// Events returns reg's event bus (DefaultMetrics() when nil), creating
+// it on first use.
+func Events(reg *MetricsRegistry) *EventBus {
+	if reg == nil {
+		reg = obs.Default()
+	}
+	return reg.Events()
+}
+
+// Conns returns reg's connection-inspection table (DefaultMetrics()
+// when nil), creating it on first use.
+func Conns(reg *MetricsRegistry) *obs.ConnTable {
+	if reg == nil {
+		reg = obs.Default()
+	}
+	return reg.Conns()
+}
+
+// ConnsHandler returns an http.Handler serving reg's connection table as
+// JSON — the full list, or one connection with ?id=N; nil serves
+// DefaultMetrics(). Mount it on /debug/conns.
+func ConnsHandler(reg *MetricsRegistry) http.Handler { return obs.ConnsHandler(reg) }
+
+// EventsHandler returns an http.Handler streaming reg's event bus as
+// NDJSON with ?type=/?conn= filters (?max=N to stop after N events,
+// ?replay=0 to skip the retained recent past); nil serves
+// DefaultMetrics(). Mount it on /debug/events.
+func EventsHandler(reg *MetricsRegistry) http.Handler { return obs.EventsHandler(reg) }
+
+// RegisterRuntimeMetrics registers the adoc_go_* runtime self-telemetry
+// families (goroutines, heap bytes, GC pause and scheduler-latency
+// quantiles) plus adoc_build_info on reg (DefaultMetrics() when nil).
+// Idempotent.
+func RegisterRuntimeMetrics(reg *MetricsRegistry) { obs.RegisterRuntimeMetrics(reg) }
+
 // FlowTracer is a sampled, ring-buffered recorder of pipeline stage spans:
 // each traced message is decomposed into enqueue, queue, compress, wire,
 // receive, decompress, and deliver stages, observed into the
@@ -176,6 +248,11 @@ type WorkerPool = core.WorkerPool
 // leave Options.SharedPool nil — and build a dedicated pool only to
 // isolate one tenant's compression load from another's.
 func NewWorkerPool(size int) *WorkerPool { return core.NewWorkerPool(size) }
+
+// DefaultWorkerPool returns the process-wide shared pool — the one every
+// connection without an explicit Options.SharedPool submits to. Exposed
+// so operational surfaces (health checks) can watch its queue depth.
+func DefaultWorkerPool() *WorkerPool { return core.DefaultWorkerPool() }
 
 // Options tunes a connection. The zero value of any field selects the
 // paper's default (8 KB packets, 200 KB buffers, 512 KB small-message

@@ -218,6 +218,7 @@ func (in *Ingress) session() (*Session, error) {
 		conn.Close()
 		return nil, err
 	}
+	conn.Inspect().SetKind("gateway-ingress")
 
 	in.mu.Lock()
 	defer in.mu.Unlock()
@@ -381,6 +382,10 @@ func (in *Ingress) Drain(ctx context.Context) error {
 	if l := in.cfg.Logger; l != nil {
 		l.Info("adoc ingress draining", "active_conns", active)
 	}
+	adoc.Events(in.cfg.Metrics).Publish(adoc.ObsEvent{
+		Type: adoc.EventDrain, Action: "begin",
+		Detail: fmt.Sprintf("ingress, %d active conns", active),
+	})
 
 	done := make(chan struct{})
 	go func() {
@@ -397,12 +402,16 @@ func (in *Ingress) Drain(ctx context.Context) error {
 		if l := in.cfg.Logger; l != nil {
 			l.Info("adoc ingress drained")
 		}
+		adoc.Events(in.cfg.Metrics).Publish(adoc.ObsEvent{
+			Type: adoc.EventDrain, Action: "done", Detail: "ingress"})
 		return nil
 	case <-ctx.Done():
 		in.Close() // fails remaining pipes, which unblocks the watcher
 		if l := in.cfg.Logger; l != nil {
 			l.Warn("adoc ingress drain timed out", "err", ctx.Err())
 		}
+		adoc.Events(in.cfg.Metrics).Publish(adoc.ObsEvent{
+			Type: adoc.EventDrain, Action: "timeout", Detail: "ingress: " + ctx.Err().Error()})
 		return ctx.Err()
 	}
 }
@@ -665,6 +674,12 @@ func (eg *Egress) dialBackend(key string) (net.Conn, *egBackend, error) {
 			b.healthy = false
 			eg.mu.Unlock()
 			b.healthyG.Set(0)
+			if wasHealthy {
+				adoc.Events(eg.cfg.Metrics).Publish(adoc.ObsEvent{
+					Type: adoc.EventBackend, Action: "unhealthy",
+					Addr: b.addr, Cause: "dial", Detail: err.Error(),
+				})
+			}
 			if l := eg.cfg.Logger; l != nil && wasHealthy {
 				l.Warn("adoc backend unhealthy", "backend", b.addr, "cause", "dial", "err", err)
 			}
@@ -751,6 +766,19 @@ func (eg *Egress) checkBackends(timeout time.Duration) {
 			} else {
 				b.healthyG.Set(0)
 			}
+			if changed {
+				action := "unhealthy"
+				detail := ""
+				if healthy {
+					action = "healthy"
+				} else if err != nil {
+					detail = err.Error()
+				}
+				adoc.Events(eg.cfg.Metrics).Publish(adoc.ObsEvent{
+					Type: adoc.EventBackend, Action: action,
+					Addr: b.addr, Cause: "health-check", Detail: detail,
+				})
+			}
 			if l := eg.cfg.Logger; l != nil && changed {
 				if healthy {
 					l.Info("adoc backend healthy", "backend", b.addr, "cause", "health-check")
@@ -788,6 +816,7 @@ func (eg *Egress) ServeConn(conn *adocnet.Conn) error {
 		conn.Close()
 		return err
 	}
+	conn.Inspect().SetKind("gateway-egress")
 	eg.mu.Lock()
 	if eg.closed {
 		eg.mu.Unlock()
@@ -858,6 +887,10 @@ func (eg *Egress) Drain(ctx context.Context) error {
 	if l := eg.cfg.Logger; l != nil {
 		l.Info("adoc egress draining", "active_streams", streams)
 	}
+	adoc.Events(eg.cfg.Metrics).Publish(adoc.ObsEvent{
+		Type: adoc.EventDrain, Action: "begin",
+		Detail: fmt.Sprintf("egress, %d active streams", streams),
+	})
 
 	done := make(chan struct{})
 	go func() {
@@ -874,12 +907,16 @@ func (eg *Egress) Drain(ctx context.Context) error {
 		if l := eg.cfg.Logger; l != nil {
 			l.Info("adoc egress drained")
 		}
+		adoc.Events(eg.cfg.Metrics).Publish(adoc.ObsEvent{
+			Type: adoc.EventDrain, Action: "done", Detail: "egress"})
 		return nil
 	case <-ctx.Done():
 		eg.Close() // fails remaining pipes, which unblocks the watcher
 		if l := eg.cfg.Logger; l != nil {
 			l.Warn("adoc egress drain timed out", "err", ctx.Err())
 		}
+		adoc.Events(eg.cfg.Metrics).Publish(adoc.ObsEvent{
+			Type: adoc.EventDrain, Action: "timeout", Detail: "egress: " + ctx.Err().Error()})
 		return ctx.Err()
 	}
 }

@@ -21,6 +21,11 @@ type Session struct {
 	client  bool
 	metrics sessionMetrics
 
+	// events is the registry's bus for stream-lifecycle events; connID
+	// tags them with the underlying connection's inspection-table ID.
+	events *adoc.EventBus
+	connID uint64
+
 	// Stream table and accept queue.
 	mu       sync.Mutex
 	streams  map[uint32]*Stream
@@ -94,6 +99,13 @@ func newSession(conn *adocnet.Conn, cfg Config, client bool) (*Session, error) {
 	} else {
 		s.nextID = 2
 	}
+	// The session owns the connection now: tag its inspection handle and
+	// keep the live stream count on it.
+	h := conn.Inspect()
+	h.SetKind("mux")
+	h.SetStreams(s.NumStreams)
+	s.events = adoc.Events(cfg.Metrics)
+	s.connID = h.ID()
 	s.sendCond = sync.NewCond(&s.sendMu)
 	go s.sendLoop()
 	go s.demuxLoop()
@@ -164,6 +176,9 @@ func (s *Session) OpenStreamOrigin(origin string) (*Stream, error) {
 	s.mu.Unlock()
 	s.metrics.opened.Inc()
 	s.metrics.active.Inc()
+	s.events.Publish(adoc.ObsEvent{
+		Type: adoc.EventStream, Conn: s.connID, Stream: id, Action: "open",
+	})
 
 	var open []byte
 	if origin != "" {
@@ -295,6 +310,9 @@ func (s *Session) forget(id uint32) {
 	s.mu.Unlock()
 	if present {
 		s.metrics.active.Dec()
+		s.events.Publish(adoc.ObsEvent{
+			Type: adoc.EventStream, Conn: s.connID, Stream: id, Action: "close",
+		})
 	}
 }
 
@@ -466,12 +484,18 @@ func (s *Session) handleFrame(f wire.MuxFrame) error {
 		select {
 		case s.accept <- st:
 			s.metrics.accepted.Inc()
+			s.events.Publish(adoc.ObsEvent{
+				Type: adoc.EventStream, Conn: s.connID, Stream: f.StreamID, Action: "accept",
+			})
 			s.grantSurplusWindow(st)
 		default:
 			// Accept backlog full: refuse by closing our write half
 			// immediately; the peer reads EOF. Data it has in flight hits
 			// the dead-stream path below.
 			s.metrics.acceptOverflows.Inc()
+			s.events.Publish(adoc.ObsEvent{
+				Type: adoc.EventStream, Conn: s.connID, Stream: f.StreamID, Action: "overflow",
+			})
 			s.forget(f.StreamID)
 			s.enqueueCtl(wire.AppendMuxClose(nil, f.StreamID))
 		}

@@ -347,6 +347,17 @@ func Handshake(conn net.Conn, opts Options) (c *Conn, err error) {
 	// an operator can alert on the failure ratio rather than a raw count.
 	defer func() {
 		countHandshake(opts.Metrics, err)
+		if err != nil {
+			adoc.Events(opts.Metrics).Publish(adoc.ObsEvent{
+				Type: adoc.EventHandshake, Action: "fail",
+				Addr: conn.RemoteAddr().String(), Detail: err.Error(),
+			})
+		} else {
+			adoc.Events(opts.Metrics).Publish(adoc.ObsEvent{
+				Type: adoc.EventHandshake, Action: "ok", Conn: c.Inspect().ID(),
+				Addr: conn.RemoteAddr().String(), Detail: c.neg.String(),
+			})
+		}
 		if l := opts.Logger; l != nil {
 			if err != nil {
 				l.Warn("adoc handshake failed",
@@ -399,5 +410,19 @@ func Handshake(conn net.Conn, opts Options) (c *Conn, err error) {
 	if err != nil {
 		return nil, err
 	}
+	// Enrich the engine's inspection handle with what only this layer
+	// knows: the negotiated agreement, including capabilities (mux,
+	// trace) the engine itself never sees.
+	h := ac.Inspect()
+	h.SetKind("adocnet")
+	h.SetConfig(adoc.ConnConfig{
+		Version:     int(neg.Version),
+		PacketSize:  neg.PacketSize,
+		BufferSize:  neg.BufferSize,
+		LevelBounds: [2]int{int(neg.MinLevel), int(neg.MaxLevel)},
+		Codecs:      neg.Codecs.String(),
+		Mux:         neg.Mux,
+		Trace:       neg.Trace,
+	})
 	return &Conn{Conn: ac, raw: conn, neg: neg}, nil
 }

@@ -1,0 +1,321 @@
+package adocrpc
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"adoc"
+	"adoc/adocmux"
+	"adoc/adocnet"
+	"adoc/internal/obs"
+)
+
+// throttledCopy relays src to dst capped at roughly bytesPerSec, so the
+// sender's queue actually builds instead of vanishing into loopback
+// socket buffers.
+func throttledCopy(dst io.Writer, src io.Reader, bytesPerSec int) {
+	buf := make([]byte, 32*1024)
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			if _, werr := dst.Write(buf[:n]); werr != nil {
+				return
+			}
+			time.Sleep(time.Duration(n) * time.Second / time.Duration(bytesPerSec))
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// mixedCompressible returns n bytes that compress at only ~2:1: 40%
+// uniform noise interleaved with repeated text. The entropy probe still
+// classifies it compressible (histogram entropy well under the bypass
+// floor, duplicate shingles well over the match floor), but the wire
+// carries roughly half the raw bytes — enough, behind a throttled
+// relay, to keep the emission FIFO visibly occupied.
+func mixedCompressible(n int) []byte {
+	line := []byte("adaptive online compression balances cpu against bandwidth on the fly\n")
+	rng := rand.New(rand.NewSource(11))
+	noise := make([]byte, 160)
+	b := make([]byte, 0, n+512)
+	for len(b) < n {
+		rng.Read(noise)
+		b = append(b, noise...)
+		b = append(b, line...)
+		b = append(b, line...)
+		b = append(b, line...)
+	}
+	return b[:n]
+}
+
+// fetchConns scrapes a registry's /debug/conns endpoint the way an
+// operator (or adoctop) would and returns the decoded list.
+func fetchConns(t *testing.T, reg *adoc.MetricsRegistry) []obs.ConnState {
+	t.Helper()
+	srv := httptest.NewServer(adoc.ConnsHandler(reg))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var list struct {
+		Total int             `json:"total"`
+		Conns []obs.ConnState `json:"conns"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	if list.Total != len(list.Conns) {
+		t.Fatalf("/debug/conns total %d != len %d", list.Total, len(list.Conns))
+	}
+	return list.Conns
+}
+
+func findConn(conns []obs.ConnState, kind string) *obs.ConnState {
+	for i := range conns {
+		if conns[i].Kind == kind {
+			return &conns[i]
+		}
+	}
+	return nil
+}
+
+// TestIntrospectionAcrossGateways is the end-to-end visibility
+// acceptance scenario: one adocrpc call crosses the full gateway chain
+//
+//	pool --tcp--> ingress ==AdOC tunnel (throttled ~1MB/s)==> egress --tcp--> adocrpc server
+//
+// and while it is in flight the tunnel connection is visible in
+// /debug/conns on BOTH gateways — with its negotiated config and a live
+// adapt level — and its handshake plus its first adaptive transition
+// arrive as typed events on a subscriber of the ingress-side bus.
+//
+// Determinism: the relay throttles the ingress->egress direction so the
+// compress queue builds and the controller must raise the level; the
+// inner pool connection pins MaxLevel 0 so the tunnel sees raw,
+// compressible text (compressed inner traffic would look like noise and
+// pin the entropy bypass instead of adapting); the payload is 16MB of
+// repetitive-but-not-trivial text so the compressed wire bytes still far
+// exceed loopback socket-buffer slack and the emission FIFO must queue.
+func TestIntrospectionAcrossGateways(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second throttled transfer")
+	}
+	inReg := adoc.NewMetricsRegistry()
+	egReg := adoc.NewMetricsRegistry()
+
+	// Backend: a real adocrpc server on plain TCP, its own registry.
+	backendLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer backendLn.Close()
+	srvOpts := adocmux.TransportOptions()
+	srvOpts.Metrics = adoc.NewMetricsRegistry()
+	srv := NewServer(ServerConfig{Options: &srvOpts, Mux: adocmux.Config{Metrics: srvOpts.Metrics}})
+	srv.Register("echo", func(_ context.Context, args [][]byte) ([][]byte, error) {
+		return args, nil
+	})
+	go srv.Serve(backendLn)
+	defer srv.Close()
+
+	// Egress gateway on the far side of the tunnel.
+	egOpts := adocmux.TransportOptions()
+	egOpts.Metrics = egReg
+	egLn, err := adocnet.Listen("tcp", "127.0.0.1:0", egOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer egLn.Close()
+	eg := adocmux.NewEgress(backendLn.Addr().String(), adocmux.Config{Metrics: egReg})
+	go eg.Serve(egLn)
+	defer eg.Close()
+
+	// A throttled TCP relay in front of the egress: ~1MB/s toward the
+	// egress, unthrottled on the way back.
+	relayLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer relayLn.Close()
+	// Accept in a loop: concurrent cold-start clients make the ingress
+	// race several tunnel dials, and every loser still needs its
+	// handshake to complete before it closes and adopts the winner.
+	go func() {
+		for {
+			c, err := relayLn.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				up, err := net.Dial("tcp", egLn.Addr().String())
+				if err != nil {
+					c.Close()
+					return
+				}
+				done := make(chan struct{}, 2)
+				go func() { throttledCopy(up, c, 1<<20); done <- struct{}{} }()
+				go func() { io.Copy(c, up); done <- struct{}{} }()
+				<-done
+				c.Close()
+				up.Close()
+				<-done
+			}(c)
+		}
+	}()
+
+	// Ingress gateway dialing the egress through the relay.
+	inOpts := adocmux.TransportOptions()
+	inOpts.Metrics = inReg
+	inOpts.MinLevel = 1
+	inOpts.Parallelism = 4
+	inLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inLn.Close()
+	in := adocmux.NewIngress(relayLn.Addr().String(), inOpts, adocmux.Config{Metrics: inReg})
+	go in.Serve(inLn)
+	defer in.Close()
+
+	// Subscribe to the ingress bus BEFORE anything dials, so the tunnel
+	// handshake and the first adapt transition land in our ring live.
+	sub := adoc.Events(inReg).Subscribe(1024, false)
+	defer sub.Close()
+
+	// Client pool through the tunnel. MaxLevel 0 keeps the inner hop
+	// raw — the tunnel must see compressible bytes.
+	cliOpts := adocmux.TransportOptions()
+	cliOpts.MaxLevel = 0
+	pool, err := DialPool("tcp", inLn.Addr().String(), PoolConfig{
+		MaxSessions: 8,
+		Options:     &cliOpts,
+		Mux:         adocmux.Config{Metrics: adoc.NewMetricsRegistry()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	// Eight concurrent calls over eight pooled client connections. The
+	// tunnel aggregates them all onto ONE shared adaptive connection, and
+	// their combined flow-control windows (8 x 256KB in flight) are what
+	// let its emission FIFO actually fill behind the throttled relay —
+	// one stream alone is window-capped below the socket-buffer slack.
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	const callers = 8
+	payload := mixedCompressible(2 << 20)
+	var wg sync.WaitGroup
+	errs := make(chan error, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := pool.Call(ctx, "echo", [][]byte{payload})
+			if err != nil {
+				errs <- fmt.Errorf("call through gateways: %w", err)
+				return
+			}
+			if len(res) != 1 || !bytes.Equal(res[0], payload) {
+				errs <- fmt.Errorf("echo corrupted through the tunnel")
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// The tunnel connection shows up on BOTH gateways' /debug/conns with
+	// the negotiated config and a live adapt level.
+	ingConn := findConn(fetchConns(t, inReg), "gateway-ingress")
+	if ingConn == nil {
+		t.Fatalf("no gateway-ingress conn in ingress /debug/conns: %+v", fetchConns(t, inReg))
+	}
+	egConn := findConn(fetchConns(t, egReg), "gateway-egress")
+	if egConn == nil {
+		t.Fatalf("no gateway-egress conn in egress /debug/conns: %+v", fetchConns(t, egReg))
+	}
+	for _, c := range []*obs.ConnState{ingConn, egConn} {
+		if c.Config.Version <= 0 {
+			t.Errorf("%s: negotiated version = %d", c.Kind, c.Config.Version)
+		}
+		if !c.Config.Mux {
+			t.Errorf("%s: negotiated mux = false", c.Kind)
+		}
+		if c.Config.LevelBounds[0] != 1 || c.Config.LevelBounds[1] < 2 {
+			t.Errorf("%s: negotiated level bounds = %v, want [1, >=2]", c.Kind, c.Config.LevelBounds)
+		}
+		if c.LocalAddr == "" || c.PeerAddr == "" {
+			t.Errorf("%s: missing addresses: %q -> %q", c.Kind, c.LocalAddr, c.PeerAddr)
+		}
+		if c.UptimeSeconds <= 0 {
+			t.Errorf("%s: uptime = %v", c.Kind, c.UptimeSeconds)
+		}
+	}
+	if ingConn.Level < 1 {
+		t.Errorf("ingress live adapt level = %d, want >= 1 (MinLevel 1)", ingConn.Level)
+	}
+	total := int64(callers * len(payload))
+	if ingConn.RawBytesSent < total {
+		t.Errorf("ingress raw bytes sent = %d, want >= %d", ingConn.RawBytesSent, total)
+	}
+	if egConn.RawBytesRecv < total {
+		t.Errorf("egress raw bytes received = %d, want >= %d", egConn.RawBytesRecv, total)
+	}
+
+	// The handshake and the first adapt transition arrived as events on
+	// the subscriber, tagged with the tunnel's connection ID.
+	var sawHandshake bool
+	var firstAdapt *adoc.ObsEvent
+	evCtx, evCancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer evCancel()
+	for !sawHandshake || firstAdapt == nil {
+		ev, ok := sub.Next(evCtx)
+		if !ok {
+			break
+		}
+		switch ev.Type {
+		case adoc.EventHandshake:
+			if ev.Action == "ok" && ev.Conn == ingConn.ID {
+				sawHandshake = true
+			}
+		case adoc.EventAdapt:
+			if firstAdapt == nil {
+				e := ev
+				firstAdapt = &e
+			}
+		}
+	}
+	if !sawHandshake {
+		t.Error("no handshake-ok event for the tunnel connection on the ingress bus")
+	}
+	if firstAdapt == nil {
+		t.Fatal("no adapt transition event on the ingress bus (queue never built?)")
+	}
+	if firstAdapt.Conn != ingConn.ID {
+		t.Errorf("adapt event conn = %d, want tunnel conn %d", firstAdapt.Conn, ingConn.ID)
+	}
+	if firstAdapt.From != 1 || firstAdapt.To < 2 {
+		t.Errorf("first transition %d -> %d (%s), want 1 -> >=2",
+			firstAdapt.From, firstAdapt.To, firstAdapt.Cause)
+	}
+	if firstAdapt.Cause == "" {
+		t.Error("adapt event missing its cause")
+	}
+}

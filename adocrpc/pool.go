@@ -318,6 +318,7 @@ func (p *Pool) dial(ps *poolSession) {
 			conn.Close()
 			return nil, err
 		}
+		conn.Inspect().SetKind("rpc-client")
 		return sess, nil
 	}()
 	ps.sess, ps.err = sess, err

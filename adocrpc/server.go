@@ -165,6 +165,7 @@ func (s *Server) serveConn(raw net.Conn) {
 		conn.Close()
 		return
 	}
+	conn.Inspect().SetKind("rpc-server")
 	if !s.trackSession(sess) {
 		sess.Close()
 		return

@@ -10,7 +10,9 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
+	"time"
 
 	"adoc"
 	"adoc/internal/obs"
@@ -19,22 +21,32 @@ import (
 // opsServer is a gateway's operational HTTP surface:
 //
 //	/metrics      Prometheus text exposition of the metrics registry
-//	/healthz      200 "ok" while serving, 503 "draining" once shutdown began
+//	/healthz      200 "ok" while serving ("degraded" under sustained
+//	              worker-pool saturation), 503 "draining" once shutdown began
 //	/debug/adapt  JSON ring of recent adaptive level transitions, with cause
 //	/debug/trace  JSON ring of sampled pipeline spans (?trace=ID&stream=N)
+//	/debug/conns  JSON list of live connections (?id=N drills down)
+//	/debug/events NDJSON stream of structured events (?type=, ?conn=, ?max=)
 //	/debug/pprof  the stdlib profiling endpoints
 type opsServer struct {
 	reg      *obs.Registry
 	trace    *obs.AdaptTrace
 	flow     *adoc.FlowTracer
 	draining atomic.Bool
+	health   *queueHealth
 }
 
 func newOpsServer(reg *obs.Registry) *opsServer {
 	if reg == nil {
 		reg = obs.Default()
 	}
-	return &opsServer{reg: reg, trace: obs.NewAdaptTrace(0)}
+	obs.RegisterRuntimeMetrics(reg)
+	pool := adoc.DefaultWorkerPool()
+	return &opsServer{
+		reg:    reg,
+		trace:  obs.NewAdaptTrace(0),
+		health: newQueueHealth(pool.QueueDepth, pool.Size, time.Now),
+	}
 }
 
 // recordTransition adapts the engine's transition callback to the trace
@@ -54,6 +66,8 @@ func (o *opsServer) handler() http.Handler {
 	mux.HandleFunc("/healthz", o.healthz)
 	mux.HandleFunc("/debug/adapt", o.debugAdapt)
 	mux.HandleFunc("/debug/trace", o.debugTrace)
+	mux.Handle("/debug/conns", obs.ConnsHandler(o.reg))
+	mux.Handle("/debug/events", obs.EventsHandler(o.reg))
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -67,45 +81,165 @@ func (o *opsServer) healthz(w http.ResponseWriter, _ *http.Request) {
 		http.Error(w, "draining", http.StatusServiceUnavailable)
 		return
 	}
+	if d := o.health.degradedFor(); d > 0 {
+		// Still 200: the process serves, but the shared worker-pool queue
+		// has been saturated long enough that latency is about to follow.
+		fmt.Fprintf(w, "degraded: worker-pool queue saturated for %s\n", d.Round(time.Second))
+		return
+	}
 	fmt.Fprintln(w, "ok")
 }
 
-func (o *opsServer) debugAdapt(w http.ResponseWriter, _ *http.Request) {
+// jsonError writes a {"error": ...} body with the given status.
+func jsonError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}
+
+// parseLimit reads ?limit=N; ok is false (and the 400 already written)
+// on a malformed value. limit -1 means unlimited.
+func parseLimit(w http.ResponseWriter, r *http.Request) (limit int, ok bool) {
+	v := r.URL.Query().Get("limit")
+	if v == "" {
+		return -1, true
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 1 {
+		jsonError(w, http.StatusBadRequest, "malformed limit: "+v)
+		return 0, false
+	}
+	return n, true
+}
+
+// debugAdapt dumps the adapt-transition ring, oldest-first (newest
+// last). ?limit=N keeps only the newest N — the tail of the list.
+func (o *opsServer) debugAdapt(w http.ResponseWriter, r *http.Request) {
+	limit, ok := parseLimit(w, r)
+	if !ok {
+		return
+	}
+	events := o.trace.Events()
+	if limit >= 0 && len(events) > limit {
+		events = events[len(events)-limit:]
+	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(struct {
 		Total  int64            `json:"total"`
 		Events []obs.AdaptEvent `json:"events"`
-	}{o.trace.Total(), o.trace.Events()})
+	}{o.trace.Total(), events})
 }
 
-// debugTrace dumps the flow tracer's retained spans, oldest-first.
-// ?trace=ID (decimal or 0x-hex) filters to one flow, ?stream=N to one
-// mux stream; with tracing off it reports sampling=0 and no spans.
+// debugTrace dumps the flow tracer's retained spans, oldest-first
+// (newest last). ?trace=ID (decimal or 0x-hex) filters to one flow,
+// ?stream=N to one mux stream, ?limit=N keeps only the newest N; with
+// tracing off it reports sampling=0 and no spans. Malformed values get
+// 400 with a JSON error body.
 func (o *opsServer) debugTrace(w http.ResponseWriter, r *http.Request) {
 	var traceID, streamID uint64
 	if v := r.URL.Query().Get("trace"); v != "" {
-		traceID, _ = strconv.ParseUint(v, 0, 64)
+		id, err := strconv.ParseUint(v, 0, 64)
+		if err != nil {
+			jsonError(w, http.StatusBadRequest, "malformed trace: "+v)
+			return
+		}
+		traceID = id
 	}
 	if v := r.URL.Query().Get("stream"); v != "" {
-		streamID, _ = strconv.ParseUint(v, 10, 32)
+		id, err := strconv.ParseUint(v, 10, 32)
+		if err != nil {
+			jsonError(w, http.StatusBadRequest, "malformed stream: "+v)
+			return
+		}
+		streamID = id
+	}
+	limit, ok := parseLimit(w, r)
+	if !ok {
+		return
+	}
+	spans := o.flow.Spans(traceID, uint32(streamID))
+	if limit >= 0 && len(spans) > limit {
+		spans = spans[len(spans)-limit:]
 	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(struct {
 		SampleEvery int              `json:"sampling"`
 		Total       int64            `json:"total"`
 		Spans       []adoc.TraceSpan `json:"spans"`
-	}{o.flow.SampleEvery(), o.flow.Total(), o.flow.Spans(traceID, uint32(streamID))})
+	}{o.flow.SampleEvery(), o.flow.Total(), spans})
 }
 
 // listen starts serving the ops endpoints on addr and returns the bound
-// address (so ":0" works in tests).
+// address (so ":0" works in tests). It also starts the worker-pool
+// saturation sampler feeding /healthz.
 func (o *opsServer) listen(addr string) (net.Addr, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
+	go o.health.run(time.Second)
 	go http.Serve(ln, o.handler())
 	return ln.Addr(), nil
+}
+
+// saturationWindow is how long the shared worker-pool queue must stay
+// saturated (depth == capacity) before /healthz reports degraded. Brief
+// bursts fill the queue by design — compression overlapping
+// communication — so only a sustained plateau is an early warning.
+const saturationWindow = 10 * time.Second
+
+// queueHealth watches the shared worker pool's queue depth and turns a
+// sustained saturation plateau into a degraded /healthz verdict. depth,
+// size, and now are injectable for tests.
+type queueHealth struct {
+	depth  func() int
+	size   func() int
+	now    func() time.Time
+	window time.Duration
+
+	mu       sync.Mutex
+	satSince time.Time // zero when the queue was below saturation last sample
+}
+
+func newQueueHealth(depth, size func() int, now func() time.Time) *queueHealth {
+	return &queueHealth{depth: depth, size: size, now: now, window: saturationWindow}
+}
+
+// sample records one queue-depth observation.
+func (q *queueHealth) sample() {
+	saturated := q.depth() >= q.size()
+	q.mu.Lock()
+	if !saturated {
+		q.satSince = time.Time{}
+	} else if q.satSince.IsZero() {
+		q.satSince = q.now()
+	}
+	q.mu.Unlock()
+}
+
+// degradedFor returns how long past the sustained-saturation window the
+// queue has been full, or 0 while healthy.
+func (q *queueHealth) degradedFor() time.Duration {
+	q.mu.Lock()
+	since := q.satSince
+	q.mu.Unlock()
+	if since.IsZero() {
+		return 0
+	}
+	if d := q.now().Sub(since); d >= q.window {
+		return d
+	}
+	return 0
+}
+
+// run samples every interval; it never stops, matching the daemon's
+// lifetime.
+func (q *queueHealth) run(interval time.Duration) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for range t.C {
+		q.sample()
+	}
 }
 
 // readBackendsFile parses a backends file: one address per line, blank

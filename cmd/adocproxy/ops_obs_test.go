@@ -1,0 +1,167 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"adoc"
+	"adoc/internal/obs"
+)
+
+// TestDebugEndpointLimits covers the ?limit parameter on /debug/adapt
+// and /debug/trace: events are ordered oldest-first, so limit keeps the
+// newest-last tail.
+func TestDebugEndpointLimits(t *testing.T) {
+	o := newOpsServer(adoc.NewMetricsRegistry())
+	o.flow = adoc.NewFlowTracer(adoc.FlowTracerConfig{SampleEvery: 1, Metrics: adoc.NewMetricsRegistry()})
+	base := time.Now()
+	for i, cause := range []string{"queue-rise", "divergence", "pin"} {
+		o.recordTransition(adoc.AdaptTransition{
+			At: base.Add(time.Duration(i) * time.Second), From: adoc.Level(i), To: adoc.Level(i + 1),
+			Cause: adoc.AdaptCause(cause),
+		})
+	}
+	srv := httptest.NewServer(o.handler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/debug/adapt?limit=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var adapt struct {
+		Total  int64            `json:"total"`
+		Events []obs.AdaptEvent `json:"events"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&adapt); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if adapt.Total != 3 || len(adapt.Events) != 2 {
+		t.Fatalf("limit=2: total=%d events=%d", adapt.Total, len(adapt.Events))
+	}
+	// Newest last: the tail is divergence, pin.
+	if adapt.Events[0].Cause != "divergence" || adapt.Events[1].Cause != "pin" {
+		t.Fatalf("limit should keep the newest tail: %+v", adapt.Events)
+	}
+
+	// /debug/trace honours limit too (empty tracer: just a 200).
+	resp, err = http.Get(srv.URL + "/debug/trace?limit=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/trace?limit=5 status = %d", resp.StatusCode)
+	}
+}
+
+// TestDebugEndpointsRejectMalformedQueries: malformed ?trace=, ?stream=
+// and ?limit= values now get 400 with a JSON error body instead of being
+// silently ignored.
+func TestDebugEndpointsRejectMalformedQueries(t *testing.T) {
+	o := newOpsServer(adoc.NewMetricsRegistry())
+	o.flow = adoc.NewFlowTracer(adoc.FlowTracerConfig{SampleEvery: 1, Metrics: adoc.NewMetricsRegistry()})
+	srv := httptest.NewServer(o.handler())
+	defer srv.Close()
+
+	for _, path := range []string{
+		"/debug/trace?trace=zz",
+		"/debug/trace?stream=-1",
+		"/debug/trace?stream=bogus",
+		"/debug/trace?limit=0",
+		"/debug/trace?limit=many",
+		"/debug/adapt?limit=-3",
+		"/debug/adapt?limit=x",
+	} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s status = %d, want 400", path, resp.StatusCode)
+		}
+		var e struct {
+			Error string `json:"error"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || e.Error == "" {
+			t.Errorf("%s: missing JSON error body (err=%v)", path, err)
+		}
+		resp.Body.Close()
+	}
+}
+
+// TestHealthzDegraded: sustained worker-pool queue saturation flips the
+// body to degraded while the status stays 200; draining still wins with
+// 503.
+func TestHealthzDegraded(t *testing.T) {
+	o := newOpsServer(adoc.NewMetricsRegistry())
+	now := time.Unix(5000, 0)
+	depth := 0
+	o.health = newQueueHealth(func() int { return depth }, func() int { return 8 },
+		func() time.Time { return now })
+	srv := httptest.NewServer(o.handler())
+	defer srv.Close()
+
+	body := func() (int, string) {
+		resp, err := http.Get(srv.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var b strings.Builder
+		buf := make([]byte, 256)
+		for {
+			n, err := resp.Body.Read(buf)
+			b.Write(buf[:n])
+			if err != nil {
+				break
+			}
+		}
+		return resp.StatusCode, strings.TrimSpace(b.String())
+	}
+
+	if code, s := body(); code != 200 || s != "ok" {
+		t.Fatalf("idle healthz = %d %q", code, s)
+	}
+
+	// Saturated, but not yet for the sustained window: still ok.
+	depth = 8
+	o.health.sample()
+	now = now.Add(3 * time.Second)
+	o.health.sample()
+	if code, s := body(); code != 200 || s != "ok" {
+		t.Fatalf("briefly saturated healthz = %d %q", code, s)
+	}
+
+	// Past the window: degraded, still 200.
+	now = now.Add(saturationWindow)
+	o.health.sample()
+	code, s := body()
+	if code != 200 {
+		t.Fatalf("degraded healthz status = %d, want 200", code)
+	}
+	if !strings.HasPrefix(s, "degraded") {
+		t.Fatalf("degraded healthz body = %q", s)
+	}
+
+	// Desaturation clears the verdict on the next sample.
+	depth = 0
+	o.health.sample()
+	if code, s := body(); code != 200 || s != "ok" {
+		t.Fatalf("recovered healthz = %d %q", code, s)
+	}
+
+	// Draining beats everything, as before.
+	depth = 8
+	o.health.sample()
+	now = now.Add(2 * saturationWindow)
+	o.health.sample()
+	o.draining.Store(true)
+	if code, s := body(); code != 503 || s != "draining" {
+		t.Fatalf("draining healthz = %d %q", code, s)
+	}
+}

@@ -1,0 +1,105 @@
+// Command adoctop is top(1) for an AdOC gateway: it polls an ops
+// server's /debug/conns and /metrics endpoints and renders a refreshing
+// per-connection table — kind, negotiated bounds, live adapt level,
+// compression ratio, throughput, stream count, last transition cause —
+// with process rollups above it.
+//
+// Usage:
+//
+//	adoctop -ops http://127.0.0.1:9321 [-interval 2s] [-once]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"time"
+)
+
+func main() {
+	ops := flag.String("ops", "http://127.0.0.1:9321", "base URL of the ops/metrics server")
+	interval := flag.Duration("interval", 2*time.Second, "refresh interval")
+	once := flag.Bool("once", false, "render one frame and exit (no screen clearing)")
+	flag.Parse()
+
+	client := &http.Client{Timeout: 10 * time.Second}
+	var prev *frame
+	for {
+		cur, err := fetchFrame(client, *ops)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "adoctop: %v\n", err)
+			os.Exit(1)
+		}
+		out := renderFrame(prev, cur)
+		if *once {
+			fmt.Print(out)
+			return
+		}
+		// ANSI clear + home, like top.
+		fmt.Print("\x1b[2J\x1b[H" + out)
+		prev = cur
+		time.Sleep(*interval)
+	}
+}
+
+// connState mirrors the /debug/conns JSON (a subset of obs.ConnState —
+// decoding tolerates extra fields).
+type connState struct {
+	ID            uint64  `json:"id"`
+	Kind          string  `json:"kind"`
+	LocalAddr     string  `json:"local_addr"`
+	PeerAddr      string  `json:"peer_addr"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Config        struct {
+		LevelBounds [2]int `json:"level_bounds"`
+		Mux         bool   `json:"mux"`
+	} `json:"config"`
+	RawBytesSent     int64   `json:"raw_bytes_sent"`
+	WireBytesSent    int64   `json:"wire_bytes_sent"`
+	CompressionRatio float64 `json:"compression_ratio"`
+	Level            int     `json:"level"`
+	Streams          int     `json:"streams"`
+	LastTransition   *struct {
+		Cause string `json:"cause"`
+	} `json:"last_transition"`
+}
+
+// frame is one poll's worth of state.
+type frame struct {
+	At      time.Time
+	Conns   []connState
+	Metrics map[string]float64
+}
+
+func fetchFrame(client *http.Client, base string) (*frame, error) {
+	var list struct {
+		Conns []connState `json:"conns"`
+	}
+	body, err := get(client, base+"/debug/conns")
+	if err != nil {
+		return nil, err
+	}
+	if err := json.Unmarshal(body, &list); err != nil {
+		return nil, fmt.Errorf("decoding /debug/conns: %w", err)
+	}
+	promText, err := get(client, base+"/metrics")
+	if err != nil {
+		return nil, err
+	}
+	return &frame{At: time.Now(), Conns: list.Conns, Metrics: parseProm(string(promText))}, nil
+}
+
+func get(client *http.Client, url string) ([]byte, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: %s", url, resp.Status)
+	}
+	return io.ReadAll(resp.Body)
+}

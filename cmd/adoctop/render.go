@@ -1,0 +1,110 @@
+package main
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// parseProm extracts series values from a Prometheus text exposition:
+// the map key is the series as written (name plus label block, if any).
+func parseProm(text string) map[string]float64 {
+	out := map[string]float64{}
+	for _, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp <= 0 {
+			continue
+		}
+		v, err := strconv.ParseFloat(line[sp+1:], 64)
+		if err != nil {
+			continue
+		}
+		out[line[:sp]] = v
+	}
+	return out
+}
+
+// fmtBytes renders a byte count in binary units.
+func fmtBytes(b float64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", b/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", b/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", b/(1<<10))
+	default:
+		return fmt.Sprintf("%.0fB", b)
+	}
+}
+
+// fmtUptime renders seconds as h/m/s, top two units.
+func fmtUptime(s float64) string {
+	d := int(s)
+	switch {
+	case d >= 3600:
+		return fmt.Sprintf("%dh%02dm", d/3600, d%3600/60)
+	case d >= 60:
+		return fmt.Sprintf("%dm%02ds", d/60, d%60)
+	default:
+		return fmt.Sprintf("%ds", d)
+	}
+}
+
+// renderFrame builds one full screen: process rollups from /metrics,
+// then the per-connection table. prev (the previous frame, nil on the
+// first) supplies the deltas behind the throughput column.
+func renderFrame(prev, cur *frame) string {
+	var b strings.Builder
+
+	m := cur.Metrics
+	fmt.Fprintf(&b, "adoctop — %s\n", cur.At.Format("15:04:05"))
+	fmt.Fprintf(&b, "conns %d   goroutines %.0f   heap %s   events dropped %.0f\n",
+		len(cur.Conns),
+		m["adoc_go_goroutines"],
+		fmtBytes(m["adoc_go_heap_bytes"]),
+		m["adoc_events_dropped_total"])
+	fmt.Fprintf(&b, "process: raw sent %s   wire sent %s\n\n",
+		fmtBytes(m["adoc_engine_raw_bytes_sent_total"]),
+		fmtBytes(m["adoc_engine_wire_bytes_sent_total"]))
+
+	// Per-connection throughput needs a previous sample of the same
+	// connection; first frame shows "-".
+	prevWire := map[uint64]int64{}
+	var dt float64
+	if prev != nil {
+		dt = cur.At.Sub(prev.At).Seconds()
+		for _, c := range prev.Conns {
+			prevWire[c.ID] = c.WireBytesSent
+		}
+	}
+
+	fmt.Fprintf(&b, "%4s %-16s %-21s %5s %6s %6s %9s %7s %7s  %s\n",
+		"ID", "KIND", "PEER", "LVL", "BOUNDS", "RATIO", "WIRE/s", "STREAMS", "UP", "LAST CAUSE")
+	conns := append([]connState(nil), cur.Conns...)
+	sort.Slice(conns, func(i, j int) bool { return conns[i].ID < conns[j].ID })
+	for _, c := range conns {
+		rate := "-"
+		if w, ok := prevWire[c.ID]; ok && dt > 0 {
+			rate = fmtBytes(float64(c.WireBytesSent-w) / dt)
+		}
+		cause := ""
+		if c.LastTransition != nil {
+			cause = c.LastTransition.Cause
+		}
+		fmt.Fprintf(&b, "%4d %-16s %-21s %5d %3d-%-3d %6.2f %9s %7d %7s  %s\n",
+			c.ID, c.Kind, c.PeerAddr, c.Level,
+			c.Config.LevelBounds[0], c.Config.LevelBounds[1],
+			c.CompressionRatio, rate, c.Streams,
+			fmtUptime(c.UptimeSeconds), cause)
+	}
+	if len(conns) == 0 {
+		b.WriteString("(no live connections)\n")
+	}
+	return b.String()
+}

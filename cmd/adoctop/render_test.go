@@ -1,0 +1,115 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseProm(t *testing.T) {
+	text := `# HELP adoc_go_goroutines Live goroutines in the process.
+# TYPE adoc_go_goroutines gauge
+adoc_go_goroutines 42
+adoc_go_heap_bytes 1048576
+adoc_adapt_level_bandwidth_bytes_per_second{level="1"} 1.25e+06
+garbage line
+adoc_bad_value nope
+`
+	m := parseProm(text)
+	if m["adoc_go_goroutines"] != 42 {
+		t.Errorf("goroutines = %v, want 42", m["adoc_go_goroutines"])
+	}
+	if m["adoc_go_heap_bytes"] != 1048576 {
+		t.Errorf("heap = %v, want 1048576", m["adoc_go_heap_bytes"])
+	}
+	if m[`adoc_adapt_level_bandwidth_bytes_per_second{level="1"}`] != 1.25e6 {
+		t.Errorf("labeled series = %v, want 1.25e6", m[`adoc_adapt_level_bandwidth_bytes_per_second{level="1"}`])
+	}
+	if _, ok := m["adoc_bad_value"]; ok {
+		t.Error("unparseable value should be skipped")
+	}
+}
+
+func TestRenderFrameRatesAndRollups(t *testing.T) {
+	base := time.Date(2026, 8, 7, 12, 0, 0, 0, time.UTC)
+	mk := func(wire int64) connState {
+		var c connState
+		c.ID = 7
+		c.Kind = "gateway-ingress"
+		c.PeerAddr = "127.0.0.1:9000"
+		c.Level = 3
+		c.Config.LevelBounds = [2]int{1, 10}
+		c.CompressionRatio = 4.5
+		c.WireBytesSent = wire
+		c.Streams = 2
+		c.UptimeSeconds = 75
+		c.LastTransition = &struct {
+			Cause string `json:"cause"`
+		}{Cause: "queue-rise"}
+		return c
+	}
+	prev := &frame{At: base, Conns: []connState{mk(0)}, Metrics: map[string]float64{}}
+	cur := &frame{
+		At:    base.Add(2 * time.Second),
+		Conns: []connState{mk(2 << 20)},
+		Metrics: map[string]float64{
+			"adoc_go_goroutines": 12,
+			"adoc_go_heap_bytes": 1 << 20,
+		},
+	}
+
+	out := renderFrame(prev, cur)
+	for _, want := range []string{
+		"gateway-ingress", // kind column
+		"1.0MiB",          // 2 MiB over 2 s
+		"queue-rise",      // last transition cause
+		"1-10",            // negotiated bounds
+		"goroutines 12",   // rollup from /metrics
+		"heap 1.0MiB",     // rollup from /metrics
+		"conns 1",         // table size
+		fmtUptime(75),     // uptime formatting in table
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("frame missing %q:\n%s", want, out)
+		}
+	}
+
+	// First frame has no previous sample: rate column shows "-".
+	first := renderFrame(nil, cur)
+	if !strings.Contains(first, " - ") && !strings.Contains(first, "-\n") && !strings.Contains(first, "        -") {
+		t.Errorf("first frame should show '-' for rate:\n%s", first)
+	}
+}
+
+func TestRenderFrameEmpty(t *testing.T) {
+	cur := &frame{At: time.Date(2026, 8, 7, 12, 0, 0, 0, time.UTC), Metrics: map[string]float64{}}
+	if out := renderFrame(nil, cur); !strings.Contains(out, "no live connections") {
+		t.Errorf("empty frame:\n%s", out)
+	}
+}
+
+func TestFormatHelpers(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{512, "512B"},
+		{2048, "2.0KiB"},
+		{3 << 20, "3.0MiB"},
+		{5 << 30, "5.0GiB"},
+	}
+	for _, c := range cases {
+		if got := fmtBytes(c.in); got != c.want {
+			t.Errorf("fmtBytes(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+	if got := fmtUptime(3700); got != "1h01m" {
+		t.Errorf("fmtUptime(3700) = %q", got)
+	}
+	if got := fmtUptime(75); got != "1m15s" {
+		t.Errorf("fmtUptime(75) = %q", got)
+	}
+	if got := fmtUptime(9); got != "9s" {
+		t.Errorf("fmtUptime(9) = %q", got)
+	}
+}

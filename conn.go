@@ -122,6 +122,11 @@ func (c *Conn) Close() error { return c.eng.Close() }
 // controller's decision state (Stats.Adapt).
 func (c *Conn) Stats() Stats { return c.eng.Stats() }
 
+// Inspect returns the connection's entry in its metrics registry's
+// live-inspection table (the one /debug/conns serves). Layers wrapping
+// the connection use it to tag their role and negotiated state.
+func (c *Conn) Inspect() *ConnHandle { return c.eng.Handle() }
+
 // CounterStats is Stats without the Adapt snapshot; cheaper for callers
 // that aggregate counters across many connections and discard the
 // non-additive decision state.

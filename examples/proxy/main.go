@@ -58,8 +58,11 @@ func main() {
 	if *metricsAddr != "" {
 		mln, err := net.Listen("tcp", *metricsAddr)
 		check(err)
+		adoc.RegisterRuntimeMetrics(nil)
 		mux := http.NewServeMux()
 		mux.Handle("/metrics", adoc.MetricsHandler(nil))
+		mux.Handle("/debug/conns", adoc.ConnsHandler(nil))
+		mux.Handle("/debug/events", adoc.EventsHandler(nil))
 		mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, _ *http.Request) {
 			w.Header().Set("Content-Type", "application/json")
 			json.NewEncoder(w).Encode(struct {

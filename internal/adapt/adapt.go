@@ -411,20 +411,27 @@ func (c *Controller) NotePacketRatio(level codec.Level, rawLen, compLen int) (ab
 // LevelForNextBuffer pins to the minimum — the per-content-run analogue
 // of the divergence guard's forbidden set, except it is released by the
 // content itself (the first compressible buffer, via
-// NoteCompressibleContent) rather than by a timer.
-func (c *Controller) NoteEntropyBypass() {
+// NoteCompressibleContent) rather than by a timer. The return reports
+// whether this bypass is the one that engaged the pin — the edge an
+// observability layer wants to announce exactly once per run.
+func (c *Controller) NoteEntropyBypass() (pinned bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.bypassRun++
 	c.entropyBypasses.Inc()
+	return c.bypassRun == c.cfg.BypassRunPin
 }
 
 // NoteCompressibleContent ends the entropy-bypass run: the probe saw a
-// buffer worth compressing, so pinned levels become eligible again.
-func (c *Controller) NoteCompressibleContent() {
+// buffer worth compressing, so pinned levels become eligible again. The
+// return reports whether an engaged pin was actually released by this
+// call (the run had reached BypassRunPin).
+func (c *Controller) NoteCompressibleContent() (released bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	released = c.bypassRun >= c.cfg.BypassRunPin
 	c.bypassRun = 0
+	return released
 }
 
 // NotePacketsSent advances the incompressible pin countdown: n packets have

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"io"
+	"net"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -68,6 +69,13 @@ type Engine struct {
 	rt recvTraceState
 
 	stats engineStats
+
+	// Live-introspection wiring: the registry's connection table entry,
+	// its event bus, and the most recent adapt transition (served by the
+	// /debug/conns fill callback).
+	handle         *obs.ConnHandle
+	events         *obs.EventBus
+	lastTransition atomic.Pointer[adapt.Transition]
 }
 
 // recvTraceState is the adoption buffer for receive-side spans of the
@@ -285,7 +293,31 @@ func New(rw io.ReadWriter, opts Options) (*Engine, error) {
 			}
 		}
 	}
-	ctrl := adapt.New(adapt.Config{
+	pool := opts.SharedPool
+	if pool == nil {
+		pool = DefaultWorkerPool()
+	}
+	pool.RegisterMetrics(reg)
+	bufpool.Default.RegisterMetrics(reg)
+	e := &Engine{
+		rw:     rw,
+		opts:   opts,
+		dec:    wire.NewReader(rw),
+		pool:   pool,
+		stats:  bindEngineStats(reg),
+		events: reg.Events(),
+	}
+	// The engine observes its own transitions (last-transition snapshot
+	// for /debug/conns, adapt event on the bus) in front of the chain
+	// built above.
+	inner := onTransition
+	onTransition = func(tr adapt.Transition) {
+		e.noteTransition(tr)
+		if inner != nil {
+			inner(tr)
+		}
+	}
+	e.ctrl = adapt.New(adapt.Config{
 		Min:                        opts.MinLevel,
 		Max:                        opts.MaxLevel,
 		Codecs:                     opts.Codecs,
@@ -298,21 +330,67 @@ func New(rw io.ReadWriter, opts Options) (*Engine, error) {
 		OnTransition:               onTransition,
 		Metrics:                    reg,
 	})
-	pool := opts.SharedPool
-	if pool == nil {
-		pool = DefaultWorkerPool()
+	// Register in the connection table after ctrl exists: the fill
+	// callback snapshots the controller on every /debug/conns request.
+	e.handle = reg.Conns().Register("engine", e.fillConnState)
+	e.handle.SetConfig(obs.ConnConfig{
+		PacketSize:  opts.PacketSize,
+		BufferSize:  opts.BufferSize,
+		LevelBounds: [2]int{int(opts.MinLevel), int(opts.MaxLevel)},
+		Codecs:      opts.Codecs.String(),
+		Trace:       opts.FlowTracer.Enabled(),
+	})
+	if c, ok := rw.(interface {
+		LocalAddr() net.Addr
+		RemoteAddr() net.Addr
+	}); ok {
+		e.handle.SetAddrs(c.LocalAddr().String(), c.RemoteAddr().String())
 	}
-	pool.RegisterMetrics(reg)
-	bufpool.Default.RegisterMetrics(reg)
-	return &Engine{
-		rw:    rw,
-		opts:  opts,
-		ctrl:  ctrl,
-		dec:   wire.NewReader(rw),
-		pool:  pool,
-		stats: bindEngineStats(reg),
-	}, nil
+	return e, nil
 }
+
+// noteTransition records the controller's latest level change for
+// introspection and publishes it as an adapt event.
+func (e *Engine) noteTransition(tr adapt.Transition) {
+	t := tr
+	e.lastTransition.Store(&t)
+	e.events.Publish(obs.Event{
+		Type:  obs.EventAdapt,
+		Conn:  e.handle.ID(),
+		At:    tr.At,
+		From:  int(tr.From),
+		To:    int(tr.To),
+		Cause: string(tr.Cause),
+	})
+}
+
+// fillConnState populates the engine-owned fields of a /debug/conns
+// snapshot: counters, ratio, and the controller's live decision state.
+func (e *Engine) fillConnState(st *obs.ConnState) {
+	st.MsgsSent = e.stats.msgsSent.Value()
+	st.MsgsReceived = e.stats.msgsReceived.Value()
+	st.RawBytesSent = e.stats.rawSent.Value()
+	st.WireBytesSent = e.stats.wireSent.Value()
+	st.RawBytesRecv = e.stats.rawReceived.Value()
+	st.WireBytesRecv = e.stats.wireReceived.Value()
+	st.CompressionRatio = e.CompressionRatio()
+	snap := e.ctrl.Snapshot()
+	st.Level = int(snap.Level)
+	st.PinRemaining = snap.PinRemaining
+	st.BypassRun = snap.BypassRun
+	if tr := e.lastTransition.Load(); tr != nil {
+		st.LastTransition = &obs.ConnTransition{
+			At: tr.At, From: int(tr.From), To: int(tr.To), Cause: string(tr.Cause),
+		}
+	}
+}
+
+// Handle returns the engine's connection-table entry, for outer layers
+// (adocnet, mux, gateways) to enrich with their own view.
+func (e *Engine) Handle() *obs.ConnHandle { return e.handle }
+
+// Events returns the event bus of the registry this engine is bound to.
+func (e *Engine) Events() *obs.EventBus { return e.events }
 
 // Options returns the engine's effective (sanitized) options.
 func (e *Engine) Options() Options { return e.opts }
@@ -353,6 +431,7 @@ func (e *Engine) Close() error {
 	if e.closed.Swap(true) {
 		return nil
 	}
+	e.handle.Unregister()
 	// Unblock a reception goroutine waiting on a full frame queue.
 	e.abortCurrentStream(ErrClosed)
 	if c, ok := e.rw.(io.Closer); ok {

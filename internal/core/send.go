@@ -537,9 +537,17 @@ func (e *Engine) classifyBuffer(level codec.Level, chunk []byte) (codec.Level, c
 func (e *Engine) noteContent(class contentClass) {
 	switch class {
 	case classBypassed:
-		e.ctrl.NoteEntropyBypass()
+		if e.ctrl.NoteEntropyBypass() {
+			e.events.Publish(obs.Event{
+				Type: obs.EventBypass, Conn: e.handle.ID(), Action: "pin",
+			})
+		}
 	case classCompressible:
-		e.ctrl.NoteCompressibleContent()
+		if e.ctrl.NoteCompressibleContent() {
+			e.events.Publish(obs.Event{
+				Type: obs.EventBypass, Conn: e.handle.ID(), Action: "release",
+			})
+		}
 	}
 	// classIncompressible: the run persists without counting a bypass —
 	// nothing was compressed and nothing was skipped.

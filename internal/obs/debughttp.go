@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+)
+
+// jsonError writes a {"error": ...} body with the given status.
+func jsonError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}
+
+// connList is the /debug/conns list response shape.
+type connList struct {
+	Total int         `json:"total"`
+	Conns []ConnState `json:"conns"`
+}
+
+// ConnsHandler serves the registry's connection table as JSON: the full
+// list (oldest first) by default, one connection with `?id=N`. Unknown
+// IDs get 404, malformed ones 400, both with a JSON error body. A nil
+// registry serves the default registry.
+func ConnsHandler(r *Registry) http.Handler {
+	if r == nil {
+		r = Default()
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		table := r.Conns()
+		if v := req.URL.Query().Get("id"); v != "" {
+			id, err := strconv.ParseUint(v, 10, 64)
+			if err != nil {
+				jsonError(w, http.StatusBadRequest, "malformed id: "+v)
+				return
+			}
+			st, ok := table.Get(id)
+			if !ok {
+				jsonError(w, http.StatusNotFound, "no such connection: "+v)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(w).Encode(st)
+			return
+		}
+		conns := table.List()
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(connList{Total: len(conns), Conns: conns})
+	})
+}
+
+// EventsHandler streams the registry's event bus as NDJSON: one JSON
+// event per line, flushed as published. Filters: `?type=` (event type),
+// `?conn=` (connection ID). `?max=N` closes the stream after N events —
+// the hook that lets a plain curl in CI terminate. `?replay=0` skips
+// the retained recent events (default is to replay them, so a reader
+// arriving after the traffic still sees it). Malformed parameters get
+// 400 with a JSON error body. A nil registry serves the default
+// registry.
+func EventsHandler(r *Registry) http.Handler {
+	if r == nil {
+		r = Default()
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		q := req.URL.Query()
+		typeFilter := q.Get("type")
+		var connFilter uint64
+		if v := q.Get("conn"); v != "" {
+			id, err := strconv.ParseUint(v, 10, 64)
+			if err != nil {
+				jsonError(w, http.StatusBadRequest, "malformed conn: "+v)
+				return
+			}
+			connFilter = id
+		}
+		max := -1
+		if v := q.Get("max"); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 1 {
+				jsonError(w, http.StatusBadRequest, "malformed max: "+v)
+				return
+			}
+			max = n
+		}
+		replay := true
+		if v := q.Get("replay"); v != "" {
+			b, err := strconv.ParseBool(v)
+			if err != nil {
+				jsonError(w, http.StatusBadRequest, "malformed replay: "+v)
+				return
+			}
+			replay = b
+		}
+
+		sub := r.Events().Subscribe(256, replay)
+		defer sub.Close()
+
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.WriteHeader(http.StatusOK)
+		flusher, _ := w.(http.Flusher)
+		if flusher != nil {
+			flusher.Flush()
+		}
+		enc := json.NewEncoder(w)
+		sent := 0
+		for max < 0 || sent < max {
+			ev, ok := sub.Next(req.Context())
+			if !ok {
+				return
+			}
+			if typeFilter != "" && ev.Type != typeFilter {
+				continue
+			}
+			if connFilter != 0 && ev.Conn != connFilter {
+				continue
+			}
+			if err := enc.Encode(ev); err != nil {
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+			sent++
+		}
+	})
+}

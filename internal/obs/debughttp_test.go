@@ -1,0 +1,160 @@
+package obs
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestConnsHandler(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Conns().Register("adocnet", func(st *ConnState) { st.Level = 2 })
+	h.SetConfig(ConnConfig{LevelBounds: [2]int{0, 10}})
+	srv := httptest.NewServer(ConnsHandler(reg))
+	defer srv.Close()
+
+	// Full list.
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list struct {
+		Total int         `json:"total"`
+		Conns []ConnState `json:"conns"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if list.Total != 1 || len(list.Conns) != 1 || list.Conns[0].Level != 2 {
+		t.Fatalf("list: %+v", list)
+	}
+
+	// Drill-down by ID.
+	resp, err = http.Get(srv.URL + "?id=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st ConnState
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.Kind != "adocnet" {
+		t.Fatalf("drill-down: %+v", st)
+	}
+
+	// Unknown ID: 404 with a JSON error body.
+	resp, _ = http.Get(srv.URL + "?id=42")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown id status = %d", resp.StatusCode)
+	}
+	var e struct {
+		Error string `json:"error"`
+	}
+	json.NewDecoder(resp.Body).Decode(&e)
+	resp.Body.Close()
+	if e.Error == "" {
+		t.Fatal("404 without JSON error body")
+	}
+
+	// Malformed ID: 400.
+	resp, _ = http.Get(srv.URL + "?id=bogus")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed id status = %d", resp.StatusCode)
+	}
+}
+
+func TestEventsHandlerStreamsNDJSON(t *testing.T) {
+	reg := NewRegistry()
+	bus := reg.Events()
+	bus.Publish(Event{Type: EventHandshake, Conn: 1, Action: "ok"})
+	bus.Publish(Event{Type: EventAdapt, Conn: 1, From: 1, To: 3, Cause: "queue-rise"})
+	bus.Publish(Event{Type: EventAdapt, Conn: 2, From: 0, To: 1, Cause: "queue-rise"})
+	srv := httptest.NewServer(EventsHandler(reg))
+	defer srv.Close()
+
+	// ?max terminates the stream after N events (replay on by default).
+	resp, err := http.Get(srv.URL + "?max=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	var events []Event
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var ev Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		events = append(events, ev)
+	}
+	if len(events) != 3 {
+		t.Fatalf("got %d events, want 3: %+v", len(events), events)
+	}
+	if events[0].Type != EventHandshake || events[1].Cause != "queue-rise" {
+		t.Fatalf("events: %+v", events)
+	}
+
+	// Type and conn filters.
+	resp, err = http.Get(srv.URL + "?max=2&type=" + EventAdapt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := readLines(t, resp)
+	if len(body) != 2 || !strings.Contains(body[0], `"adapt"`) {
+		t.Fatalf("type filter: %v", body)
+	}
+
+	resp, err = http.Get(srv.URL + "?max=1&conn=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body = readLines(t, resp)
+	if len(body) != 1 || !strings.Contains(body[0], `"conn":2`) {
+		t.Fatalf("conn filter: %v", body)
+	}
+
+	// replay=0 plus an immediately-cancelled request: no events.
+	req, _ := http.NewRequest("GET", srv.URL+"?replay=0&max=1", nil)
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	req = req.WithContext(ctx)
+	resp, err = http.DefaultClient.Do(req)
+	if err == nil {
+		if lines := readLines(t, resp); len(lines) != 0 {
+			t.Fatalf("replay=0 saw past events: %v", lines)
+		}
+	}
+
+	// Malformed parameters: 400.
+	for _, q := range []string{"?conn=x", "?max=0", "?max=x", "?replay=maybe"} {
+		resp, _ := http.Get(srv.URL + q)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s status = %d, want 400", q, resp.StatusCode)
+		}
+	}
+}
+
+func readLines(t *testing.T, resp *http.Response) []string {
+	t.Helper()
+	defer resp.Body.Close()
+	var out []string
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		if s := strings.TrimSpace(sc.Text()); s != "" {
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -1,0 +1,248 @@
+package obs
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// MetricEventsDropped counts events discarded because a subscriber's
+// ring was full (drop-oldest) — the price of a lagging consumer, paid by
+// that consumer alone.
+const MetricEventsDropped = "adoc_events_dropped_total"
+
+// Event types published on the bus. Action refines the type:
+// handshake ok/fail, stream open/accept/close/overflow, bypass
+// pin/release, backend healthy/unhealthy, drain begin/done/timeout;
+// adapt transitions carry their cause instead of an action.
+const (
+	EventHandshake = "handshake"
+	EventAdapt     = "adapt"
+	EventBypass    = "bypass"
+	EventBackend   = "backend"
+	EventStream    = "stream"
+	EventDrain     = "drain"
+)
+
+// Event is one structured state change. The struct is flat and passed by
+// value so publishing allocates nothing; fields a given type does not
+// use stay zero and (with omitempty) off the wire. From and To are adapt
+// levels — absent means level 0.
+type Event struct {
+	// Seq is the bus-wide publication sequence number; gaps in a
+	// subscriber's view are events it dropped (or that predate it).
+	Seq uint64    `json:"seq"`
+	At  time.Time `json:"at"`
+	// Type is one of the Event* constants.
+	Type string `json:"type"`
+	// Conn is the ConnTable ID of the connection the event concerns.
+	Conn uint64 `json:"conn,omitempty"`
+	// Stream is the mux stream ID for stream events.
+	Stream uint32 `json:"stream,omitempty"`
+	// Action refines Type (see the type constants).
+	Action string `json:"action,omitempty"`
+	// From and To are the levels around an adapt transition.
+	From int `json:"from,omitempty"`
+	To   int `json:"to,omitempty"`
+	// Cause names the control-loop stage (adapt) or probe (backend)
+	// behind the event.
+	Cause string `json:"cause,omitempty"`
+	// Addr is the remote or backend address the event concerns.
+	Addr string `json:"addr,omitempty"`
+	// Detail carries free-form context: the negotiated string, an error.
+	Detail string `json:"detail,omitempty"`
+}
+
+// eventRetain is the bus's replay ring size: late subscribers (a curl
+// hitting /debug/events after the transfer finished) can still read the
+// recent past.
+const eventRetain = 256
+
+// EventBus fans typed events out to any number of subscribers, each with
+// its own bounded drop-oldest ring — one slow consumer drops its own
+// events, never its siblings' and never the publisher's time. With no
+// subscriber attached Publish is one atomic add, one lock, and a copy
+// into the preallocated replay ring: zero allocations, the same
+// discipline as FlowTracer's unsampled path.
+type EventBus struct {
+	dropped *Counter
+	seq     atomic.Uint64
+
+	mu     sync.Mutex
+	subs   []*EventSub // copy-on-write: replaced, never mutated in place
+	retain []Event     // replay ring for late subscribers
+	rHead  int
+	rLen   int
+}
+
+func newEventBus(dropped *Counter) *EventBus {
+	return &EventBus{dropped: dropped, retain: make([]Event, eventRetain)}
+}
+
+// Publish stamps ev (sequence, time if unset) and delivers it to every
+// subscriber and the replay ring. Safe on a nil bus (no-op) and for
+// concurrent use; it never blocks on a slow subscriber.
+func (b *EventBus) Publish(ev Event) {
+	if b == nil {
+		return
+	}
+	ev.Seq = b.seq.Add(1)
+	if ev.At.IsZero() {
+		ev.At = time.Now()
+	}
+	b.mu.Lock()
+	b.retain[(b.rHead+b.rLen)%len(b.retain)] = ev
+	if b.rLen < len(b.retain) {
+		b.rLen++
+	} else {
+		b.rHead = (b.rHead + 1) % len(b.retain)
+	}
+	subs := b.subs
+	b.mu.Unlock()
+	// subs is a copy-on-write snapshot: safe to walk unlocked.
+	for _, s := range subs {
+		s.offer(ev)
+	}
+}
+
+// Total returns the number of events published over the bus lifetime.
+func (b *EventBus) Total() uint64 {
+	if b == nil {
+		return 0
+	}
+	return b.seq.Load()
+}
+
+// Subscribe attaches a subscriber with a ring of the given capacity
+// (<= 0 selects 64). With replay set, the bus's retained recent events
+// are preloaded into the ring, so a subscriber arriving after the
+// traffic still sees the recent past. Close the subscriber to detach.
+func (b *EventBus) Subscribe(capacity int, replay bool) *EventSub {
+	if capacity <= 0 {
+		capacity = 64
+	}
+	s := &EventSub{
+		bus:  b,
+		ring: make([]Event, capacity),
+		wake: make(chan struct{}, 1),
+		done: make(chan struct{}),
+	}
+	b.mu.Lock()
+	if replay {
+		for i := 0; i < b.rLen; i++ {
+			s.push(b.retain[(b.rHead+i)%len(b.retain)])
+		}
+	}
+	subs := make([]*EventSub, len(b.subs)+1)
+	copy(subs, b.subs)
+	subs[len(subs)-1] = s
+	b.subs = subs
+	b.mu.Unlock()
+	return s
+}
+
+func (b *EventBus) remove(s *EventSub) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	subs := make([]*EventSub, 0, len(b.subs))
+	for _, x := range b.subs {
+		if x != s {
+			subs = append(subs, x)
+		}
+	}
+	b.subs = subs
+}
+
+// EventSub is one subscriber's view of the bus: a bounded ring drained
+// with Next. When the ring is full the oldest event is dropped (and
+// counted) so the newest state always fits.
+type EventSub struct {
+	bus  *EventBus
+	wake chan struct{} // buffered(1) nudge from offer
+	done chan struct{} // closed by Close
+
+	mu      sync.Mutex
+	ring    []Event
+	head, n int
+	dropped int64
+	closed  bool
+}
+
+// offer is the publish-side entry: push and nudge, never block.
+func (s *EventSub) offer(ev Event) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.push(ev)
+	s.mu.Unlock()
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+}
+
+// push appends under s.mu, dropping the oldest entry when full.
+func (s *EventSub) push(ev Event) {
+	if s.n == len(s.ring) {
+		s.head = (s.head + 1) % len(s.ring)
+		s.n--
+		s.dropped++
+		if s.bus.dropped != nil {
+			s.bus.dropped.Inc()
+		}
+	}
+	s.ring[(s.head+s.n)%len(s.ring)] = ev
+	s.n++
+}
+
+// Next returns the oldest buffered event, blocking until one arrives,
+// the context ends, or the subscriber closes. ok is false only when no
+// event will ever come (closed and drained, or ctx done) — a closed
+// subscriber first drains what it buffered.
+func (s *EventSub) Next(ctx context.Context) (ev Event, ok bool) {
+	for {
+		s.mu.Lock()
+		if s.n > 0 {
+			ev := s.ring[s.head]
+			s.head = (s.head + 1) % len(s.ring)
+			s.n--
+			s.mu.Unlock()
+			return ev, true
+		}
+		closed := s.closed
+		s.mu.Unlock()
+		if closed {
+			return Event{}, false
+		}
+		select {
+		case <-s.wake:
+		case <-s.done:
+		case <-ctx.Done():
+			return Event{}, false
+		}
+	}
+}
+
+// Dropped returns how many events this subscriber lost to ring overflow.
+func (s *EventSub) Dropped() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dropped
+}
+
+// Close detaches the subscriber. Buffered events remain readable; a
+// blocked Next unblocks.
+func (s *EventSub) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.done)
+	s.bus.remove(s)
+}

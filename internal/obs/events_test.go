@@ -1,0 +1,220 @@
+package obs
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestEventBusFanOutAndBackpressure(t *testing.T) {
+	reg := NewRegistry()
+	bus := reg.Events()
+	fast := bus.Subscribe(64, false)
+	defer fast.Close()
+	slow := bus.Subscribe(4, false)
+	defer slow.Close()
+
+	const n = 32
+	for i := 0; i < n; i++ {
+		bus.Publish(Event{Type: EventStream, Conn: 1, Stream: uint32(i), Action: "open"})
+	}
+
+	// The fast subscriber sees every event, in order.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	for i := 0; i < n; i++ {
+		ev, ok := fast.Next(ctx)
+		if !ok {
+			t.Fatalf("fast subscriber starved at event %d", i)
+		}
+		if ev.Stream != uint32(i) {
+			t.Fatalf("fast subscriber out of order: got stream %d at position %d", ev.Stream, i)
+		}
+		if ev.Seq == 0 {
+			t.Fatal("event published without a sequence number")
+		}
+		if ev.At.IsZero() {
+			t.Fatal("event published without a timestamp")
+		}
+	}
+	if d := fast.Dropped(); d != 0 {
+		t.Fatalf("fast subscriber dropped %d events", d)
+	}
+
+	// The slow subscriber kept only the newest 4 (drop-oldest) and its
+	// losses landed in both its own counter and the registry family.
+	for i := 0; i < 4; i++ {
+		ev, ok := slow.Next(ctx)
+		if !ok {
+			t.Fatalf("slow subscriber starved at event %d", i)
+		}
+		if want := uint32(n - 4 + i); ev.Stream != want {
+			t.Fatalf("slow subscriber: got stream %d, want %d (drop-oldest keeps the newest)", ev.Stream, want)
+		}
+	}
+	if d := slow.Dropped(); d != n-4 {
+		t.Fatalf("slow.Dropped() = %d, want %d", d, n-4)
+	}
+	if v := reg.Counter(MetricEventsDropped, "").Value(); v != n-4 {
+		t.Fatalf("%s = %d, want %d", MetricEventsDropped, v, n-4)
+	}
+	if bus.Total() != n {
+		t.Fatalf("bus.Total() = %d, want %d", bus.Total(), n)
+	}
+}
+
+func TestEventBusPublishZeroAllocWithoutSubscribers(t *testing.T) {
+	bus := NewRegistry().Events()
+	ev := Event{Type: EventAdapt, Conn: 3, From: 1, To: 4, Cause: "queue-rise",
+		At: time.Now()} // pre-stamped: time.Now in Publish is also alloc-free, but keep the run pure
+	if allocs := testing.AllocsPerRun(1000, func() { bus.Publish(ev) }); allocs != 0 {
+		t.Fatalf("Publish with no subscribers allocates %.1f/op, want 0", allocs)
+	}
+}
+
+func TestEventBusNilSafe(t *testing.T) {
+	var bus *EventBus
+	bus.Publish(Event{Type: EventDrain}) // must not panic
+	if bus.Total() != 0 {
+		t.Fatal("nil bus Total")
+	}
+	var reg *Registry
+	if reg.Events() != nil || reg.Conns() != nil {
+		t.Fatal("nil registry accessors should return nil")
+	}
+}
+
+func TestEventBusReplay(t *testing.T) {
+	bus := NewRegistry().Events()
+	for i := 0; i < 5; i++ {
+		bus.Publish(Event{Type: EventStream, Stream: uint32(i)})
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	withReplay := bus.Subscribe(16, true)
+	defer withReplay.Close()
+	for i := 0; i < 5; i++ {
+		ev, ok := withReplay.Next(ctx)
+		if !ok || ev.Stream != uint32(i) {
+			t.Fatalf("replay event %d: ok=%v stream=%d", i, ok, ev.Stream)
+		}
+	}
+
+	// Without replay the past is invisible: Next blocks until cancel.
+	noReplay := bus.Subscribe(16, false)
+	defer noReplay.Close()
+	short, scancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer scancel()
+	if _, ok := noReplay.Next(short); ok {
+		t.Fatal("replay=false subscriber saw a pre-subscription event")
+	}
+}
+
+func TestEventBusReplayRingWraps(t *testing.T) {
+	bus := NewRegistry().Events()
+	total := eventRetain + 10
+	for i := 0; i < total; i++ {
+		bus.Publish(Event{Type: EventStream, Stream: uint32(i)})
+	}
+	sub := bus.Subscribe(eventRetain, true)
+	defer sub.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	ev, ok := sub.Next(ctx)
+	if !ok {
+		t.Fatal("no replayed events")
+	}
+	// The oldest retained event is total-eventRetain, not 0.
+	if want := uint32(total - eventRetain); ev.Stream != want {
+		t.Fatalf("oldest replayed stream = %d, want %d", ev.Stream, want)
+	}
+}
+
+func TestEventSubCloseUnblocksAndDrains(t *testing.T) {
+	bus := NewRegistry().Events()
+	sub := bus.Subscribe(8, false)
+
+	// A blocked Next returns on Close.
+	unblocked := make(chan bool, 1)
+	go func() {
+		_, ok := sub.Next(context.Background())
+		unblocked <- ok
+	}()
+	time.Sleep(20 * time.Millisecond)
+	sub.Close()
+	select {
+	case ok := <-unblocked:
+		if ok {
+			t.Fatal("Next on a closed empty subscriber returned an event")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not unblock Next")
+	}
+	sub.Close() // idempotent
+
+	// Buffered events survive Close and drain before the final false.
+	sub2 := bus.Subscribe(8, false)
+	bus.Publish(Event{Type: EventDrain, Action: "begin"})
+	sub2.Close()
+	bus.Publish(Event{Type: EventDrain, Action: "done"}) // after close: not delivered
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	ev, ok := sub2.Next(ctx)
+	if !ok || ev.Action != "begin" {
+		t.Fatalf("closed subscriber should drain its buffer: ok=%v action=%q", ok, ev.Action)
+	}
+	if _, ok := sub2.Next(ctx); ok {
+		t.Fatal("drained closed subscriber should report no more events")
+	}
+}
+
+func TestEventSubContextCancelUnblocks(t *testing.T) {
+	bus := NewRegistry().Events()
+	sub := bus.Subscribe(8, false)
+	defer sub.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan bool, 1)
+	go func() {
+		_, ok := sub.Next(ctx)
+		done <- ok
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case ok := <-done:
+		if ok {
+			t.Fatal("cancelled Next returned an event")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("context cancel did not unblock Next")
+	}
+}
+
+func TestEventBusConcurrentPublishSubscribe(t *testing.T) {
+	bus := NewRegistry().Events()
+	stop := make(chan struct{})
+	pubDone := make(chan struct{})
+	go func() {
+		defer close(pubDone)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+				bus.Publish(Event{Type: EventStream, Stream: uint32(i)})
+			}
+		}
+	}()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	for i := 0; i < 10; i++ {
+		sub := bus.Subscribe(4, false)
+		if _, ok := sub.Next(ctx); !ok {
+			t.Fatal("subscriber starved while publisher active")
+		}
+		sub.Close()
+	}
+	close(stop)
+	<-pubDone
+}

@@ -1,0 +1,12 @@
+package obs
+
+import (
+	"os"
+	"testing"
+
+	"adoc/internal/testutil"
+)
+
+// TestMain runs the package under the goroutine-leak checker: event-bus
+// subscribers in particular must not strand goroutines.
+func TestMain(m *testing.M) { os.Exit(testutil.RunMain(m)) }

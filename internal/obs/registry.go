@@ -20,6 +20,14 @@ import (
 type Registry struct {
 	mu       sync.Mutex
 	families map[string]*family
+
+	// Live-introspection companions, built lazily so registries used
+	// purely for counters pay nothing and exact-format render tests see
+	// no extra families until a layer actually asks for them.
+	connsOnce  sync.Once
+	conns      *ConnTable
+	eventsOnce sync.Once
+	events     *EventBus
 }
 
 type metricKind int
@@ -62,6 +70,31 @@ type series struct {
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{families: map[string]*family{}}
+}
+
+// Conns returns the registry's connection-inspection table, creating it
+// on first use. Binding the table to the metrics registry means the
+// same Options.Metrics plumbing that isolates a tenant's counters also
+// isolates its connection view.
+func (r *Registry) Conns() *ConnTable {
+	if r == nil {
+		return nil
+	}
+	r.connsOnce.Do(func() { r.conns = newConnTable() })
+	return r.conns
+}
+
+// Events returns the registry's event bus, creating it (and its
+// adoc_events_dropped_total counter) on first use.
+func (r *Registry) Events() *EventBus {
+	if r == nil {
+		return nil
+	}
+	r.eventsOnce.Do(func() {
+		r.events = newEventBus(r.Counter(MetricEventsDropped,
+			"Events discarded because a /debug/events subscriber's ring was full (drop-oldest)."))
+	})
+	return r.events
 }
 
 var defaultRegistry = NewRegistry()

@@ -1,0 +1,165 @@
+package obs
+
+import (
+	"math"
+	"runtime"
+	"runtime/debug"
+	"runtime/metrics"
+	"sync"
+	"time"
+)
+
+// Runtime self-telemetry families: the process watching every AdOC
+// connection is itself watched.
+const (
+	MetricGoGoroutines   = "adoc_go_goroutines"
+	MetricGoHeapBytes    = "adoc_go_heap_bytes"
+	MetricGoGCPause      = "adoc_go_gc_pause_seconds"
+	MetricGoSchedLatency = "adoc_go_sched_latency_seconds"
+	MetricBuildInfo      = "adoc_build_info"
+)
+
+// runtime/metrics sample names the bridge reads.
+const (
+	sampleHeapBytes   = "/memory/classes/heap/objects:bytes"
+	sampleGCPauses    = "/sched/pauses/total/gc:seconds"
+	sampleSchedLatens = "/sched/latencies:seconds"
+)
+
+// runtimeSampler caches one metrics.Read per TTL so a scrape touching
+// several adoc_go_* series pays for a single runtime read.
+type runtimeSampler struct {
+	mu      sync.Mutex
+	now     func() time.Time
+	ttl     time.Duration
+	last    time.Time
+	samples []metrics.Sample
+}
+
+func newRuntimeSampler(now func() time.Time, ttl time.Duration) *runtimeSampler {
+	return &runtimeSampler{
+		now: now,
+		ttl: ttl,
+		samples: []metrics.Sample{
+			{Name: sampleHeapBytes},
+			{Name: sampleGCPauses},
+			{Name: sampleSchedLatens},
+		},
+	}
+}
+
+// read refreshes the cached samples if stale and returns them.
+func (s *runtimeSampler) read() []metrics.Sample {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.now()
+	if s.last.IsZero() || now.Sub(s.last) >= s.ttl {
+		metrics.Read(s.samples)
+		s.last = now
+	}
+	return s.samples
+}
+
+func (s *runtimeSampler) heapBytes() float64 {
+	v := s.read()[0].Value
+	if v.Kind() != metrics.KindUint64 {
+		return 0
+	}
+	return float64(v.Uint64())
+}
+
+func (s *runtimeSampler) gcPauseQuantile(q float64) float64 {
+	v := s.read()[1].Value
+	if v.Kind() != metrics.KindFloat64Histogram {
+		return 0
+	}
+	return computeQuantile(v.Float64Histogram(), q)
+}
+
+func (s *runtimeSampler) schedLatencyQuantile(q float64) float64 {
+	v := s.read()[2].Value
+	if v.Kind() != metrics.KindFloat64Histogram {
+		return 0
+	}
+	return computeQuantile(v.Float64Histogram(), q)
+}
+
+// computeQuantile walks a runtime/metrics histogram and returns the
+// value at quantile q (0 < q <= 1): the upper edge of the first bucket
+// whose cumulative count reaches q of the total. Infinite edges clamp
+// to the nearest finite edge; an empty histogram reads 0.
+func computeQuantile(h *metrics.Float64Histogram, q float64) float64 {
+	if h == nil || len(h.Counts) == 0 {
+		return 0
+	}
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	target := q * float64(total)
+	var cum float64
+	for i, c := range h.Counts {
+		cum += float64(c)
+		if cum >= target {
+			// Bucket i spans [Buckets[i], Buckets[i+1]).
+			hi := h.Buckets[i+1]
+			if !math.IsInf(hi, 1) {
+				return hi
+			}
+			lo := h.Buckets[i]
+			if !math.IsInf(lo, -1) {
+				return lo
+			}
+			return 0
+		}
+	}
+	return h.Buckets[len(h.Buckets)-1]
+}
+
+// buildInfoLabels extracts the go version and VCS revision for
+// adoc_build_info, falling back to "unknown" outside a module build.
+func buildInfoLabels() (goVersion, revision string) {
+	goVersion, revision = runtime.Version(), "unknown"
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" {
+				revision = s.Value
+			}
+		}
+	}
+	return goVersion, revision
+}
+
+// RegisterRuntimeMetrics registers the adoc_go_* self-telemetry
+// families and adoc_build_info on r (the default registry when nil):
+// heap bytes, GC pause and scheduler-latency quantiles (0.5/0.99/1),
+// and the live goroutine count. Idempotent — GaugeFunc re-registration
+// replaces the callback.
+func RegisterRuntimeMetrics(r *Registry) {
+	if r == nil {
+		r = Default()
+	}
+	s := newRuntimeSampler(time.Now, 100*time.Millisecond)
+	r.GaugeFunc(MetricGoGoroutines, "Live goroutines in the process.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	r.GaugeFunc(MetricGoHeapBytes, "Bytes of allocated heap objects.",
+		s.heapBytes)
+	for _, q := range []struct {
+		label string
+		q     float64
+	}{{"0.5", 0.5}, {"0.99", 0.99}, {"1", 1}} {
+		q := q
+		r.GaugeFunc(MetricGoGCPause, "Distribution of stop-the-world GC pause latencies (quantiles).",
+			func() float64 { return s.gcPauseQuantile(q.q) }, Label{Name: "quantile", Value: q.label})
+		r.GaugeFunc(MetricGoSchedLatency, "Distribution of goroutine scheduling latencies (quantiles).",
+			func() float64 { return s.schedLatencyQuantile(q.q) }, Label{Name: "quantile", Value: q.label})
+	}
+	goVersion, revision := buildInfoLabels()
+	r.GaugeFunc(MetricBuildInfo, "Build metadata; value is always 1.",
+		func() float64 { return 1 },
+		Label{Name: "go_version", Value: goVersion},
+		Label{Name: "revision", Value: revision})
+}
