@@ -1,0 +1,220 @@
+package adocmux
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"adoc"
+	"adoc/adocnet"
+)
+
+// dictSessionPair joins two sessions with dictionary compression enabled
+// and a small retrain threshold, each endpoint bound to its own metrics
+// registry so the test can read per-side counters.
+func dictSessionPair(t *testing.T, cliReg, srvReg *adoc.MetricsRegistry) (*Session, *Session) {
+	t.Helper()
+	srvOpts := TransportOptions()
+	srvOpts.Metrics = srvReg
+	ln, err := adocnet.Listen("tcp", "127.0.0.1:0", srvOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	type res struct {
+		c   *adocnet.Conn
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		c, err := ln.Accept()
+		ch <- res{c, err}
+	}()
+	cliOpts := TransportOptions()
+	cliOpts.Metrics = cliReg
+	cliConn, err := adocnet.Dial("tcp", ln.Addr().String(), cliOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := <-ch
+	if srv.err != nil {
+		t.Fatal(srv.err)
+	}
+	if !cliConn.Negotiated().Dict {
+		t.Fatal("default endpoints did not negotiate the dict capability")
+	}
+	const retrain = 32 * 1024
+	cli, err := Client(cliConn, Config{EnableDict: true, DictRetrainBytes: retrain, Metrics: cliReg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := Server(srv.c, Config{EnableDict: true, DictRetrainBytes: retrain, Metrics: srvReg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cli.Close(); sess.Close() })
+	return cli, sess
+}
+
+// TestDictSessionRoundTrip drives enough structured traffic through a
+// dict-enabled session to force several retrains and verifies every byte
+// survives: generations are trained, announced in-band, installed by the
+// peer, and the groups compressed against them decode against the exact
+// bytes they were built from.
+func TestDictSessionRoundTrip(t *testing.T) {
+	cliReg, srvReg := adoc.NewMetricsRegistry(), adoc.NewMetricsRegistry()
+	cli, srv := dictSessionPair(t, cliReg, srvReg)
+
+	accepted := make(chan []byte, 1)
+	go func() {
+		st, err := srv.AcceptStream()
+		if err != nil {
+			accepted <- nil
+			return
+		}
+		got, _ := io.ReadAll(st)
+		accepted <- got
+	}()
+
+	st, err := cli.OpenStream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []byte
+	for i := 0; i < 40; i++ {
+		p := compressible(16*1024, int64(i%4))
+		want = append(want, p...)
+		if _, err := st.Write(p); err != nil {
+			t.Fatal(err)
+		}
+		if i%8 == 7 {
+			// Pace occasionally so batches (and the announcements inside
+			// them) actually ship instead of coalescing into one message.
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+	if err := st.CloseWrite(); err != nil {
+		t.Fatal(err)
+	}
+	got := <-accepted
+	if !bytes.Equal(got, want) {
+		t.Fatalf("payload corrupted through dict session: %d bytes in, %d out", len(want), len(got))
+	}
+	if n := cliReg.Counter(MetricDictRetrains, "").Value(); n == 0 {
+		t.Fatal("no dictionary generation was ever announced")
+	}
+}
+
+// TestDictLegacyPeerSeesByteIdenticalWire is the dict analogue of the
+// trace capability's acceptance test: against a peer that negotiated dict
+// OFF, enabling EnableDict locally must not change a single wire byte —
+// no MuxDict frame, no dict group.
+func TestDictLegacyPeerSeesByteIdenticalWire(t *testing.T) {
+	plain := runAgainstDictlessPeer(t, false)
+	enabled := runAgainstDictlessPeer(t, true)
+	if !bytes.Equal(plain, enabled) {
+		t.Fatalf("wire bytes differ with EnableDict against a dict-less peer: %d vs %d bytes",
+			len(plain), len(enabled))
+	}
+}
+
+// runAgainstDictlessPeer drives one deterministic session against a peer
+// with the dict capability disabled and returns every byte the local side
+// wrote to the socket. Compression is pinned to level 0 and writes are
+// paced into separate batches, so two runs differ only by what the dict
+// machinery adds to the wire.
+func runAgainstDictlessPeer(t *testing.T, enableDict bool) []byte {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	legacyOpts := TransportOptions()
+	legacyOpts.DisableDict = true // a build that predates dictionaries
+	legacyOpts.MinLevel, legacyOpts.MaxLevel = 0, 0
+
+	type res struct {
+		got []byte
+		err error
+	}
+	done := make(chan res, 1)
+	go func() {
+		raw, err := ln.Accept()
+		if err != nil {
+			done <- res{nil, err}
+			return
+		}
+		conn, err := adocnet.Handshake(raw, legacyOpts)
+		if err != nil {
+			done <- res{nil, err}
+			return
+		}
+		defer conn.Close()
+		sess, err := Server(conn, Config{})
+		if err != nil {
+			done <- res{nil, err}
+			return
+		}
+		defer sess.Close()
+		st, err := sess.AcceptStream()
+		if err != nil {
+			done <- res{nil, err}
+			return
+		}
+		got, err := io.ReadAll(st)
+		done <- res{got, err}
+	}()
+
+	localOpts := TransportOptions()
+	localOpts.MinLevel, localOpts.MaxLevel = 0, 0
+	raw, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc := &captureConn{Conn: raw}
+	conn, err := adocnet.Handshake(cc, localOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if conn.Negotiated().Dict {
+		t.Fatal("dict-less peer negotiated the dict capability")
+	}
+	// A tiny retrain threshold: if the gate ever leaked, the dictionary
+	// machinery would certainly fire within the traffic below.
+	sess, err := Client(conn, Config{EnableDict: enableDict, DictRetrainBytes: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+
+	st, err := sess.OpenStream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []byte
+	for i := 0; i < 3; i++ {
+		time.Sleep(50 * time.Millisecond) // each write = its own batch
+		p := compressible(4000, int64(i))
+		want = append(want, p...)
+		if _, err := st.Write(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	time.Sleep(50 * time.Millisecond)
+	if err := st.CloseWrite(); err != nil {
+		t.Fatal(err)
+	}
+	r := <-done
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	if !bytes.Equal(r.got, want) {
+		t.Fatal("payload corrupted against dict-less peer")
+	}
+	return cc.snapshot()
+}

@@ -24,6 +24,9 @@ const (
 	// MetricWindowGrants counts credit grant frames sent to the peer
 	// (steady-state grants, surplus top-ups, and dead-stream refunds).
 	MetricWindowGrants = "adoc_mux_window_grants_total"
+	// MetricDictRetrains counts dictionary generations announced to the
+	// peer (the initial training included).
+	MetricDictRetrains = "adoc_mux_dict_retrains_total"
 )
 
 // sessionMetrics holds one session's children of the registry families.
@@ -37,6 +40,7 @@ type sessionMetrics struct {
 	batches         *obs.Counter
 	batchBytes      *obs.Counter
 	windowGrants    *obs.Counter
+	dictRetrains    *obs.Counter
 }
 
 func newSessionMetrics(reg *obs.Registry) sessionMetrics {
@@ -51,5 +55,6 @@ func newSessionMetrics(reg *obs.Registry) sessionMetrics {
 		batches:         reg.Counter(MetricBatchesSent, "Coalesced frame batches shipped.").Child(),
 		batchBytes:      reg.Counter(MetricBatchBytes, "Frame bytes those batches carried.").Child(),
 		windowGrants:    reg.Counter(MetricWindowGrants, "Credit grant frames sent to the peer.").Child(),
+		dictRetrains:    reg.Counter(MetricDictRetrains, "Dictionary generations announced to the peer.").Child(),
 	}
 }

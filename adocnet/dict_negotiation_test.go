@@ -1,0 +1,104 @@
+package adocnet
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"testing"
+
+	"adoc"
+	"adoc/internal/wire"
+)
+
+// TestDictCapabilityNegotiation: dictionary compression is on only when
+// both endpoints advertise the flag, the dict codec survives the mask
+// intersection, and mux is available to carry the dictionary bytes.
+// Every degraded combination still moves data.
+func TestDictCapabilityNegotiation(t *testing.T) {
+	cases := []struct {
+		name           string
+		client, server func(*Options)
+		want           bool
+	}{
+		{"both on", func(*Options) {}, func(*Options) {}, true},
+		{"client off", func(o *Options) { o.DisableDict = true }, func(*Options) {}, false},
+		{"server off", func(*Options) {}, func(o *Options) { o.DisableDict = true }, false},
+		{"no mux no dict", func(o *Options) { o.DisableMux = true }, func(*Options) {}, false},
+		{"server legacy mask", func(*Options) {}, func(o *Options) { o.Codecs = adoc.LegacyCodecMask }, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			client, server := Defaults(), Defaults()
+			tc.client(&client)
+			tc.server(&server)
+			cli, srv := pair(t, client, server)
+			neg := cli.Negotiated()
+			if neg != srv.Negotiated() {
+				t.Fatalf("endpoints disagree: %v vs %v", neg, srv.Negotiated())
+			}
+			if neg.Dict != tc.want {
+				t.Fatalf("negotiated Dict = %v, want %v (%v)", neg.Dict, tc.want, neg)
+			}
+			if neg.Dict != (neg.Codecs&adoc.MaskDict != 0 && neg.Mux) {
+				// Dict never claims more than the codec set and mux allow.
+				t.Fatalf("Dict inconsistent with codecs/mux: %v", neg)
+			}
+			data := payload(256 << 10)
+			done := make(chan error, 1)
+			go func() {
+				_, err := cli.WriteMessage(data)
+				done <- err
+			}()
+			got := make([]byte, len(data))
+			if _, err := io.ReadFull(srv, got); err != nil {
+				t.Fatal(err)
+			}
+			if err := <-done; err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, data) {
+				t.Fatal("payload corrupted")
+			}
+		})
+	}
+}
+
+// TestDictOffAgainstForeignDictlessPeer: a foreign offer carrying the
+// mux flag but neither the dict flag nor the dict codec bit — the shape
+// every pre-dictionary build emits — negotiates dict off while keeping
+// mux, so the upgrade is invisible to peers that predate it.
+func TestDictOffAgainstForeignDictlessPeer(t *testing.T) {
+	h := wire.Handshake{
+		MinVersion: wire.Version, MaxVersion: wire.Version,
+		PacketSize: 8192, BufferSize: 200 * 1024,
+		MinLevel: 0, MaxLevel: 10,
+		Flags:     wire.HandshakeFlagMux | wire.HandshakeFlagTrace,
+		CodecMask: adoc.LegacyCodecMask,
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		raw, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer raw.Close()
+		raw.Write(wire.AppendHandshake(nil, h))
+		io.Copy(io.Discard, raw)
+	}()
+	conn, err := Dial("tcp", ln.Addr().String(), Defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	neg := conn.Negotiated()
+	if !neg.Mux || neg.Dict {
+		t.Fatalf("negotiated %v, want mux on and dict off", neg)
+	}
+	if neg.Codecs != adoc.LegacyCodecMask {
+		t.Fatalf("negotiated codecs %v, want %v", neg.Codecs, adoc.LegacyCodecMask)
+	}
+}

@@ -1,0 +1,113 @@
+package adocrpc
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// Delta encoding for RPC responses: many request/response workloads ask
+// the same method for the same (or slowly changing) data, so consecutive
+// responses of one method are near-duplicates. When the client announces
+// the newest response it still holds (by sequence number), the server
+// encodes the new response as an aligned delta against that base: runs of
+// bytes equal to the base at the same offset become copy ops, everything
+// else ships literally. The encoding is position-aligned — no search, no
+// rolling hashes — which keeps it O(n) with a tiny constant and works
+// precisely when responses share layout, the common RPC case. When the
+// delta does not beat the plain bytes the server falls back to shipping
+// them plainly, so the mode can never inflate traffic.
+//
+//	delta = op*
+//	op    = uvarint(copyLen) uvarint(litLen) literal[litLen]
+//
+// Each op copies copyLen bytes from the base at the output cursor, then
+// appends litLen literal bytes; the cursor advances past both.
+
+// deltaRunThreshold is the shortest match run worth a copy op: below it
+// the two uvarints cost as much as the bytes.
+const deltaRunThreshold = 32
+
+// errBadDelta reports a delta payload that does not decode against its
+// base (truncated ops, copy ranges beyond the base, oversized lengths).
+var errBadDelta = errors.New("adocrpc: malformed delta payload")
+
+// deltaEncode encodes src as a delta against base, appending to dst.
+// It returns nil when the delta would not be smaller than src — the
+// caller ships the plain bytes instead.
+func deltaEncode(dst, src, base []byte) []byte {
+	n := min(len(src), len(base))
+	out := dst[:0]
+	i := 0
+	for i < len(src) {
+		run := 0
+		for i+run < n && src[i+run] == base[i+run] {
+			run++
+		}
+		copyLen := 0
+		if run >= deltaRunThreshold || (run > 0 && i+run == len(src)) {
+			copyLen = run
+		}
+		j := i + copyLen
+		// The literal extends to the next copy-worthy run (or the end);
+		// short match runs inside it ship as literal bytes.
+		k := j
+		for k < len(src) {
+			if k < n && src[k] == base[k] {
+				r := 1
+				for k+r < n && src[k+r] == base[k+r] {
+					r++
+				}
+				if r >= deltaRunThreshold || k+r == len(src) {
+					break
+				}
+				k += r
+			} else {
+				k++
+			}
+		}
+		out = binary.AppendUvarint(out, uint64(copyLen))
+		out = binary.AppendUvarint(out, uint64(k-j))
+		out = append(out, src[j:k]...)
+		if len(out) >= len(src) {
+			return nil
+		}
+		i = k
+	}
+	return out
+}
+
+// deltaApply reconstructs the target from a delta and its base. Every
+// malformed shape — truncated varints, literals past the payload, copy
+// ranges beyond the base, lengths that cannot be real — fails with
+// errBadDelta; the output length is additionally capped at maxFrame so a
+// hostile delta cannot expand without bound.
+func deltaApply(delta, base []byte) ([]byte, error) {
+	var out []byte
+	for len(delta) > 0 {
+		copyLen, k := binary.Uvarint(delta)
+		if k <= 0 {
+			return nil, errBadDelta
+		}
+		delta = delta[k:]
+		litLen, k := binary.Uvarint(delta)
+		if k <= 0 {
+			return nil, errBadDelta
+		}
+		delta = delta[k:]
+		if copyLen > uint64(maxFrame) || litLen > uint64(maxFrame) ||
+			uint64(len(out))+copyLen+litLen > uint64(maxFrame) {
+			return nil, errBadDelta
+		}
+		c := uint64(len(out))
+		if c+copyLen > uint64(len(base)) {
+			return nil, errBadDelta
+		}
+		out = append(out, base[c:c+copyLen]...)
+		if litLen > uint64(len(delta)) {
+			return nil, errBadDelta
+		}
+		out = append(out, delta[:litLen]...)
+		delta = delta[litLen:]
+	}
+	return out, nil
+}

@@ -1,0 +1,242 @@
+package adocrpc
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"adoc"
+	"adoc/adocmux"
+)
+
+func TestDeltaEncodeApplyRoundTrip(t *testing.T) {
+	big := compressible(256*1024, 7)
+	mutated := append([]byte(nil), big...)
+	for i := 1000; i < len(mutated); i += 10 * 1024 {
+		mutated[i] ^= 0xA5
+	}
+	cases := []struct {
+		name      string
+		src, base []byte
+	}{
+		{"identical", big, big},
+		{"sparse edits", mutated, big},
+		{"src longer", append(append([]byte(nil), big...), compressible(4096, 9)...), big},
+		{"src shorter", big[:100*1024], big},
+		{"empty src", nil, big},
+		{"empty base tail only", []byte("just literals"), nil},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d := deltaEncode(nil, tc.src, tc.base)
+			if d == nil {
+				// Inflation fallback: legal whenever the delta cannot win.
+				if bytes.Equal(tc.src, tc.base) && len(tc.src) > 0 {
+					t.Fatal("identical payloads must delta to almost nothing, got fallback")
+				}
+				return
+			}
+			if len(d) >= len(tc.src) {
+				t.Fatalf("delta of %d bytes for a %d byte target was not rejected", len(d), len(tc.src))
+			}
+			got, err := deltaApply(d, tc.base)
+			if err != nil {
+				t.Fatalf("deltaApply: %v", err)
+			}
+			if !bytes.Equal(got, tc.src) {
+				t.Fatalf("round trip mismatch: %d bytes in, %d out", len(tc.src), len(got))
+			}
+		})
+	}
+
+	if d := deltaEncode(nil, big, big); len(d) > 16 {
+		t.Fatalf("identical 256 KiB payloads cost a %d byte delta", len(d))
+	}
+}
+
+func TestDeltaApplyRejectsMalformed(t *testing.T) {
+	base := compressible(4096, 3)
+	good := deltaEncode(nil, base, base)
+	cases := map[string][]byte{
+		"truncated varint":    {0x80},
+		"missing literal len": binary.AppendUvarint(nil, 10),
+		"copy past base":      binary.AppendUvarint(binary.AppendUvarint(nil, uint64(len(base)+1)), 0),
+		"literal past end":    binary.AppendUvarint(binary.AppendUvarint(nil, 0), 50),
+		"huge copy":           binary.AppendUvarint(binary.AppendUvarint(nil, 1<<40), 0),
+		"truncated ops":       good[:len(good)-1],
+	}
+	for name, d := range cases {
+		if _, err := deltaApply(d, base); !errors.Is(err, errBadDelta) {
+			t.Errorf("%s: err = %v, want errBadDelta", name, err)
+		}
+	}
+	// The empty delta is the one valid degenerate: it reconstructs the
+	// empty target.
+	if got, err := deltaApply(nil, base); err != nil || len(got) != 0 {
+		t.Fatalf("empty delta: got %d bytes, err %v", len(got), err)
+	}
+}
+
+// TestReadFrameHugeHeaderBoundedAlloc is the regression test for the
+// frame reader trusting attacker-controlled lengths: a header claiming a
+// 1 GiB body over a stream that then stalls (EOF here) must cost memory
+// proportional to the bytes actually received — one growth chunk or so —
+// and surface a clean truncation error, not allocate the full gigabyte
+// up front.
+func TestReadFrameHugeHeaderBoundedAlloc(t *testing.T) {
+	hdr := binary.BigEndian.AppendUint32(nil, maxFrame)
+	body := make([]byte, 64<<10) // all the attacker ever sends
+	r := io.MultiReader(bytes.NewReader(hdr), bytes.NewReader(body))
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	p, err := readFrame(r)
+	runtime.ReadMemStats(&after)
+
+	if err == nil || !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("truncated 1 GiB frame: got %d bytes, err %v; want wrapped io.ErrUnexpectedEOF", len(p), err)
+	}
+	if !strings.Contains(err.Error(), "truncated frame") {
+		t.Fatalf("error does not name the truncation: %v", err)
+	}
+	// Generous bound: the implementation needs ~2 chunks (frameChunk is
+	// 1 MiB); the pre-fix behavior allocated the announced 1 GiB.
+	if got := after.TotalAlloc - before.TotalAlloc; got > 32<<20 {
+		t.Fatalf("readFrame allocated %d bytes for a truncated frame that delivered 64 KiB", got)
+	}
+}
+
+// TestDeltaMagicFailsLoudlyOnOldServer verifies the mixed-deployment
+// property the sentinel buys: a server that predates the extension parses
+// an extended request with its plain frame reader (readFrame here is that
+// exact code path) and rejects the call with an unmistakable length
+// error instead of misreading the stream.
+func TestDeltaMagicFailsLoudlyOnOldServer(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeRequestDelta(&buf, "echo", [][]byte{[]byte("x")}, 42); err != nil {
+		t.Fatal(err)
+	}
+	_, err := readFrame(&buf)
+	if err == nil || !strings.Contains(err.Error(), "exceeds limit") {
+		t.Fatalf("old-style frame read of an extended request: err = %v, want a loud length error", err)
+	}
+}
+
+// TestDeltaCallRoundTrip drives repeated calls with EnableDelta through a
+// real pool/server pair: identical responses collapse to deltas (both
+// endpoints' counters agree), changing responses still round-trip, and
+// typed errors keep their types through the extended response shape.
+func TestDeltaCallRoundTrip(t *testing.T) {
+	reg := adoc.NewMetricsRegistry()
+	opts := adocmux.TransportOptions()
+	opts.Metrics = reg
+	r := newRig(t, ServerConfig{Options: &opts}, PoolConfig{EnableDelta: true, Options: &opts, MaxSessions: 1})
+
+	payload := compressible(128*1024, 11)
+	r.srv.Register("static", func(_ context.Context, _ [][]byte) ([][]byte, error) {
+		return [][]byte{payload, []byte("trailer")}, nil
+	})
+	var n int
+	var mu sync.Mutex
+	r.srv.Register("drift", func(_ context.Context, _ [][]byte) ([][]byte, error) {
+		mu.Lock()
+		n++
+		k := n
+		mu.Unlock()
+		p := append([]byte(nil), payload...)
+		copy(p[k*100:], fmt.Sprintf("edit %d", k))
+		return [][]byte{p}, nil
+	})
+
+	for i := 0; i < 5; i++ {
+		res, err := r.pool.Call(context.Background(), "static", nil)
+		if err != nil {
+			t.Fatalf("static call %d: %v", i, err)
+		}
+		if len(res) != 2 || !bytes.Equal(res[0], payload) || string(res[1]) != "trailer" {
+			t.Fatalf("static call %d: results corrupted", i)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		res, err := r.pool.Call(context.Background(), "drift", nil)
+		if err != nil {
+			t.Fatalf("drift call %d: %v", i, err)
+		}
+		if len(res) != 1 || len(res[0]) != len(payload) {
+			t.Fatalf("drift call %d: results corrupted", i)
+		}
+	}
+
+	sent := reg.Counter(MetricServerDelta, "").Value()
+	applied := reg.Counter(MetricCallDeltas, "").Value()
+	if sent == 0 || sent != applied {
+		t.Fatalf("delta counters: server sent %d, client applied %d; want equal and positive", sent, applied)
+	}
+	// static: calls 2..5 delta against their predecessor. drift: sparse
+	// edits still delta. Only the two first-per-method calls ship plain.
+	if sent < 8 {
+		t.Fatalf("only %d of 10 responses shipped as deltas", sent)
+	}
+
+	// Typed errors keep their types through the extended shape.
+	var re *RemoteError
+	if _, err := r.pool.Call(context.Background(), "no-such-method", nil); !errors.As(err, &re) || re.Code != CodeUnknownMethod {
+		t.Fatalf("unknown method over delta: err = %v", err)
+	}
+	if _, err := r.pool.Call(context.Background(), "fail", nil); !errors.As(err, &re) || re.Code != CodeApp {
+		t.Fatalf("app error over delta: err = %v", err)
+	}
+	// Zero results still round-trip (the empty section is cacheable too).
+	if res, err := r.pool.Call(context.Background(), "echo", nil); err != nil || len(res) != 0 {
+		t.Fatalf("echo(nil) over delta: %d results, err %v", len(res), err)
+	}
+}
+
+// TestDeltaShutdownRefusal pins the drain path for extended requests: the
+// refusal is written in the shape the request spoke, so a delta client
+// sees the typed ErrShuttingDown, not a parse error.
+func TestDeltaShutdownRefusal(t *testing.T) {
+	release := make(chan struct{})
+	var releaseOnce sync.Once
+	entered := make(chan struct{}, 1)
+	r := newRig(t, ServerConfig{}, PoolConfig{EnableDelta: true, MaxSessions: 1})
+	t.Cleanup(func() { releaseOnce.Do(func() { close(release) }) })
+	r.srv.Register("slow", func(_ context.Context, args [][]byte) ([][]byte, error) {
+		entered <- struct{}{}
+		<-release
+		return args, nil
+	})
+
+	slowRes := make(chan error, 1)
+	go func() {
+		_, err := r.pool.Call(context.Background(), "slow", [][]byte{[]byte("drain me")})
+		slowRes <- err
+	}()
+	<-entered
+	go r.srv.Shutdown(context.Background())
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		_, err := r.pool.Call(context.Background(), "echo", nil)
+		if errors.Is(err, ErrShuttingDown) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("call during drain: err = %v, want ErrShuttingDown", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	releaseOnce.Do(func() { close(release) })
+	if err := <-slowRes; err != nil {
+		t.Fatalf("in-flight call failed during graceful shutdown: %v", err)
+	}
+}

@@ -25,6 +25,12 @@ const (
 	MetricServerRequests = "adoc_rpc_server_requests_total"
 	// MetricServerInflight is the requests currently executing.
 	MetricServerInflight = "adoc_rpc_server_inflight"
+	// MetricServerDelta counts responses shipped as deltas against a
+	// client-announced base instead of plain sections.
+	MetricServerDelta = "adoc_rpc_server_delta_responses_total"
+	// MetricCallDeltas counts client calls whose response arrived as a
+	// delta and was reconstructed locally.
+	MetricCallDeltas = "adoc_rpc_call_delta_responses_total"
 )
 
 // poolMetrics holds one pool's children of the registry families.
@@ -35,6 +41,7 @@ type poolMetrics struct {
 	callRemote  *obs.Counter
 	callCancel  *obs.Counter
 	callErr     *obs.Counter
+	callDeltas  *obs.Counter
 }
 
 func newPoolMetrics(reg *obs.Registry) poolMetrics {
@@ -52,6 +59,7 @@ func newPoolMetrics(reg *obs.Registry) poolMetrics {
 		callRemote:  calls("remote_error"),
 		callCancel:  calls("canceled"),
 		callErr:     calls("transport"),
+		callDeltas:  reg.Counter(MetricCallDeltas, "Responses received as deltas and reconstructed.").Child(),
 	}
 }
 
@@ -77,6 +85,7 @@ type serverMetrics struct {
 	reqBad     *obs.Counter
 	reqUnknown *obs.Counter
 	reqApp     *obs.Counter
+	deltaSent  *obs.Counter
 }
 
 func newServerMetrics(reg *obs.Registry) serverMetrics {
@@ -93,5 +102,6 @@ func newServerMetrics(reg *obs.Registry) serverMetrics {
 		reqBad:     reqs("bad_request"),
 		reqUnknown: reqs("unknown_method"),
 		reqApp:     reqs("app_error"),
+		deltaSent:  reg.Counter(MetricServerDelta, "Responses shipped as deltas against a client base.").Child(),
 	}
 }

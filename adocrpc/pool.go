@@ -44,6 +44,14 @@ type PoolConfig struct {
 	Options *adocnet.Options
 	// Mux tunes the stream sessions (zero value = adocmux defaults).
 	Mux adocmux.Config
+	// EnableDelta turns on response delta encoding: the pool caches each
+	// method's newest successful response section, announces it with every
+	// request, and a delta-aware server then ships only what changed since
+	// — often a few bytes for slowly-changing responses. Requires a server
+	// built with the extension: against an older server the first call
+	// fails loudly ("frame ... exceeds limit") instead of desynchronizing,
+	// so keep this off until both ends are upgraded.
+	EnableDelta bool
 }
 
 func (c PoolConfig) withDefaults() PoolConfig {
@@ -75,6 +83,12 @@ type Pool struct {
 	inflight int
 	closed   bool
 	retired  adoc.Stats // counters of sessions that died or closed
+
+	// Delta extension state: the newest successful response section per
+	// method, announced as the delta base on subsequent calls. Shared
+	// across the pool's sessions — the server's cache is server-wide too.
+	dmu    sync.Mutex
+	dcache map[string]cachedSection
 }
 
 // poolSession is one pool slot. It exists from the moment the dial is
@@ -98,6 +112,9 @@ func NewPool(cfg PoolConfig) (*Pool, error) {
 	cfg = cfg.withDefaults()
 	p := &Pool{cfg: cfg, metrics: newPoolMetrics(cfg.Options.Metrics)}
 	p.drained = sync.NewCond(&p.mu)
+	if cfg.EnableDelta {
+		p.dcache = map[string]cachedSection{}
+	}
 	return p, nil
 }
 
@@ -184,17 +201,70 @@ func (p *Pool) call(ctx context.Context, method string, args [][]byte) ([][]byte
 		}()
 	}
 
-	if err := writeRequest(st, method, args); err != nil {
+	if !p.cfg.EnableDelta {
+		if err := writeRequest(st, method, args); err != nil {
+			return nil, ctxOr(ctx, err)
+		}
+		if err := st.CloseWrite(); err != nil {
+			return nil, ctxOr(ctx, err)
+		}
+		results, err := readResponse(st)
+		if err != nil {
+			return nil, ctxOr(ctx, err)
+		}
+		return results, nil
+	}
+
+	base := p.deltaBase(method)
+	if err := writeRequestDelta(st, method, args, base.seq); err != nil {
 		return nil, ctxOr(ctx, err)
 	}
 	if err := st.CloseWrite(); err != nil {
 		return nil, ctxOr(ctx, err)
 	}
-	results, err := readResponse(st)
+	d, err := readResponseDelta(st)
 	if err != nil {
 		return nil, ctxOr(ctx, err)
 	}
+	section := d.payload
+	if d.dflags&dflagDelta != 0 {
+		// The server may only delta against the base this very request
+		// announced; anything else is a protocol violation.
+		if base.seq == 0 || d.baseSeq != base.seq {
+			return nil, fmt.Errorf("adocrpc: response delta against unannounced base %d", d.baseSeq)
+		}
+		if section, err = deltaApply(d.payload, base.section); err != nil {
+			return nil, err
+		}
+		p.metrics.callDeltas.Inc()
+	}
+	if d.code != CodeOK {
+		return nil, ctxOr(ctx, &RemoteError{Code: d.code, Msg: d.msg})
+	}
+	results, err := parseResultsSection(section)
+	if err != nil {
+		return nil, ctxOr(ctx, err)
+	}
+	if d.seq != 0 {
+		// Cache a private copy: the returned results alias section, and a
+		// caller mutating them must not corrupt future delta bases.
+		p.storeDeltaBase(method, d.seq, append([]byte(nil), section...))
+	}
 	return results, nil
+}
+
+// deltaBase snapshots the newest cached response section for method
+// (zero seq when none).
+func (p *Pool) deltaBase(method string) cachedSection {
+	p.dmu.Lock()
+	defer p.dmu.Unlock()
+	return p.dcache[method]
+}
+
+func (p *Pool) storeDeltaBase(method string, seq uint64, section []byte) {
+	p.dmu.Lock()
+	p.dcache[method] = cachedSection{seq: seq, section: section}
+	p.dmu.Unlock()
 }
 
 // ctxOr prefers the context's error: a stream torn down by our own

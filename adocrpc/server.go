@@ -4,6 +4,7 @@ import (
 	"context"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"adoc/adocmux"
@@ -84,6 +85,68 @@ type Server struct {
 	calls     int
 	draining  bool // Shutdown started: refuse new calls with CodeShutdown
 	closed    bool
+
+	// Delta extension state: successful response sections are numbered
+	// from one server-wide sequence and retained per method, so a client
+	// announcing "I still hold seq N for this method" can be answered
+	// with a delta against the exact bytes it caches.
+	respSeq atomic.Uint64
+	cmu     sync.Mutex
+	caches  map[string]*methodCache
+}
+
+// deltaCacheDepth is how many recent response sections each method
+// retains as delta bases. Clients announce the newest section they hold,
+// but under concurrent load that announcement lags by up to the number
+// of in-flight calls (each completion pushes a newer section), so the
+// ring must be comfortably deeper than any realistic per-method
+// concurrency or the base is evicted before it is ever used.
+const deltaCacheDepth = 64
+
+type cachedSection struct {
+	seq     uint64
+	section []byte
+}
+
+// methodCache is one method's ring of recent response sections.
+type methodCache struct {
+	mu   sync.Mutex
+	ring [deltaCacheDepth]cachedSection
+	next int
+}
+
+func (c *methodCache) store(seq uint64, section []byte) {
+	c.mu.Lock()
+	c.ring[c.next] = cachedSection{seq: seq, section: section}
+	c.next = (c.next + 1) % deltaCacheDepth
+	c.mu.Unlock()
+}
+
+// lookup returns the retained section numbered seq, or nil.
+func (c *methodCache) lookup(seq uint64) []byte {
+	if seq == 0 {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i := range c.ring {
+		if c.ring[i].seq == seq {
+			return c.ring[i].section
+		}
+	}
+	return nil
+}
+
+// cache returns (creating on first use) the section cache for method.
+func (s *Server) cache(method string) *methodCache {
+	s.cmu.Lock()
+	defer s.cmu.Unlock()
+	c := s.caches[method]
+	if c == nil {
+		c = &methodCache{}
+		s.caches[method] = c
+	}
+	return c
 }
 
 // NewServer returns a server with no handlers registered; it serves
@@ -96,6 +159,7 @@ func NewServer(cfg ServerConfig) *Server {
 		handlers:  map[string]Handler{},
 		listeners: map[net.Listener]struct{}{},
 		sessions:  map[*adocmux.Session]struct{}{},
+		caches:    map[string]*methodCache{},
 	}
 	s.sem = make(chan struct{}, s.cfg.MaxConcurrent)
 	s.idle = sync.NewCond(&s.mu)
@@ -196,7 +260,18 @@ func (s *Server) serveConn(raw net.Conn) {
 		if refuse {
 			<-s.sem
 			go func() {
-				writeResponse(st, CodeShutdown, "server draining", nil)
+				// The request must be read (under the usual deadline) before
+				// refusing: a delta-aware client sent an extended request and
+				// parses the refusal in the extended shape.
+				if s.cfg.RequestTimeout > 0 {
+					st.SetReadDeadline(time.Now().Add(s.cfg.RequestTimeout))
+				}
+				_, _, _, ext, _ := readRequest(st)
+				if ext {
+					writeResponseDelta(st, CodeShutdown, "server draining", 0, 0, 0, appendResultsSection(nil, nil))
+				} else {
+					writeResponse(st, CodeShutdown, "server draining", nil)
+				}
 				st.Close()
 			}()
 			continue
@@ -228,29 +303,63 @@ func (s *Server) serveStream(st *adocmux.Stream) {
 		// trickling client may occupy it before the handler even runs.
 		st.SetReadDeadline(time.Now().Add(s.cfg.RequestTimeout))
 	}
-	method, args, err := readRequest(st)
+	method, args, baseSeq, ext, err := readRequest(st)
 	st.SetReadDeadline(time.Time{}) // the handler owns the stream now
+	// Every path answers in the shape the request spoke: plain for plain
+	// requests, extended for extended ones — errors included, so the
+	// client parses exactly one format per call.
+	respond := func(code Code, msg string, results [][]byte) {
+		if !ext {
+			writeResponse(st, code, msg, results)
+			return
+		}
+		s.respondDelta(st, method, baseSeq, code, msg, results)
+	}
 	if err != nil {
 		// Includes clients that vanished mid-request (stream reset): the
 		// response write below then fails harmlessly on the dead stream.
 		s.metrics.reqBad.Inc()
-		writeResponse(st, CodeBadRequest, err.Error(), nil)
+		respond(CodeBadRequest, err.Error(), nil)
 		return
 	}
 	h := s.lookup(method)
 	if h == nil {
 		s.metrics.reqUnknown.Inc()
-		writeResponse(st, CodeUnknownMethod, method, nil)
+		respond(CodeUnknownMethod, method, nil)
 		return
 	}
 	results, err := h(s.baseCtx, args)
 	if err != nil {
 		s.metrics.reqApp.Inc()
-		writeResponse(st, CodeApp, err.Error(), nil)
+		respond(CodeApp, err.Error(), nil)
 		return
 	}
 	s.metrics.reqOK.Inc()
-	writeResponse(st, CodeOK, "", results)
+	respond(CodeOK, "", results)
+}
+
+// respondDelta answers one extended request. Successful sections are
+// numbered and cached as future delta bases; when the client's announced
+// base is still retained and the delta actually saves bytes, the section
+// ships as a delta, otherwise plain. Failures carry seq 0 ("do not
+// cache") and an empty section.
+func (s *Server) respondDelta(st *adocmux.Stream, method string, baseSeq uint64, code Code, msg string, results [][]byte) {
+	section := appendResultsSection(nil, results)
+	if code != CodeOK {
+		writeResponseDelta(st, code, msg, 0, 0, 0, section)
+		return
+	}
+	c := s.cache(method)
+	seq := s.respSeq.Add(1)
+	payload, dflags, echo := section, byte(0), uint64(0)
+	if base := c.lookup(baseSeq); base != nil {
+		if d := deltaEncode(nil, section, base); d != nil {
+			payload, dflags, echo = d, dflagDelta, baseSeq
+			s.metrics.deltaSent.Inc()
+		}
+	}
+	c.store(seq, section)
+	writeResponseDelta(st, code, msg, dflags, seq, echo, payload)
 }
 
 func (s *Server) trackSession(sess *adocmux.Session) bool {

@@ -74,13 +74,20 @@ func renderFrame(prev, cur *frame) string {
 		fmtBytes(m["adoc_engine_wire_bytes_sent_total"]))
 
 	// Per-connection throughput needs a previous sample of the same
-	// connection; first frame shows "-".
-	prevWire := map[uint64]int64{}
+	// connection; first frame shows "-". "Same connection" is more than
+	// same ID: when the scraped process restarts, IDs restart from 1 and
+	// an ID can resurface on a brand-new connection whose counter is far
+	// below the old one — a naive delta then renders negative garbage.
+	type prevConn struct {
+		wire   int64
+		uptime float64
+	}
+	prevByID := map[uint64]prevConn{}
 	var dt float64
 	if prev != nil {
 		dt = cur.At.Sub(prev.At).Seconds()
 		for _, c := range prev.Conns {
-			prevWire[c.ID] = c.WireBytesSent
+			prevByID[c.ID] = prevConn{wire: c.WireBytesSent, uptime: c.UptimeSeconds}
 		}
 	}
 
@@ -90,8 +97,12 @@ func renderFrame(prev, cur *frame) string {
 	sort.Slice(conns, func(i, j int) bool { return conns[i].ID < conns[j].ID })
 	for _, c := range conns {
 		rate := "-"
-		if w, ok := prevWire[c.ID]; ok && dt > 0 {
-			rate = fmtBytes(float64(c.WireBytesSent-w) / dt)
+		if p, ok := prevByID[c.ID]; ok && dt > 0 &&
+			c.WireBytesSent >= p.wire && c.UptimeSeconds >= p.uptime {
+			// A counter below its previous sample, or an uptime that went
+			// backwards, means this ID now names a different connection
+			// (process restart); the first honest delta comes next frame.
+			rate = fmtBytes(float64(c.WireBytesSent-p.wire) / dt)
 		}
 		cause := ""
 		if c.LastTransition != nil {

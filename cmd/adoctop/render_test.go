@@ -81,6 +81,53 @@ func TestRenderFrameRatesAndRollups(t *testing.T) {
 	}
 }
 
+// TestRenderFrameRestartRegression pins the WIRE/s column against the
+// scraped process restarting between polls: connection IDs restart from
+// 1, so a resurfacing ID is a different connection and its counter delta
+// is meaningless. The cell must show "-", never a negative or inflated
+// rate.
+func TestRenderFrameRestartRegression(t *testing.T) {
+	base := time.Date(2026, 8, 7, 12, 0, 0, 0, time.UTC)
+	mk := func(wire int64, uptime float64) connState {
+		var c connState
+		c.ID = 7
+		c.Kind = "rpc-client"
+		c.PeerAddr = "127.0.0.1:9000"
+		c.WireBytesSent = wire
+		c.UptimeSeconds = uptime
+		return c
+	}
+	rate := func(prevConn, curConn connState) string {
+		t.Helper()
+		prev := &frame{At: base, Conns: []connState{prevConn}, Metrics: map[string]float64{}}
+		cur := &frame{At: base.Add(2 * time.Second), Conns: []connState{curConn}, Metrics: map[string]float64{}}
+		for _, line := range strings.Split(renderFrame(prev, cur), "\n") {
+			f := strings.Fields(line)
+			if len(f) >= 8 && f[0] == "7" {
+				return f[6]
+			}
+		}
+		t.Fatal("no connection row rendered")
+		return ""
+	}
+
+	// Steady connection: honest delta, sanity check the extractor.
+	if got := rate(mk(1000, 10), mk(3048, 12)); got != "1.0KiB" {
+		t.Errorf("steady connection: WIRE/s = %q, want 1.0KiB", got)
+	}
+	// Restart: same ID, counter below the previous sample — the naive
+	// delta would render a negative rate.
+	if got := rate(mk(1000, 10), mk(40, 1)); got != "-" {
+		t.Errorf("counter regression after restart: WIRE/s = %q, want -", got)
+	}
+	// Restart where the young connection already out-sent the old one:
+	// the counter moved forward, but uptime going backwards is the tell
+	// (the delta would be inflated garbage, not negative).
+	if got := rate(mk(1000, 10), mk(5000, 1)); got != "-" {
+		t.Errorf("uptime regression after restart: WIRE/s = %q, want -", got)
+	}
+}
+
 func TestRenderFrameEmpty(t *testing.T) {
 	cur := &frame{At: time.Date(2026, 8, 7, 12, 0, 0, 0, time.UTC), Metrics: map[string]float64{}}
 	if out := renderFrame(nil, cur); !strings.Contains(out, "no live connections") {

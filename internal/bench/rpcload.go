@@ -4,9 +4,11 @@ import (
 	"context"
 	"fmt"
 	"net"
+	"sort"
 	"sync"
 	"time"
 
+	"adoc/adocmux"
 	"adoc/adocrpc"
 	"adoc/internal/datagen"
 	"adoc/internal/netsim"
@@ -18,14 +20,17 @@ import (
 type rpcLoadPoint struct {
 	prof        netsim.Profile
 	concurrency int
-	calls       int // total calls across all workers
-	payload     int // request payload bytes (response echoes it back)
+	calls       int  // total calls across all workers
+	payload     int  // request payload bytes (response echoes it back)
+	dict        bool // dictionary compression + response delta encoding
 }
 
 // rpcLoadPoints scales the workload to each network: enough traffic for
 // the adaptive pipeline to engage, small enough that the WAN rows finish
 // in seconds. maxPayload (from Config.MaxSize) caps the per-call
-// payload for CI-speed runs.
+// payload for CI-speed runs. Each network runs twice — plain, then with
+// the dictionary codec and response deltas — so the report carries the
+// redundancy-exploiting stack's win over the same traffic.
 func rpcLoadPoints(seed int64, maxPayload int64) []rpcLoadPoint {
 	capped := func(n int) int {
 		if maxPayload > 0 && int64(n) > maxPayload {
@@ -36,43 +41,55 @@ func rpcLoadPoints(seed int64, maxPayload int64) []rpcLoadPoint {
 	// Payloads are sized so concurrent calls coalesce into mux batches of
 	// several 200 KB adaptation buffers — small bursty payloads never
 	// give the per-message controller a queue to react to.
+	// The WAN rows run 64 calls too: at concurrency 16, the first burst
+	// necessarily ships plain (no delta base exists yet), and a 32-call
+	// run would be half cold start — misrepresenting the steady state
+	// both modes reach.
 	return []rpcLoadPoint{
 		{prof: netsim.Quiet(netsim.LAN100(seed)), concurrency: 16, calls: 64, payload: capped(256 << 10)},
-		{prof: netsim.Quiet(netsim.Renater(seed)), concurrency: 16, calls: 32, payload: capped(128 << 10)},
+		{prof: netsim.Quiet(netsim.Renater(seed)), concurrency: 16, calls: 64, payload: capped(128 << 10)},
+		{prof: netsim.Quiet(netsim.LAN100(seed)), concurrency: 16, calls: 64, payload: capped(256 << 10), dict: true},
+		{prof: netsim.Quiet(netsim.Renater(seed)), concurrency: 16, calls: 64, payload: capped(128 << 10), dict: true},
 	}
 }
 
 // RPCLoad runs the adocrpc stack — client pool, mux sessions, server
 // dispatch — under concurrent echo load over the paper's simulated
-// LAN and WAN, reporting end-to-end request throughput and the wire
-// bytes the shared compression saved. It always runs live (the scenario
-// IS the real engine; there is no model of it).
+// LAN and WAN, reporting end-to-end request throughput, per-call p50
+// latency, and the wire bytes the shared compression saved. It always
+// runs live (the scenario IS the real engine; there is no model of it).
 func RPCLoad(cfg Config) (*Table, error) {
 	cfg = cfg.withDefaults()
 	t := &Table{
 		ID:    "rpcload",
 		Title: "Concurrent RPC load through adocrpc (pooled compressed sessions)",
-		Columns: []string{"network", "calls", "conc", "payload", "elapsed(s)",
-			"req/s", "payload MB/s", "wire/raw"},
+		Columns: []string{"network", "mode", "calls", "conc", "payload", "elapsed(s)",
+			"req/s", "payload MB/s", "p50(ms)", "wire/raw"},
 	}
 	for _, pt := range rpcLoadPoints(cfg.Seed, cfg.MaxSize) {
 		res, err := runRPCLoad(pt, cfg.Seed)
 		if err != nil {
 			return nil, fmt.Errorf("rpcload %s: %w", pt.prof.Name, err)
 		}
-		t.AddRow(pt.prof.Name,
+		mode := "plain"
+		if pt.dict {
+			mode = "dict+delta"
+		}
+		t.AddRow(pt.prof.Name, mode,
 			fmt.Sprintf("%d", pt.calls),
 			fmt.Sprintf("%d", pt.concurrency),
 			fmt.Sprintf("%d", pt.payload),
 			fmt.Sprintf("%.3f", res.ElapsedSeconds),
 			fmt.Sprintf("%.1f", float64(pt.calls)/res.ElapsedSeconds),
 			fmt.Sprintf("%.2f", res.ThroughputBps/1e6),
+			fmt.Sprintf("%.1f", res.P50CallSeconds*1e3),
 			fmt.Sprintf("%.2f", float64(res.WireBytes)/float64(res.Bytes)),
 		)
 		t.AddResult(res)
 	}
 	t.AddNote("each call is one mux stream of a pooled session (max %d per target); all calls share the pool's adaptive controllers", adocrpc.DefaultMaxSessions)
 	t.AddNote("wire/raw below 1.0 means the shared compression pipeline engaged on the aggregate RPC traffic")
+	t.AddNote("dict+delta rows train dictionaries from recent payloads and ship repeated responses as deltas against the client's cache")
 	return t, nil
 }
 
@@ -84,7 +101,14 @@ func runRPCLoad(pt rpcLoadPoint, seed int64) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	srv := adocrpc.NewServer(adocrpc.ServerConfig{MaxConcurrent: pt.concurrency})
+	var mux adocmux.Config
+	if pt.dict {
+		// A few megabytes between retrains: each announcement ships the
+		// (up to 32 KiB) dictionary in-band, so retraining too eagerly on
+		// this stationary workload would cost more wire than it saves.
+		mux = adocmux.Config{EnableDict: true, DictRetrainBytes: 4 << 20}
+	}
+	srv := adocrpc.NewServer(adocrpc.ServerConfig{MaxConcurrent: pt.concurrency, Mux: mux})
 	srv.Register("echo", func(_ context.Context, args [][]byte) ([][]byte, error) {
 		return args, nil
 	})
@@ -92,7 +116,9 @@ func runRPCLoad(pt rpcLoadPoint, seed int64) (Result, error) {
 	defer srv.Close()
 
 	pool, err := adocrpc.NewPool(adocrpc.PoolConfig{
-		Dial: func(context.Context) (net.Conn, error) { return nw.Dial("rpc-server") },
+		Dial:        func(context.Context) (net.Conn, error) { return nw.Dial("rpc-server") },
+		Mux:         mux,
+		EnableDelta: pt.dict,
 	})
 	if err != nil {
 		return Result{}, err
@@ -102,6 +128,7 @@ func runRPCLoad(pt rpcLoadPoint, seed int64) (Result, error) {
 	payload := datagen.ASCII(pt.payload, seed)
 	var wg sync.WaitGroup
 	errs := make(chan error, pt.concurrency)
+	latencies := make(chan time.Duration, pt.calls)
 	// Pre-filled and buffered: if every worker bails out on an error, the
 	// run must still unwind and report it, not wedge feeding a queue
 	// nobody drains.
@@ -116,11 +143,13 @@ func runRPCLoad(pt rpcLoadPoint, seed int64) (Result, error) {
 		go func() {
 			defer wg.Done()
 			for range work {
+				t0 := time.Now()
 				res, err := pool.Call(context.Background(), "echo", [][]byte{payload})
 				if err != nil {
 					errs <- err
 					return
 				}
+				latencies <- time.Since(t0)
 				if len(res) != 1 || len(res[0]) != len(payload) {
 					errs <- fmt.Errorf("echo returned %d results", len(res))
 					return
@@ -134,15 +163,29 @@ func runRPCLoad(pt rpcLoadPoint, seed int64) (Result, error) {
 	for err := range errs {
 		return Result{}, err
 	}
+	close(latencies)
+	var lats []time.Duration
+	for d := range latencies {
+		lats = append(lats, d)
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	var p50 float64
+	if len(lats) > 0 {
+		p50 = lats[len(lats)/2].Seconds()
+	}
 
 	stats := pool.Stats()
 	neg := ""
 	if n, ok := pool.Negotiated(); ok {
 		neg = n.String()
 	}
+	scenario := "rpcload/" + pt.prof.Name
+	if pt.dict {
+		scenario += "+dictdelta"
+	}
 	bytes := int64(pt.calls) * int64(pt.payload) * 2 // request + echoed response
 	return Result{
-		Scenario:       "rpcload/" + pt.prof.Name,
+		Scenario:       scenario,
 		Bytes:          bytes,
 		ElapsedSeconds: elapsed.Seconds(),
 		ThroughputBps:  float64(bytes) / elapsed.Seconds(),
@@ -150,5 +193,6 @@ func runRPCLoad(pt rpcLoadPoint, seed int64) (Result, error) {
 		Calls:          pt.calls,
 		Concurrency:    pt.concurrency,
 		WireBytes:      stats.WireSent + stats.WireReceived,
+		P50CallSeconds: p50,
 	}, nil
 }

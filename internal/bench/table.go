@@ -41,6 +41,9 @@ type Result struct {
 	// Calls and Concurrency describe RPC-load scenarios.
 	Calls       int `json:"calls,omitempty"`
 	Concurrency int `json:"concurrency,omitempty"`
+	// P50CallSeconds is the median per-call round-trip latency of
+	// RPC-load scenarios.
+	P50CallSeconds float64 `json:"p50_call_seconds,omitempty"`
 	// WireBytes is what actually crossed the link (compressed + framing),
 	// when the scenario can observe it.
 	WireBytes int64 `json:"wire_bytes,omitempty"`

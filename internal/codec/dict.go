@@ -1,0 +1,288 @@
+package codec
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"fmt"
+	"hash/adler32"
+	"io"
+	"sync"
+)
+
+// The dictionary codec is DEFLATE with a preset dictionary: a window of
+// recent traffic installed on both ends, so small, structurally similar
+// payloads (RPC requests and responses) compress against each other
+// instead of restarting the history window per group. Dictionaries are
+// trained online on the sender, shipped in-band, and identified by a
+// generation number; every block self-describes which dictionary built
+// it through an Adler-32 checksum of the dictionary bytes, so a decode
+// against the wrong generation fails deterministically with ErrCorrupt
+// instead of producing garbage.
+const (
+	// IDDict is the dictionary-DEFLATE codec identity. It serves the same
+	// levels as IDDeflate (2..10) but only when the engine has a trained
+	// dictionary installed for the group's generation.
+	IDDict ID = 3
+
+	// MaskDict is IDDict's capability bit.
+	MaskDict Mask = 1 << IDDict
+
+	// MaxDictLen bounds a trained dictionary to DEFLATE's history window:
+	// bytes beyond 32 KB can never be referenced by the compressor.
+	MaxDictLen = 32 << 10
+
+	// dictHeaderLen is the per-block dictionary fingerprint: the Adler-32
+	// of the dictionary the block was compressed with.
+	dictHeaderLen = 4
+)
+
+// DictChecksum fingerprints a dictionary; it prefixes every dict block so
+// mismatched generations are detected before inflation.
+func DictChecksum(dict []byte) uint32 { return adler32.Checksum(dict) }
+
+// dictCodec is the registered identity behind IDDict. Its interface
+// methods run with an empty dictionary (the engine reaches the real
+// dictionaries through CompressDict/DecompressDict, which carry the
+// dictionary explicitly); they exist so the registry entry is a complete,
+// self-consistent codec for masks, tables and fuzzing.
+type dictCodec struct{}
+
+func (dictCodec) ID() ID       { return IDDict }
+func (dictCodec) Name() string { return "dict" }
+
+func (dictCodec) Compress(scratch []byte, level Level, src []byte) ([]byte, error) {
+	return CompressDict(scratch, level, src, nil)
+}
+
+func (dictCodec) Decompress(block []byte, rawLen int) ([]byte, error) {
+	return DecompressDict(block, rawLen, nil)
+}
+
+// CompressDict produces a dictionary block for src at a DEFLATE level
+// (2..10): a dictHeaderLen fingerprint of dict followed by the DEFLATE
+// stream emitted with dict preset. The block may alias scratch.
+func CompressDict(scratch []byte, level Level, src, dict []byte) ([]byte, error) {
+	if level < 2 || level > MaxLevel {
+		return nil, ErrBadLevel
+	}
+	if cap(scratch) < len(src)+dictHeaderLen {
+		scratch = make([]byte, 0, len(src)+dictHeaderLen)
+	}
+	w := sliceWriter{buf: scratch[:0]}
+	w.buf = binary.BigEndian.AppendUint32(w.buf, DictChecksum(dict))
+	fw, err := flate.NewWriterDict(&w, flateLevel(level), dict)
+	if err != nil {
+		// Levels are validated above; failure is a programming error.
+		panic("codec: flate.NewWriterDict: " + err.Error())
+	}
+	_, werr := fw.Write(src)
+	cerr := fw.Close()
+	if werr != nil {
+		return nil, werr
+	}
+	if cerr != nil {
+		return nil, cerr
+	}
+	return w.buf, nil
+}
+
+// DecompressDict expands a dictionary block back to exactly rawLen bytes
+// using dict. A fingerprint mismatch — the block was built against a
+// different dictionary generation — is corruption: decoding would
+// otherwise succeed with silently wrong bytes or fail nondeterministically
+// deep inside inflation.
+func DecompressDict(block []byte, rawLen int, dict []byte) ([]byte, error) {
+	if rawLen < 0 {
+		return nil, fmt.Errorf("%w: negative raw length %d", ErrCorrupt, rawLen)
+	}
+	if len(block) < dictHeaderLen {
+		return nil, fmt.Errorf("%w: dict block truncated before its fingerprint", ErrCorrupt)
+	}
+	if sum := binary.BigEndian.Uint32(block); sum != DictChecksum(dict) {
+		return nil, fmt.Errorf("%w: dict block fingerprint %08x does not match the installed dictionary (%08x)",
+			ErrCorrupt, sum, DictChecksum(dict))
+	}
+	fr := flateReaderPool.Get().(io.ReadCloser)
+	defer flateReaderPool.Put(fr)
+	if err := fr.(flate.Resetter).Reset(bytes.NewReader(block[dictHeaderLen:]), dict); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	out := make([]byte, rawLen)
+	if _, err := io.ReadFull(fr, out); err != nil {
+		return nil, fmt.Errorf("codec: %w: %v", ErrCorrupt, err)
+	}
+	var tail [1]byte
+	for {
+		n, terr := fr.Read(tail[:])
+		if n != 0 {
+			return nil, ErrCorrupt
+		}
+		if terr == io.EOF {
+			return out, nil
+		}
+		if terr != nil {
+			return nil, fmt.Errorf("%w: %v", ErrCorrupt, terr)
+		}
+	}
+}
+
+// dictStream adapts a dictionary flate writer. Unlike flateStream the
+// writer is not pooled: flate writers cannot be Reset with a new
+// dictionary, so each group allocates its own.
+type dictStream struct{ fw *flate.Writer }
+
+func (s *dictStream) Write(p []byte) (int, error) { return s.fw.Write(p) }
+func (s *dictStream) Flush() error                { return s.fw.Flush() }
+
+func (s *dictStream) Close() error {
+	err := s.fw.Close()
+	s.fw = nil
+	return err
+}
+
+// NewStreamWriterDict returns a StreamWriter emitting a dictionary block
+// to w: the dictionary fingerprint is written immediately, then the
+// DEFLATE stream with dict preset. Decoded by DecompressDict with the
+// same dictionary.
+func NewStreamWriterDict(level Level, w io.Writer, dict []byte) (StreamWriter, error) {
+	if level < 2 || level > MaxLevel {
+		return nil, ErrBadLevel
+	}
+	var hdr [dictHeaderLen]byte
+	binary.BigEndian.PutUint32(hdr[:], DictChecksum(dict))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return nil, err
+	}
+	fw, err := flate.NewWriterDict(w, flateLevel(level), dict)
+	if err != nil {
+		panic("codec: flate.NewWriterDict: " + err.Error())
+	}
+	return &dictStream{fw: fw}, nil
+}
+
+// DictGenerations is how many past dictionary generations a DictStore
+// retains. Reordered parallel-pipeline groups may still reference a
+// generation or two back; anything older than the retention window is a
+// protocol violation and decodes to ErrCorrupt.
+const DictGenerations = 8
+
+// DictStore holds the receive side's installed dictionaries, keyed by
+// generation. Safe for concurrent use: the demultiplexer installs new
+// generations while decode workers look old ones up.
+type DictStore struct {
+	mu    sync.Mutex
+	dicts map[uint32][]byte
+	order []uint32
+}
+
+// NewDictStore returns an empty store.
+func NewDictStore() *DictStore { return &DictStore{dicts: map[uint32][]byte{}} }
+
+// Install records dict under gen (copying it — callers typically hand in
+// a view of a decode buffer), evicting the oldest generation beyond the
+// retention window. Reinstalling a known generation is a no-op.
+func (s *DictStore) Install(gen uint32, dict []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.dicts[gen]; ok {
+		return
+	}
+	s.dicts[gen] = append([]byte(nil), dict...)
+	s.order = append(s.order, gen)
+	for len(s.order) > DictGenerations {
+		delete(s.dicts, s.order[0])
+		s.order = s.order[1:]
+	}
+}
+
+// Get returns the dictionary installed under gen.
+func (s *DictStore) Get(gen uint32) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d, ok := s.dicts[gen]
+	return d, ok
+}
+
+// Trainer tuning.
+const (
+	// trainerSamples is the sampled-payload ring size.
+	trainerSamples = 16
+	// trainerSampleCap bounds the copied prefix of each sampled payload:
+	// payload beginnings are what future payloads' beginnings will match.
+	trainerSampleCap = 4 << 10
+	// DefaultRetrainBytes is the default volume of newly sampled bytes
+	// between dictionary rebuilds.
+	DefaultRetrainBytes = 256 << 10
+)
+
+// DictTrainer builds dictionaries online from a sampled ring of recent
+// payloads. Training is concatenative: the retained sample prefixes are
+// joined oldest-first and the result capped to MaxDictLen keeping the
+// most recent content — DEFLATE treats later dictionary bytes as nearer
+// history, so the freshest traffic gets the shortest match distances.
+// Safe for concurrent use.
+type DictTrainer struct {
+	mu      sync.Mutex
+	samples [][]byte
+	next    int
+	pending int64
+}
+
+// NewDictTrainer returns an empty trainer.
+func NewDictTrainer() *DictTrainer {
+	return &DictTrainer{samples: make([][]byte, 0, trainerSamples)}
+}
+
+// Sample records (a bounded prefix of) one outgoing payload.
+func (t *DictTrainer) Sample(p []byte) {
+	if len(p) == 0 {
+		return
+	}
+	if len(p) > trainerSampleCap {
+		p = p[:trainerSampleCap]
+	}
+	cp := append([]byte(nil), p...)
+	t.mu.Lock()
+	if len(t.samples) < trainerSamples {
+		t.samples = append(t.samples, cp)
+	} else {
+		t.samples[t.next] = cp
+		t.next = (t.next + 1) % trainerSamples
+	}
+	t.pending += int64(len(cp))
+	t.mu.Unlock()
+}
+
+// Pending returns the sampled bytes accumulated since the last Build —
+// the trainer's retrain trigger input.
+func (t *DictTrainer) Pending() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.pending
+}
+
+// Build assembles a dictionary (≤ MaxDictLen) from the current ring and
+// resets the pending counter. Returns nil when nothing was sampled.
+func (t *DictTrainer) Build() []byte {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.pending = 0
+	if len(t.samples) == 0 {
+		return nil
+	}
+	var dict []byte
+	// Ring order: oldest first. Before the ring wraps, insertion order is
+	// oldest-first already; after, t.next points at the oldest entry.
+	for i := 0; i < len(t.samples); i++ {
+		idx := i
+		if len(t.samples) == trainerSamples {
+			idx = (t.next + i) % trainerSamples
+		}
+		dict = append(dict, t.samples[idx]...)
+	}
+	if len(dict) > MaxDictLen {
+		dict = dict[len(dict)-MaxDictLen:]
+	}
+	return dict
+}

@@ -1,0 +1,198 @@
+package codec
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func dictPayload(n int, phase byte) []byte {
+	p := make([]byte, n)
+	for i := range p {
+		p[i] = byte('a' + (i+int(phase))%17)
+	}
+	return p
+}
+
+func TestDictRoundTrip(t *testing.T) {
+	dict := dictPayload(8<<10, 0)
+	src := dictPayload(64<<10, 3)
+	for _, lvl := range []Level{2, 6, MaxLevel} {
+		block, err := CompressDict(nil, lvl, src, dict)
+		if err != nil {
+			t.Fatalf("level %d: compress: %v", lvl, err)
+		}
+		out, err := DecompressDict(block, len(src), dict)
+		if err != nil {
+			t.Fatalf("level %d: decompress: %v", lvl, err)
+		}
+		if !bytes.Equal(out, src) {
+			t.Fatalf("level %d: round trip corrupted", lvl)
+		}
+	}
+}
+
+// TestDictSharedContentCompressesBetter is the codec's reason to exist:
+// a payload whose content already rode the dictionary compresses far
+// smaller than the same payload compressed dictionary-less.
+func TestDictSharedContentCompressesBetter(t *testing.T) {
+	payload := dictPayload(16<<10, 0)
+	dict := payload
+	plain, _, err := CompressAppend(nil, 9, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withDict, err := CompressDict(nil, 9, payload, dict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(withDict) >= len(plain) {
+		t.Fatalf("dictionary did not help: %d (dict) vs %d (plain)", len(withDict), len(plain))
+	}
+}
+
+func TestDictWrongGeneration(t *testing.T) {
+	dictA := dictPayload(4<<10, 0)
+	dictB := dictPayload(4<<10, 9)
+	src := dictPayload(32<<10, 1)
+	block, err := CompressDict(nil, 9, src, dictA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecompressDict(block, len(src), dictB); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("wrong-dictionary decode: err = %v, want ErrCorrupt", err)
+	}
+	if _, err := DecompressDict(block, len(src), nil); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("missing-dictionary decode: err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestDictTruncatedBlock(t *testing.T) {
+	dict := dictPayload(4<<10, 0)
+	src := dictPayload(32<<10, 1)
+	block, err := CompressDict(nil, 9, src, dict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{0, 1, dictHeaderLen - 1, dictHeaderLen, len(block) / 2, len(block) - 1} {
+		if _, err := DecompressDict(block[:cut], len(src), dict); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("truncated to %d: err = %v, want ErrCorrupt", cut, err)
+		}
+	}
+}
+
+func TestDictBadLevel(t *testing.T) {
+	for _, lvl := range []Level{MinLevel, LZF, MaxLevel + 1, -1} {
+		if _, err := CompressDict(nil, lvl, []byte("x"), nil); !errors.Is(err, ErrBadLevel) {
+			t.Fatalf("level %d: err = %v, want ErrBadLevel", lvl, err)
+		}
+	}
+}
+
+func TestDictStreamWriterRoundTrip(t *testing.T) {
+	dict := dictPayload(8<<10, 2)
+	src := dictPayload(100<<10, 5)
+	var buf bytes.Buffer
+	sw, err := NewStreamWriterDict(7, &buf, dict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for off := 0; off < len(src); off += 8192 {
+		end := off + 8192
+		if end > len(src) {
+			end = len(src)
+		}
+		if _, err := sw.Write(src[off:end]); err != nil {
+			t.Fatal(err)
+		}
+		if err := sw.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecompressDict(buf.Bytes(), len(src), dict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, src) {
+		t.Fatal("stream round trip corrupted")
+	}
+}
+
+func TestDictCodecRegistered(t *testing.T) {
+	c, ok := Default().Lookup(IDDict)
+	if !ok {
+		t.Fatal("dict codec not registered")
+	}
+	if c.Name() != "dict" {
+		t.Fatalf("name = %q", c.Name())
+	}
+	if !AllMask().Has(IDDict) {
+		t.Fatal("AllMask missing IDDict")
+	}
+	// The registry-facing methods are the empty-dictionary variant and
+	// round trip on their own.
+	src := dictPayload(4<<10, 4)
+	block, err := c.Compress(nil, 5, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.Decompress(block, len(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, src) {
+		t.Fatal("registry round trip corrupted")
+	}
+}
+
+func TestDictStore(t *testing.T) {
+	s := NewDictStore()
+	if _, ok := s.Get(1); ok {
+		t.Fatal("empty store returned a dictionary")
+	}
+	for gen := uint32(1); gen <= DictGenerations+3; gen++ {
+		s.Install(gen, []byte{byte(gen)})
+	}
+	if _, ok := s.Get(1); ok {
+		t.Fatal("generation 1 should have been evicted")
+	}
+	for gen := uint32(4); gen <= DictGenerations+3; gen++ {
+		d, ok := s.Get(gen)
+		if !ok || len(d) != 1 || d[0] != byte(gen) {
+			t.Fatalf("generation %d: got %v ok=%v", gen, d, ok)
+		}
+	}
+	// Reinstall of a known generation does not disturb retention.
+	s.Install(5, []byte{99})
+	if d, _ := s.Get(5); d[0] != 5 {
+		t.Fatal("reinstall replaced an existing generation")
+	}
+}
+
+func TestDictTrainer(t *testing.T) {
+	tr := NewDictTrainer()
+	if d := tr.Build(); d != nil {
+		t.Fatal("empty trainer built a dictionary")
+	}
+	payload := dictPayload(10<<10, 0)
+	for i := 0; i < 40; i++ {
+		tr.Sample(payload)
+	}
+	if tr.Pending() == 0 {
+		t.Fatal("no pending bytes after sampling")
+	}
+	d := tr.Build()
+	if len(d) == 0 || len(d) > MaxDictLen {
+		t.Fatalf("built dictionary of %d bytes", len(d))
+	}
+	if tr.Pending() != 0 {
+		t.Fatal("Build did not reset pending")
+	}
+	// The dictionary holds the sampled content (prefix-capped).
+	if !bytes.Contains(d, payload[:trainerSampleCap]) {
+		t.Fatal("dictionary does not contain the sampled prefix")
+	}
+}

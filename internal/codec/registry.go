@@ -202,7 +202,7 @@ func (r *Registry) Mask() Mask {
 // defaultRegistry holds the built-in codecs.
 var defaultRegistry = func() *Registry {
 	r := NewRegistry()
-	for _, c := range []Codec{rawCodec{}, lzfCodec{}, deflateCodec{}} {
+	for _, c := range []Codec{rawCodec{}, lzfCodec{}, deflateCodec{}, dictCodec{}} {
 		if err := r.Register(c); err != nil {
 			panic(err)
 		}

@@ -27,11 +27,14 @@ func TestLevelCodecMapping(t *testing.T) {
 }
 
 func TestDefaultRegistryMask(t *testing.T) {
-	if got := AllMask(); got != MaskRaw|MaskLZF|MaskDeflate {
-		t.Fatalf("AllMask() = %v, want raw+lzf+deflate", got)
+	if got := AllMask(); got != MaskRaw|MaskLZF|MaskDeflate|MaskDict {
+		t.Fatalf("AllMask() = %v, want raw+lzf+deflate+dict", got)
 	}
-	if AllMask() != LegacyMask {
-		t.Fatalf("the built-in set must equal the legacy fixed set while no extra codecs exist")
+	if AllMask()&LegacyMask != LegacyMask {
+		t.Fatalf("the built-in set must contain the legacy fixed set")
+	}
+	if LegacyMask.Has(IDDict) {
+		t.Fatalf("the legacy fixed set must not grow new codecs")
 	}
 }
 
@@ -88,7 +91,7 @@ func TestMinUsableLevel(t *testing.T) {
 }
 
 func TestMaskString(t *testing.T) {
-	if s := AllMask().String(); s != "raw+lzf+deflate" {
+	if s := AllMask().String(); s != "raw+lzf+deflate+dict" {
 		t.Errorf("AllMask().String() = %q", s)
 	}
 	if s := Mask(0).String(); s != "none" {

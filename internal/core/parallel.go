@@ -250,9 +250,23 @@ type decResult struct {
 
 // decodeGroup expands and verifies one assembled group — the same
 // per-group work on both receive paths (the sequential consumer calls it
-// inline, the pool workers concurrently).
-func decodeGroup(g completedGroup) decResult {
-	raw, err := codec.Decompress(g.level, g.block, g.rawLen)
+// inline, the pool workers concurrently). Dict groups name their
+// dictionary by generation, so out-of-order parallel decoding still pairs
+// each group with the exact bytes it was compressed against; a generation
+// this engine never installed is indistinguishable from corruption.
+func (e *Engine) decodeGroup(g completedGroup) decResult {
+	var raw []byte
+	var err error
+	if g.dictOn {
+		dict, ok := e.recvDicts.Get(g.dictGen)
+		if !ok {
+			return decResult{err: fmt.Errorf("%w: group names uninstalled dictionary generation %d",
+				codec.ErrCorrupt, g.dictGen)}
+		}
+		raw, err = codec.DecompressDict(g.block, g.rawLen, dict)
+	} else {
+		raw, err = codec.Decompress(g.level, g.block, g.rawLen)
+	}
 	if err != nil {
 		return decResult{err: err}
 	}
@@ -267,7 +281,7 @@ func decodeGroup(g completedGroup) decResult {
 // stamp the delivery stage measures its wait from.
 func (e *Engine) decodeGroupTraced(g completedGroup) decResult {
 	t0 := e.opts.FlowTracer.Now()
-	r := decodeGroup(g)
+	r := e.decodeGroup(g)
 	done := e.opts.FlowTracer.Now()
 	if r.err == nil {
 		e.recordRecvSpan(obs.StageDecompress, t0, done.Sub(t0), r.rawLen, int(g.level))
@@ -357,7 +371,7 @@ func (e *Engine) runDecodePipeline(st *streamState) {
 			if e.opts.FlowTracer.Enabled() {
 				e.pool.Submit(func() { rc <- e.decodeGroupTraced(grp) })
 			} else {
-				e.pool.Submit(func() { rc <- decodeGroup(grp) })
+				e.pool.Submit(func() { rc <- e.decodeGroup(grp) })
 			}
 		}
 	}

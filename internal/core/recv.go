@@ -29,6 +29,7 @@ type recvFrame struct {
 	payload  []byte
 	rawLen   int
 	checksum uint32
+	dictGen  uint32 // generation named by a MarkGroupBeginDict frame
 }
 
 // streamState is the receive pipeline for one in-progress stream message:
@@ -47,10 +48,12 @@ type streamState struct {
 
 // completedGroup is one fully assembled compressed group ready to decode.
 type completedGroup struct {
-	level  codec.Level
-	block  []byte
-	rawLen int
-	sum    uint32
+	level   codec.Level
+	block   []byte
+	rawLen  int
+	sum     uint32
+	dictOn  bool   // group was compressed against a dictionary
+	dictGen uint32 // which generation, when dictOn
 }
 
 // groupAssembler validates the frame sequence of a stream message and
@@ -67,6 +70,8 @@ type groupAssembler struct {
 	inGroup bool
 	level   codec.Level
 	block   []byte
+	dictOn  bool
+	dictGen uint32
 }
 
 // feed consumes one frame. At most one of the results is set: a completed
@@ -74,12 +79,14 @@ type groupAssembler struct {
 // mid-group progress.
 func (a *groupAssembler) feed(fr recvFrame) (g *completedGroup, end bool, err error) {
 	switch fr.mark {
-	case wire.MarkGroupBegin:
+	case wire.MarkGroupBegin, wire.MarkGroupBeginDict:
 		if a.inGroup {
 			return nil, false, fmt.Errorf("%w: nested group", wire.ErrBadFrame)
 		}
 		a.inGroup = true
 		a.level = fr.level
+		a.dictOn = fr.mark == wire.MarkGroupBeginDict
+		a.dictGen = fr.dictGen
 		if a.reuse {
 			a.block = a.block[:0]
 		} else {
@@ -95,7 +102,10 @@ func (a *groupAssembler) feed(fr recvFrame) (g *completedGroup, end bool, err er
 			return nil, false, fmt.Errorf("%w: group end outside group", wire.ErrBadFrame)
 		}
 		a.inGroup = false
-		g = &completedGroup{level: a.level, block: a.block, rawLen: fr.rawLen, sum: fr.checksum}
+		g = &completedGroup{
+			level: a.level, block: a.block, rawLen: fr.rawLen, sum: fr.checksum,
+			dictOn: a.dictOn, dictGen: a.dictGen,
+		}
 		if !a.reuse {
 			a.block = nil
 		}
@@ -152,7 +162,7 @@ func (e *Engine) receiveLoop(st *streamState) {
 			st.frames.CloseSendWithError(err)
 			return
 		}
-		fr := recvFrame{mark: f.Mark, level: f.Level, rawLen: f.RawLen, checksum: f.Checksum}
+		fr := recvFrame{mark: f.Mark, level: f.Level, rawLen: f.RawLen, checksum: f.Checksum, dictGen: f.DictGen}
 		// Frame overheads come from the wire constants — never literal byte
 		// counts — so receive stats track the protocol by construction.
 		switch f.Mark {
@@ -170,6 +180,13 @@ func (e *Engine) receiveLoop(st *streamState) {
 			if traced {
 				groupStart = tr.Now()
 				groupWire = int(wire.FrameGroupBeginLen)
+				groupLevel = f.Level
+			}
+		case wire.MarkGroupBeginDict:
+			e.stats.wireReceived.Add(wire.FrameGroupBeginDictLen)
+			if traced {
+				groupStart = tr.Now()
+				groupWire = int(wire.FrameGroupBeginDictLen)
 				groupLevel = f.Level
 			}
 		case wire.MarkGroupEnd:
@@ -242,7 +259,7 @@ func (e *Engine) advanceStream(st *streamState, block bool) (data []byte, err er
 			if e.opts.FlowTracer.Enabled() {
 				r = e.decodeGroupTraced(*g)
 			} else {
-				r = decodeGroup(*g)
+				r = e.decodeGroup(*g)
 			}
 			if r.err != nil {
 				return nil, r.err

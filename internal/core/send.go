@@ -193,6 +193,11 @@ func (e *Engine) writeStream(src io.Reader, size int64, min, max codec.Level) (d
 	if err := e.ctrl.SetBounds(min, max); err != nil {
 		return 0, 0, err
 	}
+	// The message's dictionary is pinned here, under wmu: SetSendDict only
+	// affects messages that start after it, so every group of one message
+	// references one generation and the in-band announcement ordering
+	// (dictionary bytes ride an earlier message) holds.
+	e.msgDict = e.snapshotSendDict()
 	defer func() { e.stats.wireSent.Add(wireBytes) }()
 	totalRaw := wire.UnknownTotal
 	if size >= 0 {
@@ -577,7 +582,7 @@ func (e *Engine) compressBufferAt(dst segDst, level codec.Level, chunk, scratch 
 		e.ctrl.NotePacketRatio(used, len(chunk), len(blk))
 		return e.pushBlockGroup(dst, used, blk, chunk)
 	default:
-		return e.pushFlateGroup(dst, level, chunk)
+		return e.pushFlateGroup(dst, level, chunk, e.msgDict)
 	}
 }
 
@@ -593,10 +598,19 @@ func (e *Engine) pushBlockGroup(dst segDst, level codec.Level, block, raw []byte
 
 // pushFlateGroup streams chunk through a DEFLATE compressor, checking the
 // running ratio after every flush so incompressible data aborts the buffer
-// early (paper §5 "Compressed and random data").
-func (e *Engine) pushFlateGroup(dst segDst, level codec.Level, chunk []byte) error {
+// early (paper §5 "Compressed and random data"). A non-nil d compresses
+// against d's dictionary and stamps the group with d's generation so the
+// receiver resolves the same dictionary before inflating.
+func (e *Engine) pushFlateGroup(dst segDst, level codec.Level, chunk []byte, d *sendDict) error {
 	p := newPacketizer(e, dst, level)
-	sw, err := codec.NewStreamWriter(level, p)
+	var sw codec.StreamWriter
+	var err error
+	if d != nil {
+		p.dict, p.dictGen = true, d.gen
+		sw, err = codec.NewStreamWriterDict(level, p, d.data)
+	} else {
+		sw, err = codec.NewStreamWriter(level, p)
+	}
 	if err != nil {
 		return err
 	}
@@ -643,6 +657,8 @@ type packetizer struct {
 	e       *Engine
 	dst     segDst
 	level   codec.Level
+	dict    bool   // open with a dict groupBegin frame
+	dictGen uint32 // the generation it announces
 	pending []byte
 	first   bool
 	total   int // compressed bytes accepted so far
@@ -686,7 +702,11 @@ func (p *packetizer) flushPacket(end bool, rawLen int, sum uint32) error {
 	// which recycles it after the socket write.
 	frame := bufpool.Get(len(p.pending) + maxFrameOverhead)[:0]
 	if p.first {
-		frame = wire.AppendGroupBegin(frame, p.level)
+		if p.dict {
+			frame = wire.AppendGroupBeginDict(frame, p.level, p.dictGen)
+		} else {
+			frame = wire.AppendGroupBegin(frame, p.level)
+		}
 	}
 	if len(p.pending) > 0 {
 		frame = wire.AppendPacket(frame, p.pending)
@@ -727,5 +747,6 @@ func (p *packetizer) finish(rawLen int, sum uint32) error {
 }
 
 // maxFrameOverhead bounds the non-payload bytes a single segment can carry:
-// a group-begin prefix plus packet framing plus a glued group-end tail.
-const maxFrameOverhead = wire.FrameGroupBeginLen + wire.FramePacketOverhead + wire.FrameGroupEndLen
+// a group-begin prefix (the dict form is the larger) plus packet framing
+// plus a glued group-end tail.
+const maxFrameOverhead = wire.FrameGroupBeginDictLen + wire.FramePacketOverhead + wire.FrameGroupEndLen

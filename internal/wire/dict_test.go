@@ -1,0 +1,102 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"adoc/internal/codec"
+)
+
+// TestMuxDictRoundtrip: the dictionary installation frame decodes to its
+// generation and bytes at every chunking, interleaved with data frames.
+func TestMuxDictRoundtrip(t *testing.T) {
+	dict := bytes.Repeat([]byte("recent traffic "), 100)
+	var buf []byte
+	buf = AppendMuxDict(buf, 7, dict)
+	buf = AppendMuxData(buf, 3, []byte("payload"))
+	buf = AppendMuxDict(buf, 8, nil)
+	for _, step := range []int{0, 1, 4, 9, 13, 1000} {
+		got, err := collect(t, buf, step)
+		if err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		if len(got) != 3 {
+			t.Fatalf("step %d: decoded %d frames, want 3", step, len(got))
+		}
+		if got[0].Kind != MuxDict || got[0].StreamID != 0 ||
+			got[0].DictGen != 7 || !bytes.Equal(got[0].Payload, dict) {
+			t.Fatalf("step %d: first frame kind=%v gen=%d payload %d bytes",
+				step, got[0].Kind, got[0].DictGen, len(got[0].Payload))
+		}
+		if got[1].Kind != MuxData || !bytes.Equal(got[1].Payload, []byte("payload")) {
+			t.Fatalf("step %d: second frame %+v", step, got[1])
+		}
+		if got[2].Kind != MuxDict || got[2].DictGen != 8 || len(got[2].Payload) != 0 {
+			t.Fatalf("step %d: third frame %+v", step, got[2])
+		}
+	}
+}
+
+// TestMuxDictBounds: a short payload, an over-window dictionary, or a
+// nonzero stream ID is a protocol error; the encoder truncates
+// dictionaries to the DEFLATE window rather than emitting rejectable
+// frames.
+func TestMuxDictBounds(t *testing.T) {
+	short := appendMuxHeader(nil, MuxDict, 0, 2)
+	short = append(short, 1, 2)
+	if _, err := collect(t, short, 0); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("short dict payload: err = %v, want ErrBadFrame", err)
+	}
+
+	big := appendMuxHeader(nil, MuxDict, 0, muxDictHeaderLen+codec.MaxDictLen+1)
+	big = append(big, make([]byte, muxDictHeaderLen+codec.MaxDictLen+1)...)
+	if _, err := collect(t, big, 0); !errors.Is(err, ErrTooBig) {
+		t.Fatalf("over-window dict: err = %v, want ErrTooBig", err)
+	}
+
+	onStream := appendMuxHeader(nil, MuxDict, 5, muxDictHeaderLen)
+	onStream = append(onStream, make([]byte, muxDictHeaderLen)...)
+	if _, err := collect(t, onStream, 0); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("dict frame on stream 5: err = %v, want ErrBadFrame", err)
+	}
+
+	over := make([]byte, codec.MaxDictLen+500)
+	got, err := collect(t, AppendMuxDict(nil, 1, over), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || len(got[0].Payload) != codec.MaxDictLen {
+		t.Fatalf("encoder did not truncate to the window: %d bytes", len(got[0].Payload))
+	}
+}
+
+// TestGroupBeginDictFrame: the dict group header round trips its level
+// and generation, rejects invalid levels, and reports truncation as
+// ErrUnexpectedEOF like the other frames.
+func TestGroupBeginDictFrame(t *testing.T) {
+	buf := AppendGroupBeginDict(nil, 9, 0xA1B2C3D4)
+	if len(buf) != FrameGroupBeginDictLen {
+		t.Fatalf("frame is %d bytes, constant says %d", len(buf), FrameGroupBeginDictLen)
+	}
+	r := NewReader(bytes.NewReader(buf))
+	f, err := r.ReadFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Mark != MarkGroupBeginDict || f.Level != 9 || f.DictGen != 0xA1B2C3D4 {
+		t.Fatalf("decoded %+v", f)
+	}
+
+	bad := append([]byte{MarkGroupBeginDict, 42}, 0, 0, 0, 1)
+	if _, err := NewReader(bytes.NewReader(bad)).ReadFrame(); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("invalid level: err = %v, want ErrBadFrame", err)
+	}
+
+	for cut := 1; cut < len(buf); cut++ {
+		_, err := NewReader(bytes.NewReader(buf[:cut])).ReadFrame()
+		if err == nil {
+			t.Fatalf("truncated to %d bytes decoded", cut)
+		}
+	}
+}
